@@ -1,0 +1,59 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every ``bench_*.py`` regenerates one table or figure from the paper:
+it computes the full series (all rows the figure plots), prints it in a
+uniform format (run ``pytest benchmarks/ --benchmark-only -s`` to see
+the tables), and registers one representative timed case with
+pytest-benchmark.
+
+Scales default to laptop-feasible sizes; set ``ZHT_BENCH_SCALE=paper``
+to sweep closer to the paper's ranges (minutes of runtime).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+#: "small" (default, seconds) or "paper" (closer to the paper, minutes).
+BENCH_SCALE = os.environ.get("ZHT_BENCH_SCALE", "small")
+
+
+def paper_scale() -> bool:
+    return BENCH_SCALE == "paper"
+
+
+def scales(small: Sequence[int], paper: Sequence[int]) -> Sequence[int]:
+    return paper if paper_scale() else small
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    note: str = "",
+) -> None:
+    """Print one figure/table reproduction in a uniform format."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"=== {title} ===")
+    if note:
+        print(note)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def fmt_int(value: float) -> str:
+    return f"{value:,.0f}"

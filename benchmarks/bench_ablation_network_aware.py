@@ -1,0 +1,67 @@
+"""Ablation: network-aware (correlated) vs random instance ids (§VI).
+
+The paper's first future-work item: "making ZHT network topology aware
+is critical to making ZHT scalable by ensuring that communication is
+kept localized when performing 1-to-1 communication" — replicas are
+placed on UUID-ring successors, so if ids correlate with network
+position, replica traffic stays within a few torus hops instead of
+crossing the machine.
+
+We build both memberships, compute every partition's owner→replica hop
+distances on the Blue Gene/P torus model, and compare.
+"""
+
+import random
+
+from _util import fmt, print_table, scales
+
+from repro import ZHTConfig, build_membership
+from repro.sim.topology import TorusTopology
+
+SCALES = scales(small=(64, 256, 1024), paper=(64, 256, 1024, 4096))
+REPLICAS = 2
+
+
+def replica_hops(num_nodes: int, network_aware: bool) -> float:
+    """Mean torus hops from each partition's owner to its replicas."""
+    config = ZHTConfig(num_partitions=max(256, num_nodes))
+    table, _nodes, _instances = build_membership(
+        num_nodes, config, random.Random(1), network_aware=network_aware
+    )
+    topo = TorusTopology.for_nodes(num_nodes)
+    node_index = {node_id: i for i, node_id in enumerate(table.nodes)}
+    total, count = 0.0, 0
+    for pid in range(0, config.num_partitions, max(1, config.num_partitions // 512)):
+        chain = table.replicas_for_partition(pid, REPLICAS)
+        owner = node_index[chain[0].node_id]
+        for replica in chain[1:]:
+            total += topo.hops(owner, node_index[replica.node_id])
+            count += 1
+    return total / max(count, 1)
+
+
+def generate_series():
+    rows = []
+    for n in SCALES:
+        rnd = replica_hops(n, network_aware=False)
+        aware = replica_hops(n, network_aware=True)
+        rows.append((n, fmt(rnd, 2), fmt(aware, 2), fmt(rnd / aware, 1) + "x"))
+    return rows
+
+
+def test_ablation_network_aware_placement(benchmark):
+    rows = generate_series()
+    print_table(
+        "Ablation: replica traffic hops, random vs network-aware ids",
+        ["nodes", "random ids", "correlated ids", "reduction"],
+        rows,
+        note="correlated ids keep replica chains on torus neighbors "
+        "(the paper's planned network-aware topology)",
+    )
+    for row in rows:
+        assert float(row[2]) < float(row[1])  # aware always closer
+    # The benefit grows with machine size.
+    assert float(rows[-1][1]) / float(rows[-1][2]) >= float(
+        rows[0][1]
+    ) / float(rows[0][2])
+    benchmark(lambda: replica_hops(256, network_aware=True))

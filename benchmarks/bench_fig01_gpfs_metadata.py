@@ -1,0 +1,47 @@
+"""Figure 1: GPFS time per `touch` vs scale on a Blue Gene/P.
+
+Paper shape: create time grows from tens of ms at one node to ~10 s
+(files in many directories) and ~63 s (all files in one directory) at
+16K cores — centralized metadata saturates at just a few concurrent
+clients.  Reproduced with the GPFS model (full sweep) and the DES lock
+simulation (validated at small scales).
+"""
+
+from _util import fmt, print_table, scales
+
+from repro.baselines.gpfs import GPFSModel, simulate_creates
+
+SCALES = scales(
+    small=(1, 4, 16, 64, 256, 1024, 4096, 16384),
+    paper=(1, 4, 16, 64, 256, 1024, 4096, 16384, 65536),
+)
+
+
+def generate_series():
+    model = GPFSModel()
+    rows = []
+    for n in SCALES:
+        many = model.time_per_op(n, shared_dir=False)
+        one = model.time_per_op(n, shared_dir=True)
+        sim = simulate_creates(n, creates_per_client=2) if n <= 64 else None
+        rows.append(
+            (
+                n,
+                fmt(many * 1000, 1),
+                fmt(one * 1000, 1),
+                fmt(sim * 1000, 1) if sim is not None else "-",
+            )
+        )
+    return rows
+
+
+def test_fig01_gpfs_metadata(benchmark):
+    rows = generate_series()
+    print_table(
+        "Figure 1: GPFS file create, time per op (ms) vs cores",
+        ["cores", "many-dir (model)", "one-dir (model)", "many-dir (DES)"],
+        rows,
+        note="paper: ~5ms @1, ~393ms @512 many-dir, ~63,000ms @16K one-dir",
+    )
+    # Timed unit: one DES run of 32 clients hammering one directory.
+    benchmark(lambda: simulate_creates(32, creates_per_client=2, shared_dir=True))

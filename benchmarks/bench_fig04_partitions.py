@@ -1,0 +1,62 @@
+"""Figure 4: latency vs number of partitions per ZHT instance.
+
+Paper shape: essentially flat — 0.73 ms at 1 partition/instance vs
+0.77 ms at 1K partitions/instance ("there is little impact ... on the
+performance of partitions as we increase the number of partitions per
+instance"), which is what makes the fixed-large-partition-count design
+(migration without rehashing) free.
+
+Here we measure the real in-process deployment: same op stream against
+clusters whose only difference is ``num_partitions``.
+"""
+
+import time
+
+from _util import fmt, print_table, scales
+
+from repro import ZHTConfig, build_local_cluster
+
+PARTITIONS_PER_INSTANCE = scales(
+    small=(1, 10, 100, 1000),
+    paper=(1, 10, 100, 1000),
+)
+NUM_NODES = 2
+OPS = 600
+
+
+def measure_latency(partitions_per_instance: int) -> float:
+    """Mean per-op latency (ms) with the given partition count."""
+    config = ZHTConfig(
+        transport="local",
+        num_partitions=NUM_NODES * partitions_per_instance,
+    )
+    with build_local_cluster(NUM_NODES, config) as cluster:
+        z = cluster.client()
+        keys = [f"key-{i:010d}" for i in range(OPS // 3)]
+        start = time.perf_counter()
+        for key in keys:
+            z.insert(key, b"v" * 132)
+        for key in keys:
+            z.lookup(key)
+        for key in keys:
+            z.remove(key)
+        elapsed = time.perf_counter() - start
+    return elapsed / (3 * len(keys)) * 1000
+
+
+def generate_series():
+    return [(p, fmt(measure_latency(p), 4)) for p in PARTITIONS_PER_INSTANCE]
+
+
+def test_fig04_partitions_per_instance(benchmark):
+    rows = generate_series()
+    print_table(
+        "Figure 4: latency vs partitions per instance (real, in-process)",
+        ["partitions/instance", "latency (ms)"],
+        rows,
+        note="paper: flat, 0.73ms @1 -> 0.77ms @1000 (within ~6%)",
+    )
+    latencies = [float(r[1]) for r in rows]
+    # The design claim: partition count must not matter (allow 40% noise).
+    assert max(latencies) < 1.4 * min(latencies) + 0.05
+    benchmark(lambda: measure_latency(100))

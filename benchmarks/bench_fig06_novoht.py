@@ -1,0 +1,117 @@
+"""Figure 6: NoVoHT vs KyotoCabinet vs BerkeleyDB vs unordered_map.
+
+Paper shape (on Fusion, 1M/10M/100M pairs — scaled down here): NoVoHT's
+per-op latency is flat with table size and within a few µs of the pure
+in-memory map ("persistency ... only adds about 3us of latency");
+KyotoCabinet and BerkeleyDB are several times slower because "any lookup
+must hit disk", and degrade with scale.
+"""
+
+import time
+
+from _util import fmt, fmt_int, print_table, scales
+
+from repro.baselines.berkeleydb import BerkeleyDBLike
+from repro.baselines.kyotocabinet import DiskHashDB
+from repro.novoht import NoVoHT
+
+SCALES = scales(
+    small=(1_000, 10_000, 100_000),
+    paper=(10_000, 100_000, 1_000_000),
+)
+
+KEY = b"%016d"
+VALUE = b"v" * 132
+
+
+def _keys(count: int):
+    return [KEY % i for i in range(count)]
+
+
+def measure_store(factory, count: int) -> float:
+    """Mean µs per op over insert+get+remove of *count* pairs."""
+    store = factory()
+    keys = _keys(count)
+    start = time.perf_counter()
+    for key in keys:
+        store.put(key, VALUE)
+    for key in keys:
+        store.get(key)
+    for key in keys:
+        store.remove(key)
+    elapsed = time.perf_counter() - start
+    close = getattr(store, "close", None)
+    if close:
+        close()
+    return elapsed / (3 * count) * 1e6
+
+
+class _DictStore:
+    """The unordered_map reference line."""
+
+    def __init__(self):
+        self._d = {}
+
+    def put(self, k, v):
+        self._d[k] = v
+
+    def get(self, k):
+        return self._d[k]
+
+    def remove(self, k):
+        del self._d[k]
+
+
+def generate_series(tmp_base: str):
+    rows = []
+    for count in SCALES:
+        novoht = measure_store(
+            lambda: NoVoHT(f"{tmp_base}/novoht-{count}", checkpoint_interval_ops=0),
+            count,
+        )
+        novoht_mem = measure_store(lambda: NoVoHT(None), count)
+        kyoto = measure_store(
+            lambda: DiskHashDB(f"{tmp_base}/kyoto-{count}.db"), count
+        )
+        bdb = measure_store(
+            lambda: BerkeleyDBLike(f"{tmp_base}/bdb-{count}.db"), count
+        )
+        plain = measure_store(_DictStore, count)
+        rows.append(
+            (
+                fmt_int(count),
+                fmt(novoht, 2),
+                fmt(novoht_mem, 2),
+                fmt(kyoto, 2),
+                fmt(bdb, 2),
+                fmt(plain, 2),
+            )
+        )
+    return rows
+
+
+def test_fig06_novoht_vs_disk_stores(benchmark, tmp_path):
+    rows = generate_series(str(tmp_path))
+    print_table(
+        "Figure 6: persistent store latency (us/op) vs table size",
+        ["pairs", "NoVoHT", "NoVoHT (no persist)", "KyotoCabinet-like", "BerkeleyDB-like", "dict"],
+        rows,
+        note="paper: NoVoHT ~flat and near in-memory; disk stores slower "
+        "and degrading with scale",
+    )
+    # Shape assertions: NoVoHT clearly beats the disk-based hash store at
+    # every size and stays at least competitive with the B-tree store
+    # (whose "disk" reads are absorbed by the OS page cache on this host,
+    # unlike the paper's 2012 spinning disks — see EXPERIMENTS.md).
+    for row in rows:
+        novoht, kyoto, bdb = float(row[1]), float(row[3]), float(row[4])
+        assert novoht < kyoto
+        assert novoht < 1.4 * bdb
+    store = NoVoHT(str(tmp_path / "bench"), checkpoint_interval_ops=0)
+    keys = iter(range(10**9))
+
+    def one_op():
+        store.put(KEY % next(keys), VALUE)
+
+    benchmark(one_op)
+    store.close()

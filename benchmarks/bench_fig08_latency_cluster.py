@@ -1,0 +1,60 @@
+"""Figure 8: latency vs scale on the HEC-Cluster (1 -> 64 nodes).
+
+Series: ZHT, Cassandra, Memcached over gigabit Ethernet.  Paper shape:
+ZHT flat near 0.7-0.8 ms; Memcached slightly better (no disk write);
+Cassandra several times slower and growing (log-routing + JVM).
+"""
+
+from _util import fmt, print_table, scales
+
+from repro.sim import (
+    CASSANDRA_CLUSTER,
+    CLUSTER_ETHERNET_LINK,
+    MEMCACHED_CLUSTER,
+    ZHT_CLUSTER,
+    simulate,
+)
+
+SCALES = scales(small=(1, 2, 4, 8, 16, 32, 64), paper=(1, 2, 4, 8, 16, 32, 64))
+OPS = 16
+
+
+def _run(n, service, real_core=True):
+    return simulate(
+        n,
+        ops_per_client=OPS,
+        service=service,
+        link=CLUSTER_ETHERNET_LINK,
+        topology="switch",
+        real_core=real_core,
+    ).latency_ms
+
+
+def generate_series():
+    rows = []
+    for n in SCALES:
+        zht = _run(n, ZHT_CLUSTER)
+        cassandra = _run(n, CASSANDRA_CLUSTER, real_core=False)
+        memcached = _run(n, MEMCACHED_CLUSTER, real_core=False)
+        rows.append((n, fmt(zht), fmt(cassandra), fmt(memcached)))
+    return rows
+
+
+def test_fig08_latency_cluster(benchmark):
+    rows = generate_series()
+    print_table(
+        "Figure 8: latency (ms) vs nodes, HEC-Cluster Ethernet (DES)",
+        ["nodes", "ZHT", "Cassandra", "Memcached"],
+        rows,
+        note="paper: ZHT ~0.7ms flat; Cassandra ~3x and growing; "
+        "Memcached slightly better than ZHT (in-memory only)",
+    )
+    last = rows[-1]
+    zht, cassandra, memcached = (float(last[i]) for i in (1, 2, 3))
+    assert cassandra > 2.5 * zht  # "much lower latency than Cassandra"
+    assert memcached <= zht  # "slightly better performance than ZHT"
+    # Cassandra's gap grows with scale (log routing).
+    assert float(rows[-1][2]) > float(rows[1][2])
+    benchmark(
+        lambda: _run(16, ZHT_CLUSTER)
+    )

@@ -1,0 +1,70 @@
+"""Figure 9: throughput vs scale on the Blue Gene/P.
+
+Paper shape: ZHT (TCP-cached/UDP) and Memcached grow near-linearly,
+ZHT reaching ~7.4M ops/s at 8K nodes; TCP without connection caching
+sits clearly below.
+"""
+
+from _util import fmt_int, print_table, scales
+
+from repro.sim import (
+    MEMCACHED_BGP,
+    ZHT_BGP,
+    ZHT_BGP_NO_CONN_CACHE,
+    predicted_throughput_ops_s,
+    simulate,
+)
+
+SCALES = scales(
+    small=(1, 2, 16, 64, 256, 512),
+    paper=(1, 2, 16, 64, 256, 1024, 4096, 8192),
+)
+OPS = 12
+
+
+def generate_series():
+    rows = []
+    for n in SCALES:
+        zht = simulate(n, ops_per_client=OPS, service=ZHT_BGP)
+        nocache = simulate(
+            n, ops_per_client=OPS, service=ZHT_BGP_NO_CONN_CACHE
+        )
+        memcached = simulate(
+            n, ops_per_client=OPS, service=MEMCACHED_BGP, real_core=False
+        )
+        rows.append(
+            (
+                n,
+                fmt_int(nocache.throughput_ops_s),
+                fmt_int(zht.throughput_ops_s),
+                fmt_int(memcached.throughput_ops_s),
+                fmt_int(predicted_throughput_ops_s(n)),
+            )
+        )
+    return rows
+
+
+def test_fig09_throughput_bgp(benchmark):
+    rows = generate_series()
+    print_table(
+        "Figure 9: throughput (ops/s) vs nodes, Blue Gene/P (DES)",
+        ["nodes", "ZHT TCP no-cache", "ZHT cached/UDP", "Memcached", "model"],
+        rows,
+        note="paper: near-linear growth; ZHT ~7.4M ops/s @8K nodes",
+    )
+
+    def num(s):
+        return float(s.replace(",", ""))
+
+    # Near-linear scaling: 8x nodes => >5x throughput across the sweep.
+    first_multi, last = rows[2], rows[-1]
+    scale_ratio = int(last[0]) / int(first_multi[0])
+    assert num(last[2]) > 0.55 * scale_ratio * num(first_multi[2])
+    # Cached beats no-cache at every scale; memcached below ZHT.
+    for r in rows:
+        assert num(r[2]) >= num(r[1])
+        assert num(r[2]) >= num(r[3])
+    # The analytic model extrapolates to ~7.4M @8K (paper anchor).
+    model_8k = predicted_throughput_ops_s(8192)
+    assert 5.5e6 <= model_8k <= 9.0e6
+    benchmark(lambda: simulate(64, ops_per_client=4, service=ZHT_BGP))

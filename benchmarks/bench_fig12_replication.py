@@ -1,0 +1,68 @@
+"""Figure 12: replication overhead vs scale.
+
+Paper shape: asynchronous replication "does increase the operation
+latency, but it is not a significant increase.  One replica adds around
+20% and 2 replicas add around 30% overhead compared with the latency of
+no replica ... If replication would have been synchronous ... the cost
+of each replica would have likely been 100% increment for 1 replica, and
+200% for 2 replicas."
+"""
+
+from _util import print_table, scales
+
+from repro.core import ReplicationMode
+from repro.sim import simulate
+
+SCALES = scales(small=(2, 8, 32, 128), paper=(2, 8, 32, 128, 512, 1024))
+OPS = 12
+
+
+def _latency(n, replicas, mode):
+    return simulate(
+        n,
+        ops_per_client=OPS,
+        num_replicas=replicas,
+        replication_mode=mode,
+        include_remove=False,
+    ).latency_ms
+
+
+def generate_series():
+    rows = []
+    for n in SCALES:
+        base = _latency(n, 0, ReplicationMode.NONE)
+        one = _latency(n, 1, ReplicationMode.NONE)
+        two = _latency(n, 2, ReplicationMode.NONE)
+        sync_one = _latency(n, 1, ReplicationMode.SYNC)
+        sync_two = _latency(n, 2, ReplicationMode.SYNC)
+        rows.append(
+            (
+                n,
+                f"{(one / base - 1) * 100:+.0f}%",
+                f"{(two / base - 1) * 100:+.0f}%",
+                f"{(sync_one / base - 1) * 100:+.0f}%",
+                f"{(sync_two / base - 1) * 100:+.0f}%",
+            )
+        )
+    return rows
+
+
+def test_fig12_replication_overhead(benchmark):
+    rows = generate_series()
+    print_table(
+        "Figure 12: replication latency overhead vs scale (DES)",
+        ["nodes", "1 rep async", "2 reps async", "1 rep sync", "2 reps sync"],
+        rows,
+        note="paper: async ~+20%/+30%; sync would be ~+100%/+200%",
+    )
+
+    def pct(cell):
+        return float(cell.rstrip("%"))
+
+    for row in rows[1:]:
+        async1, async2, sync1, sync2 = map(pct, row[1:])
+        assert -5 <= async1 <= 45  # modest
+        assert async1 <= async2 + 8 <= 70  # second replica costs less extra
+        assert sync1 >= 2 * max(async1, 10)  # sync is the expensive path
+        assert sync2 >= sync1
+    benchmark(lambda: _latency(32, 1, ReplicationMode.NONE))

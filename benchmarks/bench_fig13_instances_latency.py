@@ -1,0 +1,43 @@
+"""Figure 13: latency with 1/2/4/8 ZHT instances per node.
+
+Paper shape (4-core Blue Gene/P nodes): latency is stable up to 4
+instances/node (one per core) and roughly doubles at 8 instances/node
+(2.08 ms at 8K nodes x 8 instances vs 1.1 ms baseline).
+"""
+
+from _util import fmt, print_table, scales
+
+from repro.sim import simulate
+
+SCALES = scales(small=(4, 16, 64, 256), paper=(4, 16, 64, 256, 1024))
+INSTANCES = (1, 2, 4, 8)
+OPS = 8
+
+
+def generate_series():
+    rows = []
+    for n in SCALES:
+        latencies = [
+            simulate(
+                n, ops_per_client=OPS, instances_per_node=i
+            ).latency_ms
+            for i in INSTANCES
+        ]
+        rows.append((n, *(fmt(l) for l in latencies)))
+    return rows
+
+
+def test_fig13_instances_latency(benchmark):
+    rows = generate_series()
+    print_table(
+        "Figure 13: latency (ms) vs nodes for instances/node (DES)",
+        ["nodes"] + [f"{i} inst/node" for i in INSTANCES],
+        rows,
+        note="paper: flat through 4/node (1 per core), ~2x at 8/node",
+    )
+    for row in rows:
+        one, two, four, eight = (float(c) for c in row[1:])
+        assert two < 1.2 * one  # 2 servers + 2 clients on 4 cores: free
+        assert four < 1.6 * one  # mild (server+client threads share cores)
+        assert eight > 1.8 * one  # oversubscribed: ~2x, the paper's anchor
+    benchmark(lambda: simulate(16, ops_per_client=4, instances_per_node=8))

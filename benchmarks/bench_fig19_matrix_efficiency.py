@@ -1,0 +1,73 @@
+"""Figure 19: MATRIX vs Falkon efficiency for 1/2/4/8-second tasks.
+
+Paper shape (averaged over 256-2048 cores): MATRIX 92%-97%; Falkon only
+18%-82%, improving with task length (its centralized dispatcher is the
+bottleneck for short tasks).
+"""
+
+from _util import print_table, scales
+
+from repro.baselines.falkon import falkon_efficiency
+from repro.matrix import MatrixSimulation
+
+DURATIONS = (1.0, 2.0, 4.0, 8.0)
+CORE_SCALES = scales(small=(256, 1024, 2048), paper=(256, 512, 1024, 2048))
+CORES_PER_NODE = 4
+#: Executor overhead for sleep tasks (small vs the NO-OP dispatch path:
+#: no data staging), calibrated to the paper's 92% floor.
+MATRIX_TASK_OVERHEAD = 0.06
+
+
+def _matrix_efficiency(duration: float) -> float:
+    values = []
+    for cores in CORE_SCALES:
+        result = MatrixSimulation(
+            cores // CORES_PER_NODE,
+            cores_per_executor=CORES_PER_NODE,
+            task_overhead_s=MATRIX_TASK_OVERHEAD,
+        ).run(cores, duration)
+        values.append(result.efficiency)
+    return sum(values) / len(values)
+
+
+def _falkon_avg_efficiency(duration: float) -> float:
+    values = [falkon_efficiency(cores, duration) for cores in CORE_SCALES]
+    return sum(values) / len(values)
+
+
+def generate_series():
+    rows = []
+    for duration in DURATIONS:
+        rows.append(
+            (
+                f"{duration:.0f}s",
+                f"{_matrix_efficiency(duration) * 100:.0f}%",
+                f"{_falkon_avg_efficiency(duration) * 100:.0f}%",
+            )
+        )
+    return rows
+
+
+def test_fig19_matrix_vs_falkon_efficiency(benchmark):
+    rows = generate_series()
+    print_table(
+        "Figure 19: average efficiency vs task duration (256-2048 cores)",
+        ["task duration", "MATRIX", "Falkon"],
+        rows,
+        note="paper: MATRIX 92%-97% across the board; Falkon 18%-82%",
+    )
+
+    def pct(cell):
+        return float(cell.rstrip("%"))
+
+    matrix = [pct(r[1]) for r in rows]
+    falkon = [pct(r[2]) for r in rows]
+    assert min(matrix) >= 85  # MATRIX high for every duration
+    assert all(m > f for m, f in zip(matrix, falkon))  # MATRIX wins all
+    assert falkon[0] < 40  # Falkon collapses on short tasks
+    assert falkon == sorted(falkon)  # and recovers with duration
+    benchmark(
+        lambda: MatrixSimulation(
+            64, task_overhead_s=MATRIX_TASK_OVERHEAD
+        ).run(256, 1.0)
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""FusionFS: distributed filesystem metadata on ZHT (paper §V.A).
+
+Reproduces the workload that motivates ZHT's ``append``: many clients
+creating files *in the same directory* concurrently.  In GPFS this
+serializes on a distributed directory lock (63 s/op at 16K cores,
+Figure 1); in FusionFS every create is one ZHT insert plus one lock-free
+append to the parent's entry log.
+
+Run:  python examples/fusionfs_metadata.py
+"""
+
+import time
+
+from repro import ZHTConfig, build_local_cluster
+from repro.baselines.gpfs import GPFSModel
+from repro.fusionfs import DataStorePool, FusionFS
+
+
+def main() -> None:
+    cluster = build_local_cluster(
+        4, ZHTConfig(transport="local", num_partitions=128)
+    )
+    pool = DataStorePool()
+
+    # Mount FusionFS from several nodes — every node is client, metadata
+    # server, and storage server at once.
+    mounts = [
+        FusionFS(cluster.client(), pool, f"node-000{i}") for i in range(4)
+    ]
+    fs = mounts[0]
+
+    # Regular filesystem usage.
+    fs.makedirs("/experiments/run-42")
+    fs.write("/experiments/run-42/params.json", b'{"alpha": 0.5}')
+    print("read back:", fs.read("/experiments/run-42/params.json"))
+    print("stat:", fs.stat("/experiments/run-42/params.json").size, "bytes")
+
+    # The concurrent-create storm: 4 clients, one shared directory.
+    fs.mkdir("/shared")
+    creates_per_client = 250
+    start = time.perf_counter()
+    for i in range(creates_per_client):
+        for client_id, mount in enumerate(mounts):
+            mount.create(f"/shared/out-{client_id}-{i:05d}")
+    elapsed = time.perf_counter() - start
+    total = creates_per_client * len(mounts)
+    per_op_ms = elapsed / total * 1000
+
+    entries = fs.readdir("/shared")
+    assert len(entries) == total, "append lost no concurrent update"
+    print(
+        f"\n{total} creates in one shared directory from 4 clients: "
+        f"{per_op_ms:.3f} ms/op ({total / elapsed:,.0f} creates/s), "
+        "zero locks, zero lost entries"
+    )
+
+    gpfs = GPFSModel()
+    print(
+        "GPFS-model comparison at 4 concurrent clients: "
+        f"{gpfs.time_per_op(4, shared_dir=True) * 1000:.1f} ms/op shared-dir "
+        f"(and {gpfs.time_per_op(512, shared_dir=True) * 1000:.0f} ms/op at 512)"
+    )
+
+    # Data stays node-local; any mount can read it through the pool.
+    mounts[2].write("/experiments/run-42/result.bin", b"\x01" * 4096)
+    print(
+        "cross-node read:",
+        len(mounts[1].read("/experiments/run-42/result.bin")),
+        "bytes written by node-0002, read via node-0001",
+    )
+    cluster.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""MATRIX: many-task computing with work stealing over ZHT (§V.C).
+
+Runs real Python callables on a distributed set of executors whose task
+state lives in ZHT (any client can monitor progress), then uses the DES
+model to reproduce the Figure 18 comparison against the centralized
+Falkon scheduler.
+
+Run:  python examples/matrix_scheduler.py
+"""
+
+from repro import ZHTConfig, build_local_cluster
+from repro.baselines.falkon import FalkonScheduler
+from repro.matrix import MatrixOnZHT, MatrixSimulation, Task
+
+
+def main() -> None:
+    # --- real execution: callables + ZHT-backed task state ----------------
+    cluster = build_local_cluster(
+        2, ZHTConfig(transport="local", num_partitions=64)
+    )
+    matrix = MatrixOnZHT(cluster, num_executors=4)
+
+    def make_work(n: int):
+        return lambda: sum(i * i for i in range(n))
+
+    for i in range(40):
+        matrix.submit(Task(task_id=f"job-{i:03d}", payload=make_work(10_000 + i)))
+    print("submitted 40 tasks; job-007 state:", matrix.status("job-007")["state"])
+
+    done = matrix.run_to_completion(40)
+    workers_used = sorted({t.worker for t in done})
+    print(
+        f"finished {len(done)} tasks on executors {workers_used}; "
+        f"job-007 now: {matrix.status('job-007')['state']}"
+    )
+    # Task state is plain ZHT data — readable by any client.
+    monitor = cluster.client()
+    record = Task.parse_status(monitor.lookup("task:job-007"))
+    print("independent monitor sees:", record)
+    cluster.close()
+
+    # --- scale model: MATRIX vs Falkon (Figure 18) -------------------------
+    print("\nNO-OP task throughput vs cores (DES):")
+    print(f"{'cores':>6}  {'MATRIX':>10}  {'Falkon':>10}")
+    for cores in (256, 512, 1024, 2048):
+        matrix_result = MatrixSimulation(
+            cores // 4, cores_per_executor=4, task_overhead_s=0.18
+        ).run(2000, 0.0)
+        falkon_result = FalkonScheduler(cores, tree_latency=0.0).run(2000, 0.0)
+        print(
+            f"{cores:>6}  {matrix_result.throughput_tasks_s:>10,.0f}  "
+            f"{falkon_result.throughput_tasks_s:>10,.0f}"
+        )
+    print(
+        "Falkon's central dispatcher caps near 1700 tasks/s; MATRIX keeps "
+        "scaling (the paper's crossover is near 512 cores)."
+    )
+
+
+if __name__ == "__main__":
+    main()

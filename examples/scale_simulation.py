@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scale experiments in the simulator: from a laptop to 1M nodes.
+
+Sweeps the calibrated Blue Gene/P model through the paper's Figure 7/9/11
+ranges: discrete-event simulation (running the *real* ZHT server/client
+cores over a modeled 3D-torus network) up to hundreds of nodes, and the
+closed-form model beyond — exactly the methodology the paper used with
+PeerSim for its 1M-node point.
+
+Run:  python examples/scale_simulation.py
+"""
+
+from repro.sim import (
+    MEMCACHED_BGP,
+    predicted_efficiency,
+    predicted_latency_ms,
+    predicted_throughput_ops_s,
+    simulate,
+)
+
+
+def main() -> None:
+    print("DES: ZHT vs Memcached on the Blue Gene/P torus model")
+    print(f"{'nodes':>6}  {'ZHT ms':>8}  {'ZHT ops/s':>12}  {'Memcached ms':>12}")
+    two_node_ms = None
+    for n in (1, 2, 16, 64, 256):
+        zht = simulate(n, ops_per_client=16)
+        mem = simulate(
+            n, ops_per_client=16, service=MEMCACHED_BGP, real_core=False
+        )
+        if n == 2:
+            two_node_ms = zht.latency_ms
+        print(
+            f"{n:>6}  {zht.latency_ms:>8.3f}  {zht.throughput_ops_s:>12,.0f}"
+            f"  {mem.latency_ms:>12.3f}"
+        )
+
+    print(
+        "\nModel extrapolation (fitted through the paper's published"
+        " 8K/1M anchors):"
+    )
+    print(f"{'nodes':>10}  {'latency ms':>10}  {'efficiency':>10}  {'ops/s':>14}")
+    for n in (1024, 8192, 65536, 1_048_576):
+        print(
+            f"{n:>10,}  {predicted_latency_ms(n):>10.2f}  "
+            f"{predicted_efficiency(n) * 100:>9.0f}%  "
+            f"{predicted_throughput_ops_s(n):>14,.0f}"
+        )
+    print(
+        "\npaper anchors: 0.6ms @2 nodes, 1.1ms/51% @8K, 7ms/8% @1M "
+        "(~150M ops/s aggregate)"
+    )
+    assert two_node_ms is not None and 0.4 < two_node_ms < 0.8
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — a full Python reproduction of ZHT (IPDPS 2013).
+
+ZHT is a zero-hop distributed hash table tuned for high-end computing:
+light-weight, persistent (NoVoHT), replicated, dynamically scalable
+without rehashing, and supporting ``append`` for lock-free concurrent
+modification.
+
+Quickstart::
+
+    from repro import build_local_cluster
+
+    with build_local_cluster(num_nodes=4) as cluster:
+        zht = cluster.client()
+        zht.insert("greeting", b"hello")
+        print(zht.lookup("greeting"))
+
+Package layout:
+
+* :mod:`repro.core` — the ZHT protocol state machines (sans I/O).
+* :mod:`repro.novoht` — the persistent hash table under every instance.
+* :mod:`repro.net` — real TCP/UDP transports + in-process local transport.
+* :mod:`repro.sim` — discrete-event simulator for scale experiments.
+* :mod:`repro.baselines` — Memcached-, Cassandra-, Kademlia-,
+  KyotoCabinet-, BerkeleyDB-, GPFS-, and Falkon-like comparators.
+* :mod:`repro.fusionfs` / :mod:`repro.istore` / :mod:`repro.matrix` —
+  the three real systems the paper builds on ZHT.
+"""
+
+from .api import ZHT, LocalCluster, build_local_cluster, build_membership
+from .core import (
+    KeyNotFound,
+    OpCode,
+    ReplicationMode,
+    Status,
+    ZHTConfig,
+    ZHTError,
+)
+from .novoht import NoVoHT
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ZHT",
+    "KeyNotFound",
+    "LocalCluster",
+    "NoVoHT",
+    "OpCode",
+    "ReplicationMode",
+    "Status",
+    "ZHTConfig",
+    "ZHTError",
+    "build_local_cluster",
+    "build_membership",
+    "__version__",
+]

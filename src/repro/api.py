@@ -1,0 +1,358 @@
+"""High-level public API for ZHT.
+
+Most users interact with exactly two things:
+
+* :class:`ZHT` — a client handle exposing the paper's four operations
+  (``insert``, ``lookup``, ``remove``, ``append``) plus convenience
+  helpers.
+* a cluster builder — :func:`build_local_cluster` for an in-process
+  deployment (tests, examples, integrations) or
+  :func:`repro.net.tcp.build_tcp_cluster` /
+  :func:`repro.net.udp.build_udp_cluster` for real sockets.
+
+Example::
+
+    from repro import build_local_cluster
+
+    cluster = build_local_cluster(num_nodes=4)
+    zht = cluster.client()
+    zht.insert("key", b"value")
+    assert zht.lookup("key") == b"value"
+    zht.append("key", b"+more")
+    zht.remove("key")
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from .core.client import ZHTClientCore
+from .core.config import ZHTConfig
+from .core.errors import (
+    KeyNotFound,
+    RequestTimeout,
+    ZHTError,
+    raise_for_status,
+)
+from .core.manager import ManagerCore
+from .core.membership import (
+    Address,
+    InstanceInfo,
+    MembershipTable,
+    NodeInfo,
+    correlated_instance_id,
+    new_instance_id,
+)
+from .core.protocol import OpCode
+from .core.server import ZHTServerCore
+from .net.local import LocalNetwork
+from .net.transport import ClientTransport, execute_op, run_script
+
+
+def _to_key(key: str | bytes) -> bytes:
+    return key.encode("utf-8") if isinstance(key, str) else bytes(key)
+
+
+def _to_value(value: str | bytes) -> bytes:
+    return value.encode("utf-8") if isinstance(value, str) else bytes(value)
+
+
+class ZHT:
+    """Client handle for a ZHT deployment.
+
+    Wraps a :class:`~repro.core.client.ZHTClientCore` (routing, retries,
+    failover, lazy membership refresh) and a transport.  Keys and values
+    may be ``str`` (encoded UTF-8) or ``bytes``.
+    """
+
+    def __init__(self, core: ZHTClientCore, transport: ClientTransport):
+        self.core = core
+        self.transport = transport
+
+    # -- the four ZHT operations (§III.A) -------------------------------
+
+    def insert(self, key: str | bytes, value: str | bytes) -> None:
+        """Store *value* under *key*, overwriting any existing value."""
+        driver = self.core.driver(OpCode.INSERT, _to_key(key), _to_value(value))
+        execute_op(self.core, driver, self.transport)
+
+    def lookup(self, key: str | bytes) -> bytes:
+        """Return the value stored under *key*.
+
+        Raises :class:`~repro.core.errors.KeyNotFound` if absent.
+        """
+        driver = self.core.driver(OpCode.LOOKUP, _to_key(key))
+        return execute_op(self.core, driver, self.transport).value
+
+    def remove(self, key: str | bytes) -> None:
+        """Delete *key*; raises :class:`KeyNotFound` if absent."""
+        driver = self.core.driver(OpCode.REMOVE, _to_key(key))
+        execute_op(self.core, driver, self.transport)
+
+    def append(self, key: str | bytes, value: str | bytes) -> None:
+        """Append *value* to the value under *key* (lock-free concurrent
+        modification; creates the key if absent)."""
+        driver = self.core.driver(OpCode.APPEND, _to_key(key), _to_value(value))
+        execute_op(self.core, driver, self.transport)
+
+    # -- broadcast (§VI future-work primitive) ---------------------------
+
+    def broadcast(self, key: str | bytes, value: str | bytes) -> None:
+        """Disseminate a pair to *every* instance via a spanning tree.
+
+        Each instance keeps the pair in a node-local broadcast store,
+        readable with :meth:`lookup_broadcast`; delivery costs each
+        participant at most two forwards (O(log N) levels) instead of N
+        sends from this client.
+        """
+        from .core.broadcast import broadcast_order, make_broadcast_request
+
+        order = broadcast_order(self.core.membership)
+        if not order:
+            raise ZHTError("no alive instances to broadcast to")
+        request = make_broadcast_request(
+            _to_key(key),
+            _to_value(value),
+            order,
+            request_id=self.core.allocate_request_id(),
+            epoch=self.core.membership.epoch,
+        )
+        response = self.transport.roundtrip(
+            order[0], request, self.core.config.request_timeout
+        )
+        if response is None:
+            raise RequestTimeout("broadcast root did not acknowledge")
+        raise_for_status(response.status, "BROADCAST")
+
+    def lookup_broadcast(
+        self, key: str | bytes, instance_address=None
+    ) -> bytes:
+        """Read a broadcast pair from one instance's local store
+        (defaults to the first alive instance in ring order)."""
+        from .core.broadcast import broadcast_order
+        from .core.protocol import Request
+
+        if instance_address is None:
+            order = broadcast_order(self.core.membership)
+            if not order:
+                raise ZHTError("no alive instances")
+            instance_address = order[0]
+        request = Request(
+            op=OpCode.LOOKUP_LOCAL,
+            key=_to_key(key),
+            request_id=self.core.allocate_request_id(),
+            epoch=self.core.membership.epoch,
+        )
+        response = self.transport.roundtrip(
+            instance_address, request, self.core.config.request_timeout
+        )
+        if response is None:
+            raise RequestTimeout("LOOKUP_LOCAL timed out")
+        raise_for_status(response.status, "LOOKUP_LOCAL")
+        return response.value
+
+    # -- conveniences -----------------------------------------------------
+
+    def get(self, key: str | bytes, default: bytes | None = None) -> bytes | None:
+        """Like :meth:`lookup` but returns *default* instead of raising."""
+        try:
+            return self.lookup(key)
+        except KeyNotFound:
+            return default
+
+    def contains(self, key: str | bytes) -> bool:
+        return self.get(key) is not None
+
+    @property
+    def stats(self):
+        return self.core.stats
+
+    @property
+    def membership(self) -> MembershipTable:
+        return self.core.membership
+
+
+class LocalCluster:
+    """An in-process ZHT deployment over :class:`LocalNetwork`.
+
+    Holds the authoritative membership table, the server cores, and a
+    manager per node.  Suitable for tests, the examples, and as the
+    substrate for FusionFS / IStore / MATRIX integrations.
+    """
+
+    def __init__(
+        self,
+        config: ZHTConfig,
+        network: LocalNetwork,
+        membership: MembershipTable,
+        servers: dict[str, ZHTServerCore],
+        rng: random.Random,
+    ):
+        self.config = config
+        self.network = network
+        self.membership = membership
+        self.servers = servers
+        self.rng = rng
+        self._next_port = 20000 + len(servers)
+
+    # -- clients ----------------------------------------------------------
+
+    def client(self, *, seed: int | None = None) -> ZHT:
+        """A new client with its own copy of the membership table."""
+        rng = random.Random(seed if seed is not None else self.rng.random())
+        core = ZHTClientCore(self.membership.copy(), self.config, rng=rng)
+        return ZHT(core, self.network)
+
+    # -- managers ----------------------------------------------------------
+
+    def manager(self, node_id: str | None = None) -> ManagerCore:
+        """A manager bound to the authoritative membership table."""
+        if node_id is None:
+            node_id = next(iter(self.membership.nodes))
+        return ManagerCore(node_id, self.membership, self.config, rng=self.rng)
+
+    def run(self, script) -> object:
+        """Execute a manager script against the cluster network."""
+        return run_script(script, self.network)
+
+    # -- topology changes ---------------------------------------------------
+
+    def add_node(
+        self, instances_per_node: int | None = None
+    ) -> tuple[NodeInfo, list[InstanceInfo]]:
+        """Dynamically join a fresh node (returns its infos).
+
+        Reproduces the §III.C join protocol: the joiner copies the table,
+        takes partitions from the most-loaded node, and the delta is
+        broadcast.
+        """
+        count = instances_per_node or self.config.instances_per_node
+        node_id = f"node-{len(self.membership.nodes):04d}"
+        manager_addr = Address(node_id, 1)
+        node = NodeInfo(node_id, manager_addr)
+        instances = []
+        for _ in range(count):
+            self._next_port += 1
+            instances.append(
+                InstanceInfo(
+                    new_instance_id(self.rng), node_id, Address(node_id, self._next_port)
+                )
+            )
+        # Start the new instances' servers first, so the join's partition
+        # migrations find them reachable.
+        for inst in instances:
+            core = ZHTServerCore(inst, self.membership, self.config)
+            self.servers[inst.instance_id] = core
+            self.network.add_server(core)
+        manager = self.manager()
+        self.run(manager.join_node(node, instances))
+        return node, instances
+
+    def retire_node(self, node_id: str) -> object:
+        manager = self.manager(
+            next(n for n in self.membership.nodes if n != node_id)
+        )
+        return self.run(manager.retire_node(node_id))
+
+    def kill_node(self, node_id: str) -> None:
+        """Abruptly fail every instance on *node_id* (fault injection)."""
+        for inst in self.membership.instances_on_node(node_id):
+            self.network.kill_address(inst.address)
+
+    def repair(self, dead_node_id: str) -> object:
+        manager = self.manager(
+            next(
+                n
+                for n, info in self.membership.nodes.items()
+                if n != dead_node_id and info.alive
+            )
+        )
+        return self.run(manager.repair_after_failure(dead_node_id))
+
+    # -- introspection -------------------------------------------------------
+
+    def server_for_instance(self, instance_id: str) -> ZHTServerCore:
+        return self.servers[instance_id]
+
+    def total_pairs(self) -> int:
+        """Total primary+replica pairs stored across all instances."""
+        return sum(
+            len(part.store)
+            for server in self.servers.values()
+            for part in server.partitions.values()
+        )
+
+    def close(self) -> None:
+        self.network.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def build_membership(
+    num_nodes: int,
+    config: ZHTConfig,
+    rng: random.Random,
+    *,
+    host_prefix: str = "node",
+    base_port: int = 20000,
+    port_allocator: Callable[[str, int], Address] | None = None,
+    network_aware: bool = False,
+) -> tuple[MembershipTable, list[NodeInfo], list[InstanceInfo]]:
+    """Construct a bootstrap membership table for *num_nodes* nodes with
+    ``config.instances_per_node`` instances each.
+
+    ``network_aware=True`` assigns instance ids correlated with node
+    order (§III.A / §VI "network-aware topology"): ring neighbors become
+    network neighbors, so replica chains stay local.
+    """
+    nodes: list[NodeInfo] = []
+    instances: list[InstanceInfo] = []
+    port = base_port
+    for n in range(num_nodes):
+        node_id = f"{host_prefix}-{n:04d}"
+        nodes.append(NodeInfo(node_id, Address(node_id, 1)))
+        for i in range(config.instances_per_node):
+            if port_allocator is not None:
+                address = port_allocator(node_id, i)
+            else:
+                port += 1
+                address = Address(node_id, port)
+            instance_id = (
+                correlated_instance_id(n, i, rng)
+                if network_aware
+                else new_instance_id(rng)
+            )
+            instances.append(InstanceInfo(instance_id, node_id, address))
+    table = MembershipTable.bootstrap(config.num_partitions, nodes, instances)
+    return table, nodes, instances
+
+
+def build_local_cluster(
+    num_nodes: int,
+    config: ZHTConfig | None = None,
+    *,
+    seed: int = 0,
+) -> LocalCluster:
+    """Build and start an in-process ZHT deployment.
+
+    Every instance shares the cluster's authoritative membership table
+    object (servers in one address space see updates immediately, like
+    co-located clients/servers sharing a table in the paper's 1:1
+    deployment); clients get their own copies and exercise the lazy
+    update path.
+    """
+    config = config or ZHTConfig(transport="local")
+    rng = random.Random(seed)
+    membership, _nodes, instances = build_membership(num_nodes, config, rng)
+    network = LocalNetwork()
+    servers: dict[str, ZHTServerCore] = {}
+    for inst in instances:
+        core = ZHTServerCore(inst, membership, config)
+        servers[inst.instance_id] = core
+        network.add_server(core)
+    return LocalCluster(config, network, membership, servers, rng)

@@ -1,0 +1,49 @@
+"""Baseline systems the paper compares ZHT against, built from scratch:
+
+* :mod:`~repro.baselines.memcached` — bounded in-memory LRU KV (Table 1,
+  Figures 7-10).
+* :mod:`~repro.baselines.cassandra` — log-routing ring KV with eventual
+  consistency and read repair (Table 1, Figures 8, 10).
+* :mod:`~repro.baselines.kademlia` — XOR-routing DHT, the C-MPI stand-in
+  (Table 1).
+* :mod:`~repro.baselines.kyotocabinet` — disk-based hash store (Figure 6).
+* :mod:`~repro.baselines.berkeleydb` — disk-backed B-tree store (Figure 6).
+* :mod:`~repro.baselines.gpfs` — centralized metadata service with lock
+  contention (Figures 1, 16).
+* :mod:`~repro.baselines.falkon` — centralized task dispatcher
+  (Figures 18, 19).
+"""
+
+from .berkeleydb import BerkeleyDBLike, BTree
+from .cassandra import CassandraLike, RingNode
+from .falkon import FalkonScheduler, SchedulerResult, falkon_efficiency
+from .gpfs import GPFSModel, simulate_creates
+from .kademlia import KademliaDHT, KademliaNode, bucket_index, xor_distance
+from .kyotocabinet import DiskHashDB
+from .memcached import (
+    MAX_KEY_BYTES,
+    MAX_VALUE_BYTES,
+    MemcachedCluster,
+    MemcachedLike,
+)
+
+__all__ = [
+    "BTree",
+    "BerkeleyDBLike",
+    "CassandraLike",
+    "DiskHashDB",
+    "FalkonScheduler",
+    "GPFSModel",
+    "KademliaDHT",
+    "KademliaNode",
+    "MAX_KEY_BYTES",
+    "MAX_VALUE_BYTES",
+    "MemcachedCluster",
+    "MemcachedLike",
+    "RingNode",
+    "SchedulerResult",
+    "bucket_index",
+    "falkon_efficiency",
+    "simulate_creates",
+    "xor_distance",
+]

@@ -1,0 +1,313 @@
+"""BerkeleyDB-like disk-backed B-tree store (Figure 6 baseline).
+
+The paper's Figure 6 shows BerkeleyDB with "some advantages such as
+memory usage ... at the cost of performance" versus NoVoHT.  This module
+reproduces that trade-off with a genuine B-tree:
+
+* the **index** (keys + value locators) is an order-``t`` B-tree in
+  memory — O(log n) comparisons per operation versus NoVoHT's O(1) hash;
+* **values live on disk** in an append-only heap file, so every ``get``
+  pays a seek+read and every ``put`` pays a write — memory stays small
+  (the BerkeleyDB advantage), latency grows (the BerkeleyDB cost);
+* deletes tombstone the index entry; :meth:`compact` reclaims heap space.
+
+The B-tree uses the classic single-pass insertion with preemptive node
+splitting (CLRS); deletion is by tombstone, which keeps the structure
+valid without the rebalancing cases a storage-engine baseline does not
+need.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.errors import KeyNotFound, StoreError
+
+
+@dataclass
+class _Locator:
+    """Where a value lives in the heap file."""
+
+    offset: int
+    length: int
+    alive: bool = True
+
+
+class _BTreeNode:
+    __slots__ = ("leaf", "keys", "values", "children")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: list[bytes] = []
+        self.values: list[_Locator] = []
+        self.children: list[_BTreeNode] = []
+
+
+class BTree:
+    """In-memory B-tree mapping keys to :class:`_Locator` records."""
+
+    def __init__(self, order: int = 32):
+        # ``order`` is the minimum degree t: nodes hold t-1..2t-1 keys.
+        if order < 2:
+            raise ValueError("order must be >= 2")
+        self.t = order
+        self.root = _BTreeNode(leaf=True)
+        self.height = 1
+
+    # -- search -----------------------------------------------------------
+
+    def search(self, key: bytes) -> _Locator | None:
+        node = self.root
+        while True:
+            i = self._find_index(node, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return node.values[i]
+            if node.leaf:
+                return None
+            node = node.children[i]
+
+    @staticmethod
+    def _find_index(node: _BTreeNode, key: bytes) -> int:
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if node.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, key: bytes, locator: _Locator) -> bool:
+        """Insert or update; returns True if the key was new."""
+        existing = self.search(key)
+        if existing is not None:
+            was_dead = not existing.alive
+            existing.offset = locator.offset
+            existing.length = locator.length
+            existing.alive = True
+            return was_dead
+        root = self.root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _BTreeNode(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self.root = new_root
+            self.height += 1
+        self._insert_nonfull(self.root, key, locator)
+        return True
+
+    def _split_child(self, parent: _BTreeNode, index: int) -> None:
+        t = self.t
+        child = parent.children[index]
+        sibling = _BTreeNode(leaf=child.leaf)
+        # Move the upper t-1 keys (and children) into the sibling.
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        median_key = child.keys[t - 1]
+        median_value = child.values[t - 1]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, median_key)
+        parent.values.insert(index, median_value)
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _BTreeNode, key: bytes, locator: _Locator) -> None:
+        while not node.leaf:
+            i = self._find_index(node, key)
+            child = node.children[i]
+            if len(child.keys) == 2 * self.t - 1:
+                self._split_child(node, i)
+                if key > node.keys[i]:
+                    i += 1
+                child = node.children[i]
+            node = child
+        i = self._find_index(node, key)
+        node.keys.insert(i, key)
+        node.values.insert(i, locator)
+
+    # -- iteration ------------------------------------------------------------
+
+    def items(self):
+        """All (key, locator) pairs in key order (live and dead)."""
+
+        def walk(node: _BTreeNode):
+            if node.leaf:
+                yield from zip(node.keys, node.values)
+                return
+            for i, key in enumerate(node.keys):
+                yield from walk(node.children[i])
+                yield key, node.values[i]
+            yield from walk(node.children[-1])
+
+        yield from walk(self.root)
+
+    def check_invariants(self) -> None:
+        """Verify B-tree structural invariants (used by tests)."""
+        t = self.t
+
+        def check(node: _BTreeNode, lo: bytes | None, hi: bytes | None, is_root: bool) -> int:
+            if not is_root and not (t - 1 <= len(node.keys) <= 2 * t - 1):
+                raise AssertionError(f"node key count {len(node.keys)} out of range")
+            for a, b in zip(node.keys, node.keys[1:]):
+                if a >= b:
+                    raise AssertionError("keys not strictly sorted")
+            if node.keys:
+                if lo is not None and node.keys[0] <= lo:
+                    raise AssertionError("key below subtree bound")
+                if hi is not None and node.keys[-1] >= hi:
+                    raise AssertionError("key above subtree bound")
+            if node.leaf:
+                return 1
+            if len(node.children) != len(node.keys) + 1:
+                raise AssertionError("child count mismatch")
+            depths = set()
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, child in enumerate(node.children):
+                depths.add(check(child, bounds[i], bounds[i + 1], False))
+            if len(depths) != 1:
+                raise AssertionError("unbalanced leaves")
+            return depths.pop() + 1
+
+        check(self.root, None, None, True)
+
+
+class BerkeleyDBLike:
+    """Disk-backed B-tree key/value store with tombstone deletes."""
+
+    def __init__(self, path: str, *, order: int = 32):
+        self.path = path
+        self.tree = BTree(order)
+        self.live_count = 0
+        self.dead_bytes = 0
+        try:
+            exists = os.path.exists(path)
+            self._heap = open(path, "r+b" if exists else "w+b")
+        except OSError as exc:
+            raise StoreError(f"cannot open heap {path}: {exc}") from exc
+        if exists:
+            self._rebuild_index()
+
+    # -- heap file: [u32 klen][u32 vlen][key][value] -------------------------
+
+    def _append_value(self, key: bytes, value: bytes) -> _Locator:
+        self._heap.seek(0, os.SEEK_END)
+        start = self._heap.tell()
+        header = len(key).to_bytes(4, "little") + len(value).to_bytes(4, "little")
+        self._heap.write(header + key + value)
+        self._heap.flush()
+        return _Locator(offset=start + 8 + len(key), length=len(value))
+
+    def _rebuild_index(self) -> None:
+        self._heap.seek(0, os.SEEK_END)
+        end = self._heap.tell()
+        offset = 0
+        self._heap.seek(0)
+        while offset < end:
+            self._heap.seek(offset)
+            header = self._heap.read(8)
+            if len(header) < 8:
+                break
+            klen = int.from_bytes(header[:4], "little")
+            vlen = int.from_bytes(header[4:], "little")
+            key = self._heap.read(klen)
+            if vlen == self._TOMBSTONE:
+                existing = self.tree.search(key)
+                if existing is not None and existing.alive:
+                    existing.alive = False
+                    self.live_count -= 1
+                offset += 8 + klen
+                continue
+            locator = _Locator(offset=offset + 8 + klen, length=vlen)
+            if self.tree.insert(key, locator):
+                self.live_count += 1
+            offset += 8 + klen + vlen
+
+    # -- operations -----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        old = self.tree.search(key)
+        locator = self._append_value(key, value)
+        if old is not None and old.alive:
+            self.dead_bytes += old.length
+            old.offset, old.length = locator.offset, locator.length
+        else:
+            if self.tree.insert(key, locator):
+                pass
+            self.live_count += 1
+
+    def get(self, key: bytes) -> bytes:
+        locator = self.tree.search(key)
+        if locator is None or not locator.alive:
+            raise KeyNotFound(repr(key))
+        self._heap.seek(locator.offset)
+        value = self._heap.read(locator.length)
+        if len(value) != locator.length:
+            raise StoreError("heap file truncated")
+        return value
+
+    #: vlen sentinel marking a tombstone record in the heap file.
+    _TOMBSTONE = 0xFFFFFFFF
+
+    def remove(self, key: bytes) -> None:
+        locator = self.tree.search(key)
+        if locator is None or not locator.alive:
+            raise KeyNotFound(repr(key))
+        # Durable tombstone so the delete survives an index rebuild.
+        self._heap.seek(0, os.SEEK_END)
+        self._heap.write(
+            len(key).to_bytes(4, "little")
+            + self._TOMBSTONE.to_bytes(4, "little")
+            + key
+        )
+        self._heap.flush()
+        locator.alive = False
+        self.dead_bytes += locator.length
+        self.live_count -= 1
+
+    def append(self, key: bytes, value: bytes) -> None:
+        """Read-modify-write emulation (no native append in BDB)."""
+        try:
+            old = self.get(key)
+        except KeyNotFound:
+            old = b""
+        self.put(key, old + value)
+
+    def items(self) -> list[tuple[bytes, bytes]]:
+        return [
+            (key, self.get(key))
+            for key, locator in self.tree.items()
+            if locator.alive
+        ]
+
+    def compact(self) -> None:
+        """Rewrite the heap with live values only; rebuilds the tree."""
+        pairs = self.items()
+        self._heap.close()
+        os.remove(self.path)
+        self.__init__(self.path, order=self.tree.t)
+        for key, value in pairs:
+            self.put(key, value)
+
+    def __len__(self) -> int:
+        return self.live_count
+
+    def __contains__(self, key: bytes) -> bool:
+        locator = self.tree.search(key)
+        return locator is not None and locator.alive
+
+    def close(self) -> None:
+        if not self._heap.closed:
+            self._heap.flush()
+            self._heap.close()
+
+    def __enter__(self) -> "BerkeleyDBLike":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,238 @@
+"""Cassandra-like log-routing ring key/value store.
+
+The paper (§II, Table 1) characterizes Cassandra by three properties it
+compares ZHT against:
+
+* **log(N) routing** — "Cassandra also uses logarithmic routing strategy
+  which makes it less scalable."  We implement Chord-style finger tables:
+  each node knows its successor plus ``log2(N)`` fingers, and a request
+  walks the ring greedily, taking O(log N) hops (counted and exposed —
+  the quantity Figures 8/10 turn into latency).
+* **always-writable, eventually consistent** — "deferring consistency
+  until the time when data is read and resolving conflicts at that time":
+  writes go to any replica reachable and are timestamped; reads collect
+  all replica versions, return the newest, and **read-repair** stale
+  replicas.
+* **replication** across the N successors of the owning node.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from ..core.errors import KeyNotFound
+from ..core.hashing import ring_position
+
+RING_BITS = 64
+RING_SIZE = 1 << RING_BITS
+
+
+@dataclass
+class _Versioned:
+    value: bytes
+    timestamp: int
+    deleted: bool = False
+
+
+class RingNode:
+    """One Cassandra-like node: token, finger table, local versioned store."""
+
+    def __init__(self, node_id: int, token: int):
+        self.node_id = node_id
+        self.token = token % RING_SIZE
+        self.data: dict[bytes, _Versioned] = {}
+        #: Finger i points to the node owning ``token + 2**i`` — built by
+        #: the cluster after all nodes exist.
+        self.fingers: list["RingNode"] = []
+        self.successor: "RingNode | None" = None
+        self.alive = True
+
+
+class CassandraLike:
+    """A full ring with log-routing, replication, and read repair."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        replication_factor: int = 1,
+        seed: int = 0,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if replication_factor < 1 or replication_factor > num_nodes:
+            raise ValueError("replication_factor must be in [1, num_nodes]")
+        rng = random.Random(seed)
+        tokens: set[int] = set()
+        while len(tokens) < num_nodes:
+            tokens.add(rng.getrandbits(RING_BITS))
+        tokens = sorted(tokens)
+        self.nodes = [RingNode(i, token) for i, token in enumerate(tokens)]
+        self.replication_factor = replication_factor
+        self._clock = itertools.count(1)
+        self._build_routing()
+        #: Total routing hops taken, for the Table 1 / latency comparison.
+        self.total_hops = 0
+        self.total_requests = 0
+
+    # ------------------------------------------------------------------
+    # Ring construction
+    # ------------------------------------------------------------------
+
+    def _build_routing(self) -> None:
+        ordered = self.nodes  # already sorted by token
+        n = len(ordered)
+        for i, node in enumerate(ordered):
+            node.successor = ordered[(i + 1) % n]
+            node.fingers = [
+                self._owner_of_point((node.token + (1 << b)) % RING_SIZE)
+                for b in range(RING_BITS)
+            ]
+
+    def _owner_of_point(self, point: int) -> RingNode:
+        """First node whose token is >= point (wrapping)."""
+        lo, hi = 0, len(self.nodes)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.nodes[mid].token < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.nodes[lo % len(self.nodes)]
+
+    def owner_of_key(self, key: bytes) -> RingNode:
+        return self._owner_of_point(ring_position(key))
+
+    def replica_nodes(self, key: bytes) -> list[RingNode]:
+        owner = self.owner_of_key(key)
+        start = self.nodes.index(owner)
+        return [
+            self.nodes[(start + i) % len(self.nodes)]
+            for i in range(self.replication_factor)
+        ]
+
+    # ------------------------------------------------------------------
+    # Log-routing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _in_arc(x: int, start: int, end: int) -> bool:
+        """Is x in the half-open ring arc (start, end]?"""
+        if start < end:
+            return start < x <= end
+        return x > start or x <= end
+
+    def route(self, start: RingNode, key: bytes) -> tuple[RingNode, int]:
+        """Greedy finger-table walk from *start* to the key's owner.
+
+        Returns ``(owner, hops)`` — the hop count is what makes this
+        baseline log(N) rather than zero-hop.
+        """
+        point = ring_position(key)
+        node = start
+        hops = 0
+        while not self._in_arc(
+            point,
+            self._predecessor_token(node),
+            node.token,
+        ):
+            # Jump to the furthest finger not overshooting the target.
+            next_node = node.successor
+            for finger in reversed(node.fingers):
+                if finger is node:
+                    continue
+                if self._in_arc(finger.token, node.token, point):
+                    next_node = finger
+                    break
+            if next_node is node:
+                break
+            node = next_node
+            hops += 1
+            if hops > len(self.nodes) + RING_BITS:
+                raise RuntimeError("routing failed to converge")
+        self.total_hops += hops
+        self.total_requests += 1
+        return node, hops
+
+    def _predecessor_token(self, node: RingNode) -> int:
+        index = self.nodes.index(node)
+        return self.nodes[index - 1].token
+
+    def average_hops(self) -> float:
+        if self.total_requests == 0:
+            return 0.0
+        return self.total_hops / self.total_requests
+
+    # ------------------------------------------------------------------
+    # Client operations (always-writable, eventually consistent)
+    # ------------------------------------------------------------------
+
+    def _entry_point(self, key: bytes) -> RingNode:
+        # Clients connect to an arbitrary coordinator node.
+        alive = [n for n in self.nodes if n.alive]
+        return alive[ring_position(key + b"#coord") % len(alive)]
+
+    def put(self, key: bytes, value: bytes) -> int:
+        """Write to every reachable replica; returns how many accepted.
+
+        Never rejects a write while any replica is alive ("the system is
+        designed to always accept writes even in light of node failures").
+        """
+        self.route(self._entry_point(key), key)
+        stamp = next(self._clock)
+        accepted = 0
+        for node in self.replica_nodes(key):
+            if node.alive:
+                node.data[key] = _Versioned(value, stamp)
+                accepted += 1
+        return accepted
+
+    def get(self, key: bytes) -> bytes:
+        """Read all replicas, resolve by newest timestamp, read-repair."""
+        self.route(self._entry_point(key), key)
+        versions = [
+            (node, node.data[key])
+            for node in self.replica_nodes(key)
+            if node.alive and key in node.data
+        ]
+        if not versions:
+            raise KeyNotFound(repr(key))
+        newest = max(versions, key=lambda pair: pair[1].timestamp)[1]
+        # Read repair: bring stale live replicas up to the newest version.
+        for node in self.replica_nodes(key):
+            if node.alive:
+                current = node.data.get(key)
+                if current is None or current.timestamp < newest.timestamp:
+                    node.data[key] = _Versioned(
+                        newest.value, newest.timestamp, newest.deleted
+                    )
+        if newest.deleted:
+            raise KeyNotFound(repr(key))
+        return newest.value
+
+    def delete(self, key: bytes) -> None:
+        """Tombstone write (deletes are writes in Cassandra)."""
+        self.route(self._entry_point(key), key)
+        stamp = next(self._clock)
+        for node in self.replica_nodes(key):
+            if node.alive:
+                node.data[key] = _Versioned(b"", stamp, deleted=True)
+
+    # -- fault injection ------------------------------------------------------
+
+    def kill_node(self, node_id: int) -> None:
+        self.nodes[node_id].alive = False
+
+    def revive_node(self, node_id: int) -> None:
+        self.nodes[node_id].alive = True
+
+    FEATURES = {
+        "implementation": "Python (models Java Cassandra)",
+        "routing_hops": "log(N)",
+        "persistence": True,
+        "dynamic_membership": True,
+        "replication": True,
+        "append": False,
+    }

@@ -1,0 +1,164 @@
+"""Kademlia-style XOR-routing DHT (the C-MPI baseline of Table 1).
+
+"C-MPI is based on new implementations of the Kademlia (with log(N)
+routing time) distributed hash table" (§II).  This module implements the
+Kademlia routing core from the Maymounkov/Mazières paper: 160-bit-style
+(here 64-bit) node ids, the XOR distance metric, per-prefix k-buckets,
+and iterative ``FIND_NODE`` lookups whose hop counts are O(log N).
+
+Like C-MPI, there is "no support for data replication, data persistence,
+or fault tolerance": store/retrieve place values on the single closest
+node, and a dead node simply loses its keys.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.errors import KeyNotFound
+from ..core.hashing import ring_position
+
+ID_BITS = 64
+
+
+def xor_distance(a: int, b: int) -> int:
+    """The Kademlia metric: d(a, b) = a XOR b."""
+    return a ^ b
+
+
+def bucket_index(a: int, b: int) -> int:
+    """Index of the k-bucket on *a* that covers *b* (shared-prefix length)."""
+    distance = xor_distance(a, b)
+    if distance == 0:
+        raise ValueError("a node has no bucket for itself")
+    return distance.bit_length() - 1
+
+
+class KademliaNode:
+    """One DHT node: id, k-buckets, local store."""
+
+    def __init__(self, node_id: int, k: int = 8):
+        self.node_id = node_id
+        self.k = k
+        #: buckets[i] holds up to k peers at XOR distance in [2^i, 2^{i+1}).
+        self.buckets: list[list["KademliaNode"]] = [[] for _ in range(ID_BITS)]
+        self.data: dict[bytes, bytes] = {}
+        self.alive = True
+
+    def observe(self, peer: "KademliaNode") -> None:
+        """Record contact with *peer* (bucket insert, LRU-style)."""
+        if peer.node_id == self.node_id:
+            return
+        bucket = self.buckets[bucket_index(self.node_id, peer.node_id)]
+        if peer in bucket:
+            bucket.remove(peer)
+        elif len(bucket) >= self.k:
+            bucket.pop(0)  # evict least-recently seen
+        bucket.append(peer)
+
+    def closest_known(self, target: int, count: int) -> list["KademliaNode"]:
+        """The *count* known peers closest (XOR) to *target*."""
+        candidates = [p for bucket in self.buckets for p in bucket if p.alive]
+        candidates.sort(key=lambda p: xor_distance(p.node_id, target))
+        return candidates[:count]
+
+
+class KademliaDHT:
+    """A bootstrapped Kademlia network with iterative lookups."""
+
+    def __init__(self, num_nodes: int, *, k: int = 8, seed: int = 0):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        rng = random.Random(seed)
+        ids: set[int] = set()
+        while len(ids) < num_nodes:
+            candidate = rng.getrandbits(ID_BITS)
+            if candidate:
+                ids.add(candidate)
+        self.nodes = [KademliaNode(node_id, k) for node_id in sorted(ids)]
+        self._populate_buckets()
+        self.total_hops = 0
+        self.total_lookups = 0
+
+    def _populate_buckets(self) -> None:
+        """Global-knowledge bootstrap: every node learns the k best peers
+        per bucket (what a long-running network converges to)."""
+        for node in self.nodes:
+            for peer in self.nodes:
+                node.observe(peer)
+
+    # ------------------------------------------------------------------
+    # Iterative lookup
+    # ------------------------------------------------------------------
+
+    def lookup_node(
+        self, start: KademliaNode, target: int
+    ) -> tuple[KademliaNode, int]:
+        """Iterative FIND_NODE from *start*; returns (closest, hops)."""
+        current = start
+        hops = 0
+        best = xor_distance(current.node_id, target)
+        while True:
+            nearer = current.closest_known(target, 1)
+            if not nearer:
+                break
+            candidate = nearer[0]
+            distance = xor_distance(candidate.node_id, target)
+            if distance >= best:
+                break
+            current = candidate
+            best = distance
+            hops += 1
+            if hops > ID_BITS * 2:
+                raise RuntimeError("lookup failed to converge")
+        self.total_hops += hops
+        self.total_lookups += 1
+        return current, hops
+
+    def _key_target(self, key: bytes) -> int:
+        return ring_position(key)
+
+    def _entry_node(self, key: bytes) -> KademliaNode:
+        alive = [n for n in self.nodes if n.alive]
+        if not alive:
+            raise KeyNotFound("network is empty")
+        return alive[ring_position(key + b"#entry") % len(alive)]
+
+    # ------------------------------------------------------------------
+    # KV operations (single copy, no replication — like C-MPI)
+    # ------------------------------------------------------------------
+
+    def store(self, key: bytes, value: bytes) -> KademliaNode:
+        owner, _hops = self.lookup_node(self._entry_node(key), self._key_target(key))
+        owner.data[key] = value
+        return owner
+
+    def retrieve(self, key: bytes) -> bytes:
+        owner, _hops = self.lookup_node(self._entry_node(key), self._key_target(key))
+        if not owner.alive or key not in owner.data:
+            raise KeyNotFound(repr(key))
+        return owner.data[key]
+
+    def delete(self, key: bytes) -> None:
+        owner, _hops = self.lookup_node(self._entry_node(key), self._key_target(key))
+        if key not in owner.data:
+            raise KeyNotFound(repr(key))
+        del owner.data[key]
+
+    def average_hops(self) -> float:
+        if self.total_lookups == 0:
+            return 0.0
+        return self.total_hops / self.total_lookups
+
+    def kill_node(self, index: int) -> None:
+        """C-MPI-style fragility: the node's keys are simply gone."""
+        self.nodes[index].alive = False
+
+    FEATURES = {
+        "implementation": "Python (models C/MPI C-MPI)",
+        "routing_hops": "log(N)",
+        "persistence": False,
+        "dynamic_membership": False,
+        "replication": False,
+        "append": False,
+    }

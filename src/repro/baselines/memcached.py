@@ -1,0 +1,177 @@
+"""Memcached-like in-memory key/value store.
+
+Reproduces the feature envelope the paper compares against (§II,
+Table 1): "It is rather simplistic in which there is no data persistence,
+no data replication, and no dynamic membership.  There are strict
+limitations on the size of the keys and values (250B and 1MB
+respectively)."
+
+Like memcached, this is a bounded cache: entries are evicted LRU when
+the memory budget is exceeded, and ``set`` never fails for capacity.
+``append`` exists in real memcached only for existing keys — matching
+that, appending to a missing key errors (unlike ZHT, where append
+creates; this distinction matters to FusionFS and is covered by Table 1's
+"Append" column).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..core.errors import (
+    KeyNotFound,
+    KeyTooLarge,
+    UnsupportedOperation,
+    ValueTooLarge,
+)
+
+#: Real memcached limits, cited by the paper.
+MAX_KEY_BYTES = 250
+MAX_VALUE_BYTES = 1 << 20
+
+
+@dataclass
+class MemcachedStats:
+    gets: int = 0
+    sets: int = 0
+    deletes: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class MemcachedLike:
+    """A single memcached "server": volatile, bounded, LRU."""
+
+    #: Feature flags used by the Table 1 comparison harness.
+    FEATURES = {
+        "implementation": "Python (models C memcached)",
+        # Table 1 lists memcached's routing time as "2": the paper counts
+        # the two message legs of its request/response exchange.
+        "routing_hops": 2,
+        "persistence": False,
+        "dynamic_membership": False,
+        "replication": False,
+        "append": False,
+    }
+
+    def __init__(self, memory_limit_bytes: int = 64 << 20):
+        if memory_limit_bytes <= 0:
+            raise ValueError("memory_limit_bytes must be positive")
+        self.memory_limit_bytes = memory_limit_bytes
+        self._data: OrderedDict[bytes, bytes] = OrderedDict()
+        self._bytes_used = 0
+        self.stats = MemcachedStats()
+
+    # -- protocol operations ------------------------------------------------
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self._check_key(key)
+        if len(value) > MAX_VALUE_BYTES:
+            raise ValueTooLarge(f"{len(value)} > {MAX_VALUE_BYTES}")
+        old = self._data.pop(key, None)
+        if old is not None:
+            self._bytes_used -= len(key) + len(old)
+        self._data[key] = value
+        self._bytes_used += len(key) + len(value)
+        self.stats.sets += 1
+        self._evict()
+
+    def get(self, key: bytes) -> bytes:
+        self._check_key(key)
+        self.stats.gets += 1
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.stats.misses += 1
+            raise KeyNotFound(repr(key)) from None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def delete(self, key: bytes) -> None:
+        self._check_key(key)
+        old = self._data.pop(key, None)
+        if old is None:
+            raise KeyNotFound(repr(key))
+        self._bytes_used -= len(key) + len(old)
+        self.stats.deletes += 1
+
+    def append(self, key: bytes, value: bytes) -> None:
+        """memcached's append: fails on missing keys, no create."""
+        self._check_key(key)
+        old = self._data.get(key)
+        if old is None:
+            raise UnsupportedOperation(
+                "memcached append requires an existing key (NOT_STORED)"
+            )
+        if len(old) + len(value) > MAX_VALUE_BYTES:
+            raise ValueTooLarge("append would exceed 1MB value limit")
+        self._data[key] = old + value
+        self._bytes_used += len(value)
+        self._data.move_to_end(key)
+        self._evict()
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes_used
+
+    # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("memcached keys are bytes")
+        if len(key) > MAX_KEY_BYTES:
+            raise KeyTooLarge(f"{len(key)} > {MAX_KEY_BYTES}")
+
+    def _evict(self) -> None:
+        while self._bytes_used > self.memory_limit_bytes and self._data:
+            key, value = self._data.popitem(last=False)
+            self._bytes_used -= len(key) + len(value)
+            self.stats.evictions += 1
+
+
+class MemcachedCluster:
+    """Client-side-sharded pool of :class:`MemcachedLike` servers.
+
+    Real memcached clusters have no server-side routing: clients hash
+    keys onto the server list.  No rebalancing happens when the list
+    changes (that is the "no dynamic membership" row of Table 1).
+    """
+
+    def __init__(self, num_servers: int, memory_limit_bytes: int = 64 << 20):
+        if num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        self.servers = [
+            MemcachedLike(memory_limit_bytes) for _ in range(num_servers)
+        ]
+
+    def _server_for(self, key: bytes) -> MemcachedLike:
+        from ..core.hashing import ring_position
+
+        return self.servers[ring_position(key) % len(self.servers)]
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self._server_for(key).set(key, value)
+
+    def get(self, key: bytes) -> bytes:
+        return self._server_for(key).get(key)
+
+    def delete(self, key: bytes) -> None:
+        self._server_for(key).delete(key)
+
+    def append(self, key: bytes, value: bytes) -> None:
+        self._server_for(key).append(key, value)
+
+    def total_items(self) -> int:
+        return sum(len(s) for s in self.servers)

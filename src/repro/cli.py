@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — run a small live cluster through the core feature set.
+* ``simulate``  — run the calibrated DES at a chosen scale/system.
+* ``predict``   — evaluate the closed-form scale model (Figure 11).
+* ``sockets``   — start a real TCP deployment on loopback and benchmark it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from . import ZHTConfig, build_local_cluster
+
+    config = ZHTConfig(
+        transport="local",
+        num_partitions=args.partitions,
+        num_replicas=args.replicas,
+        request_timeout=0.01,
+        failures_before_dead=2,
+        max_retries=10,
+    )
+    with build_local_cluster(args.nodes, config) as cluster:
+        zht = cluster.client()
+        start = time.perf_counter()
+        for i in range(args.ops):
+            zht.insert(f"demo-{i}", b"v" * 132)
+        for i in range(args.ops):
+            zht.lookup(f"demo-{i}")
+        for i in range(args.ops):
+            zht.remove(f"demo-{i}")
+        elapsed = time.perf_counter() - start
+        total = 3 * args.ops
+        print(
+            f"{args.nodes}-node cluster, {total} ops: "
+            f"{elapsed / total * 1e3:.3f} ms/op, {total / elapsed:,.0f} ops/s"
+        )
+        print(f"client stats: {zht.stats}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .sim import (
+        CASSANDRA_CLUSTER,
+        CLUSTER_ETHERNET_LINK,
+        MEMCACHED_BGP,
+        MEMCACHED_CLUSTER,
+        ZHT_BGP,
+        ZHT_CLUSTER,
+        simulate,
+    )
+
+    systems = {
+        ("zht", "torus"): (ZHT_BGP, True),
+        ("memcached", "torus"): (MEMCACHED_BGP, False),
+        ("zht", "switch"): (ZHT_CLUSTER, True),
+        ("memcached", "switch"): (MEMCACHED_CLUSTER, False),
+        ("cassandra", "switch"): (CASSANDRA_CLUSTER, False),
+    }
+    key = (args.system, args.topology)
+    if key not in systems:
+        print(
+            f"error: {args.system} is not modeled on the {args.topology} "
+            "testbed (cassandra is cluster-only)",
+            file=sys.stderr,
+        )
+        return 2
+    service, real_core = systems[key]
+    link = (
+        CLUSTER_ETHERNET_LINK if args.topology == "switch" else None
+    )
+    kwargs = dict(
+        ops_per_client=args.ops,
+        service=service,
+        topology=args.topology,
+        real_core=real_core,
+        num_replicas=args.replicas,
+        instances_per_node=args.instances,
+        seed=args.seed,
+    )
+    if link is not None:
+        kwargs["link"] = link
+    result = simulate(args.nodes, **kwargs)
+    row = result.row()
+    for field, value in row.items():
+        print(f"{field:>20}: {value}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .sim import (
+        predicted_efficiency,
+        predicted_latency_ms,
+        predicted_throughput_ops_s,
+    )
+
+    print(f"{'nodes':>10}  {'latency ms':>10}  {'efficiency':>10}  {'ops/s':>16}")
+    for n in args.nodes:
+        print(
+            f"{n:>10,}  {predicted_latency_ms(n):>10.3f}  "
+            f"{predicted_efficiency(n) * 100:>9.1f}%  "
+            f"{predicted_throughput_ops_s(n):>16,.0f}"
+        )
+    return 0
+
+
+def _cmd_sockets(args: argparse.Namespace) -> int:
+    from .core import ZHTConfig
+    from .net.cluster import build_tcp_cluster, build_udp_cluster
+
+    config = ZHTConfig(
+        transport=args.transport,
+        num_partitions=args.partitions,
+        connection_cache_size=0 if args.no_cache else 128,
+        request_timeout=1.0,
+    )
+    builder = build_udp_cluster if args.transport == "udp" else build_tcp_cluster
+    with builder(args.nodes, config) as cluster:
+        zht = cluster.client()
+        zht.insert("warmup", b"x")
+        start = time.perf_counter()
+        for i in range(args.ops):
+            zht.insert(f"sock-{i}", b"v" * 132)
+        elapsed = time.perf_counter() - start
+        print(
+            f"{args.transport.upper()} x {args.nodes} servers: "
+            f"{args.ops / elapsed:,.0f} ops/s "
+            f"({elapsed / args.ops * 1e3:.3f} ms/op)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZHT (IPDPS 2013) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a live in-process cluster")
+    demo.add_argument("--nodes", type=int, default=4)
+    demo.add_argument("--ops", type=int, default=1000)
+    demo.add_argument("--partitions", type=int, default=128)
+    demo.add_argument("--replicas", type=int, default=0)
+    demo.set_defaults(fn=_cmd_demo)
+
+    sim = sub.add_parser("simulate", help="run the calibrated DES")
+    sim.add_argument("--nodes", type=int, default=64)
+    sim.add_argument("--ops", type=int, default=16)
+    sim.add_argument(
+        "--system",
+        choices=("zht", "memcached", "cassandra"),
+        default="zht",
+    )
+    sim.add_argument("--topology", choices=("torus", "switch"), default="torus")
+    sim.add_argument("--replicas", type=int, default=0)
+    sim.add_argument("--instances", type=int, default=1)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(fn=_cmd_simulate)
+
+    predict = sub.add_parser("predict", help="closed-form scale model")
+    predict.add_argument(
+        "nodes",
+        type=int,
+        nargs="*",
+        default=[2, 64, 1024, 8192, 65536, 1048576],
+    )
+    predict.set_defaults(fn=_cmd_predict)
+
+    sockets = sub.add_parser("sockets", help="benchmark real sockets")
+    sockets.add_argument("--transport", choices=("tcp", "udp"), default="tcp")
+    sockets.add_argument("--nodes", type=int, default=3)
+    sockets.add_argument("--ops", type=int, default=500)
+    sockets.add_argument("--partitions", type=int, default=64)
+    sockets.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the TCP connection cache",
+    )
+    sockets.set_defaults(fn=_cmd_sockets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

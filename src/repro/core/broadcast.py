@@ -1,0 +1,80 @@
+"""Broadcast primitive — the paper's first future-work item (§VI).
+
+"We believe that a broadcast primitive (in addition to
+insert/lookup/remove/append) would be beneficial to transmit the
+key/value pairs efficiently to all nodes (potentially via a spanning
+tree)."
+
+Implementation: a binary spanning tree over the instance list in ring
+order.  The client sends one ``BROADCAST`` request to the tree root
+whose payload names the instances in the root's subtree; every receiver
+stores the pair in its node-local broadcast store and forwards to the
+roots of its two child subtrees.  Delivery to all *N* instances thus
+costs each participant at most 2 sends and completes in ``ceil(log2 N)``
+forwarding levels, versus *N* sequential sends from one client.
+
+Broadcast data is node-local configuration-style state (every instance
+holds a full copy), so it lives outside the partitioned key space in a
+dedicated per-instance store, read back with ``lookup_broadcast``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .membership import Address, MembershipTable
+from .protocol import Request, OpCode
+
+
+def encode_subtree(addresses: list[Address]) -> bytes:
+    """Serialize the subtree address list carried in a BROADCAST payload."""
+    return json.dumps([a.to_obj() for a in addresses], separators=(",", ":")).encode()
+
+
+def decode_subtree(payload: bytes) -> list[Address]:
+    try:
+        return [Address.from_obj(o) for o in json.loads(payload.decode())]
+    except (ValueError, KeyError, TypeError, IndexError):
+        return []
+
+
+def split_subtree(
+    addresses: list[Address],
+) -> list[list[Address]]:
+    """Child subtrees for the receiver at ``addresses[0]``.
+
+    The receiver is the head; the remainder splits into two halves whose
+    heads become the receiver's children in the spanning tree.
+    """
+    rest = addresses[1:]
+    if not rest:
+        return []
+    mid = (len(rest) + 1) // 2
+    return [half for half in (rest[:mid], rest[mid:]) if half]
+
+
+def broadcast_order(membership: MembershipTable) -> list[Address]:
+    """Root-first delivery order: alive instances in ring order."""
+    return [
+        inst.address
+        for inst in membership.ring_order()
+        if membership.nodes[inst.node_id].alive
+    ]
+
+
+def make_broadcast_request(
+    key: bytes,
+    value: bytes,
+    subtree: list[Address],
+    *,
+    request_id: int = 0,
+    epoch: int = 0,
+) -> Request:
+    return Request(
+        op=OpCode.BROADCAST,
+        key=key,
+        value=value,
+        request_id=request_id,
+        epoch=epoch,
+        payload=encode_subtree(subtree),
+    )

@@ -1,0 +1,306 @@
+"""ZHT client core — transport-agnostic operation driver.
+
+The client holds its own copy of the membership table and routes every
+operation directly to the owning instance (zero hops).  This module
+implements everything about an operation *except* moving bytes:
+
+* target selection (owner, then replica failover);
+* retry with exponential backoff on timeouts ("lazily tagging nodes that
+  do not respond to requests repeatedly as failed (using exponential back
+  off)", §III.H);
+* marking nodes dead after repeated failures and queueing a notification
+  for "a random manager" (§III.C "Node departures");
+* lazy membership refresh from piggybacked tables and redirects.
+
+Real and simulated transports drive the same :class:`OpDriver` loop::
+
+    driver = core.driver(OpCode.LOOKUP, key)
+    while True:
+        attempt = driver.next_attempt()        # None => driver.outcome set
+        response = transport.roundtrip(attempt)  # or timeout
+        driver.on_response(response)             # or driver.on_timeout()
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from .config import ZHTConfig
+from .errors import (
+    MembershipError,
+    NodeDeadError,
+    RequestTimeout,
+    Status,
+    ZHTError,
+    raise_for_status,
+)
+from .membership import Address, InstanceInfo, MembershipTable
+from .protocol import OpCode, Request, Response
+
+
+@dataclass
+class Attempt:
+    """One network attempt the transport should execute."""
+
+    address: Address
+    request: Request
+    timeout: float
+    #: Seconds to wait before issuing this attempt (backoff delay).
+    delay: float = 0.0
+
+
+@dataclass
+class Notification:
+    """Deferred client→manager message (e.g. failure report)."""
+
+    address: Address
+    request: Request
+
+
+@dataclass
+class ClientStats:
+    ops: int = 0
+    retries: int = 0
+    redirects_followed: int = 0
+    membership_refreshes: int = 0
+    failovers: int = 0
+    nodes_marked_dead: int = 0
+
+
+class OpState(enum.Enum):
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class ZHTClientCore:
+    """Client-side state shared across operations."""
+
+    def __init__(
+        self,
+        membership: MembershipTable,
+        config: ZHTConfig | None = None,
+        *,
+        rng: random.Random | None = None,
+    ):
+        self.membership = membership
+        self.config = config or ZHTConfig()
+        self.stats = ClientStats()
+        self.rng = rng or random.Random()
+        self._next_request_id = 1
+        #: Consecutive timeout counts per node id (reset on any success).
+        self.failure_counts: dict[str, int] = {}
+        #: Manager notifications awaiting dispatch by the transport.
+        self.pending_notifications: list[Notification] = []
+
+    # ------------------------------------------------------------------
+
+    def driver(self, op: OpCode, key: bytes, value: bytes = b"") -> "OpDriver":
+        self.stats.ops += 1
+        return OpDriver(self, op, key, value)
+
+    def allocate_request_id(self) -> int:
+        rid = self._next_request_id
+        self._next_request_id += 1
+        return rid
+
+    def adopt_membership(self, payload: bytes) -> bool:
+        """Adopt a piggybacked membership table if strictly newer."""
+        if not payload:
+            return False
+        try:
+            table = MembershipTable.from_bytes(payload)
+        except MembershipError:
+            return False
+        if self.membership.maybe_adopt(table):
+            self.stats.membership_refreshes += 1
+            return True
+        return False
+
+    # -- failure detection ------------------------------------------------
+
+    def record_timeout(self, node_id: str) -> bool:
+        """Count a timeout against *node_id*; returns True if it just died."""
+        count = self.failure_counts.get(node_id, 0) + 1
+        self.failure_counts[node_id] = count
+        if count >= self.config.failures_before_dead:
+            self._mark_node_dead(node_id)
+            return True
+        return False
+
+    def record_success(self, node_id: str) -> None:
+        self.failure_counts.pop(node_id, None)
+
+    def _mark_node_dead(self, node_id: str) -> None:
+        try:
+            self.membership.mark_node_dead(node_id)
+        except MembershipError:
+            return
+        self.stats.nodes_marked_dead += 1
+        self.failure_counts.pop(node_id, None)
+        manager = self._random_alive_manager()
+        if manager is not None:
+            # Push our (newer) table — with the node marked dead — to a
+            # random manager, which will broadcast and rebuild replicas.
+            self.pending_notifications.append(
+                Notification(
+                    manager,
+                    Request(
+                        op=OpCode.MEMBERSHIP_UPDATE,
+                        request_id=self.allocate_request_id(),
+                        epoch=self.membership.epoch,
+                        payload=self.membership.to_bytes(),
+                    ),
+                )
+            )
+
+    def _random_alive_manager(self) -> Address | None:
+        alive = [n for n in self.membership.nodes.values() if n.alive]
+        if not alive:
+            return None
+        return self.rng.choice(alive).manager_address
+
+
+class OpDriver:
+    """Drives one logical operation through attempts until done/failed."""
+
+    def __init__(self, core: ZHTClientCore, op: OpCode, key: bytes, value: bytes):
+        self.core = core
+        self.op = op
+        self.key = key
+        self.value = value
+        self.state = OpState.RUNNING
+        self.response: Response | None = None
+        self.error: ZHTError | None = None
+        self._attempts_used = 0
+        self._retries_on_target = 0
+        self._replica_index = 0
+        self._current: Attempt | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        return self.core.membership.partition_of_key(
+            self.key, self.core.config.hash_name
+        )
+
+    def _chain(self) -> list[InstanceInfo]:
+        return self.core.membership.replicas_for_partition(
+            self.pid, self.core.config.num_replicas
+        )
+
+    def _target(self) -> InstanceInfo | None:
+        """Current target instance, honouring failover position and
+        skipping replicas on dead nodes."""
+        chain = self._chain()
+        index = self._replica_index
+        while index < len(chain):
+            inst = chain[index]
+            node = self.core.membership.nodes.get(inst.node_id)
+            if node is not None and node.alive:
+                if index != self._replica_index:
+                    self._replica_index = index
+                return inst
+            index += 1
+        return None
+
+    def next_attempt(self) -> Attempt | None:
+        """The next attempt to execute, or ``None`` once settled."""
+        if self.state is not OpState.RUNNING:
+            return None
+        cfg = self.core.config
+        if self._attempts_used > cfg.max_retries:
+            self._fail(RequestTimeout(f"{self.op.name} exhausted retries"))
+            return None
+        target = self._target()
+        if target is None:
+            self._fail(
+                NodeDeadError(
+                    f"no alive replica for partition {self.pid} "
+                    f"(op {self.op.name})"
+                )
+            )
+            return None
+        request = Request(
+            op=self.op,
+            key=self.key,
+            value=self.value,
+            request_id=self.core.allocate_request_id(),
+            epoch=self.core.membership.epoch,
+            replica_index=self._replica_index,
+        )
+        timeout = cfg.request_timeout * (
+            cfg.backoff_factor ** self._retries_on_target
+        )
+        delay = 0.0
+        if self._retries_on_target > 0:
+            delay = cfg.request_timeout * (
+                cfg.backoff_factor ** (self._retries_on_target - 1)
+            )
+        self._current = Attempt(target.address, request, timeout, delay)
+        self._attempts_used += 1
+        return self._current
+
+    # ------------------------------------------------------------------
+
+    def on_response(self, response: Response) -> None:
+        if self.state is not OpState.RUNNING or self._current is None:
+            return
+        core = self.core
+        target = self._target()
+        if target is not None:
+            core.record_success(target.node_id)
+        core.adopt_membership(response.membership)
+
+        if response.status == Status.REDIRECT:
+            # Membership was piggybacked; recompute the owner and retry.
+            core.stats.redirects_followed += 1
+            self._retries_on_target = 0
+            return
+        if response.status == Status.MIGRATING:
+            # Partition briefly locked; back off and retry.
+            core.stats.retries += 1
+            self._retries_on_target += 1
+            return
+        self.response = response
+        self.state = OpState.DONE
+
+    def on_timeout(self) -> None:
+        """The transport observed no response within ``attempt.timeout``."""
+        if self.state is not OpState.RUNNING or self._current is None:
+            return
+        core = self.core
+        core.stats.retries += 1
+        self._retries_on_target += 1
+        target = self._target()
+        if target is None:
+            return  # next_attempt() will settle the failure
+        died = core.record_timeout(target.node_id)
+        if died:
+            # Fail over to the next replica in the chain.
+            self._replica_index += 1
+            self._retries_on_target = 0
+            if self._replica_index <= core.config.num_replicas:
+                core.stats.failovers += 1
+
+    # ------------------------------------------------------------------
+
+    def _fail(self, error: ZHTError) -> None:
+        self.error = error
+        self.state = OpState.FAILED
+
+    def result(self) -> Response:
+        """Final response; raises the mapped exception on failure."""
+        if self.state is OpState.FAILED:
+            assert self.error is not None
+            raise self.error
+        if self.state is not OpState.DONE or self.response is None:
+            raise ZHTError("operation still in flight")
+        raise_for_status(
+            self.response.status,
+            f"{self.op.name} {self.key!r}",
+        )
+        return self.response

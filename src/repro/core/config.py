@@ -1,0 +1,121 @@
+"""Configuration for ZHT deployments.
+
+A single :class:`ZHTConfig` drives both the real runtime (``repro.net``)
+and the simulator (``repro.sim``), so experiments can swap substrates
+without touching deployment code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from .hashing import DEFAULT_HASH, HASH_FUNCTIONS
+
+
+class ReplicationMode:
+    """How updates reach replicas beyond the secondary.
+
+    Per the paper (§III.J): "The ZHT primary replica and secondary replica
+    are strongly consistent, other replicas are asynchronously updated
+    after the secondary replica is complete" — i.e. ZHT's native mode is
+    ``ASYNC``.  ``SYNC`` (every replica updated before the client sees the
+    ack) is implemented for the Figure 12 ablation, where the paper
+    estimates sync replication would cost +100%/+200% for 1/2 replicas.
+    """
+
+    ASYNC = "async"
+    SYNC = "sync"
+    #: Fire-and-forget to *all* replicas, including the secondary.  Weakest
+    #: mode; not used by the paper but useful as an ablation lower bound.
+    NONE = "none"
+
+    ALL = (ASYNC, SYNC, NONE)
+
+
+@dataclass(frozen=True)
+class ZHTConfig:
+    """Tunable parameters of a ZHT deployment.
+
+    Defaults follow the paper's micro-benchmark setup where one is stated
+    (e.g. key length 15 B / value length 132 B caps are workload, not
+    config; replication defaults off as in the baseline runs).
+    """
+
+    #: Fixed total number of partitions, "a fixed big number indicating
+    #: the maximal number of nodes that can be used in the system".
+    num_partitions: int = 1024
+    #: Replicas *in addition to* the primary copy (0 disables replication).
+    num_replicas: int = 0
+    replication_mode: str = ReplicationMode.ASYNC
+    #: Ring hash function name (see :data:`repro.core.hashing.HASH_FUNCTIONS`).
+    hash_name: str = DEFAULT_HASH
+
+    # --- client behaviour -------------------------------------------------
+    #: Base request timeout in seconds before the first retry.
+    request_timeout: float = 1.0
+    #: Exponential backoff multiplier between retries ("lazily tagging
+    #: nodes that do not respond to requests repeatedly as failed (using
+    #: exponential back off)").
+    backoff_factor: float = 2.0
+    #: Consecutive failures before a physical node is marked dead.
+    failures_before_dead: int = 3
+    #: Max retries per logical operation (across replicas).
+    max_retries: int = 6
+
+    # --- persistence (NoVoHT) --------------------------------------------
+    #: Directory for NoVoHT WAL + checkpoint files; ``None`` = memory only.
+    persistence_dir: str | None = None
+    #: Checkpoint after this many logged mutations (NoVoHT "re-size rate"
+    #: analogue for the log; 0 disables periodic checkpointing).
+    checkpoint_interval_ops: int = 10_000
+    #: Trigger WAL garbage collection when dead records exceed this
+    #: fraction of the log.
+    gc_dead_ratio: float = 0.5
+    #: Maximum key/value sizes; ``None`` = unlimited (ZHT, unlike
+    #: memcached, imposes no 250B/1MB limits).
+    max_key_bytes: int | None = None
+    max_value_bytes: int | None = None
+
+    # --- networking -------------------------------------------------------
+    #: "tcp", "udp", or "local" (in-process).
+    transport: str = "tcp"
+    #: LRU connection-cache capacity for TCP (0 = no connection caching,
+    #: i.e. the paper's "TCP without connection caching" mode).
+    connection_cache_size: int = 128
+
+    # --- instances ---------------------------------------------------------
+    #: ZHT instances per physical node (paper sweeps 1..8; 1 per core is
+    #: reported to give the best utilisation).
+    instances_per_node: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if self.num_replicas < 0:
+            raise ValueError("num_replicas must be >= 0")
+        if self.replication_mode not in ReplicationMode.ALL:
+            raise ValueError(
+                f"replication_mode must be one of {ReplicationMode.ALL}"
+            )
+        if self.hash_name not in HASH_FUNCTIONS:
+            raise ValueError(f"unknown hash function {self.hash_name!r}")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 <= self.gc_dead_ratio <= 1.0:
+            raise ValueError("gc_dead_ratio must be in [0, 1]")
+        if self.transport not in ("tcp", "udp", "local"):
+            raise ValueError("transport must be 'tcp', 'udp', or 'local'")
+        if self.instances_per_node <= 0:
+            raise ValueError("instances_per_node must be positive")
+
+    def replace(self, **changes) -> "ZHTConfig":
+        """Return a copy of this config with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+DEFAULT_CONFIG = ZHTConfig()

@@ -1,0 +1,364 @@
+"""ZHT Manager — membership orchestration (§III.B-C).
+
+"A Manager is a service running on each physical node and takes charge of
+starting and shutting down ZHT instances ... managing membership table,
+starting/stopping instances, and partition migration."
+
+The manager's multi-message procedures (migrate a partition, admit a
+joining node, retire a node, repair after a failure) are written as
+**generator scripts**: they ``yield`` :class:`PeerCall` objects and are
+resumed with the peer's :class:`~repro.core.protocol.Response` (or
+``None`` on timeout).  The same scripts therefore run unchanged over real
+sockets and inside the discrete-event simulator::
+
+    gen = manager.join_node(node, instances)
+    reply = None
+    try:
+        while True:
+            call = gen.send(reply)
+            reply = transport.roundtrip(call.address, call.request)
+    except StopIteration as stop:
+        result = stop.value
+
+Migration follows the paper's protocol: the source locks and exports the
+partition (queueing incoming requests), the destination imports it, the
+membership delta is broadcast "in an atomic manner", and finally the
+source commits — forwarding queued requests to the new owner.  On any
+failure the source aborts and the queued requests are failed, rolling the
+system back to a consistent state.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from .config import ZHTConfig
+from .errors import MembershipError, MigrationError, Status
+from .membership import (
+    Address,
+    InstanceInfo,
+    MembershipTable,
+    NodeInfo,
+)
+from .protocol import OpCode, Request, Response
+
+
+@dataclass
+class PeerCall:
+    """One server-to-server round trip requested by a manager script."""
+
+    address: Address
+    request: Request
+    #: Scripts set this False for best-effort messages (broadcasts) where
+    #: a timeout should not abort the procedure.
+    required: bool = True
+
+
+Script = Generator[PeerCall, "Response | None", object]
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one partition migration."""
+
+    pid: int
+    src_instance: str
+    dst_instance: str
+    committed: bool
+    pairs_moved: int = 0
+
+
+class ManagerCore:
+    """Membership/migration orchestration logic for one physical node."""
+
+    def __init__(
+        self,
+        node_id: str,
+        membership: MembershipTable,
+        config: ZHTConfig | None = None,
+        *,
+        rng: random.Random | None = None,
+    ):
+        self.node_id = node_id
+        self.membership = membership
+        self.config = config or ZHTConfig()
+        self.rng = rng or random.Random()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _request_id(self) -> int:
+        return self.rng.getrandbits(31) or 1
+
+    def _alive_instances(self) -> list[InstanceInfo]:
+        return [
+            inst
+            for inst in self.membership.instances.values()
+            if self.membership.nodes[inst.node_id].alive
+        ]
+
+    def broadcast_membership(self) -> Script:
+        """Push the current table to every alive instance (best effort).
+
+        "the manager broadcasts out the incremental information of
+        membership in an atomic manner" — the table is serialized once, so
+        every receiver adopts the identical epoch or nothing.
+        """
+        payload = self.membership.to_bytes()
+        epoch = self.membership.epoch
+        delivered = 0
+        for inst in self._alive_instances():
+            response = yield PeerCall(
+                inst.address,
+                Request(
+                    op=OpCode.MEMBERSHIP_UPDATE,
+                    request_id=self._request_id(),
+                    epoch=epoch,
+                    payload=payload,
+                ),
+                required=False,
+            )
+            if response is not None and response.status == Status.OK:
+                delivered += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Partition migration
+    # ------------------------------------------------------------------
+
+    def migrate_partition(self, pid: int, dst_instance_id: str) -> Script:
+        """Move partition *pid* to *dst_instance_id*; returns a report."""
+        src = self.membership.owner_of_partition(pid)
+        dst = self.membership.instances.get(dst_instance_id)
+        if dst is None:
+            raise MembershipError(f"unknown destination {dst_instance_id}")
+        if src.instance_id == dst_instance_id:
+            return MigrationReport(pid, src.instance_id, dst_instance_id, True)
+        report = MigrationReport(pid, src.instance_id, dst_instance_id, False)
+
+        # 1. Lock + export at the source. Incoming requests start queueing.
+        begin = yield PeerCall(
+            src.address,
+            Request(
+                op=OpCode.MIGRATE_BEGIN,
+                request_id=self._request_id(),
+                partition=pid,
+            ),
+        )
+        if begin is None or begin.status != Status.OK:
+            return report
+
+        abort_payload = Request(
+            op=OpCode.MIGRATE_COMMIT,
+            request_id=self._request_id(),
+            partition=pid,
+            value=b"abort",
+        )
+
+        # 2. Install the data at the destination.
+        data = yield PeerCall(
+            dst.address,
+            Request(
+                op=OpCode.MIGRATE_DATA,
+                request_id=self._request_id(),
+                partition=pid,
+                value=begin.value,
+            ),
+        )
+        if data is None or data.status != Status.OK:
+            yield PeerCall(src.address, abort_payload, required=False)
+            return report
+
+        # 3. Flip ownership and broadcast the new table.
+        self.membership.reassign_partition(pid, dst_instance_id)
+        yield from self.broadcast_membership()
+
+        # 4. Commit at the source; it forwards queued requests to dst.
+        commit = yield PeerCall(
+            src.address,
+            Request(
+                op=OpCode.MIGRATE_COMMIT,
+                request_id=self._request_id(),
+                partition=pid,
+                value=b"commit",
+                payload=str(dst.address).encode(),
+            ),
+        )
+        if commit is None or commit.status != Status.OK:
+            # Ownership already flipped and broadcast; the source's commit
+            # ack was lost but the system is consistent. Report success.
+            pass
+        report.committed = True
+        try:
+            report.pairs_moved = len(json.loads(begin.value.decode("ascii")))
+        except ValueError:
+            report.pairs_moved = 0
+        return report
+
+    # ------------------------------------------------------------------
+    # Node join
+    # ------------------------------------------------------------------
+
+    def plan_join_donations(
+        self, joining_instances: list[InstanceInfo]
+    ) -> list[tuple[int, str]]:
+        """Choose which partitions the joiner takes: ``(pid, dst_iid)``.
+
+        "the new node can find the physical nodes with the most
+        partitions, then join the ring as this heavily loaded node's
+        neighbor and move some of the partitions from the 'busy' node to
+        itself."  We take enough partitions from the most-loaded node to
+        equalize, dealing them round-robin to the joiner's instances.
+        """
+        donor = self.membership.most_loaded_node()
+        donor_pids = self.membership.partitions_of_node(donor)
+        # Take the tail half (leaves both sides balanced).
+        take = len(donor_pids) // 2
+        if take == 0:
+            return []
+        chosen = donor_pids[-take:]
+        return [
+            (pid, joining_instances[i % len(joining_instances)].instance_id)
+            for i, pid in enumerate(chosen)
+        ]
+
+    def join_node(
+        self, node: NodeInfo, instances: list[InstanceInfo]
+    ) -> Script:
+        """Admit *node* (with its *instances*) and rebalance; returns the
+        list of migration reports."""
+        if not instances:
+            raise MembershipError("a joining node must bring >= 1 instance")
+        self.membership.add_node(node)
+        for inst in instances:
+            self.membership.add_instance(inst)
+        donations = self.plan_join_donations(instances)
+        reports: list[MigrationReport] = []
+        for pid, dst in donations:
+            report = yield from self.migrate_partition(pid, dst)
+            reports.append(report)
+        # Final broadcast so everyone sees the settled table.
+        yield from self.broadcast_membership()
+        return reports
+
+    # ------------------------------------------------------------------
+    # Planned departure
+    # ------------------------------------------------------------------
+
+    def retire_node(self, node_id: str) -> Script:
+        """Gracefully drain *node_id* ("The managers, which will be
+        departing, first migrate their partitions to neighboring nodes,
+        and then continue to depart")."""
+        if node_id not in self.membership.nodes:
+            raise MembershipError(f"unknown node {node_id}")
+        reports: list[MigrationReport] = []
+        targets = [
+            inst for inst in self._alive_instances() if inst.node_id != node_id
+        ]
+        if not targets:
+            raise MembershipError("cannot retire the last alive node")
+        ring = sorted(targets, key=lambda i: i.ring_position)
+        i = 0
+        for inst in self.membership.instances_on_node(node_id):
+            for pid in self.membership.partitions_of_instance(inst.instance_id):
+                dst = ring[i % len(ring)]
+                i += 1
+                report = yield from self.migrate_partition(pid, dst.instance_id)
+                reports.append(report)
+        for inst in self.membership.instances_on_node(node_id):
+            self.membership.remove_instance(inst.instance_id)
+        self.membership.remove_node(node_id)
+        yield from self.broadcast_membership()
+        return reports
+
+    # ------------------------------------------------------------------
+    # Failure repair
+    # ------------------------------------------------------------------
+
+    def repair_after_failure(self, dead_node_id: str) -> Script:
+        """Reassign a dead node's partitions to their replicas and restore
+        the replication level (§III.C "Node departures", §III.H).
+
+        For each partition owned by the dead node, ownership moves to its
+        first alive replica (which already holds the data).  The new owner
+        then re-replicates the partition content to the next nodes on the
+        ring so the configured replication level is maintained.
+        """
+        node = self.membership.nodes.get(dead_node_id)
+        if node is None:
+            raise MembershipError(f"unknown node {dead_node_id}")
+        if node.alive:
+            self.membership.mark_node_dead(dead_node_id)
+
+        reassigned: list[int] = []
+        for inst in self.membership.instances_on_node(dead_node_id):
+            for pid in self.membership.partitions_of_instance(inst.instance_id):
+                chain = self.membership.replicas_for_partition(
+                    pid, max(self.config.num_replicas, 1)
+                )
+                survivor = next(
+                    (
+                        c
+                        for c in chain[1:]
+                        if self.membership.nodes[c.node_id].alive
+                    ),
+                    None,
+                )
+                if survivor is None:
+                    # Data loss: no replica survives. Reassign to any alive
+                    # instance so the key range stays routable (lookups
+                    # will report KEY_NOT_FOUND).
+                    alive = self._alive_instances()
+                    if not alive:
+                        continue
+                    survivor = self.rng.choice(alive)
+                self.membership.reassign_partition(pid, survivor.instance_id)
+                reassigned.append(pid)
+
+        yield from self.broadcast_membership()
+
+        # Restore replication level: ask each new owner for the partition
+        # content and push it to the (new) replica chain.
+        if self.config.num_replicas > 0:
+            for pid in reassigned:
+                owner = self.membership.owner_of_partition(pid)
+                begin = yield PeerCall(
+                    owner.address,
+                    Request(
+                        op=OpCode.MIGRATE_BEGIN,
+                        request_id=self._request_id(),
+                        partition=pid,
+                    ),
+                )
+                if begin is None or begin.status != Status.OK:
+                    continue
+                # Immediately release the lock; we only needed the export.
+                yield PeerCall(
+                    owner.address,
+                    Request(
+                        op=OpCode.MIGRATE_COMMIT,
+                        request_id=self._request_id(),
+                        partition=pid,
+                        value=b"abort",
+                    ),
+                    required=False,
+                )
+                chain = self.membership.replicas_for_partition(
+                    pid, self.config.num_replicas
+                )
+                for replica in chain[1:]:
+                    yield PeerCall(
+                        replica.address,
+                        Request(
+                            op=OpCode.MIGRATE_DATA,
+                            request_id=self._request_id(),
+                            partition=pid,
+                            value=begin.value,
+                        ),
+                        required=False,
+                    )
+        return reassigned

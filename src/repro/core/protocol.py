@@ -1,0 +1,242 @@
+"""ZHT wire protocol.
+
+The C++ ZHT serializes requests with Google Protocol Buffers: "The
+indicators for four basic operations (insert, lookup, remove, and append)
+are defined in the message prototype ... They are encapsulated with the
+key-value pair into a plain string and transferred through network"
+(§III.G).  We reproduce that with a hand-rolled codec speaking the
+protobuf *wire format* (varint and length-delimited fields with
+``tag = field_number << 3 | wire_type``), so messages are compact,
+forward-compatible (unknown fields are skipped), and free of third-party
+dependencies.
+
+Two message types cover all traffic:
+
+* :class:`Request` — client→server ops (insert/lookup/remove/append) and
+  server→server ops (replica updates, partition migration, membership
+  broadcast, ping).
+* :class:`Response` — status code, optional value, optional redirect
+  address, and an optional piggybacked membership delta for the lazy
+  client-side membership update.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..novoht.wal import decode_varint, encode_varint
+from .errors import ProtocolError, Status
+
+_WIRE_VARINT = 0
+_WIRE_BYTES = 2
+
+
+class OpCode(enum.IntEnum):
+    """Operation indicators, as defined in the ZHT message prototype."""
+
+    # Client-facing operations (§III.A).
+    INSERT = 1
+    LOOKUP = 2
+    REMOVE = 3
+    APPEND = 4
+    # Server-to-server operations.
+    REPLICA_UPDATE = 10
+    MIGRATE_BEGIN = 11
+    MIGRATE_DATA = 12
+    MIGRATE_COMMIT = 13
+    MEMBERSHIP_UPDATE = 14
+    PING = 15
+    #: Ask a server for its full membership table (bootstrap / lazy update).
+    GET_MEMBERSHIP = 16
+    #: Spanning-tree dissemination of a key/value pair to ALL instances
+    #: (the paper's §VI future-work "broadcast primitive").
+    BROADCAST = 17
+    #: Read a broadcast pair from the receiving instance's local store.
+    LOOKUP_LOCAL = 18
+
+
+#: Ops that mutate state (drive WAL writes and replication).
+MUTATING_OPS = frozenset(
+    {OpCode.INSERT, OpCode.REMOVE, OpCode.APPEND, OpCode.REPLICA_UPDATE}
+)
+
+
+def _emit_varint_field(out: bytearray, field_num: int, value: int) -> None:
+    if value:
+        out += encode_varint(field_num << 3 | _WIRE_VARINT)
+        out += encode_varint(value)
+
+
+def _emit_bytes_field(out: bytearray, field_num: int, value: bytes) -> None:
+    if value:
+        out += encode_varint(field_num << 3 | _WIRE_BYTES)
+        out += encode_varint(len(value))
+        out += value
+
+
+def _parse_fields(data: bytes) -> dict[int, int | bytes]:
+    """Decode a flat protobuf-style message into ``{field_num: value}``.
+
+    Later occurrences of a field overwrite earlier ones (protobuf
+    semantics for non-repeated scalar fields).
+    """
+    fields: dict[int, int | bytes] = {}
+    pos = 0
+    try:
+        while pos < len(data):
+            tag, pos = decode_varint(data, pos)
+            field_num, wire_type = tag >> 3, tag & 0x7
+            if wire_type == _WIRE_VARINT:
+                value, pos = decode_varint(data, pos)
+                fields[field_num] = value
+            elif wire_type == _WIRE_BYTES:
+                length, pos = decode_varint(data, pos)
+                if pos + length > len(data):
+                    raise ValueError("length-delimited field overruns buffer")
+                fields[field_num] = data[pos : pos + length]
+                pos += length
+            else:
+                raise ValueError(f"unsupported wire type {wire_type}")
+    except ValueError as exc:
+        raise ProtocolError(f"malformed message: {exc}") from exc
+    return fields
+
+
+def _get_int(fields: dict, num: int, default: int = 0) -> int:
+    value = fields.get(num, default)
+    if not isinstance(value, int):
+        raise ProtocolError(f"field {num} has wrong wire type")
+    return value
+
+
+def _get_bytes(fields: dict, num: int, default: bytes = b"") -> bytes:
+    value = fields.get(num, default)
+    if not isinstance(value, bytes):
+        raise ProtocolError(f"field {num} has wrong wire type")
+    return value
+
+
+@dataclass
+class Request:
+    """One ZHT request message."""
+
+    op: OpCode
+    key: bytes = b""
+    value: bytes = b""
+    #: Monotonic per-client id for matching responses and deduplicating
+    #: UDP retransmits.
+    request_id: int = 0
+    #: Sender's membership epoch; lets servers detect stale clients (and
+    #: clients detect stale servers).
+    epoch: int = 0
+    #: Explicit partition index for server-to-server partition ops.
+    partition: int = 0
+    #: Replica chain depth for REPLICA_UPDATE fan-out (primary = 0).
+    replica_index: int = 0
+    #: Sub-operation carried by a REPLICA_UPDATE (an OpCode value).
+    inner_op: int = 0
+    #: Opaque payload for membership/migration messages.
+    payload: bytes = b""
+
+    _F_OP, _F_KEY, _F_VALUE, _F_REQID, _F_EPOCH = 1, 2, 3, 4, 5
+    _F_PARTITION, _F_REPLICA, _F_INNER, _F_PAYLOAD = 6, 7, 8, 9
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        _emit_varint_field(out, self._F_OP, int(self.op))
+        _emit_bytes_field(out, self._F_KEY, self.key)
+        _emit_bytes_field(out, self._F_VALUE, self.value)
+        _emit_varint_field(out, self._F_REQID, self.request_id)
+        _emit_varint_field(out, self._F_EPOCH, self.epoch)
+        _emit_varint_field(out, self._F_PARTITION, self.partition)
+        _emit_varint_field(out, self._F_REPLICA, self.replica_index)
+        _emit_varint_field(out, self._F_INNER, self.inner_op)
+        _emit_bytes_field(out, self._F_PAYLOAD, self.payload)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Request":
+        fields = _parse_fields(data)
+        op_raw = _get_int(fields, cls._F_OP)
+        try:
+            op = OpCode(op_raw)
+        except ValueError:
+            raise ProtocolError(f"unknown opcode {op_raw}") from None
+        return cls(
+            op=op,
+            key=_get_bytes(fields, cls._F_KEY),
+            value=_get_bytes(fields, cls._F_VALUE),
+            request_id=_get_int(fields, cls._F_REQID),
+            epoch=_get_int(fields, cls._F_EPOCH),
+            partition=_get_int(fields, cls._F_PARTITION),
+            replica_index=_get_int(fields, cls._F_REPLICA),
+            inner_op=_get_int(fields, cls._F_INNER),
+            payload=_get_bytes(fields, cls._F_PAYLOAD),
+        )
+
+
+@dataclass
+class Response:
+    """One ZHT response message."""
+
+    status: Status = Status.OK
+    value: bytes = b""
+    request_id: int = 0
+    #: Server's membership epoch (clients refresh when it is newer).
+    epoch: int = 0
+    #: For REDIRECT: serialized address of the instance now owning the key.
+    redirect: bytes = b""
+    #: Piggybacked serialized membership table/delta (lazy client update:
+    #: "the ZHT instance will send back a copy of latest membership table").
+    membership: bytes = b""
+
+    _F_STATUS, _F_VALUE, _F_REQID, _F_EPOCH = 1, 2, 3, 4
+    _F_REDIRECT, _F_MEMBERSHIP = 5, 6
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        _emit_varint_field(out, self._F_STATUS, int(self.status))
+        _emit_bytes_field(out, self._F_VALUE, self.value)
+        _emit_varint_field(out, self._F_REQID, self.request_id)
+        _emit_varint_field(out, self._F_EPOCH, self.epoch)
+        _emit_bytes_field(out, self._F_REDIRECT, self.redirect)
+        _emit_bytes_field(out, self._F_MEMBERSHIP, self.membership)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Response":
+        fields = _parse_fields(data)
+        status_raw = _get_int(fields, cls._F_STATUS)
+        try:
+            status = Status(status_raw)
+        except ValueError:
+            raise ProtocolError(f"unknown status {status_raw}") from None
+        return cls(
+            status=status,
+            value=_get_bytes(fields, cls._F_VALUE),
+            request_id=_get_int(fields, cls._F_REQID),
+            epoch=_get_int(fields, cls._F_EPOCH),
+            redirect=_get_bytes(fields, cls._F_REDIRECT),
+            membership=_get_bytes(fields, cls._F_MEMBERSHIP),
+        )
+
+
+def frame(message: bytes) -> bytes:
+    """Length-prefix *message* for stream transports (TCP)."""
+    return encode_varint(len(message)) + message
+
+
+def deframe(buffer: bytes) -> tuple[bytes | None, bytes]:
+    """Extract one framed message from *buffer*.
+
+    Returns ``(message, remainder)``; ``message`` is ``None`` when the
+    buffer does not yet hold a complete frame.
+    """
+    try:
+        length, pos = decode_varint(buffer, 0)
+    except ValueError:
+        return None, buffer
+    if len(buffer) - pos < length:
+        return None, buffer
+    return buffer[pos : pos + length], buffer[pos + length :]

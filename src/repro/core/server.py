@@ -1,0 +1,422 @@
+"""ZHT server core — transport-agnostic request handling.
+
+This module is deliberately **sans-I/O**: :class:`ZHTServerCore` maps an
+incoming :class:`~repro.core.protocol.Request` to a
+:class:`HandleResult` describing the local response plus any outbound
+server-to-server traffic (replica updates, forwarded queued requests).
+The real event-driven runtime (:mod:`repro.net`) and the discrete-event
+simulator (:mod:`repro.sim`) both wrap this same core, so protocol
+semantics are implemented — and tested — exactly once.
+
+Request handling implements the paper's semantics:
+
+* zero-hop ownership check with ``REDIRECT`` + piggybacked membership for
+  stale clients (lazy client update, §III.C "Client Side State");
+* queuing of requests against migrating partitions (§III.C "Data
+  Migration");
+* replica chains with a strongly-consistent secondary and asynchronous
+  further replicas (§III.J "Consistency");
+* replica-side reads/writes for failover ("queries asking for data that
+  were on the failed node will be answered by the replicas", §III.H).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..novoht import NoVoHT
+from .config import ReplicationMode, ZHTConfig
+from .errors import KeyNotFound, Status, ZHTError
+from .membership import Address, InstanceInfo, MembershipTable
+from .partition import Partition, QueuedRequest
+from .protocol import MUTATING_OPS, OpCode, Request, Response
+
+
+@dataclass
+class ServerStats:
+    """Per-instance operation counters."""
+
+    inserts: int = 0
+    lookups: int = 0
+    removes: int = 0
+    appends: int = 0
+    redirects: int = 0
+    queued: int = 0
+    replica_updates: int = 0
+    migrations_in: int = 0
+    migrations_out: int = 0
+    membership_updates: int = 0
+
+    def total_client_ops(self) -> int:
+        return self.inserts + self.lookups + self.removes + self.appends
+
+
+@dataclass
+class HandleResult:
+    """Outcome of handling one request.
+
+    ``response`` is ``None`` when the request was queued behind a
+    migration — the transport must remember the requester and answer when
+    the queue drains (via ``forwards`` of a later commit/abort).
+    """
+
+    response: Response | None
+    #: Replica updates that must be acknowledged *before* the response is
+    #: released to the client (the strongly-consistent secondary, plus all
+    #: replicas in SYNC mode).
+    sync_sends: list[tuple[Address, Request]] = field(default_factory=list)
+    #: Fire-and-forget replica updates (asynchronous replicas).
+    async_sends: list[tuple[Address, Request]] = field(default_factory=list)
+    #: Queued client requests to forward to a partition's new owner after
+    #: a migration commit.
+    forwards: list[tuple[Address, QueuedRequest]] = field(default_factory=list)
+    #: Queued requests to fail (answered with MIGRATING) after an abort.
+    failed_queued: list[QueuedRequest] = field(default_factory=list)
+
+
+class ZHTServerCore:
+    """State machine for one ZHT instance.
+
+    Parameters
+    ----------
+    info:
+        This instance's identity/address in the membership table.
+    membership:
+        The instance's (mutable) view of the membership table.
+    config:
+        Deployment configuration.
+    """
+
+    def __init__(
+        self,
+        info: InstanceInfo,
+        membership: MembershipTable,
+        config: ZHTConfig | None = None,
+    ):
+        self.info = info
+        self.membership = membership
+        self.config = config or ZHTConfig()
+        self.partitions: dict[int, Partition] = {}
+        self.stats = ServerStats()
+        #: Node-local store for broadcast pairs (every instance holds a
+        #: full copy of broadcast data; it is outside the partition space).
+        self.broadcast_store = NoVoHT(None)
+
+    # ------------------------------------------------------------------
+    # Partition access
+    # ------------------------------------------------------------------
+
+    def partition(self, pid: int) -> Partition:
+        """The local :class:`Partition` for *pid*, created lazily.
+
+        Replica data for partitions this instance does not own lives in
+        the same per-pid stores; ownership is a membership-table property,
+        not a storage one (which is what makes migration "moving a file").
+        """
+        part = self.partitions.get(pid)
+        if part is None:
+            cfg = self.config
+            pdir = (
+                f"{cfg.persistence_dir}/instance-{self.info.instance_id[:8]}"
+                if cfg.persistence_dir
+                else None
+            )
+            part = Partition(
+                pid,
+                persistence_dir=pdir,
+                checkpoint_interval_ops=cfg.checkpoint_interval_ops,
+                gc_dead_ratio=cfg.gc_dead_ratio,
+            )
+            self.partitions[pid] = part
+        return part
+
+    def owns(self, pid: int) -> bool:
+        return self.membership.partition_owner[pid] == self.info.instance_id
+
+    def owned_partitions(self) -> list[int]:
+        return self.membership.partitions_of_instance(self.info.instance_id)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Request, reply_context: object = None) -> HandleResult:
+        """Process one request; never raises for protocol-level errors."""
+        op = request.op
+        if op in (OpCode.INSERT, OpCode.LOOKUP, OpCode.REMOVE, OpCode.APPEND):
+            return self._handle_client_op(request, reply_context)
+        if op == OpCode.REPLICA_UPDATE:
+            return self._handle_replica_update(request)
+        if op == OpCode.MIGRATE_BEGIN:
+            return self._handle_migrate_begin(request)
+        if op == OpCode.MIGRATE_DATA:
+            return self._handle_migrate_data(request)
+        if op == OpCode.MIGRATE_COMMIT:
+            return self._handle_migrate_commit(request)
+        if op == OpCode.MEMBERSHIP_UPDATE:
+            return self._handle_membership_update(request)
+        if op == OpCode.GET_MEMBERSHIP:
+            return HandleResult(self._respond(request, Status.OK, membership=True))
+        if op == OpCode.BROADCAST:
+            return self._handle_broadcast(request)
+        if op == OpCode.LOOKUP_LOCAL:
+            return self._handle_lookup_local(request)
+        if op == OpCode.PING:
+            return HandleResult(self._respond(request, Status.OK))
+        return HandleResult(self._respond(request, Status.BAD_REQUEST))
+
+    # ------------------------------------------------------------------
+    # Broadcast (§VI future work: spanning-tree dissemination)
+    # ------------------------------------------------------------------
+
+    def _handle_broadcast(self, request: Request) -> HandleResult:
+        from .broadcast import decode_subtree, encode_subtree, split_subtree
+
+        self.broadcast_store.put(request.key, request.value)
+        result = HandleResult(self._respond(request, Status.OK))
+        subtree = decode_subtree(request.payload)
+        # The payload lists this instance's subtree (self first); forward
+        # to each child subtree's head, fire-and-forget.
+        for child in split_subtree(subtree):
+            result.async_sends.append(
+                (
+                    child[0],
+                    Request(
+                        op=OpCode.BROADCAST,
+                        key=request.key,
+                        value=request.value,
+                        request_id=request.request_id,
+                        epoch=self.membership.epoch,
+                        payload=encode_subtree(child),
+                    ),
+                )
+            )
+        return result
+
+    def _handle_lookup_local(self, request: Request) -> HandleResult:
+        try:
+            value = self.broadcast_store.get(request.key)
+        except KeyNotFound:
+            return HandleResult(self._respond(request, Status.KEY_NOT_FOUND))
+        return HandleResult(self._respond(request, Status.OK, value=value))
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+
+    def _handle_client_op(
+        self, request: Request, reply_context: object
+    ) -> HandleResult:
+        pid = self.membership.partition_of_key(request.key, self.config.hash_name)
+
+        # Failover requests (replica_index > 0) target this instance as a
+        # replica; skip the ownership redirect and serve from replica data.
+        if request.replica_index == 0 and not self.owns(pid):
+            self.stats.redirects += 1
+            try:
+                owner = self.membership.owner_of_partition(pid)
+                redirect = str(owner.address).encode()
+            except ZHTError:
+                redirect = b""
+            return HandleResult(
+                self._respond(
+                    request, Status.REDIRECT, redirect=redirect, membership=True
+                )
+            )
+
+        part = self.partition(pid)
+        if part.is_migrating:
+            # Queue everything (reads included): partition state is locked.
+            part.queue_request(QueuedRequest(request, reply_context))
+            self.stats.queued += 1
+            return HandleResult(None)
+
+        response = self._apply_to_store(request, part.store)
+        result = HandleResult(response)
+        if (
+            response.status == Status.OK
+            and request.op in MUTATING_OPS
+            and self.config.num_replicas > 0
+            and request.replica_index == 0
+        ):
+            self._plan_replication(request, pid, result)
+        return result
+
+    def _apply_to_store(self, request: Request, store: NoVoHT) -> Response:
+        op = request.op
+        try:
+            if op == OpCode.INSERT:
+                self._check_limits(request)
+                store.put(request.key, request.value)
+                self.stats.inserts += 1
+                return self._respond(request, Status.OK)
+            if op == OpCode.LOOKUP:
+                value = store.get(request.key)
+                self.stats.lookups += 1
+                return self._respond(request, Status.OK, value=value)
+            if op == OpCode.REMOVE:
+                store.remove(request.key)
+                self.stats.removes += 1
+                return self._respond(request, Status.OK)
+            if op == OpCode.APPEND:
+                self._check_limits(request)
+                store.append(request.key, request.value)
+                self.stats.appends += 1
+                return self._respond(request, Status.OK)
+        except KeyNotFound:
+            return self._respond(request, Status.KEY_NOT_FOUND)
+        except ZHTError as exc:
+            return self._respond(request, exc.status)
+        return self._respond(request, Status.BAD_REQUEST)
+
+    def _check_limits(self, request: Request) -> None:
+        cfg = self.config
+        if cfg.max_key_bytes is not None and len(request.key) > cfg.max_key_bytes:
+            raise ZHTError("key too large", status=Status.KEY_TOO_LARGE)
+        if (
+            cfg.max_value_bytes is not None
+            and len(request.value) > cfg.max_value_bytes
+        ):
+            raise ZHTError("value too large", status=Status.VALUE_TOO_LARGE)
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def _plan_replication(
+        self, request: Request, pid: int, result: HandleResult
+    ) -> None:
+        """Fan the mutation out along the replica chain.
+
+        Chain position 1 (the secondary) is synchronous in ASYNC mode —
+        "The ZHT primary replica and secondary replica are strongly
+        consistent, other replicas are asynchronously updated".  SYNC mode
+        makes every replica synchronous (Figure 12's counterfactual);
+        NONE makes every replica fire-and-forget.
+        """
+        chain = self.membership.replicas_for_partition(pid, self.config.num_replicas)
+        mode = self.config.replication_mode
+        for index, inst in enumerate(chain[1:], start=1):
+            update = Request(
+                op=OpCode.REPLICA_UPDATE,
+                key=request.key,
+                value=request.value,
+                request_id=request.request_id,
+                epoch=self.membership.epoch,
+                partition=pid,
+                replica_index=index,
+                inner_op=int(request.op),
+            )
+            if mode == ReplicationMode.SYNC or (
+                mode == ReplicationMode.ASYNC and index == 1
+            ):
+                result.sync_sends.append((inst.address, update))
+            else:
+                result.async_sends.append((inst.address, update))
+
+    def _handle_replica_update(self, request: Request) -> HandleResult:
+        try:
+            inner = OpCode(request.inner_op)
+        except ValueError:
+            return HandleResult(self._respond(request, Status.BAD_REQUEST))
+        part = self.partition(request.partition)
+        inner_request = Request(
+            op=inner,
+            key=request.key,
+            value=request.value,
+            request_id=request.request_id,
+        )
+        response = self._apply_to_store(inner_request, part.store)
+        self.stats.replica_updates += 1
+        # A REMOVE racing ahead of its INSERT on an async replica is not an
+        # error at the replication layer; report OK so chains don't wedge.
+        if response.status == Status.KEY_NOT_FOUND:
+            response.status = Status.OK
+        return HandleResult(response)
+
+    # ------------------------------------------------------------------
+    # Migration (server side; orchestrated by the manager)
+    # ------------------------------------------------------------------
+
+    def _handle_migrate_begin(self, request: Request) -> HandleResult:
+        part = self.partition(request.partition)
+        try:
+            part.begin_migration()
+        except ZHTError as exc:
+            return HandleResult(self._respond(request, exc.status))
+        self.stats.migrations_out += 1
+        return HandleResult(
+            self._respond(request, Status.OK, value=part.export_bytes())
+        )
+
+    def _handle_migrate_data(self, request: Request) -> HandleResult:
+        part = self.partition(request.partition)
+        try:
+            part.import_bytes(request.value)
+        except ZHTError as exc:
+            return HandleResult(self._respond(request, exc.status))
+        self.stats.migrations_in += 1
+        return HandleResult(self._respond(request, Status.OK))
+
+    def _handle_migrate_commit(self, request: Request) -> HandleResult:
+        part = self.partition(request.partition)
+        commit = request.value == b"commit"
+        try:
+            if commit:
+                queued = part.commit_migration()
+            else:
+                queued = part.abort_migration()
+        except ZHTError as exc:
+            return HandleResult(self._respond(request, exc.status))
+        result = HandleResult(self._respond(request, Status.OK))
+        if commit:
+            # Forward the parked requests to the new owner, named in the
+            # request payload as "host:port".
+            host, _, port = request.payload.decode().rpartition(":")
+            new_owner = Address(host, int(port))
+            result.forwards = [(new_owner, item) for item in queued]
+        else:
+            result.failed_queued = queued
+        return result
+
+    def _handle_membership_update(self, request: Request) -> HandleResult:
+        try:
+            table = MembershipTable.from_bytes(request.payload)
+        except ZHTError as exc:
+            return HandleResult(self._respond(request, exc.status))
+        if self.membership.maybe_adopt(table):
+            self.stats.membership_updates += 1
+        return HandleResult(self._respond(request, Status.OK))
+
+    # ------------------------------------------------------------------
+    # Response construction
+    # ------------------------------------------------------------------
+
+    def _respond(
+        self,
+        request: Request,
+        status: Status,
+        *,
+        value: bytes = b"",
+        redirect: bytes = b"",
+        membership: bool = False,
+    ) -> Response:
+        # Lazy membership propagation: any client whose epoch is behind
+        # ours gets the current table piggybacked on the response.
+        stale_client = request.epoch and request.epoch < self.membership.epoch
+        payload = (
+            self.membership.to_bytes() if (membership or stale_client) else b""
+        )
+        return Response(
+            status=status,
+            value=value,
+            request_id=request.request_id,
+            epoch=self.membership.epoch,
+            redirect=redirect,
+            membership=payload,
+        )
+
+    def close(self) -> None:
+        for part in self.partitions.values():
+            part.close()
+        self.broadcast_store.close()

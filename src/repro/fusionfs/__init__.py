@@ -1,0 +1,15 @@
+"""FusionFS: distributed filesystem with ZHT metadata management (§V.A)."""
+
+from .fs import FusionFS
+from .metadata import FSError, Inode, MetadataManager, normalize
+from .storage import DataStorePool, LocalDataStore
+
+__all__ = [
+    "DataStorePool",
+    "FSError",
+    "FusionFS",
+    "Inode",
+    "LocalDataStore",
+    "MetadataManager",
+    "normalize",
+]

@@ -1,0 +1,82 @@
+"""FusionFS data storage: node-local file content.
+
+"In FusionFS, every compute node serves all three roles: client,
+metadata server, and storage server" — file data is written to the
+creating node's local storage (the data-locality optimization the paper
+cites), while metadata lives in ZHT.  Remote reads fetch from the owning
+node's store.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..core.errors import KeyNotFound
+
+
+class LocalDataStore:
+    """One node's file-content store (memory- or disk-backed)."""
+
+    def __init__(self, node_id: str, directory: str | None = None):
+        self.node_id = node_id
+        self.directory = directory
+        self._memory: dict[str, bytes] = {}
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key.replace("/", "%2F"))
+
+    def write(self, key: str, data: bytes) -> None:
+        if self.directory:
+            with open(self._path(key), "wb") as f:
+                f.write(data)
+        else:
+            self._memory[key] = data
+
+    def read(self, key: str) -> bytes:
+        if self.directory:
+            try:
+                with open(self._path(key), "rb") as f:
+                    return f.read()
+            except FileNotFoundError:
+                raise KeyNotFound(key) from None
+        try:
+            return self._memory[key]
+        except KeyError:
+            raise KeyNotFound(key) from None
+
+    def delete(self, key: str) -> None:
+        if self.directory:
+            try:
+                os.remove(self._path(key))
+            except FileNotFoundError:
+                raise KeyNotFound(key) from None
+        elif self._memory.pop(key, None) is None:
+            raise KeyNotFound(key)
+
+    def keys(self) -> list[str]:
+        if self.directory:
+            return [
+                name.replace("%2F", "/") for name in os.listdir(self.directory)
+            ]
+        return list(self._memory)
+
+
+class DataStorePool:
+    """The cluster's per-node data stores, addressed by node id."""
+
+    def __init__(self):
+        self.stores: dict[str, LocalDataStore] = {}
+
+    def add(self, store: LocalDataStore) -> None:
+        self.stores[store.node_id] = store
+
+    def get(self, node_id: str) -> LocalDataStore:
+        try:
+            return self.stores[node_id]
+        except KeyError:
+            raise KeyNotFound(f"no data store on node {node_id}") from None
+
+    def __len__(self) -> int:
+        return len(self.stores)

@@ -1,0 +1,32 @@
+"""IStore: erasure-coded object storage with ZHT chunk metadata (§V.B)."""
+
+from .gf256 import (
+    gf_add,
+    gf_div,
+    gf_inverse,
+    gf_mul,
+    gf_pow,
+    mat_invert,
+    mat_mul,
+    mat_vec,
+    vandermonde,
+)
+from .ida import Chunk, IDACodec
+from .store import ChunkStore, IStore, IStoreStats
+
+__all__ = [
+    "Chunk",
+    "ChunkStore",
+    "IDACodec",
+    "IStore",
+    "IStoreStats",
+    "gf_add",
+    "gf_div",
+    "gf_inverse",
+    "gf_mul",
+    "gf_pow",
+    "mat_invert",
+    "mat_mul",
+    "mat_vec",
+    "vandermonde",
+]

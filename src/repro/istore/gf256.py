@@ -1,0 +1,129 @@
+"""GF(2^8) arithmetic for the information dispersal algorithm.
+
+The Galois field GF(256) with the AES polynomial x^8+x^4+x^3+x+1 (0x11B),
+implemented with exp/log tables generated from the primitive element 3.
+This is the standard substrate for Rabin's IDA / Reed–Solomon erasure
+coding, which IStore uses: "By implementing erasure coding, these
+algorithms encode the data into multiple blocks among which only a
+portion is necessary to recover the original data" (§V.B).
+"""
+
+from __future__ import annotations
+
+_POLY = 0x11B
+_GENERATOR = 3
+
+#: exp table doubled in length so mul can skip a modulo.
+EXP = [0] * 512
+LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    x = 1
+    for i in range(255):
+        EXP[i] = x
+        LOG[x] = i
+        # multiply x by the generator (3 = x + 1): x*3 = (x<<1) ^ x
+        x ^= (x << 1) ^ (_POLY if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        EXP[i] = EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition in GF(2^8) is XOR (and equals subtraction)."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return EXP[LOG[a] + LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return EXP[(LOG[a] - LOG[b]) % 255]
+
+
+def gf_pow(a: int, n: int) -> int:
+    if a == 0:
+        return 0 if n else 1
+    return EXP[(LOG[a] * n) % 255]
+
+
+def gf_inverse(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return EXP[255 - LOG[a]]
+
+
+# ---------------------------------------------------------------------------
+# Matrix algebra over GF(256)
+# ---------------------------------------------------------------------------
+
+
+def vandermonde(rows: int, cols: int) -> list[list[int]]:
+    """V[i][j] = (i+1)^j — any ``cols`` rows are linearly independent
+    (distinct nonzero evaluation points), the property IDA relies on."""
+    if rows > 255:
+        raise ValueError("at most 255 rows (distinct nonzero field points)")
+    return [[gf_pow(i + 1, j) for j in range(cols)] for i in range(rows)]
+
+
+def mat_vec(matrix: list[list[int]], vec: list[int]) -> list[int]:
+    out = []
+    for row in matrix:
+        acc = 0
+        for coeff, x in zip(row, vec):
+            acc ^= gf_mul(coeff, x)
+        out.append(acc)
+    return out
+
+
+def mat_mul(a: list[list[int]], b: list[list[int]]) -> list[list[int]]:
+    cols = len(b[0])
+    return [
+        [
+            _dot(row, [b[k][j] for k in range(len(b))])
+            for j in range(cols)
+        ]
+        for row in a
+    ]
+
+
+def _dot(row: list[int], col: list[int]) -> int:
+    acc = 0
+    for a, b in zip(row, col):
+        acc ^= gf_mul(a, b)
+    return acc
+
+
+def mat_invert(matrix: list[list[int]]) -> list[list[int]]:
+    """Gauss–Jordan inversion over GF(256).
+
+    Raises ``ValueError`` for singular input (cannot happen for square
+    submatrices of a Vandermonde matrix, but the decoder checks anyway).
+    """
+    n = len(matrix)
+    aug = [list(row) + [int(i == j) for j in range(n)] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot is None:
+            raise ValueError("singular matrix")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = gf_inverse(aug[col][col])
+        aug[col] = [gf_mul(x, inv) for x in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col]:
+                factor = aug[r][col]
+                aug[r] = [
+                    x ^ gf_mul(factor, y) for x, y in zip(aug[r], aug[col])
+                ]
+    return [row[n:] for row in aug]

@@ -1,0 +1,199 @@
+"""IStore: information-dispersed object storage with ZHT metadata (§V.B).
+
+"IStore is a simple yet high-performance Information Dispersed Storage
+System that makes use of erasure coding and distributed metadata
+management with ZHT ... The IStore uses ZHT to manage metadata about
+file chunks.  At each scale of N nodes, the IDA algorithm was configured
+to chunk up files into N chunks, and storing this information in ZHT for
+later retrieval and the N chunks would be sent to or read from N
+different nodes."
+
+Architecture here:
+
+* each storage node exposes a :class:`ChunkStore` (bytes keyed by chunk
+  id, memory- or disk-backed);
+* :class:`IStore` writes a file by IDA-encoding it into ``n`` chunks,
+  placing chunk ``i`` on node ``i``'s chunk store, and inserting one ZHT
+  metadata record per chunk plus a manifest record — that per-chunk
+  metadata traffic is what makes small files "metadata intensive"
+  (Figure 17);
+* reads fetch the manifest from ZHT, then any ``k`` available chunks,
+  tolerating ``n - k`` failed nodes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from ..api import ZHT
+from ..core.errors import KeyNotFound, StoreError
+from .ida import Chunk, IDACodec
+
+
+class ChunkStore:
+    """Per-node chunk container (disk-backed when given a directory)."""
+
+    def __init__(self, node_id: int, directory: str | None = None):
+        self.node_id = node_id
+        self.directory = directory
+        self._memory: dict[str, bytes] = {}
+        self.alive = True
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def put(self, chunk_id: str, data: bytes) -> None:
+        self._require_alive()
+        if self.directory:
+            with open(self._path(chunk_id), "wb") as f:
+                f.write(data)
+        else:
+            self._memory[chunk_id] = data
+
+    def get(self, chunk_id: str) -> bytes:
+        self._require_alive()
+        if self.directory:
+            try:
+                with open(self._path(chunk_id), "rb") as f:
+                    return f.read()
+            except FileNotFoundError:
+                raise KeyNotFound(chunk_id) from None
+        try:
+            return self._memory[chunk_id]
+        except KeyError:
+            raise KeyNotFound(chunk_id) from None
+
+    def delete(self, chunk_id: str) -> None:
+        self._require_alive()
+        if self.directory:
+            try:
+                os.remove(self._path(chunk_id))
+            except FileNotFoundError:
+                raise KeyNotFound(chunk_id) from None
+        elif self._memory.pop(chunk_id, None) is None:
+            raise KeyNotFound(chunk_id)
+
+    def _path(self, chunk_id: str) -> str:
+        safe = chunk_id.replace("/", "_")
+        return os.path.join(self.directory, safe)
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise StoreError(f"chunk store {self.node_id} is down")
+
+
+@dataclass
+class IStoreStats:
+    writes: int = 0
+    reads: int = 0
+    chunks_written: int = 0
+    chunks_read: int = 0
+    metadata_ops: int = 0
+    degraded_reads: int = 0
+
+
+class IStore:
+    """The dispersed object store."""
+
+    def __init__(
+        self,
+        zht: ZHT,
+        chunk_stores: list[ChunkStore],
+        *,
+        k: int | None = None,
+    ):
+        """``n`` is the number of chunk stores; ``k`` defaults to the
+        paper's configuration (chunks = nodes, tolerate ceil(n/3) losses).
+        """
+        if not chunk_stores:
+            raise ValueError("need at least one chunk store")
+        self.zht = zht
+        self.stores = chunk_stores
+        n = len(chunk_stores)
+        self.codec = IDACodec(n, k if k is not None else max(1, n - max(1, n // 3)))
+        self.stats = IStoreStats()
+
+    # ------------------------------------------------------------------
+
+    def write(self, name: str, data: bytes) -> None:
+        """Disperse *data* across the nodes; record metadata in ZHT."""
+        chunks = self.codec.encode(data)
+        chunk_names = []
+        for chunk in chunks:
+            chunk_id = f"{name}.chunk{chunk.index:03d}"
+            self.stores[chunk.index % len(self.stores)].put(chunk_id, chunk.data)
+            self.stats.chunks_written += 1
+            # Per-chunk location record — the metadata-intensive part.
+            self.zht.insert(
+                f"istore:chunk:{chunk_id}",
+                json.dumps(
+                    {
+                        "node": chunk.index % len(self.stores),
+                        "index": chunk.index,
+                        "bytes": len(chunk.data),
+                    }
+                ).encode(),
+            )
+            self.stats.metadata_ops += 1
+            chunk_names.append(chunk_id)
+        manifest = {
+            "name": name,
+            "bytes": len(data),
+            "n": self.codec.n,
+            "k": self.codec.k,
+            "chunks": chunk_names,
+        }
+        self.zht.insert(f"istore:file:{name}", json.dumps(manifest).encode())
+        self.stats.metadata_ops += 1
+        self.stats.writes += 1
+
+    def read(self, name: str) -> bytes:
+        """Fetch any k chunks (skipping dead nodes) and reassemble."""
+        manifest = json.loads(self.zht.lookup(f"istore:file:{name}").decode())
+        self.stats.metadata_ops += 1
+        collected: list[Chunk] = []
+        failures = 0
+        for chunk_id in manifest["chunks"]:
+            if len(collected) >= self.codec.k:
+                break
+            location = json.loads(
+                self.zht.lookup(f"istore:chunk:{chunk_id}").decode()
+            )
+            self.stats.metadata_ops += 1
+            store = self.stores[location["node"]]
+            try:
+                data = store.get(chunk_id)
+            except (KeyNotFound, StoreError):
+                failures += 1
+                continue
+            collected.append(Chunk(location["index"], data))
+            self.stats.chunks_read += 1
+        if len(collected) < self.codec.k:
+            raise StoreError(
+                f"cannot reconstruct {name!r}: only {len(collected)} of "
+                f"{self.codec.k} required chunks available"
+            )
+        if failures:
+            self.stats.degraded_reads += 1
+        self.stats.reads += 1
+        return self.codec.decode(collected)
+
+    def delete(self, name: str) -> None:
+        manifest = json.loads(self.zht.lookup(f"istore:file:{name}").decode())
+        for chunk_id in manifest["chunks"]:
+            try:
+                location = json.loads(
+                    self.zht.lookup(f"istore:chunk:{chunk_id}").decode()
+                )
+                self.stores[location["node"]].delete(chunk_id)
+            except (KeyNotFound, StoreError):
+                pass
+            try:
+                self.zht.remove(f"istore:chunk:{chunk_id}")
+            except KeyNotFound:
+                pass
+        self.zht.remove(f"istore:file:{name}")
+
+    def exists(self, name: str) -> bool:
+        return self.zht.contains(f"istore:file:{name}")

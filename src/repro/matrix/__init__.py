@@ -1,0 +1,21 @@
+"""MATRIX: distributed many-task execution built on ZHT (§V.C)."""
+
+from .scheduler import MatrixOnZHT, MatrixSimulation
+from .task import Task, TaskState
+from .work_stealing import (
+    StealPolicy,
+    execute_steal,
+    pick_most_loaded,
+    steal_count,
+)
+
+__all__ = [
+    "MatrixOnZHT",
+    "MatrixSimulation",
+    "StealPolicy",
+    "Task",
+    "TaskState",
+    "execute_steal",
+    "pick_most_loaded",
+    "steal_count",
+]

@@ -1,0 +1,57 @@
+"""Task model for the MATRIX many-task computing framework."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a MATRIX task, mirrored into ZHT for monitoring."""
+
+    WAITING = "waiting"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class Task:
+    """One unit of work.
+
+    ``duration_s`` drives simulated/sleep tasks (the paper's workload:
+    "100K tasks of various lengths, ranging from 0 seconds (NO-OP) to 1,
+    2, 4, and 8 seconds"); real executions may instead carry a callable
+    via :attr:`payload`.
+    """
+
+    task_id: str
+    duration_s: float = 0.0
+    payload: object = None
+    state: TaskState = TaskState.WAITING
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    worker: int | None = None
+    result: object = None
+
+    def status_record(self) -> bytes:
+        """Serialized status for the ZHT task-state store ("The task
+        status is distributed across all the compute nodes, and the
+        client can look up the status information by relying on ZHT")."""
+        return json.dumps(
+            {
+                "id": self.task_id,
+                "state": self.state.value,
+                "worker": self.worker,
+                "submitted": self.submitted_at,
+                "started": self.started_at,
+                "finished": self.finished_at,
+            },
+            separators=(",", ":"),
+        ).encode()
+
+    @staticmethod
+    def parse_status(record: bytes) -> dict:
+        return json.loads(record.decode())

@@ -1,0 +1,16 @@
+"""Real transports for ZHT: TCP (epoll-style event loop with LRU
+connection caching), UDP (ack-based), and an in-process local transport
+for deterministic tests."""
+
+from .local import LocalNetwork
+from .lru import LRUCache
+from .transport import ClientTransport, ServerExecutor, execute_op, run_script
+
+__all__ = [
+    "ClientTransport",
+    "LRUCache",
+    "LocalNetwork",
+    "ServerExecutor",
+    "execute_op",
+    "run_script",
+]

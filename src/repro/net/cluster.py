@@ -1,0 +1,144 @@
+"""Real-socket cluster builders.
+
+:func:`build_tcp_cluster` and :func:`build_udp_cluster` start a full ZHT
+deployment on loopback sockets: listeners are bound first (to learn
+their ephemeral ports), the membership table is built from the real
+addresses, and then each server gets its **own copy** of the table —
+unlike the shared-table local transport, socket deployments exercise the
+membership broadcast and lazy-refresh paths exactly as separate
+processes would.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..api import ZHT, build_membership
+from ..core.client import ZHTClientCore
+from ..core.config import ZHTConfig
+from ..core.manager import ManagerCore
+from ..core.membership import MembershipTable
+from ..core.server import ZHTServerCore
+from .tcp import EventDrivenTCPServer, TCPClient, ThreadedTCPServer
+from .transport import ClientTransport, run_script
+from .udp import UDPClient, UDPServer
+
+
+class SocketCluster:
+    """A running ZHT deployment over real loopback sockets."""
+
+    def __init__(
+        self,
+        config: ZHTConfig,
+        servers: list,
+        membership: MembershipTable,
+        client_factory: Callable[[], ClientTransport],
+        rng: random.Random,
+    ):
+        self.config = config
+        self.servers = servers
+        self.membership = membership
+        self._client_factory = client_factory
+        self.rng = rng
+        self._transports: list[ClientTransport] = []
+
+    def client(self, *, seed: int | None = None) -> ZHT:
+        transport = self._client_factory()
+        self._transports.append(transport)
+        rng = random.Random(seed if seed is not None else self.rng.random())
+        core = ZHTClientCore(self.membership.copy(), self.config, rng=rng)
+        return ZHT(core, transport)
+
+    def manager(self) -> ManagerCore:
+        node_id = next(iter(self.membership.nodes))
+        return ManagerCore(node_id, self.membership, self.config, rng=self.rng)
+
+    def run(self, script) -> object:
+        transport = self._client_factory()
+        self._transports.append(transport)
+        return run_script(script, transport)
+
+    def stop_server(self, index: int) -> None:
+        """Hard-kill one server (fault injection on real sockets)."""
+        self.servers[index].stop()
+
+    def close(self) -> None:
+        for transport in self._transports:
+            transport.close()
+        for server in self.servers:
+            try:
+                server.stop()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SocketCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _build_socket_cluster(
+    num_nodes: int,
+    config: ZHTConfig,
+    server_factory: Callable[[], object],
+    client_factory: Callable[[], ClientTransport],
+    seed: int,
+) -> SocketCluster:
+    rng = random.Random(seed)
+    # 1. Bind all listeners to learn their addresses.
+    total = num_nodes * config.instances_per_node
+    servers = [server_factory() for _ in range(total)]
+    addresses = [server.address for server in servers]
+    index = iter(range(total))
+    membership, _nodes, instances = build_membership(
+        num_nodes,
+        config,
+        rng,
+        port_allocator=lambda node_id, i: addresses[next(index)],
+    )
+    # 2. One core per server, each with a private copy of the table.
+    for server, inst in zip(servers, instances):
+        core = ZHTServerCore(inst, membership.copy(), config)
+        server.attach_core(core)
+        server.start()
+    return SocketCluster(config, servers, membership, client_factory, rng)
+
+
+def build_tcp_cluster(
+    num_nodes: int,
+    config: ZHTConfig | None = None,
+    *,
+    seed: int = 0,
+    threaded_server: bool = False,
+) -> SocketCluster:
+    """Start a ZHT deployment over TCP on loopback.
+
+    ``config.connection_cache_size`` selects between the paper's
+    "TCP with connection caching" (>0) and "TCP without connection
+    caching" (0) client modes.  ``threaded_server=True`` swaps in the
+    thread-per-request server for the architecture ablation.
+    """
+    config = config or ZHTConfig(transport="tcp")
+    factory = ThreadedTCPServer if threaded_server else EventDrivenTCPServer
+    return _build_socket_cluster(
+        num_nodes,
+        config,
+        factory,
+        lambda: TCPClient(cache_size=config.connection_cache_size),
+        seed,
+    )
+
+
+def build_udp_cluster(
+    num_nodes: int,
+    config: ZHTConfig | None = None,
+    *,
+    seed: int = 0,
+) -> SocketCluster:
+    """Start a ZHT deployment over UDP (ack-per-message) on loopback."""
+    config = config or ZHTConfig(transport="udp")
+    return _build_socket_cluster(
+        num_nodes, config, UDPServer, lambda: UDPClient(), seed
+    )

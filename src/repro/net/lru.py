@@ -1,0 +1,83 @@
+"""A small LRU cache, used for ZHT's TCP connection caching (§III.F).
+
+"In ZHT, we implemented a LRU cache for TCP connections, which makes TCP
+works almost as fast as UDP does."  Evicted entries are passed to an
+optional ``on_evict`` callback so the owner can close the socket.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping with least-recently-used eviction.
+
+    A ``capacity`` of 0 disables caching entirely: every :meth:`put` is
+    immediately evicted (this models the paper's "TCP without connection
+    caching" configuration with no special-casing in callers).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        on_evict: Callable[[K, V], None] | None = None,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.on_evict = on_evict
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K) -> V | None:
+        """Return the cached value (refreshing recency) or ``None``."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/refresh *key*, evicting the LRU entry when full."""
+        if key in self._data:
+            old = self._data.pop(key)
+            if old is not value and self.on_evict is not None:
+                self.on_evict(key, old)
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            evicted_key, evicted = self._data.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_key, evicted)
+
+    def pop(self, key: K) -> V | None:
+        """Remove and return *key* without invoking ``on_evict``."""
+        return self._data.pop(key, None)
+
+    def clear(self) -> None:
+        """Evict everything (invoking ``on_evict`` per entry)."""
+        while self._data:
+            key, value = self._data.popitem(last=False)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(key, value)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)

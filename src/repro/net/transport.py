@@ -1,0 +1,173 @@
+"""Transport abstractions shared by the TCP, UDP, and local runtimes.
+
+Two pieces of glue live here so each concrete transport stays small:
+
+* :class:`ServerExecutor` — executes the side effects of a
+  :class:`~repro.core.server.HandleResult` (synchronous replica acks,
+  asynchronous fan-out, forwarding of queued requests after migration)
+  against a :class:`PeerClient`.
+* :func:`execute_op` — drives a client :class:`~repro.core.client.OpDriver`
+  over any :class:`ClientTransport`, sleeping real time for backoff delays
+  and dispatching failure notifications to managers.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Callable
+
+from ..core.client import OpDriver, ZHTClientCore
+from ..core.errors import Status
+from ..core.manager import PeerCall, Script
+from ..core.membership import Address
+from ..core.protocol import Request, Response
+from ..core.server import HandleResult, ZHTServerCore
+
+
+class ClientTransport(abc.ABC):
+    """Moves one request to an address and returns the response."""
+
+    @abc.abstractmethod
+    def roundtrip(
+        self, address: Address, request: Request, timeout: float
+    ) -> Response | None:
+        """Send *request* and wait up to *timeout* seconds; ``None`` on
+        timeout or connection failure."""
+
+    @abc.abstractmethod
+    def send_oneway(self, address: Address, request: Request) -> None:
+        """Best-effort fire-and-forget send (async replication)."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any cached connections/sockets."""
+
+
+#: Called to deliver a (possibly deferred) response to a request origin.
+ReplyFn = Callable[[object, Response], None]
+
+
+class ServerExecutor:
+    """Applies a :class:`HandleResult`'s effects for one server core."""
+
+    def __init__(
+        self,
+        core: ZHTServerCore,
+        peer_client: ClientTransport,
+        reply_fn: ReplyFn,
+        *,
+        peer_timeout: float | None = None,
+    ):
+        self.core = core
+        self.peer_client = peer_client
+        self.reply_fn = reply_fn
+        self.peer_timeout = (
+            peer_timeout
+            if peer_timeout is not None
+            else core.config.request_timeout
+        )
+
+    def process(
+        self, request: Request, reply_context: object = None
+    ) -> Response | None:
+        """Handle *request* fully; returns the immediate response, or
+        ``None`` if the request was queued behind a migration."""
+        result = self.core.handle(request, reply_context)
+        self._apply_effects(result)
+        return result.response
+
+    def _apply_effects(self, result: HandleResult) -> None:
+        response = result.response
+        # Strongly-consistent replicas: the response cannot be released
+        # until every sync replica acknowledged; a failed ack degrades the
+        # response to REPLICATION_ERROR (§III.J).
+        if response is not None:
+            for address, update in result.sync_sends:
+                ack = self.peer_client.roundtrip(
+                    address, update, self.peer_timeout
+                )
+                if ack is None or ack.status != Status.OK:
+                    response.status = Status.REPLICATION_ERROR
+                    break
+        for address, update in result.async_sends:
+            self.peer_client.send_oneway(address, update)
+        # Queued requests released by a migration commit are forwarded to
+        # the new owner, and the owner's answer relayed to the original
+        # requester.
+        for address, queued in result.forwards:
+            forwarded = self.peer_client.roundtrip(
+                address, queued.request, self.peer_timeout
+            )
+            if queued.reply_context is not None:
+                self.reply_fn(
+                    queued.reply_context,
+                    forwarded
+                    or Response(
+                        status=Status.TIMEOUT,
+                        request_id=queued.request.request_id,
+                    ),
+                )
+        # Queued requests discarded by a migration abort fail loudly:
+        # "discarding the queued requests and reporting error to clients".
+        for queued in result.failed_queued:
+            if queued.reply_context is not None:
+                self.reply_fn(
+                    queued.reply_context,
+                    Response(
+                        status=Status.MIGRATING,
+                        request_id=queued.request.request_id,
+                    ),
+                )
+
+
+def execute_op(
+    core: ZHTClientCore,
+    driver: OpDriver,
+    transport: ClientTransport,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Response:
+    """Run *driver* to completion over *transport*; returns the response
+    (raising the mapped exception on failure)."""
+    while True:
+        attempt = driver.next_attempt()
+        if attempt is None:
+            break
+        if attempt.delay > 0:
+            sleep(attempt.delay)
+        response = transport.roundtrip(
+            attempt.address, attempt.request, attempt.timeout
+        )
+        if response is None:
+            driver.on_timeout()
+        else:
+            driver.on_response(response)
+    _flush_notifications(core, transport)
+    return driver.result()
+
+
+def _flush_notifications(core: ZHTClientCore, transport: ClientTransport) -> None:
+    """Deliver any pending failure reports to managers (best effort)."""
+    while core.pending_notifications:
+        note = core.pending_notifications.pop()
+        transport.send_oneway(note.address, note.request)
+
+
+def run_script(
+    script: Script,
+    transport: ClientTransport,
+    *,
+    timeout: float = 5.0,
+):
+    """Drive a manager :class:`~repro.core.manager.Script` over *transport*.
+
+    Returns the script's return value.  A timeout on a ``required`` call
+    feeds ``None`` back into the script (scripts handle that as failure).
+    """
+    reply: Response | None = None
+    try:
+        while True:
+            call: PeerCall = script.send(reply)
+            reply = transport.roundtrip(call.address, call.request, timeout)
+    except StopIteration as stop:
+        return stop.value

@@ -1,0 +1,167 @@
+"""UDP transport for ZHT (§III.F).
+
+"UDP (acknowledge message based, which means every time a message is
+sent, the sender is waiting for an acknowledge message)": every request
+datagram is answered by a response datagram, which doubles as the ack.
+Retransmission lives in the client operation driver's retry loop.
+
+Because UDP retransmits can duplicate *mutations* (an ``append`` applied
+twice corrupts the value), the server keeps a small per-peer
+deduplication cache of recently answered request ids and replays the
+cached response for duplicates instead of re-executing.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from ..core.membership import Address
+from ..core.protocol import MUTATING_OPS, Request, Response
+from ..core.server import ZHTServerCore
+from .lru import LRUCache
+from .transport import ClientTransport, ServerExecutor
+
+#: Conservative safe datagram size; ZHT values are small (the paper's
+#: micro-benchmarks use 132 B values).
+MAX_DATAGRAM = 65000
+
+
+class UDPClient(ClientTransport):
+    """Datagram client: send, then block for the response/ack."""
+
+    def __init__(self):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._lock = threading.Lock()
+
+    def roundtrip(
+        self, address: Address, request: Request, timeout: float
+    ) -> Response | None:
+        payload = request.encode()
+        if len(payload) > MAX_DATAGRAM:
+            return None
+        with self._lock:
+            try:
+                self._sock.settimeout(timeout)
+                self._sock.sendto(payload, (address.host, address.port))
+                while True:
+                    data, _peer = self._sock.recvfrom(MAX_DATAGRAM)
+                    response = Response.decode(data)
+                    if (
+                        request.request_id == 0
+                        or response.request_id == request.request_id
+                    ):
+                        return response
+                    # A late response for an earlier (timed-out) request;
+                    # keep waiting for ours.
+            except (TimeoutError, OSError):
+                return None
+            except Exception:
+                return None
+
+    def send_oneway(self, address: Address, request: Request) -> None:
+        payload = request.encode()
+        if len(payload) > MAX_DATAGRAM:
+            return
+        with self._lock:
+            try:
+                self._sock.sendto(payload, (address.host, address.port))
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class UDPServer:
+    """Single-threaded datagram server for one ZHT instance."""
+
+    def __init__(
+        self,
+        core: ZHTServerCore | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        dedup_cache_size: int = 1024,
+    ):
+        self.core = None
+        self.executor: ServerExecutor | None = None
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((host, port))
+        self._sock.settimeout(0.1)
+        self.address = Address(host, self._sock.getsockname()[1])
+        self._peer_client = UDPClient()
+        #: (peer sockaddr, request_id) -> cached Response for retransmits.
+        self._dedup: LRUCache[tuple, Response] = LRUCache(dedup_cache_size)
+        self._running = False
+        self._thread: threading.Thread | None = None
+        self.requests_served = 0
+        self.duplicates_suppressed = 0
+        if core is not None:
+            self.attach_core(core)
+
+    def attach_core(self, core: ZHTServerCore) -> None:
+        self.core = core
+        self.executor = ServerExecutor(core, self._peer_client, self._deferred_reply)
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        if self.core is None:
+            raise RuntimeError("attach_core() before start()")
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name=f"zht-udp-{self.address.port}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._sock.close()
+        self._peer_client.close()
+        if self.core is not None:
+            self.core.close()
+
+    def _loop(self) -> None:
+        while self._running:
+            try:
+                data, peer = self._sock.recvfrom(MAX_DATAGRAM)
+            except TimeoutError:
+                continue
+            except OSError:
+                break
+            self._serve_one(data, peer)
+
+    def _serve_one(self, data: bytes, peer: tuple) -> None:
+        try:
+            request = Request.decode(data)
+        except Exception:
+            return
+        dedup_key = None
+        if request.op in MUTATING_OPS and request.request_id:
+            dedup_key = (peer, request.request_id)
+            cached = self._dedup.get(dedup_key)
+            if cached is not None:
+                self.duplicates_suppressed += 1
+                self._send(cached, peer)
+                return
+        self.requests_served += 1
+        response = self.executor.process(request, reply_context=peer)
+        if response is not None:
+            if dedup_key is not None:
+                self._dedup.put(dedup_key, response)
+            self._send(response, peer)
+
+    def _send(self, response: Response, peer: tuple) -> None:
+        try:
+            self._sock.sendto(response.encode(), peer)
+        except OSError:
+            pass
+
+    def _deferred_reply(self, reply_context: object, response: Response) -> None:
+        if isinstance(reply_context, tuple):
+            self._send(response, reply_context)

@@ -1,0 +1,94 @@
+"""Checkpoint (snapshot) files for NoVoHT.
+
+A checkpoint is a point-in-time serialization of the whole table.  After
+a checkpoint commits, the write-ahead log can be truncated; recovery is
+"load latest checkpoint, then replay WAL".
+
+File format:
+
+    header   8 bytes  b"NOVOHT\\x01\\x00"
+    count    varint   number of pairs
+    pairs    count ×  (klen varint, vlen varint, key, value)
+    crc32    u32      over everything above
+
+Checkpoints are written to a temp file and atomically renamed, so a crash
+mid-checkpoint leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterable, Iterator
+
+from ..core.errors import StoreError
+from .wal import decode_varint, encode_varint
+
+CHECKPOINT_MAGIC = b"NOVOHT\x01\x00"
+
+
+def write_checkpoint(path: str, pairs: Iterable[tuple[bytes, bytes]]) -> int:
+    """Atomically write *pairs* to *path*; return the number written."""
+    tmp = path + ".tmp"
+    crc = zlib.crc32(CHECKPOINT_MAGIC)
+    count = 0
+    body_chunks: list[bytes] = []
+    for key, value in pairs:
+        chunk = encode_varint(len(key)) + encode_varint(len(value)) + key + value
+        body_chunks.append(chunk)
+        count += 1
+    count_bytes = encode_varint(count)
+    try:
+        with open(tmp, "wb") as f:
+            f.write(CHECKPOINT_MAGIC)
+            f.write(count_bytes)
+            crc = zlib.crc32(count_bytes, crc)
+            for chunk in body_chunks:
+                f.write(chunk)
+                crc = zlib.crc32(chunk, crc)
+            f.write(struct.pack("<I", crc))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise StoreError(f"checkpoint write failed: {exc}") from exc
+    return count
+
+
+def read_checkpoint(path: str) -> Iterator[tuple[bytes, bytes]]:
+    """Yield all pairs from the checkpoint at *path*.
+
+    Raises :class:`StoreError` on a corrupt or truncated checkpoint (a
+    checkpoint is written atomically, so unlike the WAL, partial content
+    is a real error, not an expected crash artifact).
+    """
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except FileNotFoundError:
+        return
+    except OSError as exc:
+        raise StoreError(f"checkpoint read failed: {exc}") from exc
+
+    if len(data) < len(CHECKPOINT_MAGIC) + 4 or not data.startswith(CHECKPOINT_MAGIC):
+        raise StoreError(f"corrupt checkpoint {path}: bad header")
+    body, crc_bytes = data[:-4], data[-4:]
+    if zlib.crc32(body) != struct.unpack("<I", crc_bytes)[0]:
+        raise StoreError(f"corrupt checkpoint {path}: CRC mismatch")
+
+    pos = len(CHECKPOINT_MAGIC)
+    try:
+        count, pos = decode_varint(body, pos)
+        for _ in range(count):
+            klen, pos = decode_varint(body, pos)
+            vlen, pos = decode_varint(body, pos)
+            key = body[pos : pos + klen]
+            pos += klen
+            value = body[pos : pos + vlen]
+            pos += vlen
+            if len(key) != klen or len(value) != vlen:
+                raise ValueError("truncated pair")
+            yield key, value
+    except ValueError as exc:
+        raise StoreError(f"corrupt checkpoint {path}: {exc}") from exc

@@ -1,0 +1,421 @@
+"""NoVoHT — Non-Volatile Hash Table.
+
+The persistent key/value store underneath every ZHT instance (§III.I).
+Design points reproduced from the paper:
+
+* **In-memory map, log-based persistence.** All pairs live in memory for
+  constant-time lookups ("Since all key-value pairs are kept in memory, it
+  lends itself to low latency in lookups when compared to other persistent
+  hash maps ... which are disk-based"); every mutation is appended to a
+  write-ahead log before being applied.
+* **Periodic checkpointing.** Every ``checkpoint_interval_ops`` logged
+  mutations, the table is snapshotted and the WAL truncated.
+* **Garbage collection.** When the fraction of dead (overwritten/removed)
+  WAL records exceeds ``gc_dead_ratio``, the log is compacted to the live
+  set.
+* **Bounded memory.** ``max_memory_pairs`` caps how many values stay in
+  RAM ("By tuning the number of Key-Value pairs that are allowed stay in
+  memory, users can achieve the balance between performance and memory
+  consumption"); excess values spill to an overflow file and are read
+  back on demand.
+* **``append``.** Appends a byte string to an existing value under a
+  local lock — the primitive that gives ZHT lock-free *distributed*
+  concurrent modification.
+
+Keys and values are ``bytes``.  The store is safe for concurrent use from
+multiple threads (one coarse lock; ZHT servers are single-threaded event
+loops, so this lock is uncontended in normal operation).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.errors import KeyNotFound, StoreError
+from .checkpoint import read_checkpoint, write_checkpoint
+from .wal import OP_APPEND, OP_PUT, OP_REMOVE, WriteAheadLog
+
+
+@dataclass
+class NoVoHTStats:
+    """Operation and persistence counters for one store."""
+
+    puts: int = 0
+    gets: int = 0
+    removes: int = 0
+    appends: int = 0
+    checkpoints: int = 0
+    gc_runs: int = 0
+    spilled_reads: int = 0
+    #: WAL records that are known-dead (overwritten or removed keys).
+    dead_records: int = 0
+
+
+class _Spilled:
+    """Marker for a value that lives in the overflow file, not RAM."""
+
+    __slots__ = ("offset", "length")
+
+    def __init__(self, offset: int, length: int):
+        self.offset = offset
+        self.length = length
+
+
+class NoVoHT:
+    """A persistent hash map with put/get/remove/append.
+
+    Class attribute ``_GC_MIN_RECORDS`` bounds how small a WAL is worth
+    compacting — below it, GC overhead exceeds the space it reclaims
+    (tests that exercise GC lower it).
+
+    Parameters
+    ----------
+    path:
+        Directory for persistence files (``novoht.wal``, ``novoht.ckpt``,
+        ``novoht.ovf``).  ``None`` gives a volatile, memory-only table
+        (the paper's "NoVoHT no persistence" configuration in Figure 6).
+    checkpoint_interval_ops:
+        Snapshot + truncate the WAL after this many mutations (0 = never).
+    gc_dead_ratio:
+        Compact the WAL when dead records exceed this fraction (checked at
+        mutation time; only meaningful between checkpoints).
+    max_memory_pairs:
+        Maximum number of values kept in RAM; 0 or ``None`` = unlimited.
+    initial_capacity / resize_factor:
+        NoVoHT's "size" and "re-size rate" knobs.  CPython's dict manages
+        its own buckets, so these are advisory here: they pre-size the
+        spill threshold bookkeeping and are reported in :meth:`info`.
+    fsync:
+        fsync the WAL on every mutation (durability vs throughput).
+    """
+
+    #: Minimum WAL records before automatic GC is considered.
+    _GC_MIN_RECORDS = 4096
+
+    def __init__(
+        self,
+        path: str | None = None,
+        *,
+        checkpoint_interval_ops: int = 10_000,
+        gc_dead_ratio: float = 0.5,
+        max_memory_pairs: int | None = None,
+        initial_capacity: int = 1024,
+        resize_factor: float = 2.0,
+        fsync: bool = False,
+    ):
+        if checkpoint_interval_ops < 0:
+            raise ValueError("checkpoint_interval_ops must be >= 0")
+        if not 0.0 <= gc_dead_ratio <= 1.0:
+            raise ValueError("gc_dead_ratio must be in [0, 1]")
+        if max_memory_pairs is not None and max_memory_pairs < 0:
+            raise ValueError("max_memory_pairs must be >= 0")
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        if resize_factor <= 1.0:
+            raise ValueError("resize_factor must be > 1.0")
+
+        self._map: dict[bytes, bytes | _Spilled] = {}
+        self._lock = threading.RLock()
+        self.stats = NoVoHTStats()
+        self.checkpoint_interval_ops = checkpoint_interval_ops
+        self.gc_dead_ratio = gc_dead_ratio
+        self.max_memory_pairs = max_memory_pairs or 0
+        self.initial_capacity = initial_capacity
+        self.resize_factor = resize_factor
+        self._ops_since_checkpoint = 0
+        self._closed = False
+
+        self.path = path
+        self._wal: WriteAheadLog | None = None
+        self._ckpt_path: str | None = None
+        self._ovf_path: str | None = None
+        self._ovf_file = None
+        self._ovf_garbage = 0
+
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            self._ckpt_path = os.path.join(path, "novoht.ckpt")
+            self._ovf_path = os.path.join(path, "novoht.ovf")
+            self._wal = WriteAheadLog(os.path.join(path, "novoht.wal"), fsync=fsync)
+            self._recover()
+            self._wal.open()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild the in-memory map from checkpoint + WAL replay."""
+        assert self._wal is not None and self._ckpt_path is not None
+        for key, value in read_checkpoint(self._ckpt_path):
+            self._map[key] = value
+        for op, key, value in self._wal.replay():
+            if op == OP_PUT:
+                self._map[key] = value
+            elif op == OP_REMOVE:
+                self._map.pop(key, None)
+            elif op == OP_APPEND:
+                old = self._map.get(key)
+                if isinstance(old, bytes):
+                    self._map[key] = old + value
+                else:
+                    self._map[key] = value
+        # The overflow file from a previous run is invalidated by recovery
+        # (everything replays into RAM); start it fresh.
+        if self._ovf_path and os.path.exists(self._ovf_path):
+            os.remove(self._ovf_path)
+        self._enforce_memory_bound()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite *key* with *value*."""
+        self._check_kv(key, value)
+        with self._lock:
+            self._ensure_open()
+            if key in self._map:
+                self.stats.dead_records += 1
+            if self._wal is not None:
+                self._wal.append(OP_PUT, key, value)
+            self._map[key] = value
+            self.stats.puts += 1
+            self._after_mutation()
+
+    def get(self, key: bytes) -> bytes:
+        """Return the value for *key*; raise :class:`KeyNotFound` if absent."""
+        self._check_key(key)
+        with self._lock:
+            self._ensure_open()
+            self.stats.gets += 1
+            try:
+                value = self._map[key]
+            except KeyError:
+                raise KeyNotFound(repr(key)) from None
+            if isinstance(value, _Spilled):
+                value = self._load_spilled(key, value)
+            return value
+
+    def remove(self, key: bytes) -> None:
+        """Delete *key*; raise :class:`KeyNotFound` if absent."""
+        self._check_key(key)
+        with self._lock:
+            self._ensure_open()
+            if key not in self._map:
+                raise KeyNotFound(repr(key))
+            if self._wal is not None:
+                self._wal.append(OP_REMOVE, key)
+            old = self._map.pop(key)
+            if isinstance(old, _Spilled):
+                self._ovf_garbage += old.length
+            self.stats.removes += 1
+            self.stats.dead_records += 2  # the put and the remove record
+            self._after_mutation()
+
+    def append(self, key: bytes, value: bytes) -> None:
+        """Append *value* to the value stored at *key*.
+
+        If *key* is absent, behaves like :meth:`put` (matching ZHT, where
+        the first append creates the entry — FusionFS relies on this when
+        the first file is created in a directory).  Runs under the store's
+        local lock: "simple local locks are still needed to prevent
+        multiple threads from concurrently modifying the same memory
+        location".
+        """
+        self._check_kv(key, value)
+        with self._lock:
+            self._ensure_open()
+            if self._wal is not None:
+                self._wal.append(OP_APPEND, key, value)
+            old = self._map.get(key)
+            if old is None:
+                self._map[key] = value
+            else:
+                if isinstance(old, _Spilled):
+                    old = self._load_spilled(key, old)
+                self._map[key] = old + value
+                self.stats.dead_records += 1
+            self.stats.appends += 1
+            self._after_mutation()
+
+    def contains(self, key: bytes) -> bool:
+        with self._lock:
+            return key in self._map
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._map)
+
+    def keys(self) -> list[bytes]:
+        """Snapshot of all keys (used by partition migration)."""
+        with self._lock:
+            return list(self._map.keys())
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Snapshot iterator over ``(key, value)`` pairs.
+
+        Spilled values are faulted in, so the iterator yields real bytes.
+        """
+        with self._lock:
+            keys = list(self._map.keys())
+        for key in keys:
+            with self._lock:
+                value = self._map.get(key)
+                if value is None:
+                    continue
+                if isinstance(value, _Spilled):
+                    value = self._load_spilled(key, value)
+            yield key, value
+
+    # ------------------------------------------------------------------
+    # Persistence management
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Snapshot the table and truncate the WAL."""
+        if self._wal is None or self._ckpt_path is None:
+            return
+        with self._lock:
+            write_checkpoint(self._ckpt_path, self.items())
+            self._wal.truncate()
+            self.stats.checkpoints += 1
+            self.stats.dead_records = 0
+            self._ops_since_checkpoint = 0
+
+    def gc(self) -> None:
+        """Compact the WAL down to the live pairs."""
+        if self._wal is None:
+            return
+        with self._lock:
+            self._wal.rewrite(self.items())
+            self.stats.gc_runs += 1
+            self.stats.dead_records = 0
+
+    def flush(self) -> None:
+        """Force a checkpoint if persistence is enabled."""
+        self.checkpoint()
+
+    def close(self) -> None:
+        """Checkpoint (if persistent) and release file handles."""
+        if self._closed:
+            return
+        with self._lock:
+            if self._wal is not None:
+                self.checkpoint()
+                self._wal.close()
+            if self._ovf_file is not None:
+                self._ovf_file.close()
+                self._ovf_file = None
+            self._closed = True
+
+    def __enter__(self) -> "NoVoHT":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def info(self) -> dict:
+        """Structural information (sizes, knobs, file sizes)."""
+        with self._lock:
+            in_ram = sum(
+                1 for v in self._map.values() if not isinstance(v, _Spilled)
+            )
+            return {
+                "pairs": len(self._map),
+                "pairs_in_memory": in_ram,
+                "pairs_spilled": len(self._map) - in_ram,
+                "persistent": self._wal is not None,
+                "wal_bytes": self._wal.size_bytes() if self._wal else 0,
+                "wal_records": self._wal.record_count if self._wal else 0,
+                "initial_capacity": self.initial_capacity,
+                "resize_factor": self.resize_factor,
+                "max_memory_pairs": self.max_memory_pairs,
+            }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreError("NoVoHT is closed")
+
+    @staticmethod
+    def _check_key(key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError(f"key must be bytes, got {type(key).__name__}")
+
+    @classmethod
+    def _check_kv(cls, key: bytes, value: bytes) -> None:
+        cls._check_key(key)
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"value must be bytes, got {type(value).__name__}")
+
+    def _after_mutation(self) -> None:
+        self._ops_since_checkpoint += 1
+        if self._wal is not None:
+            if (
+                self.checkpoint_interval_ops
+                and self._ops_since_checkpoint >= self.checkpoint_interval_ops
+            ):
+                self.checkpoint()
+            elif (
+                self._wal.record_count >= self._GC_MIN_RECORDS
+                and self.stats.dead_records
+                >= self.gc_dead_ratio * self._wal.record_count
+            ):
+                self.gc()
+        self._enforce_memory_bound()
+
+    # -- spill-to-disk ----------------------------------------------------
+
+    def _open_overflow(self):
+        if self._ovf_file is None:
+            if self._ovf_path is None:
+                raise StoreError("memory bound requires a persistence path")
+            self._ovf_file = open(self._ovf_path, "a+b")
+        return self._ovf_file
+
+    def _enforce_memory_bound(self) -> None:
+        if not self.max_memory_pairs:
+            return
+        in_ram = [
+            k for k, v in self._map.items() if not isinstance(v, _Spilled)
+        ]
+        excess = len(in_ram) - self.max_memory_pairs
+        if excess <= 0:
+            return
+        f = self._open_overflow()
+        f.seek(0, os.SEEK_END)
+        # Spill the oldest-inserted pairs first (dict preserves insertion
+        # order, so the front of the list is the coldest data).
+        for key in in_ram[:excess]:
+            value = self._map[key]
+            assert isinstance(value, bytes)
+            offset = f.tell()
+            f.write(value)
+            self._map[key] = _Spilled(offset, len(value))
+        f.flush()
+
+    def _load_spilled(self, key: bytes, marker: _Spilled) -> bytes:
+        f = self._open_overflow()
+        f.seek(marker.offset)
+        value = f.read(marker.length)
+        if len(value) != marker.length:
+            raise StoreError(f"overflow file truncated reading {key!r}")
+        self.stats.spilled_reads += 1
+        # Promote back to RAM as the *newest* entry (delete + reinsert moves
+        # it to the back of the dict's insertion order) so the bound check
+        # re-spills colder keys instead of this one.
+        del self._map[key]
+        self._map[key] = value
+        self._ovf_garbage += marker.length
+        self._enforce_memory_bound()
+        return value

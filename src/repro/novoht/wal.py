@@ -1,0 +1,233 @@
+"""Write-ahead log for NoVoHT.
+
+NoVoHT "uses a log-based persistence mechanism with periodic
+checkpointing" (§III.I).  Every mutation (put/remove/append) is appended
+to this log before being applied in memory; recovery replays the log on
+top of the most recent checkpoint.
+
+Record wire format (little-endian):
+
+    magic   u8   = 0xA7
+    op      u8   (PUT=1, REMOVE=2, APPEND=3)
+    klen    varint
+    vlen    varint (0 for REMOVE)
+    key     klen bytes
+    value   vlen bytes
+    crc32   u32  over everything above
+
+A torn final record (power loss mid-append) fails either the magic, the
+length decode, or the CRC, and replay stops cleanly at the last complete
+record — this is exercised by the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import BinaryIO, Iterator
+
+from ..core.errors import StoreError
+
+RECORD_MAGIC = 0xA7
+
+OP_PUT = 1
+OP_REMOVE = 2
+OP_APPEND = 3
+
+_OPS = (OP_PUT, OP_REMOVE, OP_APPEND)
+
+
+def encode_varint(n: int) -> bytes:
+    """LEB128 unsigned varint, as used by protocol buffers."""
+    if n < 0:
+        raise ValueError("varint must be non-negative")
+    out = bytearray()
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a varint at *offset*; return ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
+    """Serialize one WAL record, including its trailing CRC."""
+    if op not in _OPS:
+        raise ValueError(f"unknown WAL op {op}")
+    klen, vlen = len(key), len(value)
+    if klen < 0x80 and vlen < 0x80:
+        # Fast path: single-byte varints (identical wire format).
+        body = bytes((RECORD_MAGIC, op, klen, vlen)) + key + value
+    else:
+        body = (
+            bytes((RECORD_MAGIC, op))
+            + encode_varint(klen)
+            + encode_varint(vlen)
+            + key
+            + value
+        )
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def _read_exact(f: BinaryIO, n: int) -> bytes | None:
+    data = f.read(n)
+    if len(data) < n:
+        return None
+    return data
+
+
+def iter_records(f: BinaryIO) -> Iterator[tuple[int, bytes, bytes]]:
+    """Yield ``(op, key, value)`` for every complete record in *f*.
+
+    Stops silently at the first torn or corrupt record — everything before
+    it is valid, matching log-recovery semantics.
+    """
+    while True:
+        header = _read_exact(f, 2)
+        if header is None or header[0] != RECORD_MAGIC or header[1] not in _OPS:
+            return
+        op = header[1]
+        # Varints are at most 10 bytes each for 64-bit lengths.
+        lenbuf = f.read(20)
+        try:
+            klen, pos = decode_varint(lenbuf, 0)
+            vlen, pos = decode_varint(lenbuf, pos)
+        except ValueError:
+            return
+        payload_prefix = lenbuf[pos:]
+        need = klen + vlen + 4 - len(payload_prefix)
+        if need > 0:
+            rest = _read_exact(f, need)
+            if rest is None:
+                return
+            payload = payload_prefix + rest
+        else:
+            payload = payload_prefix[: klen + vlen + 4]
+            extra = len(payload_prefix) - (klen + vlen + 4)
+            if extra > 0:
+                # Rewind over-read bytes belonging to the next record.
+                f.seek(-extra, os.SEEK_CUR)
+        key = payload[:klen]
+        value = payload[klen : klen + vlen]
+        (crc,) = struct.unpack_from("<I", payload, klen + vlen)
+        body = header + lenbuf[:pos] + key + value
+        if zlib.crc32(body) != crc:
+            return
+        yield op, key, value
+
+
+class WriteAheadLog:
+    """Append-only mutation log with replay and compaction support."""
+
+    def __init__(self, path: str, *, fsync: bool = False):
+        self.path = path
+        self.fsync = fsync
+        self._file: BinaryIO | None = None
+        #: Number of records appended since open/compaction (live + dead).
+        self.record_count = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open(self) -> None:
+        """Open (creating if needed) the log for appending."""
+        if self._file is not None:
+            return
+        try:
+            self._file = open(self.path, "ab")
+        except OSError as exc:
+            raise StoreError(f"cannot open WAL {self.path}: {exc}") from exc
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._file is not None
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, op: int, key: bytes, value: bytes = b"") -> None:
+        """Durably append one mutation record."""
+        if self._file is None:
+            raise StoreError("WAL is not open")
+        try:
+            self._file.write(encode_record(op, key, value))
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+        except OSError as exc:
+            raise StoreError(f"WAL append failed: {exc}") from exc
+        self.record_count += 1
+
+    # -- recovery / compaction ------------------------------------------------
+
+    def replay(self) -> Iterator[tuple[int, bytes, bytes]]:
+        """Yield all complete records currently in the log file."""
+        if not os.path.exists(self.path):
+            return iter(())
+        with open(self.path, "rb") as f:
+            records = list(iter_records(f))
+        self.record_count = len(records)
+        return iter(records)
+
+    def truncate(self) -> None:
+        """Discard all records (called right after a checkpoint commits)."""
+        self.close()
+        with open(self.path, "wb"):
+            pass
+        self.record_count = 0
+        self.open()
+
+    def rewrite(self, live: Iterator[tuple[bytes, bytes]]) -> None:
+        """Compact the log to exactly the *live* ``(key, value)`` pairs.
+
+        Garbage collection per the paper: "garbage collection (how often to
+        reclaim unused space on persistent storage)".  Written to a side
+        file and atomically renamed so a crash mid-GC keeps the old log.
+        """
+        tmp = self.path + ".gc"
+        try:
+            with open(tmp, "wb") as f:
+                count = 0
+                for key, value in live:
+                    f.write(encode_record(OP_PUT, key, value))
+                    count += 1
+                f.flush()
+                os.fsync(f.fileno())
+        except OSError as exc:
+            raise StoreError(f"WAL GC failed: {exc}") from exc
+        self.close()
+        os.replace(tmp, self.path)
+        self.record_count = count
+        self.open()
+
+    def size_bytes(self) -> int:
+        if self._file is not None:
+            self._file.flush()
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0

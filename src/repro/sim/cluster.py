@@ -1,0 +1,454 @@
+"""Simulated ZHT deployments at scale.
+
+:class:`SimulatedCluster` wires the DES engine, a network topology, the
+calibrated latency/service models, and — for ZHT runs — the *same*
+:class:`~repro.core.server.ZHTServerCore` /
+:class:`~repro.core.client.OpDriver` state machines the real transports
+use.  Baseline systems (Memcached-, Cassandra-like) run a plain
+dictionary handler with their own service models, since only their
+performance envelope (not their protocol semantics) is compared in the
+paper.
+
+One simulated **client process per instance** issues operations
+sequentially (the paper's 1:1 client:server deployment); servers are
+single-threaded queues (the event-driven architecture); multiple
+instances per node time-share the node's cores via the service-time
+scaling in :func:`~repro.sim.network.zht_instance_service`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.client import ZHTClientCore
+from ..core.config import ReplicationMode, ZHTConfig
+from ..core.errors import Status
+from ..core.membership import (
+    Address,
+    InstanceInfo,
+    MembershipTable,
+    NodeInfo,
+    new_instance_id,
+)
+from ..core.protocol import MUTATING_OPS, OpCode, Request, Response
+from ..core.server import ZHTServerCore
+from .engine import Environment, Store
+from .metrics import LatencyStats, RunResult
+from .network import (
+    BGP_TORUS_LINK,
+    ZHT_BGP,
+    LinkModel,
+    ServiceModel,
+    zht_instance_service,
+)
+from .topology import SwitchedTopology, TorusTopology
+from .workload import MicroBenchmarkWorkload
+
+#: Fixed wire overhead estimate per message (headers + framing), bytes.
+_MSG_OVERHEAD = 24
+
+#: Fraction of a full service time charged per routing forward at an
+#: intermediate server (decode + next-hop lookup + re-encode).
+_FORWARD_SERVICE_FACTOR = 0.4
+
+#: Primary-side cost of dispatching one fire-and-forget replica update,
+#: as a fraction of the service time (serialize + send syscall).
+_REPLICA_DISPATCH_FACTOR = 0.15
+
+#: Replica-side cost of applying an asynchronous update, as a fraction
+#: of the service time (no response is generated).
+_REPLICA_APPLY_FACTOR = 0.8
+
+
+@dataclass
+class SimSpec:
+    """Everything defining one simulated deployment."""
+
+    num_nodes: int
+    instances_per_node: int = 1
+    link: LinkModel = BGP_TORUS_LINK
+    service: ServiceModel = ZHT_BGP
+    topology: str = "torus"  # "torus" | "switch"
+    cores_per_node: int = 4
+    num_replicas: int = 0
+    #: Replication mode for the sim: "none" (fire-and-forget, ZHT's
+    #: Figure 12 configuration), "async" (sync secondary), "sync" (all).
+    replication_mode: str = ReplicationMode.NONE
+    partitions_per_instance: int = 1
+    #: Run the real ZHT server/client cores (True) or a dict handler
+    #: with the same network envelope (baselines).
+    real_core: bool = True
+    seed: int = 0
+
+    @property
+    def num_instances(self) -> int:
+        return self.num_nodes * self.instances_per_node
+
+    @property
+    def num_partitions(self) -> int:
+        return self.num_instances * self.partitions_per_instance
+
+
+@dataclass
+class _SimMessage:
+    request: Request
+    reply_event: object  # engine Event or None for one-way
+    src_node: int
+
+
+class _DictHandler:
+    """Minimal KV semantics for baseline systems."""
+
+    def __init__(self):
+        self.data: dict[bytes, bytes] = {}
+
+    def handle(self, request: Request) -> Response:
+        op = request.op
+        if op == OpCode.INSERT:
+            self.data[request.key] = request.value
+            return Response(status=Status.OK, request_id=request.request_id)
+        if op == OpCode.LOOKUP:
+            value = self.data.get(request.key)
+            if value is None:
+                return Response(
+                    status=Status.KEY_NOT_FOUND, request_id=request.request_id
+                )
+            return Response(
+                status=Status.OK, value=value, request_id=request.request_id
+            )
+        if op == OpCode.REMOVE:
+            self.data.pop(request.key, None)
+            return Response(status=Status.OK, request_id=request.request_id)
+        if op == OpCode.APPEND:
+            self.data[request.key] = self.data.get(request.key, b"") + request.value
+            return Response(status=Status.OK, request_id=request.request_id)
+        return Response(status=Status.OK, request_id=request.request_id)
+
+
+class SimulatedCluster:
+    """A ZHT (or baseline KV) deployment inside the DES engine."""
+
+    def __init__(self, spec: SimSpec):
+        self.spec = spec
+        self.env = Environment()
+        self.rng = random.Random(spec.seed)
+        if spec.topology == "torus":
+            self.topology = TorusTopology.for_nodes(spec.num_nodes)
+        elif spec.topology == "switch":
+            self.topology = SwitchedTopology(spec.num_nodes)
+        else:
+            raise ValueError(f"unknown topology {spec.topology!r}")
+
+        self.effective_service = zht_instance_service(
+            spec.service, spec.instances_per_node, spec.cores_per_node
+        )
+
+        self._build_membership()
+        self.queues: list[Store] = [Store(self.env) for _ in range(spec.num_instances)]
+        self._addr_to_index = {
+            inst.address: i for i, inst in enumerate(self.instances)
+        }
+        if spec.real_core:
+            self.config = ZHTConfig(
+                num_partitions=spec.num_partitions,
+                num_replicas=spec.num_replicas,
+                replication_mode=(
+                    spec.replication_mode
+                    if spec.replication_mode != ReplicationMode.NONE
+                    else ReplicationMode.NONE
+                ),
+                transport="local",
+            )
+            self.handlers = [
+                ZHTServerCore(inst, self.membership, self.config)
+                for inst in self.instances
+            ]
+        else:
+            self.config = ZHTConfig(
+                num_partitions=spec.num_partitions, transport="local"
+            )
+            self.handlers = [_DictHandler() for _ in self.instances]
+
+        for i in range(spec.num_instances):
+            self.env.process(self._server_proc(i), name=f"server-{i}")
+
+    # ------------------------------------------------------------------
+
+    def _build_membership(self) -> None:
+        spec = self.spec
+        nodes, instances = [], []
+        for n in range(spec.num_nodes):
+            node_id = f"n{n}"
+            nodes.append(NodeInfo(node_id, Address(node_id, 0)))
+            for i in range(spec.instances_per_node):
+                instances.append(
+                    InstanceInfo(
+                        new_instance_id(self.rng), node_id, Address(node_id, i + 1)
+                    )
+                )
+        self.membership = MembershipTable.bootstrap(
+            spec.num_partitions, nodes, instances
+        )
+        self.instances = instances
+        self._node_index = {f"n{n}": n for n in range(spec.num_nodes)}
+
+    def _node_of_instance(self, index: int) -> int:
+        return self._node_index[self.instances[index].node_id]
+
+    # ------------------------------------------------------------------
+    # Message transport
+    # ------------------------------------------------------------------
+
+    def _one_way(self, src_node: int, dst_node: int, nbytes: int) -> float:
+        return self.spec.link.one_way(
+            self.topology.hops(src_node, dst_node), nbytes
+        )
+
+    def _deliver(self, dst_index: int, message: _SimMessage, src_node: int) -> None:
+        """Schedule *message* to arrive at instance *dst_index*."""
+        size = (
+            _MSG_OVERHEAD
+            + len(message.request.key)
+            + len(message.request.value)
+            + len(message.request.payload)
+        )
+        delay = self._one_way(src_node, self._node_of_instance(dst_index), size)
+
+        def arrive(_value=None):
+            self.queues[dst_index].put(message)
+
+        evt = self.env.timeout(delay)
+        evt._wait(_CallbackWaiter(arrive))
+
+    # ------------------------------------------------------------------
+    # Server process
+    # ------------------------------------------------------------------
+
+    def _server_proc(self, index: int):
+        env = self.env
+        spec = self.spec
+        queue = self.queues[index]
+        handler = self.handlers[index]
+        my_node = self._node_of_instance(index)
+        service = self.effective_service
+
+        while True:
+            message: _SimMessage = yield queue.get()
+            request = message.request
+
+            if request.op == OpCode.PING and request.payload == b"fwd":
+                # Routing forward at an intermediate server (log-routing
+                # baselines): partial service, immediate ack.
+                yield env.timeout(service.service_time * _FORWARD_SERVICE_FACTOR)
+                if message.reply_event is not None:
+                    self._reply(message, Response(status=Status.OK), my_node)
+                continue
+
+            if request.op == OpCode.REPLICA_UPDATE and message.reply_event is None:
+                # Fire-and-forget replica apply: no response is built.
+                cost = (
+                    service.service_time * _REPLICA_APPLY_FACTOR
+                    + service.persistence_time
+                )
+            elif request.op in MUTATING_OPS:
+                cost = service.service_time + service.persistence_time
+            else:
+                cost = service.service_time
+            yield env.timeout(cost)
+
+            if spec.real_core:
+                result = handler.handle(request)
+                response = result.response
+                for addr, update in result.async_sends:
+                    yield env.timeout(
+                        service.service_time * _REPLICA_DISPATCH_FACTOR
+                    )
+                    self._deliver(
+                        self._addr_to_index[addr],
+                        _SimMessage(update, None, my_node),
+                        my_node,
+                    )
+                if result.sync_sends:
+                    # The response is held until every synchronous replica
+                    # acks, but the server loop keeps serving — otherwise
+                    # two servers replicating to each other deadlock (an
+                    # event-driven server never blocks on the network).
+                    env.process(
+                        self._sync_replicate_then_reply(
+                            result.sync_sends, message, response, my_node
+                        ),
+                        name="sync-repl",
+                    )
+                    continue
+            else:
+                response = handler.handle(request)
+
+            if request.op == OpCode.REPLICA_UPDATE and message.reply_event is None:
+                # Fire-and-forget replica apply: partial cost, no response.
+                continue
+            if response is not None and message.reply_event is not None:
+                self._reply(message, response, my_node)
+
+    def _sync_replicate_then_reply(
+        self, sync_sends, message: _SimMessage, response: Response, my_node: int
+    ):
+        for addr, update in sync_sends:
+            ack = self.env.event()
+            self._deliver(
+                self._addr_to_index[addr],
+                _SimMessage(update, ack, my_node),
+                my_node,
+            )
+            yield ack
+        if response is not None and message.reply_event is not None:
+            self._reply(message, response, my_node)
+
+    def _reply(self, message: _SimMessage, response: Response, my_node: int) -> None:
+        size = _MSG_OVERHEAD + len(response.value)
+        delay = self._one_way(my_node, message.src_node, size)
+
+        def arrive(_value=None):
+            message.reply_event.succeed(response)
+
+        evt = self.env.timeout(delay)
+        evt._wait(_CallbackWaiter(arrive))
+
+    # ------------------------------------------------------------------
+    # Client process
+    # ------------------------------------------------------------------
+
+    def _client_proc(self, client_id: int, ops, stats: LatencyStats, done: list):
+        env = self.env
+        spec = self.spec
+        service = spec.service
+        my_node = self._node_of_instance(client_id)
+        client_core = ZHTClientCore(
+            self.membership,
+            ZHTConfig(num_partitions=spec.num_partitions, transport="local"),
+            rng=random.Random((spec.seed << 16) ^ client_id),
+        )
+        hash_name = client_core.config.hash_name
+        forwards = service.routing_forwards(spec.num_instances)
+
+        # Stagger start times so clients do not tick in lockstep.
+        yield env.timeout(self.rng.random() * 1e-4)
+
+        for op, key, value in ops:
+            t0 = env.now
+            yield env.timeout(service.client_overhead)
+
+            # Target instance: zero-hop via membership for ZHT; a random
+            # entry point + log(N) forwards for log-routing baselines.
+            pid = self.membership.partition_of_key(key, hash_name)
+            target = self._addr_to_index[
+                self.membership.owner_of_partition(pid).address
+            ]
+
+            if service.connect_round_trips:
+                # TCP without connection caching: handshake round trip.
+                dst_node = self._node_of_instance(target)
+                rtt = 2 * self._one_way(my_node, dst_node, _MSG_OVERHEAD)
+                yield env.timeout(rtt * service.connect_round_trips)
+
+            for _ in range(forwards):
+                hop = self.rng.randrange(spec.num_instances)
+                ack = env.event()
+                self._deliver(
+                    hop,
+                    _SimMessage(
+                        Request(op=OpCode.PING, payload=b"fwd"), ack, my_node
+                    ),
+                    my_node,
+                )
+                yield ack
+
+            reply = env.event()
+            request = Request(
+                op=op,
+                key=key,
+                value=value,
+                request_id=client_core.allocate_request_id(),
+                epoch=self.membership.epoch,
+            )
+            self._deliver(target, _SimMessage(request, reply, my_node), my_node)
+            response = yield reply
+            assert response.status in (Status.OK, Status.KEY_NOT_FOUND), response
+            stats.record(env.now - t0)
+        done[0] += 1
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run_workload(self, workload: MicroBenchmarkWorkload) -> RunResult:
+        """Run one client per instance through *workload*; returns metrics."""
+        stats = LatencyStats()
+        done = [0]
+        for client_id in range(self.spec.num_instances):
+            self.env.process(
+                self._client_proc(
+                    client_id, workload.client_ops(client_id), stats, done
+                ),
+                name=f"client-{client_id}",
+            )
+        self.env.run()
+        if done[0] != self.spec.num_instances:
+            raise RuntimeError(
+                f"only {done[0]}/{self.spec.num_instances} clients finished"
+            )
+        return RunResult(
+            system=self.spec.service.name,
+            num_nodes=self.spec.num_nodes,
+            instances_per_node=self.spec.instances_per_node,
+            ops=stats.count,
+            duration_s=self.env.now,
+            latency=stats,
+        )
+
+
+class _CallbackWaiter:
+    """Adapter letting a plain callback wait on an engine event."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def _resume(self, value, exc):
+        if exc is None:
+            self._fn(value)
+
+
+def simulate(
+    num_nodes: int,
+    *,
+    ops_per_client: int = 16,
+    service: ServiceModel = ZHT_BGP,
+    link: LinkModel = BGP_TORUS_LINK,
+    topology: str = "torus",
+    instances_per_node: int = 1,
+    num_replicas: int = 0,
+    replication_mode: str = ReplicationMode.NONE,
+    real_core: bool = True,
+    include_remove: bool = True,
+    seed: int = 0,
+) -> RunResult:
+    """One-call helper: build a cluster, run the micro-benchmark, return
+    the metrics row."""
+    spec = SimSpec(
+        num_nodes=num_nodes,
+        instances_per_node=instances_per_node,
+        link=link,
+        service=service,
+        topology=topology,
+        num_replicas=num_replicas,
+        replication_mode=replication_mode,
+        real_core=real_core,
+        seed=seed,
+    )
+    cluster = SimulatedCluster(spec)
+    workload = MicroBenchmarkWorkload(
+        ops_per_client=ops_per_client, seed=seed, include_remove=include_remove
+    )
+    return cluster.run_workload(workload)

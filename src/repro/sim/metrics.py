@@ -1,0 +1,109 @@
+"""Measurement helpers for simulation runs.
+
+Implements the paper's metrics (§IV.A):
+
+* **Latency** — request submission to response receipt, in ms.
+* **Throughput** — operations completed per second across the system.
+* **Ideal throughput** — "Measured throughput between two nodes times the
+  number of nodes".
+* **Efficiency** — "Ratio between measured throughput and ideal
+  throughput".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class LatencyStats:
+    """Streaming latency accumulator with exact quantiles.
+
+    Keeps all samples (simulation runs are bounded); exposes mean,
+    percentiles, min/max.  Times are in seconds internally, reported in
+    milliseconds to match the paper's figures.
+    """
+
+    def __init__(self):
+        self.samples: list[float] = []
+        self._sum = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("negative latency")
+        self.samples.append(seconds)
+        self._sum += seconds
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.samples:
+            return 0.0
+        return self._sum / len(self.samples) * 1e3
+
+    def percentile_ms(self, p: float) -> float:
+        if not self.samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(p / 100 * len(ordered)) - 1))
+        return ordered[rank] * 1e3
+
+    @property
+    def min_ms(self) -> float:
+        return min(self.samples) * 1e3 if self.samples else 0.0
+
+    @property
+    def max_ms(self) -> float:
+        return max(self.samples) * 1e3 if self.samples else 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated workload run."""
+
+    system: str
+    num_nodes: int
+    instances_per_node: int
+    ops: int
+    #: Simulated wall-clock duration of the measured phase (s).
+    duration_s: float
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+    @property
+    def throughput_ops_s(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.ops / self.duration_s
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency.mean_ms
+
+    def efficiency_vs(self, two_node_latency_ms: float) -> float:
+        """Efficiency against the ideal scaling of a 2-node deployment.
+
+        With 1:1 clients issuing sequentially, ideal throughput per node
+        is ``1 / two_node_latency``; efficiency reduces to the latency
+        ratio (this is how the paper's Figure 11 is computed: "Efficiency
+        was computed by comparing ... against the ideal latency/throughput
+        (which was taken to be the better performer at 2-node scale)").
+        """
+        if self.latency_ms <= 0:
+            return 0.0
+        return min(1.0, two_node_latency_ms / self.latency_ms)
+
+    def row(self) -> dict:
+        return {
+            "system": self.system,
+            "nodes": self.num_nodes,
+            "instances_per_node": self.instances_per_node,
+            "ops": self.ops,
+            "latency_ms": round(self.latency_ms, 4),
+            "p95_ms": round(self.latency.percentile_ms(95), 4),
+            "throughput_ops_s": round(self.throughput_ops_s, 1),
+        }

@@ -1,0 +1,166 @@
+"""Tests for the public API facade (repro.api) and end-to-end properties."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ZHT, ZHTConfig, build_local_cluster, build_membership
+from repro.core import KeyNotFound
+from repro.core.membership import correlated_instance_id
+
+
+class TestBuildMembership:
+    def test_instances_per_node_respected(self):
+        cfg = ZHTConfig(num_partitions=64, instances_per_node=3)
+        table, nodes, instances = build_membership(4, cfg, random.Random(0))
+        assert len(nodes) == 4
+        assert len(instances) == 12
+        assert all(len(table.instances_on_node(n.node_id)) == 3 for n in nodes)
+
+    def test_network_aware_ids_follow_node_order(self):
+        cfg = ZHTConfig(num_partitions=64)
+        table, nodes, instances = build_membership(
+            8, cfg, random.Random(0), network_aware=True
+        )
+        ring = table.ring_order()
+        ring_nodes = [inst.node_id for inst in ring]
+        assert ring_nodes == sorted(ring_nodes)  # ring order == node order
+
+    def test_network_aware_replicas_are_adjacent_nodes(self):
+        cfg = ZHTConfig(num_partitions=64)
+        table, _n, _i = build_membership(
+            8, cfg, random.Random(0), network_aware=True
+        )
+        chain = table.replicas_for_partition(0, 2)
+        indices = [int(inst.node_id.split("-")[1]) for inst in chain]
+        spans = [(b - a) % 8 for a, b in zip(indices, indices[1:])]
+        assert all(span == 1 for span in spans)
+
+    def test_correlated_id_validation(self):
+        with pytest.raises(ValueError):
+            correlated_instance_id(1 << 24)
+        with pytest.raises(ValueError):
+            correlated_instance_id(0, 256)
+
+    def test_correlated_ids_unique(self):
+        rng = random.Random(1)
+        ids = {correlated_instance_id(n, 0, rng) for n in range(100)}
+        assert len(ids) == 100
+
+
+class TestZHTFacade:
+    def test_str_keys_are_utf8(self):
+        with build_local_cluster(2, ZHTConfig(transport="local", num_partitions=16)) as c:
+            z = c.client()
+            z.insert("clé-日本", "valeur")
+            assert z.lookup("clé-日本".encode("utf-8")) == "valeur".encode("utf-8")
+
+    def test_client_seed_reproducible(self):
+        with build_local_cluster(2, ZHTConfig(transport="local", num_partitions=16)) as c:
+            a, b = c.client(seed=5), c.client(seed=5)
+            assert a.core.rng.random() == b.core.rng.random()
+
+    def test_cluster_seed_reproducible(self):
+        a = build_local_cluster(3, ZHTConfig(transport="local", num_partitions=16), seed=9)
+        b = build_local_cluster(3, ZHTConfig(transport="local", num_partitions=16), seed=9)
+        assert list(a.membership.instances) == list(b.membership.instances)
+        a.close()
+        b.close()
+
+    def test_context_manager_closes(self):
+        cluster = build_local_cluster(2, ZHTConfig(transport="local", num_partitions=16))
+        with cluster:
+            cluster.client().insert("k", b"v")
+        # Stores are closed; further server-side ops fail.
+        from repro.core.errors import StoreError
+
+        server = next(iter(cluster.servers.values()))
+        part = next(iter(server.partitions.values()))
+        with pytest.raises(StoreError):
+            part.store.put(b"x", b"y")
+
+
+class TestPersistenceThroughRestart:
+    def test_cluster_state_survives_rebuild(self, tmp_path):
+        """The §III.H restart story: "the entire state of ZHT could be
+        loaded from local persistent storage"."""
+        cfg = ZHTConfig(
+            transport="local",
+            num_partitions=32,
+            persistence_dir=str(tmp_path),
+        )
+        with build_local_cluster(3, cfg, seed=4) as cluster:
+            z = cluster.client()
+            for i in range(40):
+                z.insert(f"durable-{i}", f"v{i}".encode())
+            # Force every touched partition to disk.
+            for server in cluster.servers.values():
+                for part in server.partitions.values():
+                    part.store.flush()
+
+        # "Restart": same seed => same instance ids => same directories.
+        with build_local_cluster(3, cfg, seed=4) as revived:
+            z2 = revived.client()
+            for i in range(40):
+                assert z2.lookup(f"durable-{i}") == f"v{i}".encode()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end property test: a ZHT cluster behaves exactly like a dict,
+# through arbitrary op interleavings and a mid-sequence node join.
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "lookup", "remove", "append", "join"]),
+        st.integers(min_value=0, max_value=15),  # small key space: collisions
+        st.binary(min_size=0, max_size=12),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=_ops)
+def test_property_cluster_matches_dict_model(ops):
+    model: dict[str, bytes] = {}
+    joins = 0
+    with build_local_cluster(
+        2, ZHTConfig(transport="local", num_partitions=32)
+    ) as cluster:
+        z = cluster.client()
+        for op, key_index, value in ops:
+            key = f"pkey-{key_index}"
+            if op == "insert":
+                z.insert(key, value)
+                model[key] = value
+            elif op == "lookup":
+                if key in model:
+                    assert z.lookup(key) == model[key]
+                else:
+                    with pytest.raises(KeyNotFound):
+                        z.lookup(key)
+            elif op == "remove":
+                if key in model:
+                    z.remove(key)
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFound):
+                        z.remove(key)
+            elif op == "append":
+                z.append(key, value)
+                model[key] = model.get(key, b"") + value
+            elif op == "join" and joins < 2:
+                cluster.add_node()
+                joins += 1
+        # Final audit: every key readable, nothing extra stored.
+        for key, expected in model.items():
+            assert z.lookup(key) == expected
+        assert cluster.total_pairs() == len(model)

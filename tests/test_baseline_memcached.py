@@ -1,0 +1,119 @@
+"""Tests for the memcached-like baseline (repro.baselines.memcached)."""
+
+import pytest
+
+from repro.baselines.memcached import (
+    MAX_KEY_BYTES,
+    MAX_VALUE_BYTES,
+    MemcachedCluster,
+    MemcachedLike,
+)
+from repro.core.errors import (
+    KeyNotFound,
+    KeyTooLarge,
+    UnsupportedOperation,
+    ValueTooLarge,
+)
+
+
+class TestBasicOps:
+    def test_set_get_delete(self):
+        m = MemcachedLike()
+        m.set(b"k", b"v")
+        assert m.get(b"k") == b"v"
+        m.delete(b"k")
+        with pytest.raises(KeyNotFound):
+            m.get(b"k")
+
+    def test_get_missing(self):
+        m = MemcachedLike()
+        with pytest.raises(KeyNotFound):
+            m.get(b"missing")
+        assert m.stats.misses == 1
+
+    def test_delete_missing(self):
+        with pytest.raises(KeyNotFound):
+            MemcachedLike().delete(b"missing")
+
+    def test_overwrite_accounts_bytes(self):
+        m = MemcachedLike()
+        m.set(b"k", b"v" * 100)
+        m.set(b"k", b"v")
+        assert m.bytes_used == len(b"k") + 1
+
+
+class TestPaperLimits:
+    def test_key_limit_250_bytes(self):
+        """The limits the paper cites: "250B and 1MB respectively"."""
+        m = MemcachedLike()
+        m.set(b"k" * MAX_KEY_BYTES, b"v")  # exactly at the limit: fine
+        with pytest.raises(KeyTooLarge):
+            m.set(b"k" * (MAX_KEY_BYTES + 1), b"v")
+
+    def test_value_limit_1mb(self):
+        m = MemcachedLike()
+        m.set(b"k", b"v" * MAX_VALUE_BYTES)
+        with pytest.raises(ValueTooLarge):
+            m.set(b"k", b"v" * (MAX_VALUE_BYTES + 1))
+
+    def test_no_append_on_missing_key(self):
+        """Table 1: memcached has no ZHT-style append (no create)."""
+        m = MemcachedLike()
+        with pytest.raises(UnsupportedOperation):
+            m.append(b"missing", b"x")
+
+    def test_append_on_existing_key_works(self):
+        m = MemcachedLike()
+        m.set(b"k", b"a")
+        m.append(b"k", b"b")
+        assert m.get(b"k") == b"ab"
+
+    def test_append_respects_value_limit(self):
+        m = MemcachedLike()
+        m.set(b"k", b"v" * MAX_VALUE_BYTES)
+        with pytest.raises(ValueTooLarge):
+            m.append(b"k", b"x")
+
+
+class TestEviction:
+    def test_lru_eviction_under_memory_pressure(self):
+        m = MemcachedLike(memory_limit_bytes=100)
+        m.set(b"a", b"x" * 40)
+        m.set(b"b", b"x" * 40)
+        m.get(b"a")  # refresh a
+        m.set(b"c", b"x" * 40)  # evicts b
+        assert b"b" not in m
+        assert b"a" in m and b"c" in m
+        assert m.stats.evictions == 1
+
+    def test_no_persistence_no_replication(self):
+        """Table 1 rows: volatile and single-copy by design — all state
+        lives in one process dict, nothing else to restore from."""
+        m = MemcachedLike()
+        m.set(b"k", b"v")
+        m2 = MemcachedLike()  # a "restart"
+        assert b"k" not in m2
+
+
+class TestCluster:
+    def test_client_side_sharding(self):
+        cluster = MemcachedCluster(4)
+        for i in range(100):
+            cluster.set(f"k{i}".encode(), b"v")
+        assert cluster.total_items() == 100
+        loaded = [len(s) for s in cluster.servers]
+        assert all(n > 0 for n in loaded)  # keys spread
+
+    def test_cluster_get_routes_to_same_server(self):
+        cluster = MemcachedCluster(4)
+        cluster.set(b"key", b"value")
+        assert cluster.get(b"key") == b"value"
+        cluster.delete(b"key")
+        with pytest.raises(KeyNotFound):
+            cluster.get(b"key")
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MemcachedCluster(0)
+        with pytest.raises(ValueError):
+            MemcachedLike(memory_limit_bytes=0)

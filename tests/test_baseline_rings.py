@@ -1,0 +1,154 @@
+"""Tests for the log-routing baselines: Cassandra-like ring + Kademlia."""
+
+import math
+
+import pytest
+
+from repro.baselines.cassandra import CassandraLike
+from repro.baselines.kademlia import (
+    KademliaDHT,
+    bucket_index,
+    xor_distance,
+)
+from repro.core.errors import KeyNotFound
+
+
+class TestCassandraRouting:
+    def test_route_reaches_owner(self):
+        ring = CassandraLike(64, seed=1)
+        for i in range(50):
+            key = f"key-{i}".encode()
+            owner, _hops = ring.route(ring.nodes[i % 64], key)
+            assert owner is ring.owner_of_key(key)
+
+    def test_hops_scale_logarithmically(self):
+        """Table 1: Cassandra routing is log(N), not zero-hop."""
+        small = CassandraLike(16, seed=1)
+        large = CassandraLike(1024, seed=1)
+        for i in range(200):
+            small.route(small.nodes[i % 16], f"k{i}".encode())
+            large.route(large.nodes[i % 1024], f"k{i}".encode())
+        assert 0.5 < small.average_hops() <= math.log2(16) + 1
+        assert small.average_hops() < large.average_hops()
+        assert large.average_hops() <= math.log2(1024) + 1
+
+    def test_single_node_zero_hops(self):
+        ring = CassandraLike(1, seed=1)
+        _owner, hops = ring.route(ring.nodes[0], b"k")
+        assert hops == 0
+
+
+class TestCassandraConsistency:
+    def test_put_get_roundtrip(self):
+        ring = CassandraLike(16, replication_factor=3, seed=2)
+        ring.put(b"k", b"v")
+        assert ring.get(b"k") == b"v"
+
+    def test_replicas_hold_copies(self):
+        ring = CassandraLike(16, replication_factor=3, seed=2)
+        ring.put(b"k", b"v")
+        holders = [n for n in ring.nodes if b"k" in n.data]
+        assert len(holders) == 3
+
+    def test_always_writable_under_failures(self):
+        """"designed to always accept writes even in light of node
+        failures"."""
+        ring = CassandraLike(8, replication_factor=3, seed=2)
+        replicas = ring.replica_nodes(b"k")
+        ring.kill_node(replicas[0].node_id)
+        accepted = ring.put(b"k", b"v")
+        assert accepted == 2
+        assert ring.get(b"k") == b"v"
+
+    def test_read_repair_heals_stale_replica(self):
+        """"deferring consistency until the time when data is read and
+        resolving conflicts at that time"."""
+        ring = CassandraLike(8, replication_factor=3, seed=2)
+        replicas = ring.replica_nodes(b"k")
+        ring.put(b"k", b"v1")
+        ring.kill_node(replicas[0].node_id)
+        ring.put(b"k", b"v2")  # replica 0 misses this write
+        ring.revive_node(replicas[0].node_id)
+        assert replicas[0].data[b"k"].value == b"v1"  # stale
+        assert ring.get(b"k") == b"v2"  # newest wins
+        assert replicas[0].data[b"k"].value == b"v2"  # repaired
+
+    def test_delete_is_tombstone(self):
+        ring = CassandraLike(8, replication_factor=2, seed=2)
+        ring.put(b"k", b"v")
+        ring.delete(b"k")
+        with pytest.raises(KeyNotFound):
+            ring.get(b"k")
+
+    def test_missing_key(self):
+        ring = CassandraLike(4, seed=2)
+        with pytest.raises(KeyNotFound):
+            ring.get(b"never")
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            CassandraLike(0)
+        with pytest.raises(ValueError):
+            CassandraLike(4, replication_factor=5)
+
+
+class TestKademliaMetric:
+    def test_xor_distance_properties(self):
+        assert xor_distance(5, 5) == 0
+        assert xor_distance(5, 9) == xor_distance(9, 5)
+        assert xor_distance(0b1000, 0b0001) == 0b1001
+
+    def test_bucket_index_is_prefix_length(self):
+        assert bucket_index(0, 1) == 0
+        assert bucket_index(0, 1 << 63) == 63
+
+    def test_no_bucket_for_self(self):
+        with pytest.raises(ValueError):
+            bucket_index(7, 7)
+
+
+class TestKademliaLookups:
+    def test_store_retrieve(self):
+        dht = KademliaDHT(64, seed=3)
+        dht.store(b"key", b"value")
+        assert dht.retrieve(b"key") == b"value"
+
+    def test_lookup_converges_to_global_closest(self):
+        dht = KademliaDHT(128, seed=3)
+        target = 0xDEADBEEFCAFE1234
+        best = min(dht.nodes, key=lambda n: xor_distance(n.node_id, target))
+        found, _hops = dht.lookup_node(dht.nodes[0], target)
+        assert found is best
+
+    def test_hops_logarithmic(self):
+        small = KademliaDHT(16, seed=3)
+        large = KademliaDHT(512, seed=3)
+        for i in range(100):
+            small.lookup_node(small.nodes[i % 16], i * 0x9E3779B97F4A7C15)
+            large.lookup_node(large.nodes[i % 512], i * 0x9E3779B97F4A7C15)
+        assert small.average_hops() <= large.average_hops() <= math.log2(512) + 2
+
+    def test_no_replication_means_data_loss(self):
+        """C-MPI per the paper: "no support for data replication ... or
+        fault tolerance" — a dead node's keys are gone."""
+        dht = KademliaDHT(16, seed=3)
+        owner = dht.store(b"key", b"value")
+        dht.kill_node(dht.nodes.index(owner))
+        with pytest.raises(KeyNotFound):
+            dht.retrieve(b"key")
+
+    def test_delete(self):
+        dht = KademliaDHT(16, seed=3)
+        dht.store(b"key", b"value")
+        dht.delete(b"key")
+        with pytest.raises(KeyNotFound):
+            dht.retrieve(b"key")
+        with pytest.raises(KeyNotFound):
+            dht.delete(b"key")
+
+    def test_features_tables_match_paper_table1(self):
+        from repro.baselines.memcached import MemcachedLike
+
+        assert CassandraLike.FEATURES["routing_hops"] == "log(N)"
+        assert KademliaDHT.FEATURES["persistence"] is False
+        assert MemcachedLike.FEATURES["dynamic_membership"] is False

@@ -1,0 +1,104 @@
+"""Tests for the GPFS metadata model and the Falkon scheduler baselines."""
+
+import pytest
+
+from repro.baselines.falkon import (
+    FalkonScheduler,
+    SchedulerResult,
+    falkon_efficiency,
+)
+from repro.baselines.gpfs import GPFSModel, simulate_creates
+
+
+class TestGPFSModel:
+    def test_single_client_base_latency(self):
+        model = GPFSModel()
+        assert model.time_per_op(1) == pytest.approx(5e-3)
+
+    def test_saturation_then_linear_growth(self):
+        """Figure 1's shape: flat-ish until saturation, then linear."""
+        model = GPFSModel()
+        sat = model.saturation_clients()
+        assert 4 <= sat <= 32 or sat > 0
+        t1 = model.time_per_op(sat)
+        t2 = model.time_per_op(sat * 4)
+        assert t2 == pytest.approx(4 * max(t1, 5e-3), rel=0.3)
+
+    def test_512_node_anchor_many_dirs(self):
+        # Fig 16: GPFS 393 ms/op at 512 nodes (own directories).
+        t = GPFSModel().time_per_op(512)
+        assert 0.3 <= t <= 0.5
+
+    def test_512_node_anchor_single_dir(self):
+        # §V.A: 2449 ms at 512-node scales for one shared directory.
+        t = GPFSModel().time_per_op(512, shared_dir=True)
+        assert 2.0 <= t <= 3.0
+
+    def test_single_dir_always_worse(self):
+        model = GPFSModel()
+        for n in (8, 64, 512, 4096):
+            assert model.time_per_op(n, True) >= model.time_per_op(n, False)
+
+    def test_16k_core_anchor(self):
+        # Fig 1: ~63 s/op at 16K scale, one directory.
+        t = GPFSModel().time_per_op(16384, shared_dir=True)
+        assert 50 <= t <= 90
+
+    def test_invalid_clients(self):
+        with pytest.raises(ValueError):
+            GPFSModel().time_per_op(0)
+
+
+class TestGPFSSimulation:
+    def test_uncontended_near_base(self):
+        t = simulate_creates(1, creates_per_client=8)
+        assert t == pytest.approx(5e-3, rel=0.2)
+
+    def test_shared_dir_contention_emerges(self):
+        own = simulate_creates(32, shared_dir=False)
+        shared = simulate_creates(32, shared_dir=True)
+        assert shared > 2 * own
+
+    def test_latency_grows_with_clients(self):
+        t8 = simulate_creates(8, shared_dir=True)
+        t64 = simulate_creates(64, shared_dir=True)
+        assert t64 > 3 * t8
+
+
+class TestFalkon:
+    def test_noop_throughput_saturates_at_1700(self):
+        """"we see Falkon saturate at 1700 tasks/sec"."""
+        result = FalkonScheduler(256, tree_latency=0.0).run(2000, 0.0)
+        assert result.throughput_tasks_s == pytest.approx(1700, rel=0.05)
+
+    def test_more_workers_do_not_help_a_central_dispatcher(self):
+        small = FalkonScheduler(128, tree_latency=0.0).run(1500, 0.0)
+        large = FalkonScheduler(1024, tree_latency=0.0).run(1500, 0.0)
+        assert large.throughput_tasks_s <= small.throughput_tasks_s * 1.1
+
+    def test_efficiency_improves_with_task_duration(self):
+        # Fig 19 Falkon shape: 18%..82% from 1 s to 8 s tasks.
+        effs = [falkon_efficiency(2048, d) for d in (1, 2, 4, 8)]
+        assert all(a < b for a, b in zip(effs, effs[1:]))
+        assert 0.1 <= effs[0] <= 0.3
+        assert 0.7 <= effs[-1] <= 0.95
+
+    def test_scheduler_result_metrics(self):
+        result = SchedulerResult(
+            system="x", num_workers=10, tasks=100, task_duration_s=1.0,
+            makespan_s=20.0,
+        )
+        assert result.throughput_tasks_s == 5.0
+        assert result.efficiency == pytest.approx(0.5)
+
+    def test_des_run_tracks_closed_form(self):
+        sched = FalkonScheduler(64, tree_latency=0.5)
+        result = sched.run(512, 1.0)
+        predicted = falkon_efficiency(
+            64, 1.0, dispatch_time=sched.dispatch_time, tree_latency=0.5
+        )
+        assert result.efficiency == pytest.approx(predicted, rel=0.2)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            FalkonScheduler(0)

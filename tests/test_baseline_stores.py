@@ -1,0 +1,188 @@
+"""Tests for the disk-store baselines (KyotoCabinet- and BerkeleyDB-like)."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.berkeleydb import BerkeleyDBLike, BTree, _Locator
+from repro.baselines.kyotocabinet import DiskHashDB
+from repro.core.errors import KeyNotFound, StoreError
+
+
+class TestDiskHashDB:
+    def test_put_get_remove(self, tmp_path):
+        with DiskHashDB(str(tmp_path / "h.db")) as db:
+            db.put(b"k", b"v")
+            assert db.get(b"k") == b"v"
+            db.remove(b"k")
+            with pytest.raises(KeyNotFound):
+                db.get(b"k")
+
+    def test_overwrite(self, tmp_path):
+        with DiskHashDB(str(tmp_path / "h.db")) as db:
+            db.put(b"k", b"v1")
+            db.put(b"k", b"v2")
+            assert db.get(b"k") == b"v2"
+            assert len(db) == 1
+
+    def test_chained_bucket_collisions(self, tmp_path):
+        """With very few buckets every key collides; chains must work."""
+        with DiskHashDB(str(tmp_path / "h.db"), bucket_count=2) as db:
+            for i in range(50):
+                db.put(f"k{i}".encode(), f"v{i}".encode())
+            for i in range(50):
+                assert db.get(f"k{i}".encode()) == f"v{i}".encode()
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "h.db")
+        with DiskHashDB(path) as db:
+            db.put(b"stay", b"here")
+            db.put(b"gone", b"soon")
+            db.remove(b"gone")
+        with DiskHashDB(path) as db:
+            assert db.get(b"stay") == b"here"
+            assert b"gone" not in db
+            assert len(db) == 1
+
+    def test_items_returns_live_only(self, tmp_path):
+        with DiskHashDB(str(tmp_path / "h.db")) as db:
+            db.put(b"a", b"1")
+            db.put(b"a", b"2")
+            db.put(b"b", b"3")
+            db.remove(b"b")
+            assert db.items() == [(b"a", b"2")]
+
+    def test_compact_reclaims_space(self, tmp_path):
+        path = str(tmp_path / "h.db")
+        db = DiskHashDB(path)
+        for _ in range(100):
+            db.put(b"hot", b"x" * 200)
+        size_before = os.path.getsize(path)
+        db.compact()
+        assert os.path.getsize(path) < size_before
+        assert db.get(b"hot") == b"x" * 200
+        db.close()
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.db")
+        with open(path, "wb") as f:
+            f.write(b"NOPE" + b"\x00" * 100)
+        with pytest.raises(StoreError):
+            DiskHashDB(path)
+
+    def test_append_emulation(self, tmp_path):
+        with DiskHashDB(str(tmp_path / "h.db")) as db:
+            db.append(b"k", b"a")
+            db.append(b"k", b"b")
+            assert db.get(b"k") == b"ab"
+
+
+class TestBTree:
+    def test_sorted_iteration(self):
+        tree = BTree(order=3)
+        import random
+
+        keys = [f"{i:04d}".encode() for i in range(200)]
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(key, _Locator(0, 0))
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_invariants_during_growth(self):
+        tree = BTree(order=2)
+        for i in range(300):
+            tree.insert(f"{i:05d}".encode(), _Locator(i, 1))
+            tree.check_invariants()
+
+    def test_height_logarithmic(self):
+        tree = BTree(order=16)
+        for i in range(10_000):
+            tree.insert(f"{i:06d}".encode(), _Locator(i, 1))
+        assert tree.height <= 4
+
+    def test_update_in_place(self):
+        tree = BTree(order=4)
+        tree.insert(b"k", _Locator(1, 1))
+        assert tree.insert(b"k", _Locator(2, 2)) is False
+        assert tree.search(b"k").offset == 2
+
+    def test_search_missing(self):
+        assert BTree().search(b"nope") is None
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            BTree(order=1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.binary(min_size=1, max_size=12), max_size=200))
+    def test_property_contains_exactly_inserted_keys(self, keys):
+        tree = BTree(order=3)
+        for key in keys:
+            tree.insert(key, _Locator(0, 0))
+        tree.check_invariants()
+        assert {k for k, _ in tree.items()} == keys
+        for key in keys:
+            assert tree.search(key) is not None
+
+
+class TestBerkeleyDBLike:
+    def test_put_get_remove(self, tmp_path):
+        with BerkeleyDBLike(str(tmp_path / "b.db")) as db:
+            db.put(b"k", b"v")
+            assert db.get(b"k") == b"v"
+            db.remove(b"k")
+            with pytest.raises(KeyNotFound):
+                db.get(b"k")
+
+    def test_values_live_on_disk(self, tmp_path):
+        """The BerkeleyDB trade-off: small memory, disk reads on get."""
+        path = str(tmp_path / "b.db")
+        with BerkeleyDBLike(path) as db:
+            db.put(b"k", b"v" * 1000)
+            assert os.path.getsize(path) >= 1000
+
+    def test_reopen_rebuilds_index(self, tmp_path):
+        path = str(tmp_path / "b.db")
+        with BerkeleyDBLike(path) as db:
+            for i in range(100):
+                db.put(f"k{i}".encode(), f"v{i}".encode())
+            db.remove(b"k50")
+            db.put(b"k60", b"new")
+        with BerkeleyDBLike(path) as db:
+            assert len(db) == 99
+            assert b"k50" not in db
+            assert db.get(b"k60") == b"new"
+            db.tree.check_invariants()
+
+    def test_reinsert_after_remove(self, tmp_path):
+        with BerkeleyDBLike(str(tmp_path / "b.db")) as db:
+            db.put(b"k", b"v1")
+            db.remove(b"k")
+            db.put(b"k", b"v2")
+            assert db.get(b"k") == b"v2"
+            assert len(db) == 1
+
+    def test_compact(self, tmp_path):
+        path = str(tmp_path / "b.db")
+        db = BerkeleyDBLike(path)
+        for _ in range(50):
+            db.put(b"hot", b"x" * 500)
+        before = os.path.getsize(path)
+        db.compact()
+        assert os.path.getsize(path) < before
+        assert db.get(b"hot") == b"x" * 500
+        db.close()
+
+    def test_items_sorted_by_key(self, tmp_path):
+        with BerkeleyDBLike(str(tmp_path / "b.db")) as db:
+            for key in (b"zebra", b"apple", b"mango"):
+                db.put(key, key)
+            assert [k for k, _ in db.items()] == [b"apple", b"mango", b"zebra"]
+
+    def test_append_emulation(self, tmp_path):
+        with BerkeleyDBLike(str(tmp_path / "b.db")) as db:
+            db.append(b"k", b"a")
+            db.append(b"k", b"b")
+            assert db.get(b"k") == b"ab"

@@ -1,0 +1,117 @@
+"""Tests for the spanning-tree broadcast primitive (§VI future work)."""
+
+import math
+
+import pytest
+
+from repro import ZHTConfig, build_local_cluster
+from repro.core import KeyNotFound
+from repro.core.broadcast import (
+    broadcast_order,
+    decode_subtree,
+    encode_subtree,
+    split_subtree,
+)
+from repro.core.membership import Address
+
+
+class TestSubtreeCodec:
+    def test_roundtrip(self):
+        addrs = [Address(f"n{i}", i) for i in range(7)]
+        assert decode_subtree(encode_subtree(addrs)) == addrs
+
+    def test_bad_payload_decodes_empty(self):
+        assert decode_subtree(b"not json") == []
+        assert decode_subtree(b"[[1]]") == []
+
+
+class TestSpanningTree:
+    def test_leaf_has_no_children(self):
+        assert split_subtree([Address("a", 1)]) == []
+
+    def test_two_nodes_single_child(self):
+        a, b = Address("a", 1), Address("b", 2)
+        assert split_subtree([a, b]) == [[b]]
+
+    def test_split_covers_all_once(self):
+        addrs = [Address(f"n{i}", i) for i in range(10)]
+        children = split_subtree(addrs)
+        flattened = [a for child in children for a in child]
+        assert sorted(flattened) == sorted(addrs[1:])
+        assert len(children) == 2
+
+    def test_tree_depth_logarithmic(self):
+        """Full delivery finishes in ceil(log2 N) forwarding levels."""
+
+        def depth(subtree):
+            children = split_subtree(subtree)
+            if not children:
+                return 0
+            return 1 + max(depth(c) for c in children)
+
+        assert depth([Address("n0", 0)]) == 0
+        for n in (2, 3, 8, 33, 100):
+            addrs = [Address(f"n{i}", i) for i in range(n)]
+            assert depth(addrs) <= math.ceil(math.log2(n)) + 1
+
+    def test_fanout_bounded_by_two(self):
+        addrs = [Address(f"n{i}", i) for i in range(50)]
+        stack = [addrs]
+        while stack:
+            subtree = stack.pop()
+            children = split_subtree(subtree)
+            assert len(children) <= 2
+            stack.extend(children)
+
+
+@pytest.fixture
+def cluster():
+    with build_local_cluster(
+        4, ZHTConfig(transport="local", num_partitions=64, instances_per_node=2)
+    ) as c:
+        yield c
+
+
+class TestBroadcastEndToEnd:
+    def test_every_instance_receives(self, cluster):
+        z = cluster.client()
+        z.broadcast("cfg", b"payload")
+        for server in cluster.servers.values():
+            assert server.broadcast_store.get(b"cfg") == b"payload"
+
+    def test_lookup_broadcast_from_any_instance(self, cluster):
+        z = cluster.client()
+        z.broadcast("cfg", b"shared")
+        for inst in cluster.membership.instances.values():
+            assert z.lookup_broadcast("cfg", inst.address) == b"shared"
+
+    def test_lookup_broadcast_missing_raises(self, cluster):
+        z = cluster.client()
+        with pytest.raises(KeyNotFound):
+            z.lookup_broadcast("never-sent")
+
+    def test_broadcast_overwrites(self, cluster):
+        z = cluster.client()
+        z.broadcast("cfg", b"v1")
+        z.broadcast("cfg", b"v2")
+        for server in cluster.servers.values():
+            assert server.broadcast_store.get(b"cfg") == b"v2"
+
+    def test_broadcast_outside_partition_space(self, cluster):
+        """Broadcast pairs never pollute the partitioned key space."""
+        z = cluster.client()
+        z.broadcast("cfg", b"x")
+        assert cluster.total_pairs() == 0
+        with pytest.raises(KeyNotFound):
+            z.lookup("cfg")
+
+    def test_broadcast_order_skips_dead_nodes(self, cluster):
+        victim = next(iter(cluster.membership.nodes))
+        cluster.membership.mark_node_dead(victim)
+        z = cluster.client()
+        order = broadcast_order(z.core.membership)
+        dead_addresses = {
+            i.address
+            for i in cluster.membership.instances_on_node(victim)
+        }
+        assert not dead_addresses & set(order)

@@ -1,0 +1,97 @@
+"""Tests for NoVoHT checkpoint files (repro.novoht.checkpoint)."""
+
+import os
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import StoreError
+from repro.novoht.checkpoint import (
+    CHECKPOINT_MAGIC,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        pairs = [(f"k{i}".encode(), f"v{i}".encode()) for i in range(100)]
+        assert write_checkpoint(path, pairs) == 100
+        assert list(read_checkpoint(path)) == pairs
+
+    def test_empty_table(self, tmp_path):
+        path = str(tmp_path / "empty.ckpt")
+        assert write_checkpoint(path, []) == 0
+        assert list(read_checkpoint(path)) == []
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(read_checkpoint(str(tmp_path / "nope.ckpt"))) == []
+
+    def test_empty_keys_and_values_roundtrip(self, tmp_path):
+        path = str(tmp_path / "e.ckpt")
+        pairs = [(b"", b""), (b"k", b""), (b"", b"v")]
+        write_checkpoint(path, pairs)
+        assert list(read_checkpoint(path)) == pairs
+
+    def test_corrupt_crc_raises(self, tmp_path):
+        path = str(tmp_path / "bad.ckpt")
+        write_checkpoint(path, [(b"k", b"v")])
+        with open(path, "r+b") as f:
+            f.seek(-1, os.SEEK_END)
+            last = f.read(1)[0]
+            f.seek(-1, os.SEEK_END)
+            f.write(bytes([last ^ 0xFF]))
+        with pytest.raises(StoreError, match="CRC"):
+            list(read_checkpoint(path))
+
+    def test_bad_header_raises(self, tmp_path):
+        path = str(tmp_path / "hdr.ckpt")
+        with open(path, "wb") as f:
+            f.write(b"NOTACKPT" + b"\x00" * 8)
+        with pytest.raises(StoreError, match="bad header"):
+            list(read_checkpoint(path))
+
+    def test_truncated_body_raises(self, tmp_path):
+        path = str(tmp_path / "trunc.ckpt")
+        write_checkpoint(path, [(b"key", b"value" * 10)])
+        with open(path, "rb") as f:
+            data = f.read()
+        # Keep the header but cut the body, then re-append a valid CRC so
+        # only the pair data (not the CRC) is inconsistent.
+        import struct
+        import zlib
+
+        body = data[: len(CHECKPOINT_MAGIC) + 3]
+        with open(path, "wb") as f:
+            f.write(body + struct.pack("<I", zlib.crc32(body)))
+        with pytest.raises(StoreError):
+            list(read_checkpoint(path))
+
+    def test_atomic_replace_keeps_old_on_existing(self, tmp_path):
+        path = str(tmp_path / "atomic.ckpt")
+        write_checkpoint(path, [(b"old", b"1")])
+        write_checkpoint(path, [(b"new", b"2")])
+        assert list(read_checkpoint(path)) == [(b"new", b"2")]
+        assert not os.path.exists(path + ".tmp")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.binary(min_size=0, max_size=30),
+                st.binary(min_size=0, max_size=100),
+            ),
+            max_size=50,
+        )
+    )
+    def test_property_roundtrip(self, tmp_path_factory, pairs):
+        path = str(tmp_path_factory.mktemp("ckpt") / "p.ckpt")
+        write_checkpoint(path, pairs)
+        assert list(read_checkpoint(path)) == pairs
+
+    def test_binary_safe(self, tmp_path):
+        path = str(tmp_path / "bin.ckpt")
+        pairs = [(bytes(range(256)), bytes(reversed(range(256))))]
+        write_checkpoint(path, pairs)
+        assert list(read_checkpoint(path)) == pairs

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.nodes == 4 and args.replicas == 0
+
+    def test_simulate_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--system", "dynamo"])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--nodes", "2", "--ops", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "ops/s" in out and "client stats" in out
+
+    def test_demo_with_replicas(self, capsys):
+        assert main(["demo", "--nodes", "3", "--ops", "30", "--replicas", "1"]) == 0
+
+    def test_simulate_zht_torus(self, capsys):
+        assert main(["simulate", "--nodes", "16", "--ops", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "latency_ms" in out and "throughput_ops_s" in out
+
+    def test_simulate_cassandra_cluster(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--nodes",
+                    "16",
+                    "--ops",
+                    "4",
+                    "--system",
+                    "cassandra",
+                    "--topology",
+                    "switch",
+                ]
+            )
+            == 0
+        )
+
+    def test_simulate_invalid_combination(self, capsys):
+        # Cassandra was never run on the Blue Gene/P (no Java stack).
+        assert (
+            main(["simulate", "--system", "cassandra", "--topology", "torus"])
+            == 2
+        )
+        assert "not modeled" in capsys.readouterr().err
+
+    def test_predict_table(self, capsys):
+        assert main(["predict", "2", "8192", "1048576"]) == 0
+        out = capsys.readouterr().out
+        assert "1,048,576" in out
+        assert "8.0%" in out or "8.1%" in out or "7.9%" in out
+
+    def test_sockets_tcp(self, capsys):
+        assert main(["sockets", "--nodes", "2", "--ops", "60"]) == 0
+        assert "TCP x 2 servers" in capsys.readouterr().out
+
+    def test_sockets_udp(self, capsys):
+        assert (
+            main(["sockets", "--transport", "udp", "--nodes", "2", "--ops", "60"])
+            == 0
+        )
+        assert "UDP x 2 servers" in capsys.readouterr().out

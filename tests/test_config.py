@@ -1,0 +1,54 @@
+"""Tests for ZHTConfig validation (repro.core.config)."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, ReplicationMode, ZHTConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = ZHTConfig()
+        assert cfg.num_partitions == 1024
+        assert cfg.num_replicas == 0
+        assert cfg.replication_mode == ReplicationMode.ASYNC
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_partitions": 0},
+            {"num_partitions": -4},
+            {"num_replicas": -1},
+            {"replication_mode": "sometimes"},
+            {"hash_name": "md5"},
+            {"request_timeout": 0},
+            {"backoff_factor": 0.5},
+            {"max_retries": -1},
+            {"gc_dead_ratio": 1.5},
+            {"transport": "carrier-pigeon"},
+            {"instances_per_node": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ZHTConfig(**kwargs)
+
+    def test_replace_returns_new_config(self):
+        cfg = ZHTConfig()
+        cfg2 = cfg.replace(num_replicas=2)
+        assert cfg2.num_replicas == 2
+        assert cfg.num_replicas == 0
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            ZHTConfig().replace(num_partitions=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ZHTConfig().num_replicas = 3  # type: ignore[misc]
+
+    def test_all_replication_modes_accepted(self):
+        for mode in ReplicationMode.ALL:
+            assert ZHTConfig(replication_mode=mode).replication_mode == mode
+
+    def test_default_config_singleton_valid(self):
+        assert DEFAULT_CONFIG.num_partitions > 0

@@ -1,0 +1,85 @@
+"""Tests for the error/status layer (repro.core.errors)."""
+
+import pytest
+
+from repro.core.errors import (
+    STATUS_TO_EXCEPTION,
+    KeyNotFound,
+    NodeDeadError,
+    ProtocolError,
+    ReplicationError,
+    RequestTimeout,
+    Status,
+    StoreError,
+    UnsupportedOperation,
+    ValueTooLarge,
+    ZHTError,
+    raise_for_status,
+)
+
+
+class TestStatusCodes:
+    def test_ok_is_zero(self):
+        """"Integer return values return 0 for a successful operation"."""
+        assert Status.OK == 0
+
+    def test_all_statuses_distinct(self):
+        values = [int(s) for s in Status]
+        assert len(values) == len(set(values))
+
+
+class TestRaiseForStatus:
+    def test_ok_is_silent(self):
+        raise_for_status(Status.OK)
+
+    @pytest.mark.parametrize(
+        "status,exc_type",
+        [
+            (Status.KEY_NOT_FOUND, KeyNotFound),
+            (Status.VALUE_TOO_LARGE, ValueTooLarge),
+            (Status.STORE_ERROR, StoreError),
+            (Status.REPLICATION_ERROR, ReplicationError),
+            (Status.NODE_DEAD, NodeDeadError),
+            (Status.UNSUPPORTED, UnsupportedOperation),
+            (Status.TIMEOUT, RequestTimeout),
+            (Status.BAD_REQUEST, ProtocolError),
+        ],
+    )
+    def test_mapping(self, status, exc_type):
+        with pytest.raises(exc_type):
+            raise_for_status(status, "context")
+
+    def test_control_flow_statuses_become_protocol_errors(self):
+        # REDIRECT/MIGRATING must be consumed by the client loop; seeing
+        # them here is a bug and surfaces loudly.
+        for status in (Status.REDIRECT, Status.MIGRATING):
+            with pytest.raises(ProtocolError):
+                raise_for_status(status)
+
+    def test_exception_carries_status(self):
+        try:
+            raise_for_status(Status.KEY_NOT_FOUND, "k")
+        except KeyNotFound as exc:
+            assert exc.status == Status.KEY_NOT_FOUND
+
+    def test_message_included(self):
+        with pytest.raises(KeyNotFound, match="my-key"):
+            raise_for_status(Status.KEY_NOT_FOUND, "LOOKUP my-key")
+
+
+class TestHierarchy:
+    def test_pythonic_bases(self):
+        """ZHT exceptions subclass the stdlib types users already catch."""
+        assert issubclass(KeyNotFound, KeyError)
+        assert issubclass(RequestTimeout, TimeoutError)
+        assert issubclass(ValueTooLarge, ValueError)
+        assert issubclass(UnsupportedOperation, NotImplementedError)
+        for exc_type in STATUS_TO_EXCEPTION.values():
+            assert issubclass(exc_type, ZHTError)
+
+    def test_status_override_in_constructor(self):
+        exc = ZHTError("custom", status=Status.TIMEOUT)
+        assert exc.status == Status.TIMEOUT
+
+    def test_default_message_is_class_name(self):
+        assert "KeyNotFound" in str(KeyNotFound())

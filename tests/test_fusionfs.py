@@ -1,0 +1,194 @@
+"""Tests for FusionFS: metadata over ZHT, append-based directories."""
+
+import pytest
+
+from repro import ZHTConfig, build_local_cluster
+from repro.fusionfs import (
+    DataStorePool,
+    FSError,
+    FusionFS,
+    LocalDataStore,
+    normalize,
+)
+
+
+@pytest.fixture
+def setup():
+    cluster = build_local_cluster(
+        3, ZHTConfig(transport="local", num_partitions=64)
+    )
+    pool = DataStorePool()
+    fs = FusionFS(cluster.client(), pool, "node-0000")
+    yield cluster, pool, fs
+    cluster.close()
+
+
+class TestPaths:
+    def test_normalize(self):
+        assert normalize("a/b") == "/a/b"
+        assert normalize("/a//b/") == "/a/b"
+        assert normalize("/a/./b/../c") == "/a/c"
+        assert normalize("/") == "/"
+
+
+class TestNamespace:
+    def test_root_exists(self, setup):
+        _c, _p, fs = setup
+        assert fs.stat("/").kind == "dir"
+
+    def test_create_and_stat(self, setup):
+        _c, _p, fs = setup
+        inode = fs.create("/file.txt")
+        assert inode.kind == "file"
+        assert fs.stat("/file.txt").size == 0
+
+    def test_create_requires_parent(self, setup):
+        _c, _p, fs = setup
+        with pytest.raises(FSError, match="no such file"):
+            fs.create("/missing/file.txt")
+
+    def test_create_duplicate_rejected(self, setup):
+        _c, _p, fs = setup
+        fs.create("/dup")
+        with pytest.raises(FSError, match="exists"):
+            fs.create("/dup")
+
+    def test_create_under_file_rejected(self, setup):
+        _c, _p, fs = setup
+        fs.create("/afile")
+        with pytest.raises(FSError, match="not a directory"):
+            fs.create("/afile/child")
+
+    def test_mkdir_and_readdir(self, setup):
+        _c, _p, fs = setup
+        fs.mkdir("/docs")
+        fs.create("/docs/a")
+        fs.create("/docs/b")
+        assert fs.readdir("/docs") == ["a", "b"]
+        assert "docs" in fs.readdir("/")
+
+    def test_makedirs(self, setup):
+        _c, _p, fs = setup
+        fs.makedirs("/deep/nested/dirs")
+        assert fs.stat("/deep/nested/dirs").kind == "dir"
+        fs.makedirs("/deep/nested/dirs")  # idempotent
+
+    def test_readdir_on_file_rejected(self, setup):
+        _c, _p, fs = setup
+        fs.create("/f")
+        with pytest.raises(FSError, match="not a directory"):
+            fs.readdir("/f")
+
+    def test_unlink(self, setup):
+        _c, _p, fs = setup
+        fs.create("/gone")
+        fs.unlink("/gone")
+        assert not fs.exists("/gone")
+        assert "gone" not in fs.readdir("/")
+
+    def test_unlink_directory_rejected(self, setup):
+        _c, _p, fs = setup
+        fs.mkdir("/d")
+        with pytest.raises(FSError, match="is a directory"):
+            fs.unlink("/d")
+
+    def test_rmdir(self, setup):
+        _c, _p, fs = setup
+        fs.mkdir("/empty")
+        fs.rmdir("/empty")
+        assert not fs.exists("/empty")
+
+    def test_rmdir_nonempty_rejected(self, setup):
+        _c, _p, fs = setup
+        fs.mkdir("/full")
+        fs.create("/full/f")
+        with pytest.raises(FSError, match="not empty"):
+            fs.rmdir("/full")
+
+    def test_rename(self, setup):
+        _c, _p, fs = setup
+        fs.write("/old", b"content")
+        fs.mkdir("/sub")
+        fs.rename("/old", "/sub/new")
+        assert not fs.exists("/old")
+        assert fs.read("/sub/new") == b"content"
+        assert fs.readdir("/sub") == ["new"]
+
+
+class TestData:
+    def test_write_read(self, setup):
+        _c, _p, fs = setup
+        fs.write("/data.bin", bytes(range(256)))
+        assert fs.read("/data.bin") == bytes(range(256))
+        assert fs.stat("/data.bin").size == 256
+
+    def test_write_creates_implicitly(self, setup):
+        _c, _p, fs = setup
+        fs.write("/implicit", b"x")
+        assert fs.exists("/implicit")
+
+    def test_overwrite(self, setup):
+        _c, _p, fs = setup
+        fs.write("/f", b"v1")
+        fs.write("/f", b"version2")
+        assert fs.read("/f") == b"version2"
+        assert fs.stat("/f").size == 8
+
+    def test_empty_file_reads_empty(self, setup):
+        _c, _p, fs = setup
+        fs.create("/empty")
+        assert fs.read("/empty") == b""
+
+    def test_data_locality_on_cross_node_write(self, setup):
+        """A write from another node moves the content to that node."""
+        cluster, pool, fs = setup
+        fs.write("/shared", b"from node 0")
+        fs2 = FusionFS(cluster.client(), pool, "node-0001")
+        fs2.write("/shared", b"from node 1")
+        assert fs2.stat("/shared").data_node == "node-0001"
+        assert fs.read("/shared") == b"from node 1"
+
+
+class TestConcurrentMetadata:
+    def test_many_clients_create_in_one_directory(self, setup):
+        """The headline FusionFS pattern: N clients creating files in the
+        same directory concurrently, lock-free via append (§III.I:
+        "creating 10K files from 10K processes in one directory")."""
+        cluster, pool, fs = setup
+        fs.mkdir("/shared")
+        mounts = [
+            FusionFS(cluster.client(), pool, f"node-000{i}") for i in range(3)
+        ]
+        for round_no in range(10):
+            for i, mount in enumerate(mounts):
+                mount.create(f"/shared/file-{i}-{round_no}")
+        entries = fs.readdir("/shared")
+        assert len(entries) == 30
+        # Every client's files are present — no lost updates.
+        for i in range(3):
+            for round_no in range(10):
+                assert f"file-{i}-{round_no}" in entries
+
+    def test_directory_log_compaction(self, setup):
+        _c, _p, fs = setup
+        fs.mkdir("/churn")
+        for i in range(20):
+            fs.create(f"/churn/f{i}")
+        for i in range(0, 20, 2):
+            fs.unlink(f"/churn/f{i}")
+        count = fs.meta.compact_entries("/churn")
+        assert count == 10
+        assert fs.readdir("/churn") == sorted(
+            f"f{i}" for i in range(1, 20, 2)
+        )
+
+    def test_namespace_visible_across_mounts(self, setup):
+        cluster, pool, fs = setup
+        fs.makedirs("/a/b")
+        fs.write("/a/b/c", b"shared view")
+        other = FusionFS(cluster.client(), pool, "node-0002")
+        assert other.read("/a/b/c") == b"shared view"
+        assert other.tree("/a") == {
+            "kind": "dir",
+            "entries": {"b": {"kind": "dir", "entries": {"c": {"kind": "file", "size": 11}}}},
+        }

@@ -1,0 +1,142 @@
+"""Tests for repro.core.hashing — FNV, Jenkins lookup3, ring placement."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import (
+    HASH_FUNCTIONS,
+    ID_SPACE,
+    fnv1a_32,
+    fnv1a_64,
+    get_hash_function,
+    jenkins_64,
+    jenkins_lookup3,
+    partition_of,
+    ring_position,
+)
+
+
+class TestFNV:
+    def test_known_vectors_32(self):
+        # Published FNV-1a test vectors.
+        assert fnv1a_32(b"") == 0x811C9DC5
+        assert fnv1a_32(b"a") == 0xE40C292C
+        assert fnv1a_32(b"foobar") == 0xBF9CF968
+
+    def test_known_vectors_64(self):
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+        assert fnv1a_64(b"foobar") == 0x85944171F73967E8
+
+    def test_str_and_bytes_agree(self):
+        assert fnv1a_64("zht-key") == fnv1a_64(b"zht-key")
+
+    def test_rejects_non_key_types(self):
+        with pytest.raises(TypeError):
+            fnv1a_64(123)  # type: ignore[arg-type]
+
+
+class TestJenkins:
+    def test_empty_input(self):
+        # lookup3 with no data returns the initialized c value.
+        assert jenkins_lookup3(b"") == 0xDEADBEEF
+
+    def test_deterministic(self):
+        assert jenkins_lookup3(b"hello world") == jenkins_lookup3(b"hello world")
+
+    def test_seed_changes_result(self):
+        assert jenkins_lookup3(b"key", 0) != jenkins_lookup3(b"key", 1)
+
+    def test_64_combines_two_seeds(self):
+        h = jenkins_64(b"key")
+        assert h >> 32 == jenkins_lookup3(b"key", 0x9E3779B9)
+        assert h & 0xFFFFFFFF == jenkins_lookup3(b"key", 0)
+
+    def test_multiblock_input(self):
+        # Inputs > 12 bytes exercise the _mix loop.
+        long_key = b"x" * 100
+        assert 0 <= jenkins_lookup3(long_key) < 2**32
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_range_32bit(self, data):
+        assert 0 <= jenkins_lookup3(data) < 2**32
+
+
+class TestRegistry:
+    def test_all_registered_functions_callable(self):
+        for name in HASH_FUNCTIONS:
+            assert get_hash_function(name)(b"probe") >= 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown hash function"):
+            get_hash_function("sha999")
+
+
+class TestRingPlacement:
+    @given(st.binary(min_size=1, max_size=40))
+    def test_position_in_id_space(self, key):
+        for name in HASH_FUNCTIONS:
+            assert 0 <= ring_position(key, name) < ID_SPACE
+
+    @given(
+        st.binary(min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=100_000),
+    )
+    def test_partition_in_range(self, key, n):
+        assert 0 <= partition_of(key, n) < n
+
+    def test_partition_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            partition_of(b"k", 0)
+
+    def test_single_partition_maps_everything_to_zero(self):
+        assert all(
+            partition_of(f"k{i}".encode(), 1) == 0 for i in range(100)
+        )
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=1024))
+    def test_distribution_roughly_uniform(self, n):
+        """"distribute signatures uniformly" — no partition should hog keys."""
+        counts = [0] * n
+        samples = 50 * n if n <= 64 else 4 * n
+        for i in range(samples):
+            counts[partition_of(f"key-{i}".encode(), n)] += 1
+        # Very loose bound: no partition gets more than 12x its fair share.
+        assert max(counts) <= max(12 * samples // n, 16)
+
+    def test_avalanche_effect(self):
+        """Small input changes flip roughly half the ring-position bits."""
+        diffs = []
+        for i in range(200):
+            a = ring_position(f"key-{i}a".encode())
+            b = ring_position(f"key-{i}b".encode())
+            diffs.append(bin(a ^ b).count("1"))
+        mean = sum(diffs) / len(diffs)
+        assert 28 <= mean <= 36  # ideal is 32 of 64 bits
+
+    def test_keys_spread_across_partitions(self):
+        n = 128
+        hit = {partition_of(f"file-{i}".encode(), n) for i in range(2000)}
+        assert len(hit) > n * 0.9
+
+
+class TestConsistencyAcrossRuns:
+    """ZHT hashes must be stable across processes (they define data
+    placement); these pin the exact values."""
+
+    def test_pinned_values(self):
+        from repro.core.hashing import fmix64
+
+        assert ring_position(b"zht") == fmix64(fnv1a_64(b"zht"))
+        assert partition_of(b"zht", 1024) == (
+            fmix64(fnv1a_64(b"zht")) * 1024
+        ) >> 64
+
+    def test_printable_ascii_keys(self):
+        # Typical ZHT keys are "variable length ASCII text string"s.
+        for ch in string.printable:
+            assert 0 <= partition_of(ch.encode(), 64) < 64

@@ -1,0 +1,75 @@
+"""Tests for the in-process transport's fault-injection surface."""
+
+import pytest
+
+from repro.core.membership import Address
+from repro.core.protocol import OpCode, Request, Status
+from repro.net.local import LocalNetwork
+from tests.test_server_core import deploy
+
+
+def wire(table, servers):
+    network = LocalNetwork()
+    for server in servers.values():
+        network.add_server(server)
+    return network
+
+
+class TestReachability:
+    def test_roundtrip_to_registered_server(self):
+        table, servers, _cfg = deploy()
+        network = wire(table, servers)
+        address = next(iter(servers.values())).info.address
+        response = network.roundtrip(address, Request(op=OpCode.PING), 1.0)
+        assert response.status == Status.OK
+        assert network.stats.roundtrips == 1
+
+    def test_unknown_address_times_out(self):
+        table, servers, _cfg = deploy()
+        network = wire(table, servers)
+        assert network.roundtrip(Address("ghost", 1), Request(op=OpCode.PING), 1.0) is None
+        assert network.stats.dropped == 1
+
+    def test_kill_and_revive(self):
+        table, servers, _cfg = deploy()
+        network = wire(table, servers)
+        address = next(iter(servers.values())).info.address
+        network.kill_address(address)
+        assert network.roundtrip(address, Request(op=OpCode.PING), 1.0) is None
+        network.revive_address(address)
+        assert (
+            network.roundtrip(address, Request(op=OpCode.PING), 1.0).status
+            == Status.OK
+        )
+
+    def test_kill_node_kills_all_its_addresses(self):
+        table, servers, _cfg = deploy()
+        network = wire(table, servers)
+        addresses = [s.info.address for s in servers.values()]
+        network.kill_node(addresses[:2])
+        assert network.roundtrip(addresses[0], Request(op=OpCode.PING), 1.0) is None
+        assert network.roundtrip(addresses[1], Request(op=OpCode.PING), 1.0) is None
+        assert network.roundtrip(addresses[2], Request(op=OpCode.PING), 1.0) is not None
+
+    def test_oneway_counts_and_drops(self):
+        table, servers, _cfg = deploy()
+        network = wire(table, servers)
+        address = next(iter(servers.values())).info.address
+        network.send_oneway(address, Request(op=OpCode.PING))
+        network.send_oneway(Address("ghost", 1), Request(op=OpCode.PING))
+        assert network.stats.oneways == 1
+        assert network.stats.dropped == 1
+
+    def test_close_closes_server_stores(self):
+        from tests.test_server_core import owner_server
+
+        table, servers, cfg = deploy()
+        network = wire(table, servers)
+        server, _pid = owner_server(table, servers, b"probe", cfg)
+        server.handle(Request(op=OpCode.INSERT, key=b"probe", value=b"v"))
+        network.close()
+        from repro.core.errors import StoreError
+
+        part = next(iter(server.partitions.values()))
+        with pytest.raises(StoreError):
+            part.store.put(b"x", b"y")

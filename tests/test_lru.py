@@ -1,0 +1,106 @@
+"""Tests for the LRU connection cache (repro.net.lru)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.lru import LRUCache
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_miss_returns_none(self):
+        cache = LRUCache(2)
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_on_evict_callback(self):
+        evicted = []
+        cache = LRUCache(1, on_evict=lambda k, v: evicted.append((k, v)))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert evicted == [("a", 1)]
+
+    def test_zero_capacity_disables_caching(self):
+        """capacity=0 models "TCP without connection caching"."""
+        closed = []
+        cache = LRUCache(0, on_evict=lambda k, v: closed.append(k))
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert closed == ["a"]
+
+    def test_replacing_value_evicts_old(self):
+        closed = []
+        cache = LRUCache(2, on_evict=lambda k, v: closed.append(v))
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert closed == [1]
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+    def test_pop_skips_callback(self):
+        closed = []
+        cache = LRUCache(2, on_evict=lambda k, v: closed.append(k))
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert closed == []
+        assert cache.pop("a") is None
+
+    def test_clear_evicts_everything(self):
+        closed = []
+        cache = LRUCache(3, on_evict=lambda k, v: closed.append(k))
+        for k in "abc":
+            cache.put(k, 0)
+        cache.clear()
+        assert sorted(closed) == ["a", "b", "c"]
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        keys=st.lists(st.integers(min_value=0, max_value=20), max_size=100),
+    )
+    def test_property_never_exceeds_capacity(self, capacity, keys):
+        cache = LRUCache(capacity)
+        for k in keys:
+            cache.put(k, k)
+            assert len(cache) <= capacity
+
+    @given(keys=st.lists(st.integers(min_value=0, max_value=10), max_size=60))
+    def test_property_matches_reference_model(self, keys):
+        """LRU behaviour matches a simple reference implementation."""
+        capacity = 3
+        cache = LRUCache(capacity)
+        model: list[int] = []  # most recent last
+        for k in keys:
+            cache.put(k, k)
+            if k in model:
+                model.remove(k)
+            model.append(k)
+            if len(model) > capacity:
+                model.pop(0)
+        assert sorted(cache) == sorted(model)

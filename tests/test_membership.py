@@ -1,0 +1,283 @@
+"""Tests for the membership table (repro.core.membership)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import MembershipError
+from repro.core.membership import (
+    Address,
+    InstanceInfo,
+    MembershipTable,
+    NodeInfo,
+    new_instance_id,
+)
+
+
+def make_table(num_nodes=4, instances_per_node=1, num_partitions=64, seed=1):
+    rng = random.Random(seed)
+    nodes, instances = [], []
+    port = 9000
+    for n in range(num_nodes):
+        node_id = f"n{n}"
+        nodes.append(NodeInfo(node_id, Address(node_id, 1)))
+        for _ in range(instances_per_node):
+            port += 1
+            instances.append(
+                InstanceInfo(new_instance_id(rng), node_id, Address(node_id, port))
+            )
+    return MembershipTable.bootstrap(num_partitions, nodes, instances), nodes, instances
+
+
+class TestBootstrap:
+    def test_partition_coverage_complete(self):
+        table, _, _ = make_table()
+        assert all(owner for owner in table.partition_owner)
+
+    def test_even_assignment(self):
+        table, _, instances = make_table(num_nodes=4, num_partitions=64)
+        counts = [len(table.partitions_of_instance(i.instance_id)) for i in instances]
+        assert counts == [16, 16, 16, 16]
+
+    def test_uneven_division_spreads_remainder(self):
+        table, _, instances = make_table(num_nodes=3, num_partitions=64)
+        counts = sorted(
+            len(table.partitions_of_instance(i.instance_id)) for i in instances
+        )
+        assert sum(counts) == 64
+        assert counts[-1] - counts[0] <= 1
+
+    def test_contiguous_ranges(self):
+        """Partitions are contiguous ranges of the ring per instance."""
+        table, _, _ = make_table(num_nodes=4, num_partitions=64)
+        owners = table.partition_owner
+        seen = []
+        for owner in owners:
+            if not seen or seen[-1] != owner:
+                seen.append(owner)
+        assert len(seen) == len(set(seen))  # each instance appears once
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(MembershipError):
+            MembershipTable.bootstrap(8, [], [])
+
+    def test_more_instances_than_partitions_rejected(self):
+        rng = random.Random(0)
+        nodes = [NodeInfo("n0", Address("n0", 1))]
+        instances = [
+            InstanceInfo(new_instance_id(rng), "n0", Address("n0", 9000 + i))
+            for i in range(10)
+        ]
+        with pytest.raises(MembershipError, match="exceed"):
+            MembershipTable.bootstrap(4, nodes, instances)
+
+    def test_unknown_node_reference_rejected(self):
+        rng = random.Random(0)
+        nodes = [NodeInfo("n0", Address("n0", 1))]
+        instances = [
+            InstanceInfo(new_instance_id(rng), "ghost", Address("ghost", 9000))
+        ]
+        with pytest.raises(MembershipError, match="unknown node"):
+            MembershipTable.bootstrap(8, nodes, instances)
+
+    def test_epoch_starts_at_one(self):
+        table, _, _ = make_table()
+        assert table.epoch == 1
+
+
+class TestRouting:
+    def test_lookup_instance_is_owner(self):
+        table, _, _ = make_table()
+        inst = table.lookup_instance(b"some-key", "fnv1a_64")
+        pid = table.partition_of_key(b"some-key", "fnv1a_64")
+        assert table.partition_owner[pid] == inst.instance_id
+
+    def test_routing_is_deterministic(self):
+        table, _, _ = make_table()
+        a = table.lookup_instance(b"k", "fnv1a_64")
+        b = table.lookup_instance(b"k", "fnv1a_64")
+        assert a == b
+
+    def test_unassigned_partition_raises(self):
+        table = MembershipTable(8)
+        with pytest.raises(MembershipError, match="unassigned"):
+            table.owner_of_partition(0)
+
+
+class TestReplicaChains:
+    def test_chain_starts_with_owner(self):
+        table, _, _ = make_table(num_nodes=5)
+        chain = table.replicas_for_partition(0, 2)
+        assert chain[0] == table.owner_of_partition(0)
+
+    def test_chain_on_distinct_nodes(self):
+        table, _, _ = make_table(num_nodes=5, instances_per_node=2)
+        chain = table.replicas_for_partition(0, 3)
+        node_ids = [inst.node_id for inst in chain]
+        assert len(node_ids) == len(set(node_ids)) == 4
+
+    def test_chain_skips_dead_nodes(self):
+        table, _, _ = make_table(num_nodes=4)
+        full = table.replicas_for_partition(0, 2)
+        table.mark_node_dead(full[1].node_id)
+        chain = table.replicas_for_partition(0, 2)
+        assert full[1].node_id not in [c.node_id for c in chain[1:]]
+
+    def test_chain_limited_by_cluster_size(self):
+        table, _, _ = make_table(num_nodes=2)
+        chain = table.replicas_for_partition(0, 5)
+        assert len(chain) == 2  # owner + the only other node
+
+    def test_zero_replicas(self):
+        table, _, _ = make_table()
+        assert len(table.replicas_for_partition(0, 0)) == 1
+
+    def test_chain_follows_ring_order(self):
+        """Replicas are the owner's successors "in close proximity
+        (according to the UUID)"."""
+        table, _, _ = make_table(num_nodes=6)
+        ring = table.ring_order()
+        chain = table.replicas_for_partition(0, 2)
+        owner_idx = ring.index(chain[0])
+        successor = ring[(owner_idx + 1) % len(ring)]
+        assert chain[1] == successor
+
+
+class TestMutations:
+    def test_every_mutation_bumps_epoch(self):
+        table, _, instances = make_table()
+        rng = random.Random(9)
+        start = table.epoch
+        node = NodeInfo("new", Address("new", 1))
+        table.add_node(node)
+        inst = InstanceInfo(new_instance_id(rng), "new", Address("new", 9100))
+        table.add_instance(inst)
+        table.reassign_partition(0, inst.instance_id)
+        table.mark_node_dead("n0")
+        assert table.epoch == start + 4
+
+    def test_duplicate_node_rejected(self):
+        table, nodes, _ = make_table()
+        with pytest.raises(MembershipError, match="already present"):
+            table.add_node(nodes[0])
+
+    def test_instance_for_unknown_node_rejected(self):
+        table, _, _ = make_table()
+        with pytest.raises(MembershipError, match="unknown node"):
+            table.add_instance(
+                InstanceInfo(new_instance_id(), "ghost", Address("ghost", 1))
+            )
+
+    def test_remove_instance_with_partitions_rejected(self):
+        table, _, instances = make_table()
+        with pytest.raises(MembershipError, match="still owns"):
+            table.remove_instance(instances[0].instance_id)
+
+    def test_remove_node_with_instances_rejected(self):
+        table, _, _ = make_table()
+        with pytest.raises(MembershipError, match="still hosts"):
+            table.remove_node("n0")
+
+    def test_mark_dead_twice_bumps_once(self):
+        table, _, _ = make_table()
+        e = table.epoch
+        table.mark_node_dead("n1")
+        table.mark_node_dead("n1")
+        assert table.epoch == e + 1
+
+    def test_reassign_out_of_range_rejected(self):
+        table, _, instances = make_table(num_partitions=8)
+        with pytest.raises(MembershipError, match="out of range"):
+            table.reassign_partition(8, instances[0].instance_id)
+
+    def test_most_loaded_node(self):
+        table, _, instances = make_table(num_nodes=2, num_partitions=8)
+        # Move everything to n0's instance.
+        target = instances[0].instance_id
+        for pid in range(8):
+            table.reassign_partition(pid, target)
+        assert table.most_loaded_node() == "n0"
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        table, _, _ = make_table(num_nodes=5, instances_per_node=2)
+        clone = MembershipTable.from_bytes(table.to_bytes())
+        assert clone.epoch == table.epoch
+        assert clone.partition_owner == table.partition_owner
+        assert clone.nodes == table.nodes
+        assert clone.instances == table.instances
+
+    def test_rle_compresses_contiguous_owners(self):
+        table, _, instances = make_table(num_nodes=4, num_partitions=1024)
+        rle = table._owners_rle()
+        assert len(rle) == len(instances)
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(MembershipError):
+            MembershipTable.from_bytes(b"not json at all")
+
+    def test_footprint_small(self):
+        """Membership must stay a tiny fraction of memory — the paper
+        budgets 32 B/node; serialized JSON is bigger but still O(nodes)."""
+        table, _, _ = make_table(num_nodes=64, num_partitions=1024)
+        assert table.memory_footprint_bytes() < 64 * 220
+
+    def test_copy_is_independent(self):
+        table, _, _ = make_table()
+        clone = table.copy()
+        clone.mark_node_dead("n0")
+        assert table.nodes["n0"].alive
+        assert not clone.nodes["n0"].alive
+
+
+class TestAdoption:
+    def test_adopts_newer(self):
+        table, _, _ = make_table()
+        newer = table.copy()
+        newer.mark_node_dead("n2")
+        assert table.maybe_adopt(newer)
+        assert not table.nodes["n2"].alive
+        assert table.epoch == newer.epoch
+
+    def test_rejects_older_or_equal(self):
+        table, _, _ = make_table()
+        stale = table.copy()
+        table.mark_node_dead("n3")
+        assert not table.maybe_adopt(stale)
+        assert not table.nodes["n3"].alive  # unchanged
+
+    def test_partition_count_mismatch_raises(self):
+        table, _, _ = make_table(num_partitions=64)
+        other, _, _ = make_table(num_partitions=32)
+        other.epoch = table.epoch + 100
+        with pytest.raises(MembershipError, match="partition count"):
+            table.maybe_adopt(other)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=1, max_value=12),
+    instances_per_node=st.integers(min_value=1, max_value=3),
+    log2_partitions=st.integers(min_value=6, max_value=10),
+)
+def test_property_bootstrap_invariants(num_nodes, instances_per_node, log2_partitions):
+    """Bootstrap always produces full coverage, balanced ±1 assignment,
+    and a serialization-stable table."""
+    num_partitions = 2**log2_partitions
+    table, _, instances = make_table(
+        num_nodes=num_nodes,
+        instances_per_node=instances_per_node,
+        num_partitions=num_partitions,
+        seed=num_nodes * 31 + instances_per_node,
+    )
+    counts = [
+        len(table.partitions_of_instance(i.instance_id)) for i in instances
+    ]
+    assert sum(counts) == num_partitions
+    assert max(counts) - min(counts) <= 1
+    assert MembershipTable.from_bytes(table.to_bytes()).partition_owner == (
+        table.partition_owner
+    )

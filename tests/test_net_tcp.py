@@ -1,0 +1,211 @@
+"""Tests for the real TCP transport (repro.net.tcp, repro.net.cluster)."""
+
+import time
+
+import pytest
+
+from repro.core import KeyNotFound, ZHTConfig
+from repro.core.membership import Address
+from repro.core.protocol import OpCode, Request
+from repro.net.cluster import build_tcp_cluster
+from repro.net.tcp import TCPClient
+
+
+@pytest.fixture(scope="module")
+def tcp_cluster():
+    cfg = ZHTConfig(transport="tcp", num_partitions=64, request_timeout=0.5)
+    with build_tcp_cluster(3, cfg) as cluster:
+        yield cluster
+
+
+class TestBasicOps:
+    def test_full_op_cycle(self, tcp_cluster):
+        z = tcp_cluster.client()
+        z.insert("tcp-key", b"tcp-value")
+        assert z.lookup("tcp-key") == b"tcp-value"
+        z.append("tcp-key", b"+more")
+        assert z.lookup("tcp-key") == b"tcp-value+more"
+        z.remove("tcp-key")
+        with pytest.raises(KeyNotFound):
+            z.lookup("tcp-key")
+
+    def test_paper_workload_shape(self, tcp_cluster):
+        """15-byte keys, 132-byte values — the micro-benchmark payload."""
+        z = tcp_cluster.client()
+        keys = [f"k{i:014d}" for i in range(50)]
+        value = b"v" * 132
+        for k in keys:
+            z.insert(k, value)
+        assert all(z.lookup(k) == value for k in keys)
+
+    def test_two_clients_shared_state(self, tcp_cluster):
+        a, b = tcp_cluster.client(), tcp_cluster.client()
+        a.insert("shared", b"1")
+        assert b.lookup("shared") == b"1"
+
+    def test_large_value_crosses_frames(self, tcp_cluster):
+        z = tcp_cluster.client()
+        big = bytes(range(256)) * 2000  # 512 KB
+        z.insert("big", big)
+        assert z.lookup("big") == big
+
+    def test_binary_keys(self, tcp_cluster):
+        z = tcp_cluster.client()
+        key = bytes([0, 255, 10, 13, 127])
+        z.insert(key, b"binary")
+        assert z.lookup(key) == b"binary"
+
+
+class TestConnectionCaching:
+    def test_cached_client_reuses_connections(self, tcp_cluster):
+        z = tcp_cluster.client()
+        for i in range(30):
+            z.insert(f"cc{i}", b"v")
+        # At most one connect per server (3 servers).
+        assert z.transport.connects <= 3
+
+    def test_uncached_client_connects_every_op(self):
+        cfg = ZHTConfig(
+            transport="tcp",
+            num_partitions=64,
+            connection_cache_size=0,
+            request_timeout=0.5,
+        )
+        with build_tcp_cluster(2, cfg) as cluster:
+            z = cluster.client()
+            for i in range(10):
+                z.insert(f"nc{i}", b"v")
+            assert z.transport.connects == 10
+
+    def test_caching_is_faster_than_no_caching(self):
+        """Connection caching must beat per-op connects (Fig 7's gap)."""
+        ops = 150
+
+        def timed(cache_size):
+            cfg = ZHTConfig(
+                transport="tcp",
+                num_partitions=64,
+                connection_cache_size=cache_size,
+                request_timeout=1.0,
+            )
+            with build_tcp_cluster(2, cfg) as cluster:
+                z = cluster.client()
+                z.insert("warmup", b"x")
+                t0 = time.perf_counter()
+                for i in range(ops):
+                    z.insert(f"t{i}", b"v")
+                return time.perf_counter() - t0
+
+        assert timed(128) < timed(0)
+
+
+class TestReplicationOverTCP:
+    def test_replicas_materialize(self):
+        cfg = ZHTConfig(
+            transport="tcp",
+            num_partitions=64,
+            num_replicas=1,
+            request_timeout=0.5,
+        )
+        with build_tcp_cluster(3, cfg) as cluster:
+            z = cluster.client()
+            for i in range(20):
+                z.insert(f"r{i}", b"v")
+            deadline = time.time() + 2
+            while time.time() < deadline:
+                total = sum(
+                    len(p.store)
+                    for s in cluster.servers
+                    for p in s.core.partitions.values()
+                )
+                if total == 40:
+                    break
+                time.sleep(0.05)
+            assert total == 40
+
+    def test_failover_on_real_sockets(self):
+        cfg = ZHTConfig(
+            transport="tcp",
+            num_partitions=64,
+            num_replicas=2,
+            request_timeout=0.1,
+            failures_before_dead=2,
+            max_retries=10,
+        )
+        with build_tcp_cluster(3, cfg) as cluster:
+            z = cluster.client()
+            for i in range(20):
+                z.insert(f"f{i}", f"v{i}".encode())
+            time.sleep(0.2)  # let async replicas land
+            pid = cluster.membership.partition_of_key(b"f0", cfg.hash_name)
+            owner = cluster.membership.owner_of_partition(pid)
+            victim_index = next(
+                i
+                for i, s in enumerate(cluster.servers)
+                if s.core.info.instance_id == owner.instance_id
+            )
+            cluster.stop_server(victim_index)
+            assert z.lookup("f0") == b"v0"
+            assert z.stats.failovers >= 1
+
+
+class TestServerArchitectures:
+    def test_threaded_server_works(self):
+        cfg = ZHTConfig(transport="tcp", num_partitions=64, request_timeout=1.0)
+        with build_tcp_cluster(2, cfg, threaded_server=True) as cluster:
+            z = cluster.client()
+            z.insert("t", b"v")
+            assert z.lookup("t") == b"v"
+
+    def test_event_driven_outperforms_threaded(self):
+        """§IV.D: "The current epoll-based ZHT outperforms the multithread
+        version 3X."  We assert a conservative >1.3x on loopback."""
+        ops = 200
+
+        def timed(threaded):
+            cfg = ZHTConfig(
+                transport="tcp", num_partitions=64, request_timeout=2.0
+            )
+            with build_tcp_cluster(1, cfg, threaded_server=threaded) as cluster:
+                z = cluster.client()
+                z.insert("warm", b"x")
+                t0 = time.perf_counter()
+                for i in range(ops):
+                    z.insert(f"a{i}", b"v")
+                return time.perf_counter() - t0
+
+        assert timed(threaded=True) > 1.3 * timed(threaded=False)
+
+
+class TestClientRobustness:
+    def test_roundtrip_to_nothing_returns_none(self):
+        client = TCPClient(cache_size=4)
+        response = client.roundtrip(
+            Address("127.0.0.1", 1), Request(op=OpCode.PING), timeout=0.2
+        )
+        assert response is None
+        client.close()
+
+    def test_oneway_to_nothing_is_silent(self):
+        client = TCPClient(cache_size=4)
+        client.send_oneway(Address("127.0.0.1", 1), Request(op=OpCode.PING))
+        client.close()
+
+    def test_stale_cached_connection_recovers(self):
+        """A connection cached across a server restart fails once, then a
+        retry reconnects (driver retries handle it end-to-end)."""
+        cfg = ZHTConfig(
+            transport="tcp",
+            num_partitions=64,
+            request_timeout=0.3,
+            failures_before_dead=5,
+            max_retries=6,
+        )
+        with build_tcp_cluster(1, cfg) as cluster:
+            z = cluster.client()
+            z.insert("k", b"v")
+            # Kill the cached connection server-side by restarting nothing —
+            # instead drop the client's cached socket mid-stream.
+            for sock_addr in list(z.transport._cache):
+                z.transport._cache.pop(sock_addr).close()
+            assert z.lookup("k") == b"v"

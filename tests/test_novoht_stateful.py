@@ -1,0 +1,101 @@
+"""Stateful property test: NoVoHT vs a dict through arbitrary interleavings
+of operations, checkpoints, GC runs, and full close/reopen cycles."""
+
+import tempfile
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.errors import KeyNotFound
+from repro.novoht import NoVoHT
+
+keys = st.binary(min_size=1, max_size=6)
+values = st.binary(max_size=24)
+
+
+class NoVoHTMachine(RuleBasedStateMachine):
+    """Every sequence of rules must leave the store equal to the model."""
+
+    @initialize()
+    def setup(self):
+        self.dir = tempfile.mkdtemp(prefix="novoht-state-")
+        self.store = NoVoHT(
+            self.dir, checkpoint_interval_ops=13, gc_dead_ratio=0.6
+        )
+        self.store._GC_MIN_RECORDS = 16
+        self.model: dict[bytes, bytes] = {}
+
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=keys, value=values)
+    def append(self, key, value):
+        self.store.append(key, value)
+        self.model[key] = self.model.get(key, b"") + value
+
+    @rule(key=keys)
+    def remove(self, key):
+        if key in self.model:
+            self.store.remove(key)
+            del self.model[key]
+        else:
+            with pytest.raises(KeyNotFound):
+                self.store.remove(key)
+
+    @rule(key=keys)
+    def get(self, key):
+        if key in self.model:
+            assert self.store.get(key) == self.model[key]
+        else:
+            with pytest.raises(KeyNotFound):
+                self.store.get(key)
+
+    @rule()
+    def checkpoint(self):
+        self.store.checkpoint()
+
+    @rule()
+    def gc(self):
+        self.store.gc()
+
+    @rule()
+    def crash_and_recover(self):
+        """Close WAL without the final checkpoint, then recover."""
+        self.store._wal.close()
+        self.store._closed = True
+        self.store = NoVoHT(
+            self.dir, checkpoint_interval_ops=13, gc_dead_ratio=0.6
+        )
+        self.store._GC_MIN_RECORDS = 16
+
+    @rule()
+    def clean_restart(self):
+        self.store.close()
+        self.store = NoVoHT(
+            self.dir, checkpoint_interval_ops=13, gc_dead_ratio=0.6
+        )
+        self.store._GC_MIN_RECORDS = 16
+
+    @invariant()
+    def store_matches_model(self):
+        assert len(self.store) == len(self.model)
+
+    def teardown(self):
+        assert dict(self.store.items()) == self.model
+        self.store.close()
+
+
+TestNoVoHTStateful = NoVoHTMachine.TestCase
+TestNoVoHTStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,116 @@
+"""Tests for partition state machine and bulk transfer (repro.core.partition)."""
+
+import pytest
+
+from repro.core.errors import MigrationError
+from repro.core.partition import Partition, PartitionState, QueuedRequest
+from repro.core.protocol import OpCode, Request
+
+
+class TestLifecycle:
+    def test_starts_active(self):
+        part = Partition(0)
+        assert part.state is PartitionState.ACTIVE
+        assert not part.is_migrating
+
+    def test_begin_then_commit(self):
+        part = Partition(1)
+        part.store.put(b"k", b"v")
+        part.begin_migration()
+        assert part.is_migrating
+        queued = part.commit_migration()
+        assert queued == []
+        assert part.state is PartitionState.ACTIVE
+        # Data is cleared locally — it now lives on the new owner.
+        assert len(part.store) == 0
+
+    def test_begin_twice_rejected(self):
+        part = Partition(2)
+        part.begin_migration()
+        with pytest.raises(MigrationError):
+            part.begin_migration()
+
+    def test_commit_without_begin_rejected(self):
+        with pytest.raises(MigrationError):
+            Partition(3).commit_migration()
+
+    def test_abort_without_begin_rejected(self):
+        with pytest.raises(MigrationError):
+            Partition(4).abort_migration()
+
+    def test_abort_keeps_data(self):
+        part = Partition(5)
+        part.store.put(b"k", b"v")
+        part.begin_migration()
+        part.abort_migration()
+        assert part.store.get(b"k") == b"v"
+        assert part.state is PartitionState.ACTIVE
+
+
+class TestQueueing:
+    def _req(self, key=b"k"):
+        return QueuedRequest(Request(op=OpCode.INSERT, key=key, value=b"v"))
+
+    def test_queue_requires_migrating(self):
+        part = Partition(0)
+        with pytest.raises(MigrationError):
+            part.queue_request(self._req())
+
+    def test_commit_returns_queue_in_order(self):
+        part = Partition(0)
+        part.begin_migration()
+        items = [self._req(f"k{i}".encode()) for i in range(5)]
+        for item in items:
+            part.queue_request(item)
+        assert part.commit_migration() == items
+        assert part.queued == []
+
+    def test_abort_discards_queue(self):
+        """"simply don't apply the changes ... discarding the queued
+        requests and reporting error to clients"."""
+        part = Partition(0)
+        part.store.put(b"existing", b"1")
+        part.begin_migration()
+        part.queue_request(self._req())
+        discarded = part.abort_migration()
+        assert len(discarded) == 1
+        # The queued mutation was never applied.
+        assert b"k" not in part.store
+
+
+class TestBulkTransfer:
+    def test_export_import_roundtrip(self):
+        src = Partition(0)
+        for i in range(20):
+            src.store.put(f"key{i}".encode(), bytes([i]) * 10)
+        dst = Partition(0)
+        count = dst.import_bytes(src.export_bytes())
+        assert count == 20
+        assert dict(dst.store.items()) == dict(src.store.items())
+
+    def test_export_empty(self):
+        assert Partition(0).export_bytes() == b"[]"
+
+    def test_import_bad_payload_raises(self):
+        with pytest.raises(MigrationError):
+            Partition(0).import_bytes(b"}{garbage")
+
+    def test_binary_values_survive_transfer(self):
+        src = Partition(0)
+        src.store.put(bytes(range(256)), bytes(range(255, -1, -1)))
+        dst = Partition(0)
+        dst.import_bytes(src.export_bytes())
+        assert dst.store.get(bytes(range(256))) == bytes(range(255, -1, -1))
+
+    def test_persistent_partition_migration(self, tmp_path):
+        """Migration of a persisted partition survives the receiving
+        store's restart."""
+        src = Partition(7, persistence_dir=str(tmp_path / "src"))
+        src.store.put(b"durable", b"data")
+        dst = Partition(7, persistence_dir=str(tmp_path / "dst"))
+        dst.import_bytes(src.export_bytes())
+        dst.close()
+        reopened = Partition(7, persistence_dir=str(tmp_path / "dst"))
+        assert reopened.store.get(b"durable") == b"data"
+        reopened.close()
+        src.close()

@@ -1,0 +1,145 @@
+"""Tests for the ZHT wire protocol (repro.core.protocol)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError, Status
+from repro.core.protocol import (
+    MUTATING_OPS,
+    OpCode,
+    Request,
+    Response,
+    deframe,
+    frame,
+)
+
+
+requests = st.builds(
+    Request,
+    op=st.sampled_from(list(OpCode)),
+    key=st.binary(max_size=64),
+    value=st.binary(max_size=256),
+    request_id=st.integers(min_value=0, max_value=2**32),
+    epoch=st.integers(min_value=0, max_value=2**20),
+    partition=st.integers(min_value=0, max_value=2**16),
+    replica_index=st.integers(min_value=0, max_value=10),
+    inner_op=st.sampled_from([0] + [int(o) for o in OpCode]),
+    payload=st.binary(max_size=128),
+)
+
+responses = st.builds(
+    Response,
+    status=st.sampled_from(list(Status)),
+    value=st.binary(max_size=256),
+    request_id=st.integers(min_value=0, max_value=2**32),
+    epoch=st.integers(min_value=0, max_value=2**20),
+    redirect=st.binary(max_size=64),
+    membership=st.binary(max_size=512),
+)
+
+
+class TestRequestCodec:
+    @given(requests)
+    def test_roundtrip(self, request):
+        assert Request.decode(request.encode()) == request
+
+    def test_minimal_request(self):
+        r = Request(op=OpCode.PING)
+        decoded = Request.decode(r.encode())
+        assert decoded.op == OpCode.PING
+        assert decoded.key == b"" and decoded.value == b""
+
+    def test_encoding_is_compact(self):
+        """A 15B key / 132B value insert — the paper's micro-benchmark
+        shape — must carry only a few bytes of overhead."""
+        r = Request(op=OpCode.INSERT, key=b"k" * 15, value=b"v" * 132, request_id=7)
+        assert len(r.encode()) < 15 + 132 + 16
+
+    def test_unknown_opcode_rejected(self):
+        bad = Request(op=OpCode.INSERT)
+        data = bytearray(bad.encode())
+        data[1] = 99  # field 1 varint value
+        with pytest.raises(ProtocolError, match="unknown opcode"):
+            Request.decode(bytes(data))
+
+    def test_malformed_buffer_rejected(self):
+        with pytest.raises(ProtocolError):
+            Request.decode(b"\xfa\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff")
+
+    def test_overrun_length_rejected(self):
+        # Field 2 (key), claims 100 bytes but supplies 1.
+        with pytest.raises(ProtocolError):
+            Request.decode(b"\x08\x01\x12\x64x")
+
+    def test_unknown_fields_are_skipped(self):
+        """Forward compatibility: decoding ignores unknown field numbers."""
+        base = Request(op=OpCode.LOOKUP, key=b"k").encode()
+        # Append field 15 (varint) and field 14 (bytes) — both unknown.
+        extended = base + bytes([15 << 3 | 0, 42]) + bytes([14 << 3 | 2, 2]) + b"xy"
+        decoded = Request.decode(extended)
+        assert decoded.op == OpCode.LOOKUP
+        assert decoded.key == b"k"
+
+
+class TestResponseCodec:
+    @given(responses)
+    def test_roundtrip(self, response):
+        assert Response.decode(response.encode()) == response
+
+    def test_ok_status_is_default(self):
+        # Status.OK == 0 is elided on the wire (protobuf default handling).
+        r = Response(status=Status.OK, request_id=1)
+        assert Response.decode(r.encode()).status == Status.OK
+
+    def test_unknown_status_rejected(self):
+        data = bytes([1 << 3 | 0, 99])
+        with pytest.raises(ProtocolError, match="unknown status"):
+            Response.decode(data)
+
+
+class TestFraming:
+    @given(st.binary(max_size=1000))
+    def test_frame_roundtrip(self, payload):
+        message, rest = deframe(frame(payload))
+        assert message == payload
+        assert rest == b""
+
+    def test_partial_frame_returns_none(self):
+        framed = frame(b"hello world")
+        message, rest = deframe(framed[:4])
+        assert message is None
+        assert rest == framed[:4]
+
+    def test_two_frames_back_to_back(self):
+        buffer = frame(b"first") + frame(b"second")
+        m1, rest = deframe(buffer)
+        m2, rest = deframe(rest)
+        assert (m1, m2, rest) == (b"first", b"second", b"")
+
+    def test_empty_buffer(self):
+        message, rest = deframe(b"")
+        assert message is None
+
+    @given(st.lists(st.binary(max_size=50), max_size=10), st.integers(1, 20))
+    def test_streaming_reassembly(self, payloads, chunk):
+        """Frames split at arbitrary boundaries reassemble in order."""
+        stream = b"".join(frame(p) for p in payloads)
+        received, buffer = [], b""
+        for i in range(0, len(stream), chunk):
+            buffer += stream[i : i + chunk]
+            while True:
+                message, buffer = deframe(buffer)
+                if message is None:
+                    break
+                received.append(message)
+        assert received == payloads
+
+
+class TestOpSemantics:
+    def test_mutating_ops(self):
+        assert OpCode.INSERT in MUTATING_OPS
+        assert OpCode.APPEND in MUTATING_OPS
+        assert OpCode.REMOVE in MUTATING_OPS
+        assert OpCode.LOOKUP not in MUTATING_OPS
+        assert OpCode.PING not in MUTATING_OPS

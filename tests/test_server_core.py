@@ -1,0 +1,326 @@
+"""Tests for the sans-I/O server core (repro.core.server)."""
+
+import random
+
+import pytest
+
+from repro.core.config import ReplicationMode, ZHTConfig
+from repro.core.errors import Status
+from repro.core.membership import (
+    Address,
+    InstanceInfo,
+    MembershipTable,
+    NodeInfo,
+    new_instance_id,
+)
+from repro.core.protocol import OpCode, Request, Response
+from repro.core.server import ZHTServerCore
+
+
+def deploy(num_nodes=3, num_partitions=32, **cfg_kwargs):
+    """Build a membership table and one server core per instance."""
+    cfg = ZHTConfig(num_partitions=num_partitions, transport="local", **cfg_kwargs)
+    rng = random.Random(7)
+    nodes, instances = [], []
+    for n in range(num_nodes):
+        node_id = f"n{n}"
+        nodes.append(NodeInfo(node_id, Address(node_id, 1)))
+        instances.append(
+            InstanceInfo(new_instance_id(rng), node_id, Address(node_id, 9000 + n))
+        )
+    table = MembershipTable.bootstrap(num_partitions, nodes, instances)
+    servers = {
+        inst.instance_id: ZHTServerCore(inst, table, cfg) for inst in instances
+    }
+    return table, servers, cfg
+
+
+def owner_server(table, servers, key, cfg):
+    pid = table.partition_of_key(key, cfg.hash_name)
+    return servers[table.partition_owner[pid]], pid
+
+
+class TestClientOps:
+    def test_insert_lookup_remove_append(self):
+        table, servers, cfg = deploy()
+        server, _ = owner_server(table, servers, b"k", cfg)
+        r = server.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        assert r.response.status == Status.OK
+        r = server.handle(Request(op=OpCode.LOOKUP, key=b"k"))
+        assert r.response.value == b"v"
+        r = server.handle(Request(op=OpCode.APPEND, key=b"k", value=b"+w"))
+        assert r.response.status == Status.OK
+        r = server.handle(Request(op=OpCode.LOOKUP, key=b"k"))
+        assert r.response.value == b"v+w"
+        r = server.handle(Request(op=OpCode.REMOVE, key=b"k"))
+        assert r.response.status == Status.OK
+        r = server.handle(Request(op=OpCode.LOOKUP, key=b"k"))
+        assert r.response.status == Status.KEY_NOT_FOUND
+
+    def test_wrong_server_redirects(self):
+        table, servers, cfg = deploy()
+        right, pid = owner_server(table, servers, b"k", cfg)
+        wrong = next(s for s in servers.values() if s is not right)
+        r = wrong.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        assert r.response.status == Status.REDIRECT
+        assert r.response.redirect == str(right.info.address).encode()
+        assert r.response.membership  # table piggybacked for lazy update
+        assert wrong.stats.redirects == 1
+
+    def test_redirect_membership_is_current(self):
+        table, servers, cfg = deploy()
+        right, _ = owner_server(table, servers, b"k", cfg)
+        wrong = next(s for s in servers.values() if s is not right)
+        r = wrong.handle(Request(op=OpCode.LOOKUP, key=b"k"))
+        adopted = MembershipTable.from_bytes(r.response.membership)
+        assert adopted.epoch == table.epoch
+
+    def test_stale_client_gets_membership_piggyback(self):
+        table, servers, cfg = deploy()
+        server, _ = owner_server(table, servers, b"k", cfg)
+        table.mark_node_dead("n2")  # bump epoch past the client's
+        r = server.handle(
+            Request(op=OpCode.INSERT, key=b"k", value=b"v", epoch=1)
+        )
+        assert r.response.status == Status.OK
+        assert r.response.membership
+
+    def test_current_client_gets_no_piggyback(self):
+        table, servers, cfg = deploy()
+        server, _ = owner_server(table, servers, b"k", cfg)
+        r = server.handle(
+            Request(op=OpCode.INSERT, key=b"k", value=b"v", epoch=table.epoch)
+        )
+        assert r.response.membership == b""
+
+    def test_key_size_limit(self):
+        table, servers, cfg = deploy(max_key_bytes=4)
+        server, _ = owner_server(table, servers, b"longkey", cfg)
+        r = server.handle(Request(op=OpCode.INSERT, key=b"longkey", value=b"v"))
+        assert r.response.status == Status.KEY_TOO_LARGE
+
+    def test_value_size_limit(self):
+        table, servers, cfg = deploy(max_value_bytes=8)
+        server, _ = owner_server(table, servers, b"k", cfg)
+        r = server.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v" * 100))
+        assert r.response.status == Status.VALUE_TOO_LARGE
+
+    def test_ping(self):
+        _, servers, _ = deploy()
+        server = next(iter(servers.values()))
+        r = server.handle(Request(op=OpCode.PING))
+        assert r.response.status == Status.OK
+
+    def test_get_membership(self):
+        table, servers, _ = deploy()
+        server = next(iter(servers.values()))
+        r = server.handle(Request(op=OpCode.GET_MEMBERSHIP))
+        assert MembershipTable.from_bytes(r.response.membership).epoch == table.epoch
+
+    def test_request_id_echoed(self):
+        table, servers, cfg = deploy()
+        server, _ = owner_server(table, servers, b"k", cfg)
+        r = server.handle(
+            Request(op=OpCode.INSERT, key=b"k", value=b"v", request_id=777)
+        )
+        assert r.response.request_id == 777
+
+
+class TestReplication:
+    def test_async_mode_sync_secondary_async_rest(self):
+        table, servers, cfg = deploy(
+            num_nodes=4, num_replicas=2, replication_mode=ReplicationMode.ASYNC
+        )
+        server, pid = owner_server(table, servers, b"k", cfg)
+        r = server.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        assert len(r.sync_sends) == 1  # the strongly-consistent secondary
+        assert len(r.async_sends) == 1  # the weak third copy
+        chain = table.replicas_for_partition(pid, 2)
+        assert r.sync_sends[0][0] == chain[1].address
+        assert r.async_sends[0][0] == chain[2].address
+
+    def test_sync_mode_all_synchronous(self):
+        table, servers, cfg = deploy(
+            num_nodes=4, num_replicas=2, replication_mode=ReplicationMode.SYNC
+        )
+        server, _ = owner_server(table, servers, b"k", cfg)
+        r = server.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        assert len(r.sync_sends) == 2 and not r.async_sends
+
+    def test_none_mode_all_async(self):
+        table, servers, cfg = deploy(
+            num_nodes=4, num_replicas=2, replication_mode=ReplicationMode.NONE
+        )
+        server, _ = owner_server(table, servers, b"k", cfg)
+        r = server.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        assert len(r.async_sends) == 2 and not r.sync_sends
+
+    def test_lookup_generates_no_replication(self):
+        table, servers, cfg = deploy(num_nodes=4, num_replicas=2)
+        server, _ = owner_server(table, servers, b"k", cfg)
+        server.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        r = server.handle(Request(op=OpCode.LOOKUP, key=b"k"))
+        assert not r.sync_sends and not r.async_sends
+
+    def test_replica_update_applies_to_replica_store(self):
+        table, servers, cfg = deploy(num_nodes=4, num_replicas=1)
+        server, pid = owner_server(table, servers, b"k", cfg)
+        primary_result = server.handle(
+            Request(op=OpCode.INSERT, key=b"k", value=b"v")
+        )
+        addr, update = primary_result.sync_sends[0]
+        replica = next(
+            s for s in servers.values() if s.info.address == addr
+        )
+        r = replica.handle(update)
+        assert r.response.status == Status.OK
+        assert replica.partition(pid).store.get(b"k") == b"v"
+        # Replica updates never cascade.
+        assert not r.sync_sends and not r.async_sends
+
+    def test_replica_update_not_redirected(self):
+        """Replica stores data for partitions it does not own."""
+        table, servers, cfg = deploy(num_nodes=3, num_replicas=1)
+        server, pid = owner_server(table, servers, b"k", cfg)
+        result = server.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        addr, update = result.sync_sends[0]
+        replica = next(s for s in servers.values() if s.info.address == addr)
+        assert replica.handle(update).response.status == Status.OK
+
+    def test_failover_read_from_replica(self):
+        table, servers, cfg = deploy(num_nodes=3, num_replicas=1)
+        server, pid = owner_server(table, servers, b"k", cfg)
+        result = server.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        addr, update = result.sync_sends[0]
+        replica = next(s for s in servers.values() if s.info.address == addr)
+        replica.handle(update)
+        # replica_index > 0 marks a failover request: no redirect.
+        r = replica.handle(
+            Request(op=OpCode.LOOKUP, key=b"k", replica_index=1)
+        )
+        assert r.response.status == Status.OK
+        assert r.response.value == b"v"
+
+    def test_replica_remove_of_missing_key_is_ok(self):
+        table, servers, cfg = deploy(num_nodes=3, num_replicas=1)
+        server, pid = owner_server(table, servers, b"k", cfg)
+        update = Request(
+            op=OpCode.REPLICA_UPDATE,
+            key=b"never-inserted",
+            partition=pid,
+            replica_index=1,
+            inner_op=int(OpCode.REMOVE),
+        )
+        replica = next(s for s in servers.values() if s is not server)
+        assert replica.handle(update).response.status == Status.OK
+
+
+class TestMigrationMessages:
+    def test_begin_exports_and_locks(self):
+        table, servers, cfg = deploy()
+        server, pid = owner_server(table, servers, b"k", cfg)
+        server.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        r = server.handle(Request(op=OpCode.MIGRATE_BEGIN, partition=pid))
+        assert r.response.status == Status.OK
+        assert b"6b" in r.response.value  # hex of b"k"
+        assert server.partition(pid).is_migrating
+
+    def test_requests_queue_during_migration(self):
+        table, servers, cfg = deploy()
+        server, pid = owner_server(table, servers, b"k", cfg)
+        server.handle(Request(op=OpCode.MIGRATE_BEGIN, partition=pid))
+        r = server.handle(
+            Request(op=OpCode.INSERT, key=b"k", value=b"v"), reply_context="ctx1"
+        )
+        assert r.response is None
+        assert server.stats.queued == 1
+
+    def test_commit_forwards_queue_to_new_owner(self):
+        table, servers, cfg = deploy()
+        server, pid = owner_server(table, servers, b"k", cfg)
+        server.handle(Request(op=OpCode.MIGRATE_BEGIN, partition=pid))
+        server.handle(
+            Request(op=OpCode.INSERT, key=b"k", value=b"v"), reply_context="ctx"
+        )
+        r = server.handle(
+            Request(
+                op=OpCode.MIGRATE_COMMIT,
+                partition=pid,
+                value=b"commit",
+                payload=b"n9:9999",
+            )
+        )
+        assert r.response.status == Status.OK
+        assert len(r.forwards) == 1
+        addr, queued = r.forwards[0]
+        assert (addr.host, addr.port) == ("n9", 9999)
+        assert queued.reply_context == "ctx"
+
+    def test_abort_fails_queued_requests(self):
+        table, servers, cfg = deploy()
+        server, pid = owner_server(table, servers, b"k", cfg)
+        server.handle(Request(op=OpCode.MIGRATE_BEGIN, partition=pid))
+        server.handle(
+            Request(op=OpCode.INSERT, key=b"k", value=b"v"), reply_context="ctx"
+        )
+        r = server.handle(
+            Request(op=OpCode.MIGRATE_COMMIT, partition=pid, value=b"abort")
+        )
+        assert len(r.failed_queued) == 1
+
+    def test_migrate_data_imports(self):
+        table, servers, cfg = deploy()
+        src, pid = owner_server(table, servers, b"k", cfg)
+        src.handle(Request(op=OpCode.INSERT, key=b"k", value=b"v"))
+        export = src.handle(
+            Request(op=OpCode.MIGRATE_BEGIN, partition=pid)
+        ).response.value
+        dst = next(s for s in servers.values() if s is not src)
+        r = dst.handle(
+            Request(op=OpCode.MIGRATE_DATA, partition=pid, value=export)
+        )
+        assert r.response.status == Status.OK
+        assert dst.partition(pid).store.get(b"k") == b"v"
+
+    def test_migrate_data_bad_payload(self):
+        table, servers, cfg = deploy()
+        server = next(iter(servers.values()))
+        r = server.handle(
+            Request(op=OpCode.MIGRATE_DATA, partition=0, value=b"garbage{")
+        )
+        assert r.response.status == Status.MIGRATING
+
+
+class TestMembershipUpdate:
+    def test_adopts_newer_table(self):
+        table, servers, cfg = deploy()
+        server = next(iter(servers.values()))
+        newer = table.copy()
+        newer.mark_node_dead("n1")
+        # Give this server its own older copy to prove adoption.
+        server.membership = table.copy()
+        r = server.handle(
+            Request(op=OpCode.MEMBERSHIP_UPDATE, payload=newer.to_bytes())
+        )
+        assert r.response.status == Status.OK
+        assert not server.membership.nodes["n1"].alive
+        assert server.stats.membership_updates == 1
+
+    def test_ignores_stale_table(self):
+        table, servers, cfg = deploy()
+        server = next(iter(servers.values()))
+        stale = table.copy()
+        server.membership.mark_node_dead("n1")
+        r = server.handle(
+            Request(op=OpCode.MEMBERSHIP_UPDATE, payload=stale.to_bytes())
+        )
+        assert r.response.status == Status.OK
+        assert server.stats.membership_updates == 0
+
+    def test_bad_payload(self):
+        _, servers, _ = deploy()
+        server = next(iter(servers.values()))
+        r = server.handle(
+            Request(op=OpCode.MEMBERSHIP_UPDATE, payload=b"junk")
+        )
+        assert r.response.status == Status.BAD_REQUEST

@@ -1,0 +1,122 @@
+"""Tests for the analytic scale model (repro.sim.analytic) and metrics."""
+
+import pytest
+
+from repro.sim import simulate
+from repro.sim.analytic import (
+    FIG11_ANCHORS,
+    FIG11_SCALES,
+    base_latency_s,
+    predicted_efficiency,
+    predicted_latency_ms,
+    predicted_throughput_ops_s,
+)
+from repro.sim.metrics import LatencyStats, RunResult
+
+
+class TestAnalyticModel:
+    def test_matches_paper_anchor_8k(self):
+        # Fig 11: 51% efficiency at 8K nodes.
+        assert predicted_efficiency(8192) == pytest.approx(0.51, abs=0.02)
+
+    def test_matches_paper_anchor_1m(self):
+        # Fig 11: 8% efficiency at 1M nodes; §IV.E: "8% efficiency implies
+        # about 7ms latency, at 1M node scales".
+        assert predicted_efficiency(1_048_576) == pytest.approx(0.08, abs=0.01)
+        assert 6.0 <= predicted_latency_ms(1_048_576) <= 8.5
+
+    def test_1m_node_throughput_near_150m(self):
+        # "At 1M node scales and latencies of 7ms, we would achieve nearly
+        # 150M ops/sec throughputs."
+        thpt = predicted_throughput_ops_s(1_048_576)
+        assert 1.1e8 <= thpt <= 1.8e8
+
+    def test_efficiency_monotonically_decreasing(self):
+        effs = [predicted_efficiency(n) for n in FIG11_SCALES]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_two_node_efficiency_is_one(self):
+        assert predicted_efficiency(2) == 1.0
+
+    def test_model_agrees_with_des_at_validated_scales(self):
+        """The paper's simulator matched measurements within ~3%; our
+        closed form must track our DES within 20% for N <= 1K."""
+        for n in (2, 64, 256, 1024):
+            des = simulate(n, ops_per_client=8).latency_ms
+            model = predicted_latency_ms(n)
+            assert abs(model - des) / des < 0.25, (n, des, model)
+
+    def test_anchors_are_the_papers(self):
+        assert FIG11_ANCHORS == ((8192, 0.51), (1_048_576, 0.08))
+
+    def test_base_latency_monotone_in_scale(self):
+        values = [base_latency_s(n) for n in (1, 2, 64, 8192, 1_048_576)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+class TestLatencyStats:
+    def test_mean_and_percentiles(self):
+        stats = LatencyStats()
+        for ms in range(1, 101):
+            stats.record(ms / 1000)
+        assert stats.mean_ms == pytest.approx(50.5)
+        assert stats.percentile_ms(50) == pytest.approx(50.0)
+        assert stats.percentile_ms(95) == pytest.approx(95.0)
+        assert stats.min_ms == pytest.approx(1.0)
+        assert stats.max_ms == pytest.approx(100.0)
+
+    def test_empty_stats(self):
+        stats = LatencyStats()
+        assert stats.mean_ms == 0.0
+        assert stats.percentile_ms(99) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1.0)
+
+    def test_bad_percentile_rejected(self):
+        stats = LatencyStats()
+        stats.record(0.001)
+        with pytest.raises(ValueError):
+            stats.percentile_ms(101)
+
+
+class TestRunResult:
+    def _result(self, latency_s=0.001, ops=100):
+        stats = LatencyStats()
+        for _ in range(ops):
+            stats.record(latency_s)
+        return RunResult(
+            system="zht",
+            num_nodes=4,
+            instances_per_node=1,
+            ops=ops,
+            duration_s=ops * latency_s / 4,
+            latency=stats,
+        )
+
+    def test_throughput(self):
+        result = self._result()
+        assert result.throughput_ops_s == pytest.approx(4000)
+
+    def test_efficiency_vs_two_node(self):
+        result = self._result(latency_s=0.002)
+        assert result.efficiency_vs(two_node_latency_ms=1.0) == pytest.approx(0.5)
+        assert result.efficiency_vs(two_node_latency_ms=5.0) == 1.0  # capped
+
+    def test_row_shape(self):
+        row = self._result().row()
+        assert set(row) == {
+            "system",
+            "nodes",
+            "instances_per_node",
+            "ops",
+            "latency_ms",
+            "p95_ms",
+            "throughput_ops_s",
+        }
+
+    def test_zero_duration(self):
+        result = self._result()
+        result.duration_s = 0
+        assert result.throughput_ops_s == 0.0

@@ -1,0 +1,210 @@
+"""Tests for the simulated cluster and calibration (repro.sim.cluster)."""
+
+import pytest
+
+from repro.core.config import ReplicationMode
+from repro.sim import (
+    CASSANDRA_CLUSTER,
+    CLUSTER_ETHERNET_LINK,
+    MEMCACHED_BGP,
+    MEMCACHED_CLUSTER,
+    ZHT_BGP,
+    ZHT_BGP_NO_CONN_CACHE,
+    ZHT_CLUSTER,
+    MicroBenchmarkWorkload,
+    SimSpec,
+    SimulatedCluster,
+    simulate,
+)
+
+
+class TestBasicRuns:
+    def test_single_node(self):
+        result = simulate(1, ops_per_client=8)
+        assert result.ops == 24  # insert + lookup + remove phases
+        assert result.latency_ms > 0
+        assert result.throughput_ops_s > 0
+
+    def test_all_clients_complete(self):
+        result = simulate(16, ops_per_client=4)
+        assert result.ops == 16 * 12
+
+    def test_deterministic_given_seed(self):
+        a = simulate(8, ops_per_client=4, seed=42)
+        b = simulate(8, ops_per_client=4, seed=42)
+        assert a.latency_ms == b.latency_ms
+        assert a.duration_s == b.duration_s
+
+    def test_real_core_semantics_hold_in_sim(self):
+        """The sim runs genuine ZHTServerCore instances: after the full
+        insert/lookup/remove cycle, every store is empty again."""
+        spec = SimSpec(num_nodes=8, service=ZHT_BGP)
+        cluster = SimulatedCluster(spec)
+        cluster.run_workload(MicroBenchmarkWorkload(ops_per_client=6))
+        total = sum(
+            len(part.store)
+            for handler in cluster.handlers
+            for part in handler.partitions.values()
+        )
+        assert total == 0
+
+    def test_insert_only_workload_leaves_data(self):
+        spec = SimSpec(num_nodes=4, service=ZHT_BGP)
+        cluster = SimulatedCluster(spec)
+        cluster.run_workload(
+            MicroBenchmarkWorkload(ops_per_client=5, include_remove=False)
+        )
+        total = sum(
+            len(part.store)
+            for handler in cluster.handlers
+            for part in handler.partitions.values()
+        )
+        assert total == 4 * 5
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(SimSpec(num_nodes=2, topology="hypercube"))
+
+
+class TestCalibration:
+    """The sim must land on the paper's stated anchor points (§IV.C)."""
+
+    def test_one_node_under_half_ms(self):
+        # "on one node, the latency ... is extremely low (<0.5ms)"
+        assert simulate(1, ops_per_client=16).latency_ms < 0.5
+
+    def test_two_node_near_point_six_ms(self):
+        # "100% efficiency implies a latency of about 0.6ms per operation"
+        latency = simulate(2, ops_per_client=16).latency_ms
+        assert 0.45 <= latency <= 0.75
+
+    def test_latency_grows_with_scale(self):
+        small = simulate(2, ops_per_client=8).latency_ms
+        large = simulate(256, ops_per_client=8).latency_ms
+        assert large > small
+
+    def test_throughput_scales_near_linearly(self):
+        # Fig 9: "throughputs ... increases near-linearly with scale".
+        t64 = simulate(64, ops_per_client=8).throughput_ops_s
+        t256 = simulate(256, ops_per_client=8).throughput_ops_s
+        assert 2.5 <= t256 / t64 <= 4.5
+
+    def test_memcached_slower_than_zht_on_bgp(self):
+        # Fig 7: Memcached 25%-139% slower on the Blue Gene/P.
+        zht = simulate(64, ops_per_client=8).latency_ms
+        mem = simulate(
+            64, ops_per_client=8, service=MEMCACHED_BGP, real_core=False
+        ).latency_ms
+        assert 1.2 <= mem / zht <= 3.0
+
+    def test_no_connection_caching_hurts(self):
+        # Fig 7: TCP without connection caching is clearly slower.
+        cached = simulate(64, ops_per_client=8).latency_ms
+        uncached = simulate(
+            64, ops_per_client=8, service=ZHT_BGP_NO_CONN_CACHE
+        ).latency_ms
+        assert uncached > 1.2 * cached
+
+    def test_memcached_slightly_beats_zht_on_cluster(self):
+        # Fig 8: "Memcached only shows slightly better performance than
+        # ZHT" (ZHT pays the disk write).
+        zht = simulate(
+            32,
+            ops_per_client=8,
+            service=ZHT_CLUSTER,
+            link=CLUSTER_ETHERNET_LINK,
+            topology="switch",
+        ).latency_ms
+        mem = simulate(
+            32,
+            ops_per_client=8,
+            service=MEMCACHED_CLUSTER,
+            link=CLUSTER_ETHERNET_LINK,
+            topology="switch",
+            real_core=False,
+        ).latency_ms
+        assert 0.6 * zht <= mem <= zht
+
+    def test_cassandra_much_slower_on_cluster(self):
+        # Fig 8/10: log-routing + JVM => multiples of ZHT's latency and a
+        # large throughput gap (paper: ~7x at 64 nodes).
+        zht = simulate(
+            64,
+            ops_per_client=6,
+            service=ZHT_CLUSTER,
+            link=CLUSTER_ETHERNET_LINK,
+            topology="switch",
+        )
+        cas = simulate(
+            64,
+            ops_per_client=6,
+            service=CASSANDRA_CLUSTER,
+            link=CLUSTER_ETHERNET_LINK,
+            topology="switch",
+            real_core=False,
+        )
+        assert cas.latency_ms > 3 * zht.latency_ms
+        assert zht.throughput_ops_s > 3 * cas.throughput_ops_s
+
+
+class TestReplicationOverheads:
+    def test_fire_and_forget_replication_cheap(self):
+        # Fig 12: async replication adds ~20% (1 replica) / ~30% (2).
+        base = simulate(32, ops_per_client=8).latency_ms
+        one = simulate(32, ops_per_client=8, num_replicas=1).latency_ms
+        two = simulate(32, ops_per_client=8, num_replicas=2).latency_ms
+        assert 1.0 < one / base < 1.5
+        assert one <= two <= base * 1.8
+
+    def test_sync_replication_expensive(self):
+        # Paper: synchronous replication "would have likely been 100%
+        # increment for 1 replica, and 200% for 2 replicas".
+        base = simulate(32, ops_per_client=8).latency_ms
+        sync1 = simulate(
+            32,
+            ops_per_client=8,
+            num_replicas=1,
+            replication_mode=ReplicationMode.SYNC,
+        ).latency_ms
+        # One extra blocking round trip per mutation: ~+40% on the
+        # insert+lookup+remove mix, several times the async overhead.
+        assert sync1 > 1.25 * base
+
+    def test_replicated_data_lands_on_replicas(self):
+        spec = SimSpec(
+            num_nodes=8,
+            service=ZHT_BGP,
+            num_replicas=1,
+            replication_mode=ReplicationMode.NONE,
+        )
+        cluster = SimulatedCluster(spec)
+        cluster.run_workload(
+            MicroBenchmarkWorkload(ops_per_client=4, include_remove=False)
+        )
+        total = sum(
+            len(part.store)
+            for handler in cluster.handlers
+            for part in handler.partitions.values()
+        )
+        assert total == 8 * 4 * 2  # primary + 1 replica per key
+
+
+class TestInstancesPerNode:
+    def test_more_instances_increase_aggregate_throughput(self):
+        # Fig 14: 8 instances/node gives ~2.2x the 1-instance throughput.
+        one = simulate(16, ops_per_client=6, instances_per_node=1)
+        eight = simulate(16, ops_per_client=6, instances_per_node=8)
+        assert eight.throughput_ops_s > 1.5 * one.throughput_ops_s
+
+    def test_oversubscription_increases_latency(self):
+        # Fig 13: beyond one instance per core, latency climbs.
+        one = simulate(16, ops_per_client=6, instances_per_node=1)
+        eight = simulate(16, ops_per_client=6, instances_per_node=8)
+        assert eight.latency_ms > 1.3 * one.latency_ms
+
+    def test_within_core_count_latency_stable(self):
+        # 4 instances + 4 co-located clients on 4 cores: mild slowdown
+        # only (the paper's best-utilisation configuration).
+        one = simulate(16, ops_per_client=6, instances_per_node=1)
+        four = simulate(16, ops_per_client=6, instances_per_node=4)
+        assert four.latency_ms < 1.5 * one.latency_ms

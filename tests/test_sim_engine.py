@@ -1,0 +1,351 @@
+"""Tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment, Event, Resource, SimError, Store
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5.0)
+            return env.now
+
+        assert env.run_process(proc()) == 5.0
+
+    def test_zero_timeout_runs_immediately(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(0.0)
+            return "done"
+
+        assert env.run_process(proc()) == "done"
+        assert env.now == 0.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimError):
+            env._schedule(-1.0, lambda v, e: None, None, None)
+
+    def test_timeout_value_passthrough(self):
+        env = Environment()
+
+        def proc():
+            value = yield env.timeout(1.0, "payload")
+            return value
+
+        assert env.run_process(proc()) == "payload"
+
+    def test_events_fire_in_time_order(self):
+        env = Environment()
+        log = []
+
+        def waiter(delay, tag):
+            yield env.timeout(delay)
+            log.append(tag)
+
+        env.process(waiter(3.0, "c"))
+        env.process(waiter(1.0, "a"))
+        env.process(waiter(2.0, "b"))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        env = Environment()
+        log = []
+
+        def waiter(tag):
+            yield env.timeout(1.0)
+            log.append(tag)
+
+        for tag in "abc":
+            env.process(waiter(tag))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(100.0)
+
+        env.process(proc())
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        evt = env.event()
+
+        def waiter():
+            value = yield evt
+            return value
+
+        p = env.process(waiter())
+        env.process(_trigger(env, evt, "hello"))
+        env.run()
+        assert p.result == "hello"
+
+    def test_wait_on_already_triggered_event(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed(7)
+
+        def waiter():
+            return (yield evt)
+
+        assert env.run_process(waiter()) == 7
+
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed()
+        with pytest.raises(SimError):
+            evt.succeed()
+
+    def test_fail_raises_in_waiter(self):
+        env = Environment()
+        evt = env.event()
+
+        def waiter():
+            try:
+                yield evt
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = env.process(waiter())
+        env.process(_trigger_fail(env, evt, RuntimeError("boom")))
+        env.run()
+        assert p.result == "caught boom"
+
+    def test_multiple_waiters_all_resume(self):
+        env = Environment()
+        evt = env.event()
+        results = []
+
+        def waiter(tag):
+            value = yield evt
+            results.append((tag, value))
+
+        for tag in range(3):
+            env.process(waiter(tag))
+        env.process(_trigger(env, evt, "x"))
+        env.run()
+        assert sorted(results) == [(0, "x"), (1, "x"), (2, "x")]
+
+    def test_all_of_gathers_values(self):
+        env = Environment()
+
+        def proc():
+            events = [env.timeout(i, value=i) for i in (3, 1, 2)]
+            values = yield env.all_of(events)
+            return values
+
+        assert env.run_process(proc()) == [3, 1, 2]
+        assert env.now == 3.0
+
+    def test_all_of_empty(self):
+        env = Environment()
+
+        def proc():
+            return (yield env.all_of([]))
+
+        assert env.run_process(proc()) == []
+
+    def test_yielding_garbage_raises(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(SimError, match="yielded"):
+            env.run()
+
+
+class TestProcesses:
+    def test_nested_process_wait(self):
+        env = Environment()
+
+        def child():
+            yield env.timeout(2.0)
+            return 10
+
+        def parent():
+            value = yield env.process(child())
+            return value * 2
+
+        assert env.run_process(parent()) == 20
+        assert env.now == 2.0
+
+    def test_parallel_processes_interleave(self):
+        env = Environment()
+        trace = []
+
+        def ticker(name, period, count):
+            for _ in range(count):
+                yield env.timeout(period)
+                trace.append((env.now, name))
+
+        env.process(ticker("fast", 1.0, 3))
+        env.process(ticker("slow", 2.0, 2))
+        env.run()
+        # At the t=2.0 tie, "slow" scheduled its timeout first (at t=0,
+        # before "fast" re-armed at t=1), so it fires first.
+        assert trace == [
+            (1.0, "fast"),
+            (2.0, "slow"),
+            (2.0, "fast"),
+            (3.0, "fast"),
+            (4.0, "slow"),
+        ]
+
+    def test_deadlock_detected_by_run_process(self):
+        env = Environment()
+
+        def stuck():
+            yield env.event()  # never triggered
+
+        with pytest.raises(SimError, match="never completed"):
+            env.run_process(stuck())
+
+    def test_exception_in_process_propagates(self):
+        env = Environment()
+
+        def broken():
+            yield env.timeout(1.0)
+            raise ValueError("bad")
+
+        env.process(broken())
+        with pytest.raises(ValueError, match="bad"):
+            env.run()
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("item")
+
+        def getter():
+            return (yield store.get())
+
+        assert env.run_process(getter()) == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def getter():
+            value = yield store.get()
+            return (env.now, value)
+
+        def putter():
+            yield env.timeout(5.0)
+            store.put("late")
+
+        p = env.process(getter())
+        env.process(putter())
+        env.run()
+        assert p.result == (5.0, "late")
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(5):
+            store.put(i)
+
+        def getter():
+            out = []
+            for _ in range(5):
+                out.append((yield store.get()))
+            return out
+
+        assert env.run_process(getter()) == [0, 1, 2, 3, 4]
+
+    def test_multiple_getters_served_in_order(self):
+        env = Environment()
+        store = Store(env)
+        results = []
+
+        def getter(tag):
+            value = yield store.get()
+            results.append((tag, value))
+
+        for tag in range(3):
+            env.process(getter(tag))
+
+        def putter():
+            for i in range(3):
+                yield env.timeout(1.0)
+                store.put(i)
+
+        env.process(putter())
+        env.run()
+        assert results == [(0, 0), (1, 1), (2, 2)]
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        trace = []
+
+        def worker(tag):
+            yield res.acquire()
+            trace.append((env.now, tag, "start"))
+            yield env.timeout(1.0)
+            trace.append((env.now, tag, "end"))
+            res.release()
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert trace == [
+            (0.0, "a", "start"),
+            (1.0, "a", "end"),
+            (1.0, "b", "start"),
+            (2.0, "b", "end"),
+        ]
+
+    def test_release_without_acquire_rejected(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        with pytest.raises(SimError):
+            res.release()
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
+def test_property_completion_time_is_max_delay(delays):
+    """N parallel sleepers finish exactly at the max delay."""
+    env = Environment()
+
+    def sleeper(d):
+        yield env.timeout(d)
+
+    for d in delays:
+        env.process(sleeper(d))
+    env.run()
+    assert env.now == max(delays)
+
+
+def _trigger(env, evt, value):
+    yield env.timeout(1.0)
+    evt.succeed(value)
+
+
+def _trigger_fail(env, evt, exc):
+    yield env.timeout(1.0)
+    evt.fail(exc)

@@ -1,0 +1,83 @@
+"""Dynamic membership over real sockets: manager scripts driven through
+TCP, exercising migration/broadcast against live event-driven servers."""
+
+import time
+
+import pytest
+
+from repro.core import ZHTConfig
+from repro.net.cluster import build_tcp_cluster
+
+
+@pytest.fixture
+def tcp_cluster():
+    cfg = ZHTConfig(transport="tcp", num_partitions=32, request_timeout=0.5)
+    with build_tcp_cluster(3, cfg) as cluster:
+        yield cluster
+
+
+class TestMigrationOverTCP:
+    def test_partition_migrates_between_live_servers(self, tcp_cluster):
+        z = tcp_cluster.client()
+        for i in range(60):
+            z.insert(f"mig-{i}", f"v{i}".encode())
+        manager = tcp_cluster.manager()
+        pid = tcp_cluster.membership.partition_of_key(b"mig-0", "fnv1a_64")
+        src = tcp_cluster.membership.owner_of_partition(pid)
+        dst = next(
+            i
+            for i in tcp_cluster.membership.instances.values()
+            if i.instance_id != src.instance_id
+        )
+        report = tcp_cluster.run(manager.migrate_partition(pid, dst.instance_id))
+        assert report.committed
+        assert tcp_cluster.membership.partition_owner[pid] == dst.instance_id
+        # A fresh client (current table) reads from the new owner.
+        fresh = tcp_cluster.client()
+        assert fresh.lookup("mig-0") == b"v0"
+        assert fresh.stats.redirects_followed == 0
+
+    def test_stale_client_follows_redirect_over_tcp(self, tcp_cluster):
+        stale = tcp_cluster.client()
+        stale.insert("redir-key", b"v")
+        manager = tcp_cluster.manager()
+        pid = tcp_cluster.membership.partition_of_key(b"redir-key", "fnv1a_64")
+        src = tcp_cluster.membership.owner_of_partition(pid)
+        dst = next(
+            i
+            for i in tcp_cluster.membership.instances.values()
+            if i.instance_id != src.instance_id
+        )
+        tcp_cluster.run(manager.migrate_partition(pid, dst.instance_id))
+        # The stale client's next op is redirected and lazily refreshed.
+        assert stale.lookup("redir-key") == b"v"
+        assert stale.stats.redirects_followed >= 1
+        assert stale.core.membership.epoch == tcp_cluster.membership.epoch
+
+    def test_broadcast_membership_over_tcp(self, tcp_cluster):
+        manager = tcp_cluster.manager()
+        tcp_cluster.membership.mark_node_dead("node-0002")
+        delivered = tcp_cluster.run(manager.broadcast_membership())
+        assert delivered == 2
+        # Give server loops a beat, then check adoption on live servers.
+        time.sleep(0.1)
+        for server in tcp_cluster.servers:
+            if server.core.info.node_id != "node-0002":
+                assert not server.core.membership.nodes["node-0002"].alive
+
+
+class TestBroadcastPrimitiveOverTCP:
+    def test_broadcast_reaches_all_servers(self, tcp_cluster):
+        z = tcp_cluster.client()
+        z.broadcast("cfg/threads", b"64")
+        deadline = time.time() + 2
+        while time.time() < deadline:
+            if all(
+                b"cfg/threads" in s.core.broadcast_store
+                for s in tcp_cluster.servers
+            ):
+                break
+            time.sleep(0.02)
+        for server in tcp_cluster.servers:
+            assert server.core.broadcast_store.get(b"cfg/threads") == b"64"
+        assert z.lookup_broadcast("cfg/threads") == b"64"
