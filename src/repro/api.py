@@ -69,6 +69,14 @@ class ZHT:
     def __init__(self, core: ZHTClientCore, transport: ClientTransport):
         self.core = core
         self.transport = transport
+        # When the failure detector declares a node dead, drop any cached
+        # connections to it so retries/failovers never target a socket
+        # whose server has crashed.
+        core.on_node_dead = self._evict_dead_node
+
+    def _evict_dead_node(self, node_id: str, addresses) -> None:
+        for address in addresses:
+            self.transport.evict(address)
 
     # -- the four ZHT operations (§III.A) -------------------------------
 

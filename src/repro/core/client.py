@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from .config import ZHTConfig
 from .errors import (
@@ -94,6 +95,10 @@ class ZHTClientCore:
         self.failure_counts: dict[str, int] = {}
         #: Manager notifications awaiting dispatch by the transport.
         self.pending_notifications: list[Notification] = []
+        #: Called as ``fn(node_id, instance_addresses)`` right after a node
+        #: is marked dead — the transport layer hooks this to evict cached
+        #: connections so failovers never re-use a socket to a dead server.
+        self.on_node_dead: Callable[[str, list[Address]], None] | None = None
 
     # ------------------------------------------------------------------
 
@@ -140,6 +145,12 @@ class ZHTClientCore:
             return
         self.stats.nodes_marked_dead += 1
         self.failure_counts.pop(node_id, None)
+        if self.on_node_dead is not None:
+            addresses = [
+                inst.address
+                for inst in self.membership.instances_on_node(node_id)
+            ]
+            self.on_node_dead(node_id, addresses)
         manager = self._random_alive_manager()
         if manager is not None:
             # Push our (newer) table — with the node marked dead — to a

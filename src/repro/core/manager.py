@@ -291,6 +291,21 @@ class ManagerCore:
         node = self.membership.nodes.get(dead_node_id)
         if node is None:
             raise MembershipError(f"unknown node {dead_node_id}")
+
+        # Every partition whose pre-death replica chain included the dead
+        # node (as owner *or* successor) lost one copy and needs
+        # re-replication — reconstruct those chains as they stood while
+        # the node was alive.
+        depth = max(self.config.num_replicas, 1)
+        affected: list[int] = []
+        if self.config.num_replicas > 0:
+            for pid in range(self.membership.num_partitions):
+                chain = self.membership.replicas_for_partition(
+                    pid, depth, assume_alive=dead_node_id
+                )
+                if any(c.node_id == dead_node_id for c in chain):
+                    affected.append(pid)
+
         if node.alive:
             self.membership.mark_node_dead(dead_node_id)
 
@@ -321,10 +336,13 @@ class ManagerCore:
 
         yield from self.broadcast_membership()
 
-        # Restore replication level: ask each new owner for the partition
-        # content and push it to the (new) replica chain.
+        # Restore replication level: ask each affected partition's
+        # (possibly new) owner for its content and push it to the new
+        # replica chain.  Partitions where the dead node was only a
+        # successor keep their owner but still need a fresh copy pushed
+        # to whichever node replaced it in the chain.
         if self.config.num_replicas > 0:
-            for pid in reassigned:
+            for pid in affected:
                 owner = self.membership.owner_of_partition(pid)
                 begin = yield PeerCall(
                     owner.address,

@@ -220,9 +220,19 @@ class MembershipTable:
             )
         return self._ring_cache
 
-    def replicas_for_partition(self, pid: int, num_replicas: int) -> list[InstanceInfo]:
+    def replicas_for_partition(
+        self,
+        pid: int,
+        num_replicas: int,
+        *,
+        assume_alive: str | None = None,
+    ) -> list[InstanceInfo]:
         """Replica chain for *pid*: owner first, then ``num_replicas``
         successors on the ring located on *distinct, alive* physical nodes.
+
+        ``assume_alive`` treats that one node as alive regardless of its
+        flag — repair uses it to reconstruct the chain as it stood before
+        a node died, so it can find every partition that lost a copy.
         """
         owner = self.owner_of_partition(pid)
         chain = [owner]
@@ -236,7 +246,9 @@ class MembershipTable:
         for offset in range(1, len(ring)):
             inst = ring[(start + offset) % len(ring)]
             node = self.nodes.get(inst.node_id)
-            if inst.node_id in used_nodes or node is None or not node.alive:
+            if node is None or inst.node_id in used_nodes:
+                continue
+            if not node.alive and inst.node_id != assume_alive:
                 continue
             chain.append(inst)
             used_nodes.add(inst.node_id)

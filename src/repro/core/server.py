@@ -237,8 +237,14 @@ class ZHTServerCore:
             response.status == Status.OK
             and request.op in MUTATING_OPS
             and self.config.num_replicas > 0
-            and request.replica_index == 0
+            and (self.owns(pid) or request.replica_index > 0)
         ):
+            # The owner fans out along the chain as usual; this also covers
+            # failover-addressed writes (replica_index > 0) arriving after
+            # a repair promoted us.  A *replica* serving a failover write
+            # back-propagates it to the rest of the chain — including the
+            # owner, which is either dead (the send blackholes) or falsely
+            # suspected by the client (the send keeps it authoritative).
             self._plan_replication(request, pid, result)
         return result
 
@@ -293,10 +299,18 @@ class ZHTServerCore:
         consistent, other replicas are asynchronously updated".  SYNC mode
         makes every replica synchronous (Figure 12's counterfactual);
         NONE makes every replica fire-and-forget.
+
+        When the serving instance is *not* the chain head (a replica
+        accepting a client failover write), every send — the owner's
+        included — is fire-and-forget: the owner may well be dead, and a
+        synchronous wait on it would stall every failover write.
         """
         chain = self.membership.replicas_for_partition(pid, self.config.num_replicas)
         mode = self.config.replication_mode
-        for index, inst in enumerate(chain[1:], start=1):
+        is_owner = self.owns(pid)
+        for index, inst in enumerate(chain):
+            if inst.instance_id == self.info.instance_id:
+                continue
             update = Request(
                 op=OpCode.REPLICA_UPDATE,
                 key=request.key,
@@ -307,8 +321,9 @@ class ZHTServerCore:
                 replica_index=index,
                 inner_op=int(request.op),
             )
-            if mode == ReplicationMode.SYNC or (
-                mode == ReplicationMode.ASYNC and index == 1
+            if is_owner and (
+                mode == ReplicationMode.SYNC
+                or (mode == ReplicationMode.ASYNC and index == 1)
             ):
                 result.sync_sends.append((inst.address, update))
             else:

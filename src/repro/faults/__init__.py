@@ -1,0 +1,65 @@
+"""Deterministic fault injection for ZHT deployments.
+
+The paper's fault-tolerance story (§III.H: timeout detection with
+exponential backoff, replica failover, manager-driven re-replication) is
+implemented across ``repro.core``, ``repro.net``, and ``repro.sim`` —
+this package exercises it as a whole:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`, one seeded schedule
+  format for every fault class (message drop/delay/duplicate, connection
+  reset, node crash/stall, fsync loss, torn WAL tail).
+* :mod:`~repro.faults.transport` — :class:`FaultyClientTransport`, a
+  wrapper applying a plan around any :class:`~repro.net.transport.ClientTransport`.
+* :mod:`~repro.faults.files` — :class:`FaultyWALFile`, the file-level
+  shim simulating crashes with un-synced or torn WAL tails.
+* :mod:`~repro.faults.invariants` — :class:`AckLedger` and the checkers
+  behind the core invariant: an *acknowledged* write survives any single
+  node failure under replication.
+* :mod:`~repro.faults.chaos` — the end-to-end chaos harness
+  (``python -m repro chaos``) over the local/TCP/UDP backends.
+* :mod:`~repro.faults.simchaos` — the same harness inside the DES
+  simulator, for churn at scales sockets cannot host.
+"""
+
+from .chaos import ChaosReport, run_chaos
+from .files import FaultyWALFile, corrupt_byte, faulty_wal_opener, tear_tail
+from .invariants import (
+    AckLedger,
+    check_convergence,
+    check_replication_level,
+    classify_acked_outcomes,
+    holders_of_key,
+)
+from .plan import FaultKind, FaultPlan, FaultRecord, FaultRule
+from .transport import FaultyClientTransport, FaultyTransportStats
+
+
+def __getattr__(name):
+    # Loaded lazily: simchaos imports repro.sim.cluster, whose fault hooks
+    # import repro.faults.plan — an eager import here would be circular.
+    if name == "run_chaos_sim":
+        from .simchaos import run_chaos_sim
+
+        return run_chaos_sim
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AckLedger",
+    "ChaosReport",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultRule",
+    "FaultyClientTransport",
+    "FaultyTransportStats",
+    "FaultyWALFile",
+    "faulty_wal_opener",
+    "check_convergence",
+    "check_replication_level",
+    "classify_acked_outcomes",
+    "corrupt_byte",
+    "holders_of_key",
+    "run_chaos",
+    "run_chaos_sim",
+    "tear_tail",
+]

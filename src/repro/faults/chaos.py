@@ -1,0 +1,306 @@
+"""End-to-end failure-recovery harness (``python -m repro chaos``).
+
+One run drives the paper's whole Pillar-5 story against a live
+deployment and measures it:
+
+1. **steady state** — a client streams writes, recording every
+   acknowledgement in an :class:`~repro.faults.invariants.AckLedger`;
+2. **failure** — one physical node is hard-killed mid-workload; the
+   client rides through timeouts, exponential backoff, and replica
+   failover (§III.H);
+3. **repair** — a manager runs
+   :meth:`~repro.core.manager.ManagerCore.repair_after_failure`,
+   reassigning the dead node's partitions and restoring the replication
+   level;
+4. **verification** — zero acknowledged writes lost, full replication
+   restored, async replicas converged, and the injected fault sequence
+   reproducible from the plan seed.
+
+The same harness runs over the in-process local network and real
+TCP/UDP loopback sockets; :mod:`repro.faults.simchaos` repeats it inside
+the DES for scales sockets cannot host.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..api import build_local_cluster
+from ..core.config import ZHTConfig
+from ..core.errors import ZHTError
+from ..core.manager import ManagerCore
+from ..core.protocol import OpCode
+from .invariants import (
+    AckLedger,
+    check_convergence,
+    check_replication_level,
+    classify_acked_outcomes,
+)
+from .plan import FaultPlan
+from .transport import FaultyClientTransport
+
+BACKENDS = ("local", "tcp", "udp", "sim")
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run measured and verified."""
+
+    backend: str
+    nodes: int
+    replicas: int
+    seed: int
+    ops_attempted: int = 0
+    ops_acked: int = 0
+    ops_failed: int = 0
+    #: Ops the client retried or failed over (from client stats).
+    retries: int = 0
+    failovers: int = 0
+    nodes_marked_dead: int = 0
+    victim: str = ""
+    #: Worst successful-op latency between kill and repair — the op that
+    #: burned the timeout/backoff chain before failing over (seconds;
+    #: simulated seconds for the sim backend).
+    failover_latency_s: float = 0.0
+    #: Wall time the repair script took (time-to-re-replication).
+    repair_time_s: float = 0.0
+    throughput_before: float = 0.0
+    throughput_during: float = 0.0
+    throughput_after: float = 0.0
+    #: Acked-durability violations — data on *no* alive instance
+    #: (must be empty).
+    lost_writes: list = field(default_factory=list)
+    #: Acked writes the owner disagrees about but an alive instance still
+    #: holds (false-suspicion failover, at-least-once duplication).
+    diverged_writes: list = field(default_factory=list)
+    #: Replication-level violations after repair (must be empty).
+    replication_violations: list = field(default_factory=list)
+    #: Async-replica convergence violations after quiesce (must be empty).
+    convergence_violations: list = field(default_factory=list)
+    #: Deterministic digest of the injected fault sequence.
+    fault_digest: str = ""
+    injected_faults: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.lost_writes
+            or self.diverged_writes
+            or self.replication_violations
+            or self.convergence_violations
+        )
+
+    def summary_lines(self) -> list[str]:
+        dip = (
+            (1 - self.throughput_during / self.throughput_before) * 100
+            if self.throughput_before
+            else 0.0
+        )
+        return [
+            f"backend={self.backend} nodes={self.nodes} "
+            f"replicas={self.replicas} seed={self.seed}",
+            f"ops: {self.ops_acked}/{self.ops_attempted} acked, "
+            f"{self.ops_failed} failed, {self.retries} retries, "
+            f"{self.failovers} failovers, "
+            f"{self.nodes_marked_dead} node(s) marked dead",
+            f"victim: {self.victim}",
+            f"failover latency: {self.failover_latency_s * 1e3:.1f} ms   "
+            f"repair time: {self.repair_time_s * 1e3:.1f} ms",
+            f"throughput ops/s: {self.throughput_before:,.0f} before, "
+            f"{self.throughput_during:,.0f} during ({dip:+.0f}% dip), "
+            f"{self.throughput_after:,.0f} after",
+            f"faults injected: {self.injected_faults} "
+            f"(digest {self.fault_digest})",
+            f"invariants: "
+            + (
+                "OK (no acked write lost, replication restored)"
+                if self.ok
+                else f"{len(self.lost_writes)} lost, "
+                f"{len(self.diverged_writes)} diverged at owner, "
+                f"{len(self.replication_violations)} under-replicated, "
+                f"{len(self.convergence_violations)} replica mismatches"
+            ),
+        ]
+
+
+def _default_config(backend: str, replicas: int) -> ZHTConfig:
+    return ZHTConfig(
+        transport="local" if backend == "local" else backend,
+        num_partitions=64,
+        num_replicas=replicas,
+        request_timeout=0.02 if backend == "local" else 0.15,
+        failures_before_dead=2,
+        backoff_factor=1.5,
+        max_retries=10,
+    )
+
+
+def _build_cluster(backend: str, nodes: int, config: ZHTConfig, seed: int):
+    if backend == "local":
+        return build_local_cluster(nodes, config, seed=seed)
+    from ..net.cluster import build_tcp_cluster, build_udp_cluster
+
+    builder = build_udp_cluster if backend == "udp" else build_tcp_cluster
+    return builder(nodes, config, seed=seed)
+
+
+def _kill(cluster, backend: str, victim: str, plan: FaultPlan) -> None:
+    """Hard-kill every instance of node *victim* on any backend."""
+    addresses = [
+        str(inst.address) for inst in cluster.membership.instances_on_node(victim)
+    ]
+    if backend == "local":
+        cluster.kill_node(victim)
+    else:
+        targets = {
+            str(inst.address)
+            for inst in cluster.membership.instances_on_node(victim)
+        }
+        for server in cluster.servers:
+            if str(server.address) in targets:
+                server.stop()
+    plan.crash_target(victim, *addresses)
+
+
+def _server_cores(cluster, backend: str):
+    if backend == "local":
+        return list(cluster.servers.values())
+    return [s.core for s in cluster.servers if s.core is not None]
+
+
+def run_chaos(
+    backend: str = "local",
+    *,
+    nodes: int = 4,
+    replicas: int = 1,
+    ops: int = 240,
+    seed: int = 0,
+    plan: FaultPlan | None = None,
+    config: ZHTConfig | None = None,
+    value_bytes: int = 64,
+    kill_fraction: float = 0.35,
+) -> ChaosReport:
+    """Run one kill-and-repair chaos scenario; returns the report.
+
+    ``plan`` may add message-level chaos (drops/delays/duplicates) on
+    top of the node kill; with ``plan=None`` only the kill is injected.
+    The fault sequence for a given ``(seed, plan)`` is deterministic.
+    """
+    if backend == "sim":
+        from .simchaos import run_chaos_sim
+
+        return run_chaos_sim(
+            nodes=nodes,
+            replicas=replicas,
+            ops=ops,
+            seed=seed,
+            plan=plan,
+            value_bytes=value_bytes,
+            kill_fraction=kill_fraction,
+        )
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}")
+    if nodes < 3:
+        raise ValueError("chaos needs >= 3 nodes (victim + survivors)")
+
+    config = config or _default_config(backend, replicas)
+    plan = plan or FaultPlan(seed)
+    report = ChaosReport(backend, nodes, replicas, seed)
+    rng = random.Random(seed)
+
+    kill_index = max(1, int(ops * kill_fraction))
+    repair_index = min(ops - 1, kill_index + max(6, ops // 6))
+
+    with _build_cluster(backend, nodes, config, seed) as cluster:
+        victim = sorted(cluster.membership.nodes)[1]
+        report.victim = victim
+        client = cluster.client(seed=seed)
+        client.transport = FaultyClientTransport(client.transport, plan)
+
+        value = bytes(rng.randrange(256) for _ in range(value_bytes))
+        ledger = AckLedger()
+        window_latencies: list[float] = []
+        t_start = time.perf_counter()
+        t_kill = t_repair_start = t_repair_done = t_start
+
+        for i in range(ops):
+            if i == kill_index:
+                _kill(cluster, backend, victim, plan)
+                t_kill = time.perf_counter()
+            if i == repair_index:
+                t_repair_start = time.perf_counter()
+                report.repair_time_s = _repair(cluster, victim, config, seed)
+                t_repair_done = time.perf_counter()
+
+            key = f"chaos-{seed}-{i:05d}".encode()
+            op = OpCode.APPEND if i % 7 == 3 else OpCode.INSERT
+            report.ops_attempted += 1
+            t0 = time.perf_counter()
+            try:
+                if op == OpCode.INSERT:
+                    client.insert(key, value)
+                else:
+                    client.append(key, b"+tail")
+            except ZHTError:
+                report.ops_failed += 1
+                continue
+            dt = time.perf_counter() - t0
+            ledger.record(op, key, value if op == OpCode.INSERT else b"+tail")
+            report.ops_acked += 1
+            if kill_index <= i < repair_index:
+                window_latencies.append(dt)
+
+        t_end = time.perf_counter()
+        report.retries = client.stats.retries
+        report.failovers = client.stats.failovers
+        report.nodes_marked_dead = client.stats.nodes_marked_dead
+        report.failover_latency_s = max(window_latencies, default=0.0)
+        report.throughput_before = kill_index / max(t_kill - t_start, 1e-9)
+        report.throughput_during = (repair_index - kill_index) / max(
+            t_repair_start - t_kill, 1e-9
+        )
+        report.throughput_after = (ops - repair_index) / max(
+            t_end - t_repair_done, 1e-9
+        )
+
+        # -- verification ------------------------------------------------
+        if backend in ("tcp", "udp"):
+            time.sleep(0.2)  # drain in-flight async replica updates
+        fresh = cluster.client(seed=seed + 1)
+        cores = _server_cores(cluster, backend)
+        membership = cluster.membership
+        report.lost_writes, report.diverged_writes = classify_acked_outcomes(
+            ledger, fresh.lookup, cores, membership
+        )
+        alive_nodes = sum(1 for n in membership.nodes.values() if n.alive)
+        min_copies = min(replicas + 1, alive_nodes)
+        report.replication_violations = check_replication_level(
+            cores, membership, ledger.expected.keys(), min_copies
+        )
+        report.convergence_violations = check_convergence(
+            cores,
+            membership,
+            ledger.expected,
+            replicas,
+            config.hash_name,
+        )
+    report.injected_faults = len(plan.trace)
+    report.fault_digest = plan.trace_digest()
+    return report
+
+
+def _repair(cluster, victim: str, config: ZHTConfig, seed: int) -> float:
+    """Run the manager repair script; returns its wall-clock duration."""
+    manager_node = next(
+        n
+        for n, info in cluster.membership.nodes.items()
+        if info.alive and n != victim
+    )
+    manager = ManagerCore(
+        manager_node, cluster.membership, config, rng=random.Random(seed ^ 0xC0DE)
+    )
+    t0 = time.perf_counter()
+    cluster.run(manager.repair_after_failure(victim))
+    return time.perf_counter() - t0

@@ -1,0 +1,175 @@
+"""File-level fault injection for NoVoHT's WAL and checkpoint I/O.
+
+:class:`FaultyWALFile` wraps the WAL's append handle (via the
+``wal_opener`` hook on :class:`~repro.novoht.novoht.NoVoHT` /
+``opener`` on :class:`~repro.novoht.wal.WriteAheadLog`) and models the
+storage-stack failure modes the paper's persistence layer must survive:
+
+* **fsync loss** — the drive acknowledges a sync it never performed
+  (volatile write cache); bytes written after the last *honest* sync
+  are gone after a crash.
+* **torn tail** — power fails mid-append; an arbitrary prefix of the
+  final record reaches the platter.
+
+The shim never fakes the happy path: writes really hit the file, and a
+run without :meth:`simulate_crash` is byte-identical to an uninjected
+one.  :meth:`simulate_crash` rewrites the on-disk file to exactly what
+would have survived the power cut, after which a fresh ``NoVoHT(path)``
+exercises the real recovery code.
+
+Standalone corruption helpers (:func:`tear_tail`, :func:`corrupt_byte`)
+build the mid-record and CRC-corruption cases for recovery tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO
+
+from .plan import FaultKind, FaultPlan
+
+
+class FaultyWALFile:
+    """A binary append-file wrapper with crash-consistency simulation.
+
+    Tracks ``durable_bytes`` — the file size at the last fsync that was
+    *not* lost to an injected ``FSYNC_LOSS`` fault.  ``simulate_crash``
+    truncates the real file back to that point (optionally keeping a
+    torn prefix of the first lost record when a ``TORN_TAIL`` rule
+    fires), so subsequent recovery sees exactly a post-power-cut disk.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        mode: str = "ab",
+        *,
+        plan: FaultPlan | None = None,
+        target: str | None = None,
+    ):
+        self._file: BinaryIO = open(path, mode)
+        self.path = path
+        self.plan = plan
+        self.target = target
+        #: Bytes guaranteed on disk (size as of the last honest fsync).
+        self.durable_bytes = os.path.getsize(path)
+        #: Offsets at which writes completed since the last honest fsync
+        #: (record boundaries, for torn-tail placement).
+        self._write_ends: list[int] = []
+        self.fsyncs = 0
+        self.fsyncs_lost = 0
+        self.crashed = False
+
+    # -- file protocol (what WriteAheadLog uses) --------------------------
+
+    def write(self, data: bytes) -> int:
+        n = self._file.write(data)
+        self._write_ends.append(self._file.tell())
+        return n
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def fileno(self) -> int:
+        return self._file.fileno()
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        return self._file.seek(offset, whence)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    def fsync(self) -> None:
+        """Sync point: honest unless an ``FSYNC_LOSS`` rule fires."""
+        self.fsyncs += 1
+        self._file.flush()
+        if self.plan is not None and self.plan.file_fault(
+            FaultKind.FSYNC_LOSS, target=self.target
+        ):
+            self.fsyncs_lost += 1
+            return
+        os.fsync(self._file.fileno())
+        self.durable_bytes = self._file.tell()
+        self._write_ends.clear()
+
+    # -- crash simulation --------------------------------------------------
+
+    def simulate_crash(self) -> int:
+        """Rewrite the on-disk file to its post-crash content.
+
+        Everything past ``durable_bytes`` is discarded; if a
+        ``TORN_TAIL`` rule fires (or no plan is attached), a torn prefix
+        of the first un-synced record is kept, exercising the WAL's
+        mid-record recovery.  Returns the surviving size.  The handle is
+        closed; reopen through a fresh store to recover.
+        """
+        self._file.flush()
+        size = self._file.tell()
+        keep = self.durable_bytes
+        lost_tail = size - keep
+        if lost_tail > 0:
+            tear = True
+            if self.plan is not None:
+                tear = (
+                    self.plan.file_fault(FaultKind.TORN_TAIL, target=self.target)
+                    is not None
+                )
+            if tear:
+                # Keep roughly half of the first lost record: a torn write.
+                first_end = next(
+                    (e for e in self._write_ends if e > keep), size
+                )
+                keep += max(0, (first_end - keep) // 2)
+        self._file.close()
+        with open(self.path, "r+b") as f:
+            f.truncate(keep)
+        self.crashed = True
+        return keep
+
+
+def faulty_wal_opener(plan: FaultPlan | None = None, target: str | None = None):
+    """A ``wal_opener`` for :class:`~repro.novoht.novoht.NoVoHT` that
+    returns the shim and remembers the last opened file on the function
+    object (``opener.last``)."""
+
+    def opener(path: str, mode: str) -> FaultyWALFile:
+        f = FaultyWALFile(path, mode, plan=plan, target=target)
+        opener.last = f
+        return f
+
+    opener.last = None
+    return opener
+
+
+# ---------------------------------------------------------------------------
+# Standalone corruption helpers for recovery tests
+# ---------------------------------------------------------------------------
+
+
+def tear_tail(path: str, drop_bytes: int) -> int:
+    """Truncate the last *drop_bytes* bytes off *path* (simulated torn
+    final record); returns the new size."""
+    size = os.path.getsize(path)
+    keep = max(0, size - drop_bytes)
+    with open(path, "r+b") as f:
+        f.truncate(keep)
+    return keep
+
+
+def corrupt_byte(path: str, offset: int) -> None:
+    """Flip one byte at *offset* (bit rot / partial overwrite)."""
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        byte = f.read(1)
+        if not byte:
+            raise ValueError(f"offset {offset} past end of {path}")
+        f.seek(offset)
+        f.write(bytes((byte[0] ^ 0xFF,)))

@@ -1,0 +1,220 @@
+"""Failure-recovery invariants.
+
+Two properties turn the paper's §fault-tolerance narrative into
+checkable assertions:
+
+1. **Acknowledged durability** — every write the client saw acknowledged
+   must be readable after recovery from any single node failure (given
+   ``num_replicas >= 1``).  :class:`AckLedger` models the expected final
+   state from the ack stream; :meth:`AckLedger.verify` replays it
+   against live lookups.
+2. **Replica convergence** — asynchronously-updated replicas must hold
+   the primary's value once faults stop and in-flight updates drain
+   (§III.J: only the secondary is strongly consistent).
+
+The checkers work on iterables of :class:`~repro.core.server.ZHTServerCore`
+so the same code audits the local, socket, and simulated backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core.errors import KeyNotFound
+from ..core.membership import MembershipTable
+from ..core.protocol import OpCode
+from ..core.server import ZHTServerCore
+
+
+@dataclass
+class AckLedger:
+    """Model of the expected key space, built from acknowledged ops."""
+
+    #: Expected value per key (inserts overwrite, appends concatenate).
+    expected: dict[bytes, bytes] = field(default_factory=dict)
+    #: Keys whose last acknowledged op was a REMOVE.
+    removed: set[bytes] = field(default_factory=set)
+    acked_ops: int = 0
+
+    def record(self, op: OpCode, key: bytes, value: bytes = b"") -> None:
+        """Record one *acknowledged* mutation (call only after the client
+        op returned success)."""
+        self.acked_ops += 1
+        if op == OpCode.INSERT:
+            self.expected[key] = value
+            self.removed.discard(key)
+        elif op == OpCode.APPEND:
+            self.expected[key] = self.expected.get(key, b"") + value
+            self.removed.discard(key)
+        elif op == OpCode.REMOVE:
+            self.expected.pop(key, None)
+            self.removed.add(key)
+
+    def verify(self, lookup: Callable[[bytes], bytes]) -> list[str]:
+        """Check every acknowledged write against *lookup*.
+
+        *lookup* returns the live value or raises
+        :class:`~repro.core.errors.KeyNotFound`; any other exception is
+        reported as a violation too (an acked key must stay readable).
+        Returns human-readable violation strings (empty = invariant holds).
+        """
+        violations: list[str] = []
+        for key, want in self.expected.items():
+            try:
+                got = lookup(key)
+            except KeyNotFound:
+                violations.append(f"acked write lost: {key!r} not found")
+                continue
+            except Exception as exc:  # noqa: BLE001 - report, don't mask
+                violations.append(f"acked write unreadable: {key!r}: {exc!r}")
+                continue
+            if got != want:
+                violations.append(
+                    f"acked write diverged: {key!r} = {got!r}, want {want!r}"
+                )
+        for key in self.removed:
+            try:
+                lookup(key)
+            except KeyNotFound:
+                continue
+            except Exception:
+                continue
+            violations.append(f"acked remove resurrected: {key!r}")
+        return violations
+
+
+# ---------------------------------------------------------------------------
+# Store-level replication checks
+# ---------------------------------------------------------------------------
+
+
+def _alive_servers(
+    servers: Iterable[ZHTServerCore], membership: MembershipTable
+) -> list[ZHTServerCore]:
+    return [
+        s
+        for s in servers
+        if membership.nodes[s.info.node_id].alive
+    ]
+
+
+def holders_of_key(
+    servers: Iterable[ZHTServerCore],
+    membership: MembershipTable,
+    key: bytes,
+) -> list[str]:
+    """Instance ids of alive servers whose stores hold *key*."""
+    return [
+        server.info.instance_id
+        for server in _alive_servers(servers, membership)
+        if any(key in part.store for part in server.partitions.values())
+    ]
+
+
+def classify_acked_outcomes(
+    ledger: AckLedger,
+    lookup: Callable[[bytes], bytes],
+    servers: Iterable[ZHTServerCore],
+    membership: MembershipTable,
+) -> tuple[list[str], list[str]]:
+    """Audit the ack ledger against the owner *and* the raw stores.
+
+    Returns ``(lost, diverged)``:
+
+    * **lost** — the acked data exists on *no* alive instance at all: the
+      durability guarantee is broken.
+    * **diverged** — the owner's answer disagrees with the ledger but an
+      alive instance still holds the key (e.g. a falsely-suspected owner
+      missed failover writes, or an at-least-once retry double-applied an
+      APPEND).  The data survived; the chain has not converged.
+    """
+    servers = list(servers)
+    lost: list[str] = []
+    diverged: list[str] = []
+    for key, want in ledger.expected.items():
+        try:
+            got = lookup(key)
+        except KeyNotFound:
+            got = None
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            lost.append(f"acked write unreadable: {key!r}: {exc!r}")
+            continue
+        if got == want:
+            continue
+        holders = holders_of_key(servers, membership, key)
+        if not holders:
+            lost.append(f"acked write lost: {key!r} on no alive instance")
+        elif got is None:
+            diverged.append(
+                f"acked write missing at owner: {key!r} held by "
+                f"{len(holders)} alive instance(s)"
+            )
+        else:
+            diverged.append(
+                f"acked write disagrees at owner: {key!r} = {got!r}, "
+                f"want {want!r}"
+            )
+    for key in ledger.removed:
+        try:
+            lookup(key)
+        except Exception:
+            continue
+        lost.append(f"acked remove resurrected: {key!r}")
+    return lost, diverged
+
+
+def check_replication_level(
+    servers: Iterable[ZHTServerCore],
+    membership: MembershipTable,
+    keys: Iterable[bytes],
+    min_copies: int,
+) -> list[str]:
+    """Every key must exist on at least *min_copies* alive instances."""
+    servers = list(servers)
+    violations = []
+    for key in keys:
+        holders = holders_of_key(servers, membership, key)
+        if len(holders) < min_copies:
+            violations.append(
+                f"under-replicated: {key!r} on {len(holders)} "
+                f"instance(s), want >= {min_copies}"
+            )
+    return violations
+
+
+def check_convergence(
+    servers: Iterable[ZHTServerCore],
+    membership: MembershipTable,
+    expected: dict[bytes, bytes],
+    num_replicas: int,
+    hash_name: str,
+) -> list[str]:
+    """After faults stop and updates drain, each key's replica chain must
+    agree with the expected value (async replicas converge, §III.J)."""
+    by_instance = {s.info.instance_id: s for s in servers}
+    violations = []
+    for key, want in expected.items():
+        pid = membership.partition_of_key(key, hash_name)
+        chain = membership.replicas_for_partition(pid, num_replicas)
+        for inst in chain:
+            if not membership.nodes[inst.node_id].alive:
+                continue
+            server = by_instance.get(inst.instance_id)
+            if server is None:
+                continue
+            part = server.partitions.get(pid)
+            store = part.store if part is not None else None
+            if store is None or key not in store:
+                violations.append(
+                    f"replica missing: {key!r} absent on "
+                    f"{inst.instance_id[:8]}"
+                )
+                continue
+            got = store.get(key)
+            if got != want:
+                violations.append(
+                    f"replica diverged: {key!r} on {inst.instance_id[:8]} "
+                    f"= {got!r}, want {want!r}"
+                )
+    return violations

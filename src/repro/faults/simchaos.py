@@ -1,0 +1,235 @@
+"""The chaos harness inside the discrete-event simulator.
+
+Runs the same kill → failover → repair → verify scenario as
+:func:`repro.faults.chaos.run_chaos`, but against
+:class:`~repro.sim.cluster.SimulatedCluster`, where a "node" costs no
+memory beyond its state machine — so churn can be exercised at scales
+loopback sockets cannot host, with the same real
+:class:`~repro.core.client.OpDriver` /
+:class:`~repro.core.server.ZHTServerCore` protocol logic.
+
+Times in the resulting :class:`~repro.faults.chaos.ChaosReport` are
+*simulated* seconds (from the calibrated latency models), not wall
+time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.client import ZHTClientCore
+from ..core.config import ReplicationMode, ZHTConfig
+from ..core.errors import KeyNotFound, ZHTError
+from ..core.manager import ManagerCore
+from ..core.protocol import OpCode
+from ..sim.cluster import SimSpec, SimulatedCluster, _SimMessage
+from .chaos import ChaosReport
+from .invariants import (
+    AckLedger,
+    check_convergence,
+    check_replication_level,
+    classify_acked_outcomes,
+)
+from .plan import FaultPlan
+
+
+def _sim_roundtrip(cluster: SimulatedCluster, address, request, timeout):
+    """DES sub-generator: one request/response with a timeout race.
+
+    Returns the response, or ``None`` on timeout / unroutable address
+    (mirrors :meth:`ClientTransport.roundtrip`).
+    """
+    dst = cluster._addr_to_index.get(address)
+    if dst is None:
+        # Unroutable (e.g. a manager port): burn the timeout like a real
+        # transport waiting on a dead address would.
+        yield cluster.env.timeout(timeout)
+        return None
+    reply = cluster.env.event()
+    cluster._deliver(dst, _SimMessage(request, reply, 0), 0)
+    winner = yield cluster._first_of(reply, cluster.env.timeout(timeout))
+    return reply.value if winner == 0 else None
+
+
+def _sim_execute(cluster: SimulatedCluster, core: ZHTClientCore, driver):
+    """DES sub-generator mirroring :func:`repro.net.transport.execute_op`:
+    drives one op through retries/backoff/failover in simulated time."""
+    while True:
+        attempt = driver.next_attempt()
+        if attempt is None:
+            break
+        if attempt.delay > 0:
+            yield cluster.env.timeout(attempt.delay)
+        response = yield from _sim_roundtrip(
+            cluster, attempt.address, attempt.request, attempt.timeout
+        )
+        if response is None:
+            driver.on_timeout()
+        else:
+            driver.on_response(response)
+    # Manager failure notifications have no routable address in the sim.
+    core.pending_notifications.clear()
+    return driver.result()
+
+
+def _sim_repair(cluster: SimulatedCluster, victim: str, config, seed: int):
+    """DES sub-generator running the manager repair script over the
+    simulated network."""
+    manager_node = next(
+        n
+        for n, info in cluster.membership.nodes.items()
+        if info.alive and n != victim
+    )
+    manager = ManagerCore(
+        manager_node,
+        cluster.membership,
+        config,
+        rng=random.Random(seed ^ 0xC0DE),
+    )
+    script = manager.repair_after_failure(victim)
+    reply = None
+    while True:
+        try:
+            call = script.send(reply)
+        except StopIteration as stop:
+            return stop.value
+        reply = yield from _sim_roundtrip(
+            cluster, call.address, call.request, config.request_timeout * 4
+        )
+
+
+def run_chaos_sim(
+    *,
+    nodes: int = 4,
+    replicas: int = 1,
+    ops: int = 240,
+    seed: int = 0,
+    plan: FaultPlan | None = None,
+    value_bytes: int = 64,
+    kill_fraction: float = 0.35,
+    partitions_per_instance: int = 16,
+) -> ChaosReport:
+    """One kill-and-repair chaos scenario inside the DES; see
+    :func:`repro.faults.chaos.run_chaos` for the scenario shape."""
+    if nodes < 3:
+        raise ValueError("chaos needs >= 3 nodes (victim + survivors)")
+    plan = plan or FaultPlan(seed)
+    config = ZHTConfig(
+        transport="local",
+        num_partitions=nodes * partitions_per_instance,
+        num_replicas=replicas,
+        replication_mode=(
+            ReplicationMode.ASYNC if replicas > 0 else ReplicationMode.NONE
+        ),
+        request_timeout=0.005,
+        failures_before_dead=2,
+        backoff_factor=1.5,
+        max_retries=10,
+    )
+    spec = SimSpec(
+        num_nodes=nodes,
+        num_replicas=replicas,
+        replication_mode=config.replication_mode,
+        partitions_per_instance=partitions_per_instance,
+        real_core=True,
+        seed=seed,
+        faults=plan,
+        config=config,
+    )
+    cluster = SimulatedCluster(spec)
+    env = cluster.env
+    membership = cluster.membership
+    report = ChaosReport("sim", nodes, replicas, seed)
+    victim = sorted(membership.nodes)[1]
+    report.victim = victim
+    rng = random.Random(seed)
+    value = bytes(rng.randrange(256) for _ in range(value_bytes))
+    ledger = AckLedger()
+    core = ZHTClientCore(
+        membership.copy(), config, rng=random.Random((seed << 16) ^ 0xFA)
+    )
+
+    kill_index = max(1, int(ops * kill_fraction))
+    repair_index = min(ops - 1, kill_index + max(6, ops // 6))
+    times = {"start": 0.0, "kill": 0.0, "repair_start": 0.0, "repair_done": 0.0}
+    window: list[float] = []
+
+    def chaos_proc():
+        for i in range(ops):
+            if i == kill_index:
+                cluster.kill_node(victim)
+                plan.crash_target(
+                    victim,
+                    *[
+                        str(inst.address)
+                        for inst in membership.instances_on_node(victim)
+                    ],
+                )
+                times["kill"] = env.now
+            if i == repair_index:
+                times["repair_start"] = env.now
+                yield from _sim_repair(cluster, victim, config, seed)
+                times["repair_done"] = env.now
+                report.repair_time_s = env.now - times["repair_start"]
+
+            key = f"simchaos-{seed}-{i:05d}".encode()
+            op = OpCode.APPEND if i % 7 == 3 else OpCode.INSERT
+            payload = b"+tail" if op == OpCode.APPEND else value
+            report.ops_attempted += 1
+            t0 = env.now
+            driver = core.driver(op, key, payload)
+            try:
+                yield from _sim_execute(cluster, core, driver)
+            except ZHTError:
+                report.ops_failed += 1
+                continue
+            ledger.record(op, key, payload)
+            report.ops_acked += 1
+            if kill_index <= i < repair_index:
+                window.append(env.now - t0)
+        times["end"] = env.now
+
+    proc = env.process(chaos_proc(), name="chaos")
+    env.run()
+    if not proc.done:
+        raise RuntimeError("sim chaos workload deadlocked")
+
+    report.retries = core.stats.retries
+    report.failovers = core.stats.failovers
+    report.nodes_marked_dead = core.stats.nodes_marked_dead
+    report.failover_latency_s = max(window, default=0.0)
+    report.throughput_before = kill_index / max(times["kill"], 1e-12)
+    report.throughput_during = (repair_index - kill_index) / max(
+        times["repair_start"] - times["kill"], 1e-12
+    )
+    report.throughput_after = (ops - repair_index) / max(
+        times["end"] - times["repair_done"], 1e-12
+    )
+
+    # -- verification (directly against the stores; the DES has drained,
+    # so there are no in-flight replica updates) -------------------------
+    def lookup(key: bytes) -> bytes:
+        pid = membership.partition_of_key(key, config.hash_name)
+        inst = membership.owner_of_partition(pid)
+        server = cluster.handlers[cluster._addr_to_index[inst.address]]
+        part = server.partitions.get(pid)
+        if part is None or key not in part.store:
+            raise KeyNotFound(f"{key!r} not on owner {inst.instance_id[:8]}")
+        return part.store.get(key)
+
+    report.lost_writes, report.diverged_writes = classify_acked_outcomes(
+        ledger, lookup, cluster.handlers, membership
+    )
+    alive_nodes = sum(1 for n in membership.nodes.values() if n.alive)
+    report.replication_violations = check_replication_level(
+        cluster.handlers,
+        membership,
+        ledger.expected.keys(),
+        min(replicas + 1, alive_nodes),
+    )
+    report.convergence_violations = check_convergence(
+        cluster.handlers, membership, ledger.expected, replicas, config.hash_name
+    )
+    report.injected_faults = len(plan.trace)
+    report.fault_digest = plan.trace_digest()
+    return report

@@ -1,0 +1,132 @@
+"""Fault-injecting wrapper around any client transport.
+
+:class:`FaultyClientTransport` sits between an operation driver and a
+real (TCP/UDP/local) transport and applies a :class:`~repro.faults.plan.FaultPlan`
+to every send:
+
+* ``DROP`` — the request is swallowed; the caller waits out its timeout
+  (exactly what a lost packet looks like from the client side).
+* ``DELAY`` / ``STALL`` — the round trip completes, late.
+* ``DUPLICATE`` — the message is transmitted twice (the server-side UDP
+  dedup cache and idempotent TCP handling absorb the copy).
+* ``RESET`` — the attempt fails fast, like ``ECONNRESET``, and the
+  cached connection to the target is evicted.
+* crashed targets (``plan.crash_target``) behave as black holes.
+
+The wrapper is transport-agnostic, so the same plan drives faults over
+loopback sockets and the in-process local network.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.membership import Address
+from ..core.protocol import Request, Response
+from ..net.transport import ClientTransport
+from .plan import FaultKind, FaultPlan
+
+
+@dataclass
+class FaultyTransportStats:
+    sends: int = 0
+    drops: int = 0
+    delays: int = 0
+    duplicates: int = 0
+    resets: int = 0
+    crash_blackholes: int = 0
+
+
+class FaultyClientTransport(ClientTransport):
+    """Applies *plan* to every message crossing *inner*."""
+
+    def __init__(
+        self,
+        inner: ClientTransport,
+        plan: FaultPlan,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        max_drop_wait: float = 0.5,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self.stats = FaultyTransportStats()
+        self._sleep = sleep
+        #: Cap on how long a DROP makes the caller actually wait — lost
+        #: messages must look like timeouts, but tests should not pay
+        #: multi-second sleeps for them.
+        self.max_drop_wait = max_drop_wait
+
+    # ------------------------------------------------------------------
+
+    def roundtrip(
+        self, address: Address, request: Request, timeout: float
+    ) -> Response | None:
+        self.stats.sends += 1
+        if self.plan.is_crashed(str(address), address.host):
+            self.stats.crash_blackholes += 1
+            self._sleep(min(timeout, self.max_drop_wait))
+            return None
+        duplicate = False
+        extra_delay = 0.0
+        for record, rule in self.plan.message_faults(
+            target=str(address), op=request.op.name
+        ):
+            if rule.kind == FaultKind.DROP:
+                self.stats.drops += 1
+                self._sleep(min(timeout, self.max_drop_wait))
+                return None
+            if rule.kind == FaultKind.RESET:
+                self.stats.resets += 1
+                self.inner.evict(address)
+                return None
+            if rule.kind in (FaultKind.DELAY, FaultKind.STALL):
+                self.stats.delays += 1
+                extra_delay += rule.delay
+            elif rule.kind == FaultKind.DUPLICATE:
+                self.stats.duplicates += 1
+                duplicate = True
+        if extra_delay:
+            self._sleep(extra_delay)
+        if duplicate:
+            # The duplicated copy reaches the server too; its response is
+            # discarded (the original's wins), matching a repeated datagram.
+            self.inner.roundtrip(address, request, timeout)
+        return self.inner.roundtrip(address, request, timeout)
+
+    def send_oneway(self, address: Address, request: Request) -> None:
+        self.stats.sends += 1
+        if self.plan.is_crashed(str(address), address.host):
+            self.stats.crash_blackholes += 1
+            return
+        duplicate = False
+        extra_delay = 0.0
+        for record, rule in self.plan.message_faults(
+            target=str(address), op=request.op.name
+        ):
+            if rule.kind == FaultKind.DROP:
+                self.stats.drops += 1
+                return
+            if rule.kind == FaultKind.RESET:
+                self.stats.resets += 1
+                self.inner.evict(address)
+                return
+            if rule.kind in (FaultKind.DELAY, FaultKind.STALL):
+                self.stats.delays += 1
+                extra_delay += rule.delay
+            elif rule.kind == FaultKind.DUPLICATE:
+                self.stats.duplicates += 1
+                duplicate = True
+        if extra_delay:
+            self._sleep(extra_delay)
+        self.inner.send_oneway(address, request)
+        if duplicate:
+            self.inner.send_oneway(address, request)
+
+    def evict(self, address: Address) -> None:
+        self.inner.evict(address)
+
+    def close(self) -> None:
+        self.inner.close()

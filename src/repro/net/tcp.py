@@ -62,6 +62,11 @@ class TCPClient(ClientTransport):
         self._lock = threading.Lock()
         self.connect_timeout = connect_timeout
         self.connects = 0
+        #: One-way messages retried on a fresh connection after a cached
+        #: socket turned out stale.
+        self.oneway_retries = 0
+        #: One-way messages dropped after the retry also failed.
+        self.oneway_drops = 0
 
     def _connect(self, address: Address) -> socket.socket | None:
         try:
@@ -105,15 +110,36 @@ class TCPClient(ClientTransport):
             return None
 
     def send_oneway(self, address: Address, request: Request) -> None:
+        # Failure reports and async replica updates travel this path; a
+        # cached socket whose server side has gone away must not silently
+        # swallow them, so a send error triggers one retry on a fresh
+        # connection before the message is counted as dropped.
+        payload = frame(request.encode())
         sock = self._checkout(address)
+        if sock is not None:
+            try:
+                sock.sendall(payload)
+                self._checkin(address, sock)
+                return
+            except OSError:
+                sock.close()
+                self.oneway_retries += 1
+        sock = self._connect(address)
         if sock is None:
+            self.oneway_drops += 1
             return
         try:
-            sock.sendall(frame(request.encode()))
+            sock.sendall(payload)
+            self._checkin(address, sock)
         except OSError:
             sock.close()
-            return
-        self._checkin(address, sock)
+            self.oneway_drops += 1
+
+    def evict(self, address: Address) -> None:
+        with self._lock:
+            sock = self._cache.pop(address)
+        if sock is not None:
+            sock.close()
 
     def close(self) -> None:
         with self._lock:

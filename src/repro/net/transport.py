@@ -39,6 +39,14 @@ class ClientTransport(abc.ABC):
     def send_oneway(self, address: Address, request: Request) -> None:
         """Best-effort fire-and-forget send (async replication)."""
 
+    def evict(self, address: Address) -> None:  # pragma: no cover - default
+        """Discard any cached connection to *address*.
+
+        Called when the failure detector marks the owning node dead, so
+        retries and failovers never re-use a socket to a crashed server.
+        Transports without connection state ignore it.
+        """
+
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release any cached connections/sockets."""
 

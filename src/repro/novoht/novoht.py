@@ -90,6 +90,10 @@ class NoVoHT:
         spill threshold bookkeeping and are reported in :meth:`info`.
     fsync:
         fsync the WAL on every mutation (durability vs throughput).
+    wal_opener:
+        Optional ``(path, mode) -> file`` factory for the WAL's append
+        handle; the fault-injection shim uses it to simulate crashes
+        with lost fsyncs and torn tails.
     """
 
     #: Minimum WAL records before automatic GC is considered.
@@ -105,6 +109,7 @@ class NoVoHT:
         initial_capacity: int = 1024,
         resize_factor: float = 2.0,
         fsync: bool = False,
+        wal_opener=None,
     ):
         if checkpoint_interval_ops < 0:
             raise ValueError("checkpoint_interval_ops must be >= 0")
@@ -139,7 +144,9 @@ class NoVoHT:
             os.makedirs(path, exist_ok=True)
             self._ckpt_path = os.path.join(path, "novoht.ckpt")
             self._ovf_path = os.path.join(path, "novoht.ovf")
-            self._wal = WriteAheadLog(os.path.join(path, "novoht.wal"), fsync=fsync)
+            self._wal = WriteAheadLog(
+                os.path.join(path, "novoht.wal"), fsync=fsync, opener=wal_opener
+            )
             self._recover()
             self._wal.open()
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from typing import BinaryIO, Iterator
+from typing import BinaryIO, Callable, Iterator
 
 from ..core.errors import StoreError
 
@@ -138,11 +138,23 @@ def iter_records(f: BinaryIO) -> Iterator[tuple[int, bytes, bytes]]:
 
 
 class WriteAheadLog:
-    """Append-only mutation log with replay and compaction support."""
+    """Append-only mutation log with replay and compaction support.
 
-    def __init__(self, path: str, *, fsync: bool = False):
+    ``opener`` customises how the append handle is opened — the fault
+    injection shim (:mod:`repro.faults.files`) uses it to wrap the file
+    and simulate fsync loss and torn tails; ``None`` is plain ``open``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: bool = False,
+        opener: "Callable[[str, str], BinaryIO] | None" = None,
+    ):
         self.path = path
         self.fsync = fsync
+        self._opener = opener
         self._file: BinaryIO | None = None
         #: Number of records appended since open/compaction (live + dead).
         self.record_count = 0
@@ -154,7 +166,10 @@ class WriteAheadLog:
         if self._file is not None:
             return
         try:
-            self._file = open(self.path, "ab")
+            if self._opener is not None:
+                self._file = self._opener(self.path, "ab")
+            else:
+                self._file = open(self.path, "ab")
         except OSError as exc:
             raise StoreError(f"cannot open WAL {self.path}: {exc}") from exc
 
@@ -177,10 +192,19 @@ class WriteAheadLog:
             self._file.write(encode_record(op, key, value))
             self._file.flush()
             if self.fsync:
-                os.fsync(self._file.fileno())
+                self._fsync()
         except OSError as exc:
             raise StoreError(f"WAL append failed: {exc}") from exc
         self.record_count += 1
+
+    def _fsync(self) -> None:
+        # Files providing their own fsync (the fault-injection shim, which
+        # may deliberately lose the sync) override the os-level call.
+        fsync = getattr(self._file, "fsync", None)
+        if fsync is not None:
+            fsync()
+        else:
+            os.fsync(self._file.fileno())
 
     # -- recovery / compaction ------------------------------------------------
 

@@ -33,6 +33,7 @@ from ..core.membership import (
 )
 from ..core.protocol import MUTATING_OPS, OpCode, Request, Response
 from ..core.server import ZHTServerCore
+from ..faults.plan import FaultKind
 from .engine import Environment, Store
 from .metrics import LatencyStats, RunResult
 from .network import (
@@ -80,6 +81,13 @@ class SimSpec:
     #: with the same network envelope (baselines).
     real_core: bool = True
     seed: int = 0
+    #: Optional :class:`~repro.faults.plan.FaultPlan` — enables message
+    #: drop/delay/duplicate injection in :meth:`SimulatedCluster._deliver`
+    #: and scheduled node crashes, so scale sweeps can run under churn.
+    faults: object | None = None
+    #: Override the auto-built :class:`ZHTConfig` (timeouts, retries, ...).
+    #: Partition/replica counts must match the spec.
+    config: ZHTConfig | None = None
 
     @property
     def num_instances(self) -> int:
@@ -149,8 +157,11 @@ class SimulatedCluster:
         self._addr_to_index = {
             inst.address: i for i, inst in enumerate(self.instances)
         }
+        #: Instance indices whose node has crashed: their queued and
+        #: future messages are discarded (a dead server is a blackhole).
+        self.dead_instances: set[int] = set()
         if spec.real_core:
-            self.config = ZHTConfig(
+            self.config = spec.config or ZHTConfig(
                 num_partitions=spec.num_partitions,
                 num_replicas=spec.num_replicas,
                 replication_mode=(
@@ -165,13 +176,18 @@ class SimulatedCluster:
                 for inst in self.instances
             ]
         else:
-            self.config = ZHTConfig(
+            self.config = spec.config or ZHTConfig(
                 num_partitions=spec.num_partitions, transport="local"
             )
             self.handlers = [_DictHandler() for _ in self.instances]
 
         for i in range(spec.num_instances):
             self.env.process(self._server_proc(i), name=f"server-{i}")
+        if spec.faults is not None:
+            for at_time, target in spec.faults.scheduled_crashes():
+                self.env.process(
+                    self._crash_at(at_time, target), name=f"crash-{target}"
+                )
 
     # ------------------------------------------------------------------
 
@@ -197,6 +213,41 @@ class SimulatedCluster:
         return self._node_index[self.instances[index].node_id]
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def kill_node(self, target: str) -> None:
+        """Abruptly fail a node (by node id, e.g. ``"n1"``) or a single
+        instance (by address string): its messages vanish from now on."""
+        for i, inst in enumerate(self.instances):
+            if inst.node_id == target or str(inst.address) == target:
+                self.dead_instances.add(i)
+
+    def _crash_at(self, at_time: float, target: str):
+        yield self.env.timeout(at_time)
+        self.kill_node(target)
+        self.spec.faults.crash_target(target)
+
+    def _first_of(self, *events):
+        """An event succeeding with the index of whichever input event
+        triggers first (a race — used to put timeouts on sim round trips
+        that faults may leave unanswered)."""
+        gate = self.env.event()
+
+        def watch(i, evt):
+            yield evt
+            if not gate.triggered:
+                gate.succeed(i)
+
+        for i, evt in enumerate(events):
+            self.env.process(watch(i, evt), name=f"first-of-{i}")
+        return gate
+
+    @property
+    def _faulty(self) -> bool:
+        return self.spec.faults is not None or bool(self.dead_instances)
+
+    # ------------------------------------------------------------------
     # Message transport
     # ------------------------------------------------------------------
 
@@ -207,19 +258,39 @@ class SimulatedCluster:
 
     def _deliver(self, dst_index: int, message: _SimMessage, src_node: int) -> None:
         """Schedule *message* to arrive at instance *dst_index*."""
+        copies = 1
+        extra_delay = 0.0
+        plan = self.spec.faults
+        if plan is not None:
+            for record, rule in plan.message_faults(
+                target=str(self.instances[dst_index].address),
+                op=message.request.op.name,
+            ):
+                if record.kind in (FaultKind.DROP, FaultKind.RESET):
+                    return  # the wire ate it
+                if record.kind in (FaultKind.DELAY, FaultKind.STALL):
+                    extra_delay += rule.delay
+                elif record.kind is FaultKind.DUPLICATE:
+                    copies += 1
+        if dst_index in self.dead_instances:
+            return  # blackhole: packets to a crashed instance vanish
         size = (
             _MSG_OVERHEAD
             + len(message.request.key)
             + len(message.request.value)
             + len(message.request.payload)
         )
-        delay = self._one_way(src_node, self._node_of_instance(dst_index), size)
+        delay = (
+            self._one_way(src_node, self._node_of_instance(dst_index), size)
+            + extra_delay
+        )
 
         def arrive(_value=None):
             self.queues[dst_index].put(message)
 
-        evt = self.env.timeout(delay)
-        evt._wait(_CallbackWaiter(arrive))
+        for _ in range(copies):
+            evt = self.env.timeout(delay)
+            evt._wait(_CallbackWaiter(arrive))
 
     # ------------------------------------------------------------------
     # Server process
@@ -236,6 +307,9 @@ class SimulatedCluster:
         while True:
             message: _SimMessage = yield queue.get()
             request = message.request
+
+            if index in self.dead_instances:
+                continue  # crashed: drain and discard without replying
 
             if request.op == OpCode.PING and request.payload == b"fwd":
                 # Routing forward at an intermediate server (log-routing
@@ -300,7 +374,18 @@ class SimulatedCluster:
                 _SimMessage(update, ack, my_node),
                 my_node,
             )
-            yield ack
+            if self._faulty:
+                # Under fault injection the ack may never come (replica
+                # crashed, update dropped): race it against the timeout
+                # and degrade the response per §III.J.
+                winner = yield self._first_of(
+                    ack, self.env.timeout(self.config.request_timeout)
+                )
+                if winner == 1:
+                    response.status = Status.REPLICATION_ERROR
+                    break
+            else:
+                yield ack
         if response is not None and message.reply_event is not None:
             self._reply(message, response, my_node)
 
@@ -309,7 +394,10 @@ class SimulatedCluster:
         delay = self._one_way(my_node, message.src_node, size)
 
         def arrive(_value=None):
-            message.reply_event.succeed(response)
+            # A duplicated request can produce two replies; only the
+            # first settles the waiter.
+            if not message.reply_event.triggered:
+                message.reply_event.succeed(response)
 
         evt = self.env.timeout(delay)
         evt._wait(_CallbackWaiter(arrive))
@@ -372,8 +460,21 @@ class SimulatedCluster:
                 epoch=self.membership.epoch,
             )
             self._deliver(target, _SimMessage(request, reply, my_node), my_node)
-            response = yield reply
-            assert response.status in (Status.OK, Status.KEY_NOT_FOUND), response
+            if self._faulty:
+                # Under churn the reply may never arrive; give up after
+                # the configured timeout rather than deadlocking the run.
+                winner = yield self._first_of(
+                    reply, env.timeout(self.config.request_timeout)
+                )
+                if winner == 1:
+                    continue
+                response = reply.value
+            else:
+                response = yield reply
+                assert response.status in (
+                    Status.OK,
+                    Status.KEY_NOT_FOUND,
+                ), response
             stats.record(env.now - t0)
         done[0] += 1
 

@@ -1,0 +1,163 @@
+"""Acceptance tests for the chaos harness (ISSUE: fault-injection PR).
+
+A fixed seed on a >=4-node cluster with replication: kill one node
+mid-workload, verify zero acked writes are lost, failover happens within
+``failures_before_dead`` timeouts, and the manager repair restores the
+full replication level — on both the live in-process backend and the
+DES.  The same seed must yield the same fault sequence."""
+
+import pytest
+
+from repro.cli import main
+from repro.faults import FaultKind, FaultPlan, FaultRule, run_chaos
+from repro.sim import MicroBenchmarkWorkload, SimSpec, SimulatedCluster
+
+
+class TestLocalBackend:
+    def test_kill_and_repair_keeps_invariants(self):
+        r = run_chaos("local", nodes=4, replicas=1, ops=120, seed=7)
+        assert r.ok, (
+            r.lost_writes,
+            r.replication_violations,
+            r.convergence_violations,
+        )
+        # The client detected the death within the configured budget...
+        assert r.nodes_marked_dead == 1
+        assert r.retries >= 2  # failures_before_dead timeouts were burned
+        # ...and rode over to the replica instead of failing the ops.
+        assert r.failovers >= 1
+        assert r.ops_acked > 0
+        assert r.victim
+        assert r.repair_time_s > 0
+
+    def test_five_nodes_two_replicas(self):
+        r = run_chaos("local", nodes=5, replicas=2, ops=120, seed=21)
+        assert r.ok
+        assert r.nodes_marked_dead == 1
+
+    def test_rejects_tiny_cluster(self):
+        with pytest.raises(ValueError, match=">= 3 nodes"):
+            run_chaos("local", nodes=2)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_chaos("carrier-pigeon")
+
+
+class TestSocketBackend:
+    def test_tcp_kill_and_repair_keeps_invariants(self):
+        r = run_chaos("tcp", nodes=4, replicas=1, ops=80, seed=13)
+        assert r.ok, (
+            r.lost_writes,
+            r.diverged_writes,
+            r.replication_violations,
+            r.convergence_violations,
+        )
+        assert r.nodes_marked_dead == 1
+        assert r.failovers >= 1
+        assert r.ops_acked > 0
+
+
+class TestSimBackend:
+    def test_kill_and_repair_keeps_invariants(self):
+        r = run_chaos("sim", nodes=4, replicas=1, ops=120, seed=7)
+        assert r.ok, (
+            r.lost_writes,
+            r.replication_violations,
+            r.convergence_violations,
+        )
+        assert r.nodes_marked_dead == 1
+        assert r.failovers >= 1
+
+    def test_six_nodes_two_replicas(self):
+        r = run_chaos("sim", nodes=6, replicas=2, ops=100, seed=3)
+        assert r.ok
+        assert r.nodes_marked_dead == 1
+
+    def test_same_seed_same_run(self):
+        a = run_chaos("sim", nodes=4, replicas=1, ops=100, seed=5)
+        b = run_chaos("sim", nodes=4, replicas=1, ops=100, seed=5)
+        assert a.fault_digest == b.fault_digest
+        assert a.ops_acked == b.ops_acked
+        assert a.failover_latency_s == b.failover_latency_s
+        assert a.throughput_before == b.throughput_before
+
+
+class TestDeterministicMessageChaos:
+    """Message-level faults (drops/delays) on top of the kill.
+
+    Dropped acks make mutations at-least-once (a retried APPEND can apply
+    twice), so these runs assert only the durability half of the
+    invariant — no *acked* write may be lost."""
+
+    def _plan(self, seed):
+        return FaultPlan.message_chaos(
+            seed, drop=0.05, delay=0.05, delay_seconds=0.001
+        )
+
+    def test_same_seed_same_fault_sequence(self):
+        a = run_chaos("sim", nodes=4, replicas=1, ops=100, seed=5, plan=self._plan(5))
+        b = run_chaos("sim", nodes=4, replicas=1, ops=100, seed=5, plan=self._plan(5))
+        assert a.injected_faults > 1  # message faults beyond the kill
+        assert a.fault_digest == b.fault_digest
+        assert a.ops_acked == b.ops_acked
+        assert a.lost_writes == [] and b.lost_writes == []
+
+    def test_different_seed_different_fault_sequence(self):
+        a = run_chaos("sim", nodes=4, replicas=1, ops=100, seed=5, plan=self._plan(5))
+        b = run_chaos("sim", nodes=4, replicas=1, ops=100, seed=6, plan=self._plan(6))
+        assert a.fault_digest != b.fault_digest
+        assert a.lost_writes == [] and b.lost_writes == []
+
+    def test_local_backend_survives_message_chaos(self):
+        r = run_chaos(
+            "local", nodes=4, replicas=1, ops=100, seed=9, plan=self._plan(9)
+        )
+        assert r.lost_writes == []
+
+
+class TestScheduledCrashInSweep:
+    def test_des_sweep_completes_under_churn(self):
+        """A plain simulated benchmark sweep (the scale-model path) keeps
+        running when a scheduled CRASH rule kills a node mid-run."""
+        plan = FaultPlan(
+            0, [FaultRule(FaultKind.CRASH, target="n2", at_time=0.004)]
+        )
+        spec = SimSpec(num_nodes=8, real_core=True, seed=1, faults=plan)
+        cluster = SimulatedCluster(spec)
+        result = cluster.run_workload(MicroBenchmarkWorkload(ops_per_client=4))
+        assert cluster.dead_instances  # the crash actually fired
+        assert plan.trace_keys() == [("crash", "n2", None, 0, -1)]
+        # Ops on the dead node's partitions time out, the rest complete.
+        assert 0 < result.ops < spec.num_instances * 12
+
+
+class TestCLI:
+    def test_chaos_command_exits_zero(self, capsys):
+        code = main(
+            ["chaos", "--nodes", "4", "--replicas", "1", "--ops", "60",
+             "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invariants: OK" in out
+        assert "failover latency" in out
+
+    def test_chaos_command_sim_backend(self, capsys):
+        code = main(
+            ["chaos", "--backend", "sim", "--nodes", "4", "--ops", "60",
+             "--seed", "2"]
+        )
+        assert code == 0
+        assert "backend=sim" in capsys.readouterr().out
+
+    def test_durability_only_gate_under_message_faults(self, capsys):
+        # Message drops make convergence best-effort; with the flag the
+        # exit code reflects only the acked-durability invariant.
+        code = main(
+            ["chaos", "--backend", "sim", "--nodes", "4", "--ops", "60",
+             "--seed", "5", "--drop", "0.05", "--delay", "0.05",
+             "--durability-only"]
+        )
+        assert code == 0
+        capsys.readouterr()
