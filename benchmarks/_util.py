@@ -12,11 +12,16 @@ to sweep closer to the paper's ranges (minutes of runtime).
 
 from __future__ import annotations
 
+import contextlib
+import json
 import os
 from typing import Iterable, Sequence
 
 #: "small" (default, seconds) or "paper" (closer to the paper, minutes).
 BENCH_SCALE = os.environ.get("ZHT_BENCH_SCALE", "small")
+
+#: Directory for per-figure JSON result files ("" = stdout line only).
+BENCH_JSON_DIR = os.environ.get("ZHT_BENCH_JSON", "")
 
 
 def paper_scale() -> bool:
@@ -57,3 +62,69 @@ def fmt(value: float, digits: int = 3) -> str:
 
 def fmt_int(value: float) -> str:
     return f"{value:,.0f}"
+
+
+@contextlib.contextmanager
+def registry_capture():
+    """Enable + reset the metrics registry around one benchmark series.
+
+    Spans recorded inside the block land in fresh histograms, so the
+    percentiles reported by :func:`registry_percentiles` cover exactly
+    this figure's workload.  The previous enabled state is restored on
+    exit so the timed pytest-benchmark case runs with the ambient
+    (normally disabled, near-zero-overhead) configuration.
+    """
+    from repro.obs import REGISTRY
+
+    was_enabled = REGISTRY.enabled
+    REGISTRY.reset()
+    REGISTRY.enable()
+    try:
+        yield REGISTRY
+    finally:
+        if not was_enabled:
+            REGISTRY.disable()
+
+
+def registry_percentiles(*names: str) -> dict:
+    """Latency snapshots (count/mean/p50/p90/p99/max, ms) per span name.
+
+    With *names*, returns only those histograms (skipping any that saw no
+    samples); without, returns every populated histogram.
+    """
+    from repro.obs import REGISTRY
+
+    latency = REGISTRY.snapshot()["latency"]
+    if not names:
+        return latency
+    return {name: latency[name] for name in names if name in latency}
+
+
+def emit_json(
+    figure: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    latency: dict | None = None,
+) -> None:
+    """Emit the figure's machine-readable result record.
+
+    Always prints one ``BENCH_JSON <payload>`` line (greppable from the
+    pytest ``-s`` output); when ``$ZHT_BENCH_JSON`` names a directory,
+    also writes ``<figure>.json`` there.  ``latency`` carries the
+    registry-backed percentile snapshots from :func:`registry_percentiles`.
+    """
+    record = {
+        "figure": figure,
+        "scale": BENCH_SCALE,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+    }
+    if latency:
+        record["latency"] = latency
+    print(f"BENCH_JSON {json.dumps(record, sort_keys=True)}")
+    if BENCH_JSON_DIR:
+        os.makedirs(BENCH_JSON_DIR, exist_ok=True)
+        path = os.path.join(BENCH_JSON_DIR, f"{figure}.json")
+        with open(path, "w") as f:
+            json.dump(record, f, indent=2, sort_keys=True)

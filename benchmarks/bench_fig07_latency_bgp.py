@@ -6,7 +6,14 @@ at 1 node, ~1.1 ms at 8K nodes; TCP-no-caching clearly worse; Memcached
 1.1 -> 1.4 ms (25%-139% slower than ZHT).
 """
 
-from _util import fmt, print_table, scales
+from _util import (
+    emit_json,
+    fmt,
+    print_table,
+    registry_capture,
+    registry_percentiles,
+    scales,
+)
 
 from repro.sim import (
     MEMCACHED_BGP,
@@ -41,13 +48,19 @@ def generate_series():
 
 
 def test_fig07_latency_bgp(benchmark):
-    rows = generate_series()
+    with registry_capture():
+        rows = generate_series()
+        # ZHT series run the real server core inside the DES, so the
+        # registry histograms carry genuine handle-path timings.
+        latency = registry_percentiles("server.handle", "novoht.put", "novoht.get")
+    headers = ["nodes", "TCP no-cache", "TCP cached", "UDP", "Memcached"]
     print_table(
         "Figure 7: latency (ms) vs nodes, Blue Gene/P torus (DES)",
-        ["nodes", "TCP no-cache", "TCP cached", "UDP", "Memcached"],
+        headers,
         rows,
         note="paper: ZHT <0.5ms @1, ~1.1ms @8K; Memcached 1.1->1.4ms",
     )
+    emit_json("fig07_latency_bgp", headers, rows, latency=latency)
     by_scale = {int(r[0]): r for r in rows}
     # Anchors (shape): 1-node ZHT under 0.5 ms; memcached always slower;
     # no-cache always slower than cached.

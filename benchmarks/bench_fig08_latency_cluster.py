@@ -5,7 +5,14 @@ ZHT flat near 0.7-0.8 ms; Memcached slightly better (no disk write);
 Cassandra several times slower and growing (log-routing + JVM).
 """
 
-from _util import fmt, print_table, scales
+from _util import (
+    emit_json,
+    fmt,
+    print_table,
+    registry_capture,
+    registry_percentiles,
+    scales,
+)
 
 from repro.sim import (
     CASSANDRA_CLUSTER,
@@ -41,14 +48,18 @@ def generate_series():
 
 
 def test_fig08_latency_cluster(benchmark):
-    rows = generate_series()
+    with registry_capture():
+        rows = generate_series()
+        latency = registry_percentiles("server.handle", "novoht.put", "novoht.get")
+    headers = ["nodes", "ZHT", "Cassandra", "Memcached"]
     print_table(
         "Figure 8: latency (ms) vs nodes, HEC-Cluster Ethernet (DES)",
-        ["nodes", "ZHT", "Cassandra", "Memcached"],
+        headers,
         rows,
         note="paper: ZHT ~0.7ms flat; Cassandra ~3x and growing; "
         "Memcached slightly better than ZHT (in-memory only)",
     )
+    emit_json("fig08_latency_cluster", headers, rows, latency=latency)
     last = rows[-1]
     zht, cassandra, memcached = (float(last[i]) for i in (1, 2, 3))
     assert cassandra > 2.5 * zht  # "much lower latency than Cassandra"

@@ -6,6 +6,8 @@ Commands:
 * ``simulate``  — run the calibrated DES at a chosen scale/system.
 * ``predict``   — evaluate the closed-form scale model (Figure 11).
 * ``sockets``   — start a real TCP deployment on loopback and benchmark it.
+* ``stats``     — dump a JSON metrics snapshot (counters + latency
+  percentiles) from a live cluster via the ``STATS`` opcode.
 * ``chaos``     — kill a node mid-workload under a seeded fault plan and
   verify failover, re-replication, and acked-write durability.
 """
@@ -13,6 +15,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -138,8 +141,89 @@ def _cmd_sockets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_stats(transport, address, timeout: float) -> dict | None:
+    """Fetch one server's metrics snapshot via the STATS opcode."""
+    from .core.errors import Status
+    from .core.protocol import OpCode, Request
+
+    response = transport.roundtrip(
+        address, Request(op=OpCode.STATS, request_id=1), timeout
+    )
+    if response is None or response.status != Status.OK:
+        return None
+    try:
+        return json.loads(response.value)
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .core import ZHTConfig
+    from .core.membership import Address
+    from .obs import enable_metrics
+
+    if args.address:
+        # Query one already-running server over the wire.
+        from .net.tcp import TCPClient
+        from .net.udp import UDPClient
+
+        host, _, port = args.address.rpartition(":")
+        address = Address(host or "127.0.0.1", int(port))
+        transport = UDPClient() if args.transport == "udp" else TCPClient()
+        try:
+            snapshot = _query_stats(transport, address, args.timeout)
+        finally:
+            transport.close()
+        if snapshot is None:
+            print(f"error: no STATS response from {address}", file=sys.stderr)
+            return 1
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+
+    # Self-contained mode: start a live TCP cluster, run a short
+    # workload with spans enabled, then pull the snapshot off the wire.
+    from .net.cluster import build_tcp_cluster, build_udp_cluster
+
+    enable_metrics()
+    config = ZHTConfig(
+        transport=args.transport,
+        num_partitions=args.partitions,
+        request_timeout=1.0,
+    )
+    builder = build_udp_cluster if args.transport == "udp" else build_tcp_cluster
+    with builder(args.nodes, config) as cluster:
+        zht = cluster.client()
+        for i in range(args.ops):
+            zht.insert(f"stats-{i}", b"v" * 132)
+        for i in range(args.ops):
+            zht.lookup(f"stats-{i}")
+        snapshot = _query_stats(
+            zht.transport, cluster.servers[0].address, args.timeout
+        )
+        if snapshot is None:
+            print("error: no STATS response from cluster", file=sys.stderr)
+            return 1
+        # All loopback servers share one process registry; the per-server
+        # query adds each instance's scoped counters.
+        snapshot["instances"] = []
+        for server in cluster.servers:
+            per_server = _query_stats(
+                zht.transport, server.address, args.timeout
+            )
+            if per_server is not None:
+                snapshot["instances"].append(per_server["instance"])
+        snapshot.pop("instance", None)
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import FaultPlan, run_chaos
+
+    if args.stats_json:
+        from .obs import enable_metrics
+
+        enable_metrics()
 
     plan = None
     if args.drop or args.delay or args.duplicate:
@@ -164,6 +248,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return 2
     for line in report.summary_lines():
         print(line)
+    if args.stats_json:
+        from .obs import metrics_snapshot
+
+        with open(args.stats_json, "w") as f:
+            json.dump(metrics_snapshot(), f, indent=2, sort_keys=True)
+        print(f"metrics snapshot written to {args.stats_json}")
     # Message-level chaos makes mutations at-least-once (a retried write
     # can double-apply; a dropped one-way replica update is not resent),
     # so full convergence is unattainable under arbitrary drops — gate
@@ -229,6 +319,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sockets.set_defaults(fn=_cmd_sockets)
 
+    stats = sub.add_parser(
+        "stats",
+        help="dump a JSON metrics snapshot via the STATS opcode (query a "
+        "running server with --address, or spin up a loopback cluster)",
+    )
+    stats.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="query an already-running server instead of starting a cluster",
+    )
+    stats.add_argument("--transport", choices=("tcp", "udp"), default="tcp")
+    stats.add_argument("--nodes", type=int, default=3)
+    stats.add_argument("--ops", type=int, default=50)
+    stats.add_argument("--partitions", type=int, default=64)
+    stats.add_argument("--timeout", type=float, default=2.0)
+    stats.set_defaults(fn=_cmd_stats)
+
     chaos = sub.add_parser(
         "chaos",
         help="fault-injection run: kill a node mid-workload and verify "
@@ -266,6 +374,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="per-message duplication probability",
+    )
+    chaos.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="enable metrics for the run and write the registry snapshot "
+        "to PATH as JSON",
     )
     chaos.add_argument(
         "--durability-only",

@@ -25,9 +25,11 @@ from __future__ import annotations
 
 import enum
 import random
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs import REGISTRY
 from .config import ZHTConfig
 from .errors import (
     MembershipError,
@@ -60,14 +62,43 @@ class Notification:
     request: Request
 
 
-@dataclass
 class ClientStats:
-    ops: int = 0
-    retries: int = 0
-    redirects_followed: int = 0
-    membership_refreshes: int = 0
-    failovers: int = 0
-    nodes_marked_dead: int = 0
+    """Per-client operation counters, mirrored into the process registry.
+
+    Clients may be driven from several threads at once (benchmark
+    drivers, FusionFS), so every increment is lock-guarded; each bump is
+    also recorded on the process-wide ``client.*`` registry counters,
+    which is where ``repro stats`` and the benchmarks read aggregates.
+    """
+
+    FIELDS = (
+        "ops",
+        "retries",
+        "redirects_followed",
+        "membership_refreshes",
+        "failovers",
+        "nodes_marked_dead",
+    )
+
+    __slots__ = FIELDS + ("_lock",)
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def inc(self, field: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + n)
+        REGISTRY.counter(f"client.{field}").inc(n)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ClientStats({body})"
 
 
 class OpState(enum.Enum):
@@ -91,6 +122,10 @@ class ZHTClientCore:
         self.stats = ClientStats()
         self.rng = rng or random.Random()
         self._next_request_id = 1
+        # Concurrent drivers over one core (threaded benchmark clients,
+        # FusionFS) must never mint the same request id: duplicates would
+        # silently defeat the UDP server's mutation dedup cache.
+        self._request_id_lock = threading.Lock()
         #: Consecutive timeout counts per node id (reset on any success).
         self.failure_counts: dict[str, int] = {}
         #: Manager notifications awaiting dispatch by the transport.
@@ -103,12 +138,13 @@ class ZHTClientCore:
     # ------------------------------------------------------------------
 
     def driver(self, op: OpCode, key: bytes, value: bytes = b"") -> "OpDriver":
-        self.stats.ops += 1
+        self.stats.inc("ops")
         return OpDriver(self, op, key, value)
 
     def allocate_request_id(self) -> int:
-        rid = self._next_request_id
-        self._next_request_id += 1
+        with self._request_id_lock:
+            rid = self._next_request_id
+            self._next_request_id += 1
         return rid
 
     def adopt_membership(self, payload: bytes) -> bool:
@@ -120,7 +156,7 @@ class ZHTClientCore:
         except MembershipError:
             return False
         if self.membership.maybe_adopt(table):
-            self.stats.membership_refreshes += 1
+            self.stats.inc("membership_refreshes")
             return True
         return False
 
@@ -143,7 +179,7 @@ class ZHTClientCore:
             self.membership.mark_node_dead(node_id)
         except MembershipError:
             return
-        self.stats.nodes_marked_dead += 1
+        self.stats.inc("nodes_marked_dead")
         self.failure_counts.pop(node_id, None)
         if self.on_node_dead is not None:
             addresses = [
@@ -268,12 +304,12 @@ class OpDriver:
 
         if response.status == Status.REDIRECT:
             # Membership was piggybacked; recompute the owner and retry.
-            core.stats.redirects_followed += 1
+            core.stats.inc("redirects_followed")
             self._retries_on_target = 0
             return
         if response.status == Status.MIGRATING:
             # Partition briefly locked; back off and retry.
-            core.stats.retries += 1
+            core.stats.inc("retries")
             self._retries_on_target += 1
             return
         self.response = response
@@ -284,7 +320,7 @@ class OpDriver:
         if self.state is not OpState.RUNNING or self._current is None:
             return
         core = self.core
-        core.stats.retries += 1
+        core.stats.inc("retries")
         self._retries_on_target += 1
         target = self._target()
         if target is None:
@@ -295,7 +331,7 @@ class OpDriver:
             self._replica_index += 1
             self._retries_on_target = 0
             if self._replica_index <= core.config.num_replicas:
-                core.stats.failovers += 1
+                core.stats.inc("failovers")
 
     # ------------------------------------------------------------------
 

@@ -54,6 +54,9 @@ class OpCode(enum.IntEnum):
     BROADCAST = 17
     #: Read a broadcast pair from the receiving instance's local store.
     LOOKUP_LOCAL = 18
+    #: Dump the serving process's metrics-registry snapshot as JSON
+    #: (counters + latency percentiles; see :mod:`repro.obs`).
+    STATS = 19
 
 
 #: Ops that mutate state (drive WAL writes and replication).
@@ -190,9 +193,14 @@ class Response:
     #: Piggybacked serialized membership table/delta (lazy client update:
     #: "the ZHT instance will send back a copy of latest membership table").
     membership: bytes = b""
+    #: Echo of the request's op code (an :class:`OpCode` value).  Lets
+    #: datagram clients reject a late response to an *earlier* operation
+    #: that happens to share a request id; 0 means "not echoed" (pre-echo
+    #: peers), which clients treat as a wildcard for reads only.
+    op: int = 0
 
     _F_STATUS, _F_VALUE, _F_REQID, _F_EPOCH = 1, 2, 3, 4
-    _F_REDIRECT, _F_MEMBERSHIP = 5, 6
+    _F_REDIRECT, _F_MEMBERSHIP, _F_OP = 5, 6, 7
 
     def encode(self) -> bytes:
         out = bytearray()
@@ -202,6 +210,7 @@ class Response:
         _emit_varint_field(out, self._F_EPOCH, self.epoch)
         _emit_bytes_field(out, self._F_REDIRECT, self.redirect)
         _emit_bytes_field(out, self._F_MEMBERSHIP, self.membership)
+        _emit_varint_field(out, self._F_OP, self.op)
         return bytes(out)
 
     @classmethod
@@ -219,6 +228,7 @@ class Response:
             epoch=_get_int(fields, cls._F_EPOCH),
             redirect=_get_bytes(fields, cls._F_REDIRECT),
             membership=_get_bytes(fields, cls._F_MEMBERSHIP),
+            op=_get_int(fields, cls._F_OP),
         )
 
 

@@ -22,9 +22,12 @@ Request handling implements the paper's semantics:
 
 from __future__ import annotations
 
+import json
+import threading
 from dataclasses import dataclass, field
 
 from ..novoht import NoVoHT
+from ..obs import REGISTRY, metrics_snapshot
 from .config import ReplicationMode, ZHTConfig
 from .errors import KeyNotFound, Status, ZHTError
 from .membership import Address, InstanceInfo, MembershipTable
@@ -32,23 +35,50 @@ from .partition import Partition, QueuedRequest
 from .protocol import MUTATING_OPS, OpCode, Request, Response
 
 
-@dataclass
 class ServerStats:
-    """Per-instance operation counters."""
+    """Per-instance operation counters, mirrored into the process
+    registry (``server.*``).
 
-    inserts: int = 0
-    lookups: int = 0
-    removes: int = 0
-    appends: int = 0
-    redirects: int = 0
-    queued: int = 0
-    replica_updates: int = 0
-    migrations_in: int = 0
-    migrations_out: int = 0
-    membership_updates: int = 0
+    The thread-per-request server architecture mutates these from many
+    threads, so increments are lock-guarded.
+    """
+
+    FIELDS = (
+        "inserts",
+        "lookups",
+        "removes",
+        "appends",
+        "redirects",
+        "queued",
+        "replica_updates",
+        "migrations_in",
+        "migrations_out",
+        "membership_updates",
+    )
+
+    __slots__ = FIELDS + ("_lock",)
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def inc(self, field: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + n)
+        REGISTRY.counter(f"server.{field}").inc(n)
 
     def total_client_ops(self) -> int:
-        return self.inserts + self.lookups + self.removes + self.appends
+        with self._lock:
+            return self.inserts + self.lookups + self.removes + self.appends
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ServerStats({body})"
 
 
 @dataclass
@@ -142,6 +172,12 @@ class ZHTServerCore:
 
     def handle(self, request: Request, reply_context: object = None) -> HandleResult:
         """Process one request; never raises for protocol-level errors."""
+        with REGISTRY.span("server.handle"):
+            return self._dispatch(request, reply_context)
+
+    def _dispatch(
+        self, request: Request, reply_context: object
+    ) -> HandleResult:
         op = request.op
         if op in (OpCode.INSERT, OpCode.LOOKUP, OpCode.REMOVE, OpCode.APPEND):
             return self._handle_client_op(request, reply_context)
@@ -163,7 +199,29 @@ class ZHTServerCore:
             return self._handle_lookup_local(request)
         if op == OpCode.PING:
             return HandleResult(self._respond(request, Status.OK))
+        if op == OpCode.STATS:
+            return self._handle_stats(request)
         return HandleResult(self._respond(request, Status.BAD_REQUEST))
+
+    def _handle_stats(self, request: Request) -> HandleResult:
+        """Dump this process's metrics snapshot plus per-instance stats.
+
+        The snapshot is process-wide (one registry per process); the
+        ``instance`` block scopes it to the serving instance so callers
+        polling every server of an in-process test cluster can still
+        attribute per-instance counters.
+        """
+        snapshot = metrics_snapshot()
+        snapshot["instance"] = {
+            "instance_id": self.info.instance_id,
+            "node_id": self.info.node_id,
+            "address": str(self.info.address),
+            "stats": self.stats.as_dict(),
+            "partitions": len(self.partitions),
+            "pairs": sum(len(p.store) for p in self.partitions.values()),
+        }
+        payload = json.dumps(snapshot, sort_keys=True).encode()
+        return HandleResult(self._respond(request, Status.OK, value=payload))
 
     # ------------------------------------------------------------------
     # Broadcast (§VI future work: spanning-tree dissemination)
@@ -212,7 +270,7 @@ class ZHTServerCore:
         # Failover requests (replica_index > 0) target this instance as a
         # replica; skip the ownership redirect and serve from replica data.
         if request.replica_index == 0 and not self.owns(pid):
-            self.stats.redirects += 1
+            self.stats.inc("redirects")
             try:
                 owner = self.membership.owner_of_partition(pid)
                 redirect = str(owner.address).encode()
@@ -228,7 +286,7 @@ class ZHTServerCore:
         if part.is_migrating:
             # Queue everything (reads included): partition state is locked.
             part.queue_request(QueuedRequest(request, reply_context))
-            self.stats.queued += 1
+            self.stats.inc("queued")
             return HandleResult(None)
 
         response = self._apply_to_store(request, part.store)
@@ -254,20 +312,20 @@ class ZHTServerCore:
             if op == OpCode.INSERT:
                 self._check_limits(request)
                 store.put(request.key, request.value)
-                self.stats.inserts += 1
+                self.stats.inc("inserts")
                 return self._respond(request, Status.OK)
             if op == OpCode.LOOKUP:
                 value = store.get(request.key)
-                self.stats.lookups += 1
+                self.stats.inc("lookups")
                 return self._respond(request, Status.OK, value=value)
             if op == OpCode.REMOVE:
                 store.remove(request.key)
-                self.stats.removes += 1
+                self.stats.inc("removes")
                 return self._respond(request, Status.OK)
             if op == OpCode.APPEND:
                 self._check_limits(request)
                 store.append(request.key, request.value)
-                self.stats.appends += 1
+                self.stats.inc("appends")
                 return self._respond(request, Status.OK)
         except KeyNotFound:
             return self._respond(request, Status.KEY_NOT_FOUND)
@@ -342,7 +400,10 @@ class ZHTServerCore:
             request_id=request.request_id,
         )
         response = self._apply_to_store(inner_request, part.store)
-        self.stats.replica_updates += 1
+        # _apply_to_store echoed the *inner* op; the peer on the wire sent
+        # REPLICA_UPDATE and matches its ack against that.
+        response.op = int(request.op)
+        self.stats.inc("replica_updates")
         # A REMOVE racing ahead of its INSERT on an async replica is not an
         # error at the replication layer; report OK so chains don't wedge.
         if response.status == Status.KEY_NOT_FOUND:
@@ -359,7 +420,7 @@ class ZHTServerCore:
             part.begin_migration()
         except ZHTError as exc:
             return HandleResult(self._respond(request, exc.status))
-        self.stats.migrations_out += 1
+        self.stats.inc("migrations_out")
         return HandleResult(
             self._respond(request, Status.OK, value=part.export_bytes())
         )
@@ -370,7 +431,7 @@ class ZHTServerCore:
             part.import_bytes(request.value)
         except ZHTError as exc:
             return HandleResult(self._respond(request, exc.status))
-        self.stats.migrations_in += 1
+        self.stats.inc("migrations_in")
         return HandleResult(self._respond(request, Status.OK))
 
     def _handle_migrate_commit(self, request: Request) -> HandleResult:
@@ -400,7 +461,7 @@ class ZHTServerCore:
         except ZHTError as exc:
             return HandleResult(self._respond(request, exc.status))
         if self.membership.maybe_adopt(table):
-            self.stats.membership_updates += 1
+            self.stats.inc("membership_updates")
         return HandleResult(self._respond(request, Status.OK))
 
     # ------------------------------------------------------------------
@@ -429,6 +490,7 @@ class ZHTServerCore:
             epoch=self.membership.epoch,
             redirect=redirect,
             membership=payload,
+            op=int(request.op),
         )
 
     def close(self) -> None:

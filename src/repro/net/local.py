@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from ..core.membership import Address
 from ..core.protocol import Request, Response
 from ..core.server import ZHTServerCore
+from ..obs import REGISTRY
 from .transport import ClientTransport, ServerExecutor
 
 
@@ -27,6 +28,10 @@ class LocalStats:
     roundtrips: int = 0
     oneways: int = 0
     dropped: int = 0
+
+    def inc(self, field: str) -> None:
+        setattr(self, field, getattr(self, field) + 1)
+        REGISTRY.counter(f"local.{field}").inc()
 
 
 class LocalNetwork(ClientTransport):
@@ -79,16 +84,17 @@ class LocalNetwork(ClientTransport):
         self, address: Address, request: Request, timeout: float
     ) -> Response | None:
         if not self._reachable(address):
-            self.stats.dropped += 1
+            self.stats.inc("dropped")
             return None
-        self.stats.roundtrips += 1
-        return self.servers[address].process(request, reply_context=None)
+        self.stats.inc("roundtrips")
+        with REGISTRY.span("local.roundtrip"):
+            return self.servers[address].process(request, reply_context=None)
 
     def send_oneway(self, address: Address, request: Request) -> None:
         if not self._reachable(address):
-            self.stats.dropped += 1
+            self.stats.inc("dropped")
             return
-        self.stats.oneways += 1
+        self.stats.inc("oneways")
         self.servers[address].process(request, reply_context=None)
 
     def close(self) -> None:

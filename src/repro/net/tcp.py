@@ -31,6 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 from ..core.membership import Address
 from ..core.protocol import Request, Response, deframe, frame
 from ..core.server import ZHTServerCore
+from ..obs import REGISTRY
 from .lru import LRUCache
 from .transport import ClientTransport, ServerExecutor
 
@@ -57,7 +58,7 @@ class TCPClient(ClientTransport):
 
     def __init__(self, cache_size: int = 128, *, connect_timeout: float = 2.0):
         self._cache: LRUCache[Address, socket.socket] = LRUCache(
-            cache_size, on_evict=lambda _a, s: s.close()
+            cache_size, on_evict=self._on_evict
         )
         self._lock = threading.Lock()
         self.connect_timeout = connect_timeout
@@ -67,6 +68,18 @@ class TCPClient(ClientTransport):
         self.oneway_retries = 0
         #: One-way messages dropped after the retry also failed.
         self.oneway_drops = 0
+        # Process-wide aggregates of the per-instance counters above.
+        self._c_connects = REGISTRY.counter("tcp.client.connects")
+        self._c_oneway_retries = REGISTRY.counter("tcp.client.oneway_retries")
+        self._c_oneway_drops = REGISTRY.counter("tcp.client.oneway_drops")
+        self._c_decode_errors = REGISTRY.counter("tcp.client.decode_errors")
+        self._c_cache_evictions = REGISTRY.counter(
+            "tcp.client.cache_evictions"
+        )
+
+    def _on_evict(self, _address: Address, sock: socket.socket) -> None:
+        self._c_cache_evictions.inc()
+        sock.close()
 
     def _connect(self, address: Address) -> socket.socket | None:
         try:
@@ -75,6 +88,7 @@ class TCPClient(ClientTransport):
             )
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self.connects += 1
+            self._c_connects.inc()
             return sock
         except OSError:
             return None
@@ -91,6 +105,12 @@ class TCPClient(ClientTransport):
     def roundtrip(
         self, address: Address, request: Request, timeout: float
     ) -> Response | None:
+        with REGISTRY.span("tcp.roundtrip"):
+            return self._roundtrip(address, request, timeout)
+
+    def _roundtrip(
+        self, address: Address, request: Request, timeout: float
+    ) -> Response | None:
         sock = self._checkout(address)
         if sock is None:
             return None
@@ -103,11 +123,18 @@ class TCPClient(ClientTransport):
         if payload is None:
             sock.close()
             return None
-        self._checkin(address, sock)
+        # Decode BEFORE checking the socket back in: a garbled frame means
+        # the stream is desynced, and caching that connection would corrupt
+        # the next caller's roundtrip (it would read *our* stream position).
+        # Evict-and-close instead, so the next use reconnects cleanly.
         try:
-            return Response.decode(payload)
+            response = Response.decode(payload)
         except Exception:
+            self._c_decode_errors.inc()
+            sock.close()
             return None
+        self._checkin(address, sock)
+        return response
 
     def send_oneway(self, address: Address, request: Request) -> None:
         # Failure reports and async replica updates travel this path; a
@@ -124,9 +151,11 @@ class TCPClient(ClientTransport):
             except OSError:
                 sock.close()
                 self.oneway_retries += 1
+                self._c_oneway_retries.inc()
         sock = self._connect(address)
         if sock is None:
             self.oneway_drops += 1
+            self._c_oneway_drops.inc()
             return
         try:
             sock.sendall(payload)
@@ -134,6 +163,7 @@ class TCPClient(ClientTransport):
         except OSError:
             sock.close()
             self.oneway_drops += 1
+            self._c_oneway_drops.inc()
 
     def evict(self, address: Address) -> None:
         with self._lock:
@@ -282,8 +312,10 @@ class EventDrivenTCPServer:
         try:
             request = Request.decode(message)
         except Exception:
+            REGISTRY.counter("tcp.server.decode_errors").inc()
             return
         self.requests_served += 1
+        REGISTRY.counter("tcp.server.requests").inc()
         result = self.core.handle(request, reply_context=conn)
         needs_peer_io = bool(
             result.sync_sends or result.forwards or result.failed_queued
@@ -407,8 +439,10 @@ class ThreadedTCPServer:
         try:
             request = Request.decode(message)
         except Exception:
+            REGISTRY.counter("tcp.server.decode_errors").inc()
             return
         self.requests_served += 1
+        REGISTRY.counter("tcp.server.requests").inc()
         response = self.executor.process(request, reply_context=conn)
         if response is not None:
             conn.send_response(response)

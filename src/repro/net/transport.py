@@ -23,6 +23,7 @@ from ..core.manager import PeerCall, Script
 from ..core.membership import Address
 from ..core.protocol import Request, Response
 from ..core.server import HandleResult, ZHTServerCore
+from ..obs import REGISTRY
 
 
 class ClientTransport(abc.ABC):
@@ -137,19 +138,23 @@ def execute_op(
 ) -> Response:
     """Run *driver* to completion over *transport*; returns the response
     (raising the mapped exception on failure)."""
-    while True:
-        attempt = driver.next_attempt()
-        if attempt is None:
-            break
-        if attempt.delay > 0:
-            sleep(attempt.delay)
-        response = transport.roundtrip(
-            attempt.address, attempt.request, attempt.timeout
-        )
-        if response is None:
-            driver.on_timeout()
-        else:
-            driver.on_response(response)
+    # The root span of one logical operation: covers every retry,
+    # redirect, backoff sleep, and failover attempt — submission to
+    # settled outcome, which is what the paper's latency figures measure.
+    with REGISTRY.span("client.op"):
+        while True:
+            attempt = driver.next_attempt()
+            if attempt is None:
+                break
+            if attempt.delay > 0:
+                sleep(attempt.delay)
+            response = transport.roundtrip(
+                attempt.address, attempt.request, attempt.timeout
+            )
+            if response is None:
+                driver.on_timeout()
+            else:
+                driver.on_response(response)
     _flush_notifications(core, transport)
     return driver.result()
 

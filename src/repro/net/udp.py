@@ -19,6 +19,7 @@ import threading
 from ..core.membership import Address
 from ..core.protocol import MUTATING_OPS, Request, Response
 from ..core.server import ZHTServerCore
+from ..obs import REGISTRY
 from .lru import LRUCache
 from .transport import ClientTransport, ServerExecutor
 
@@ -38,6 +39,35 @@ class UDPClient(ClientTransport):
     def roundtrip(
         self, address: Address, request: Request, timeout: float
     ) -> Response | None:
+        with REGISTRY.span("udp.roundtrip"):
+            return self._roundtrip(address, request, timeout)
+
+    @staticmethod
+    def _matches(request: Request, response: Response) -> bool:
+        """Is *response* the answer to *request*?
+
+        Matching by request id alone is not enough: a late response to an
+        *earlier, timed-out* operation that recycled the same id (or the
+        historical id-0 wildcard) could be mistaken for the current ack —
+        e.g. a stale LOOKUP response returned for a later REMOVE, making a
+        failed mutation look acknowledged.  Servers echo the op code, so:
+
+        * an op echo that disagrees with the request always rejects;
+        * non-zero request ids must match exactly;
+        * id-0 requests are unmatchable by id, so they accept any
+          response only for idempotent reads — a mutation additionally
+          requires the op echo to be present (and, per the first rule,
+          to agree).
+        """
+        if response.op and response.op != int(request.op):
+            return False
+        if request.request_id:
+            return response.request_id == request.request_id
+        return request.op not in MUTATING_OPS or bool(response.op)
+
+    def _roundtrip(
+        self, address: Address, request: Request, timeout: float
+    ) -> Response | None:
         payload = request.encode()
         if len(payload) > MAX_DATAGRAM:
             return None
@@ -47,17 +77,17 @@ class UDPClient(ClientTransport):
                 self._sock.sendto(payload, (address.host, address.port))
                 while True:
                     data, _peer = self._sock.recvfrom(MAX_DATAGRAM)
-                    response = Response.decode(data)
-                    if (
-                        request.request_id == 0
-                        or response.request_id == request.request_id
-                    ):
+                    try:
+                        response = Response.decode(data)
+                    except Exception:
+                        REGISTRY.counter("udp.client.decode_errors").inc()
+                        continue
+                    if self._matches(request, response):
                         return response
                     # A late response for an earlier (timed-out) request;
                     # keep waiting for ours.
+                    REGISTRY.counter("udp.client.stale_responses").inc()
             except (TimeoutError, OSError):
-                return None
-            except Exception:
                 return None
 
     def send_oneway(self, address: Address, request: Request) -> None:
@@ -140,6 +170,7 @@ class UDPServer:
         try:
             request = Request.decode(data)
         except Exception:
+            REGISTRY.counter("udp.server.decode_errors").inc()
             return
         dedup_key = None
         if request.op in MUTATING_OPS and request.request_id:
@@ -147,9 +178,11 @@ class UDPServer:
             cached = self._dedup.get(dedup_key)
             if cached is not None:
                 self.duplicates_suppressed += 1
+                REGISTRY.counter("udp.server.duplicates_suppressed").inc()
                 self._send(cached, peer)
                 return
         self.requests_served += 1
+        REGISTRY.counter("udp.server.requests").inc()
         response = self.executor.process(request, reply_context=peer)
         if response is not None:
             if dedup_key is not None:

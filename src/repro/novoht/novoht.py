@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..core.errors import KeyNotFound, StoreError
+from ..obs import REGISTRY
 from .checkpoint import read_checkpoint, write_checkpoint
 from .wal import OP_APPEND, OP_PUT, OP_REMOVE, WriteAheadLog
 
@@ -183,7 +184,7 @@ class NoVoHT:
     def put(self, key: bytes, value: bytes) -> None:
         """Insert or overwrite *key* with *value*."""
         self._check_kv(key, value)
-        with self._lock:
+        with REGISTRY.span("novoht.put"), self._lock:
             self._ensure_open()
             if key in self._map:
                 self.stats.dead_records += 1
@@ -191,14 +192,16 @@ class NoVoHT:
                 self._wal.append(OP_PUT, key, value)
             self._map[key] = value
             self.stats.puts += 1
+            REGISTRY.counter("novoht.puts").inc()
             self._after_mutation()
 
     def get(self, key: bytes) -> bytes:
         """Return the value for *key*; raise :class:`KeyNotFound` if absent."""
         self._check_key(key)
-        with self._lock:
+        with REGISTRY.span("novoht.get"), self._lock:
             self._ensure_open()
             self.stats.gets += 1
+            REGISTRY.counter("novoht.gets").inc()
             try:
                 value = self._map[key]
             except KeyError:
@@ -210,7 +213,7 @@ class NoVoHT:
     def remove(self, key: bytes) -> None:
         """Delete *key*; raise :class:`KeyNotFound` if absent."""
         self._check_key(key)
-        with self._lock:
+        with REGISTRY.span("novoht.remove"), self._lock:
             self._ensure_open()
             if key not in self._map:
                 raise KeyNotFound(repr(key))
@@ -221,6 +224,7 @@ class NoVoHT:
                 self._ovf_garbage += old.length
             self.stats.removes += 1
             self.stats.dead_records += 2  # the put and the remove record
+            REGISTRY.counter("novoht.removes").inc()
             self._after_mutation()
 
     def append(self, key: bytes, value: bytes) -> None:
@@ -234,7 +238,7 @@ class NoVoHT:
         location".
         """
         self._check_kv(key, value)
-        with self._lock:
+        with REGISTRY.span("novoht.append"), self._lock:
             self._ensure_open()
             if self._wal is not None:
                 self._wal.append(OP_APPEND, key, value)
@@ -247,6 +251,7 @@ class NoVoHT:
                 self._map[key] = old + value
                 self.stats.dead_records += 1
             self.stats.appends += 1
+            REGISTRY.counter("novoht.appends").inc()
             self._after_mutation()
 
     def contains(self, key: bytes) -> bool:
@@ -289,10 +294,11 @@ class NoVoHT:
         """Snapshot the table and truncate the WAL."""
         if self._wal is None or self._ckpt_path is None:
             return
-        with self._lock:
+        with REGISTRY.span("novoht.checkpoint"), self._lock:
             write_checkpoint(self._ckpt_path, self.items())
             self._wal.truncate()
             self.stats.checkpoints += 1
+            REGISTRY.counter("novoht.checkpoints").inc()
             self.stats.dead_records = 0
             self._ops_since_checkpoint = 0
 
@@ -300,9 +306,10 @@ class NoVoHT:
         """Compact the WAL down to the live pairs."""
         if self._wal is None:
             return
-        with self._lock:
+        with REGISTRY.span("novoht.gc"), self._lock:
             self._wal.rewrite(self.items())
             self.stats.gc_runs += 1
+            REGISTRY.counter("novoht.gc_runs").inc()
             self.stats.dead_records = 0
 
     def flush(self) -> None:

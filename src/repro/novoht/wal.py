@@ -28,6 +28,7 @@ import zlib
 from typing import BinaryIO, Callable, Iterator
 
 from ..core.errors import StoreError
+from ..obs import REGISTRY
 
 RECORD_MAGIC = 0xA7
 
@@ -188,14 +189,17 @@ class WriteAheadLog:
         """Durably append one mutation record."""
         if self._file is None:
             raise StoreError("WAL is not open")
-        try:
-            self._file.write(encode_record(op, key, value))
-            self._file.flush()
-            if self.fsync:
-                self._fsync()
-        except OSError as exc:
-            raise StoreError(f"WAL append failed: {exc}") from exc
+        with REGISTRY.span("wal.append"):
+            try:
+                self._file.write(encode_record(op, key, value))
+                self._file.flush()
+                if self.fsync:
+                    self._fsync()
+                    REGISTRY.counter("wal.fsyncs").inc()
+            except OSError as exc:
+                raise StoreError(f"WAL append failed: {exc}") from exc
         self.record_count += 1
+        REGISTRY.counter("wal.appends").inc()
 
     def _fsync(self) -> None:
         # Files providing their own fsync (the fault-injection shim, which

@@ -1,0 +1,276 @@
+"""Process-local metrics registry: counters, gauges, latency histograms.
+
+The paper's entire evaluation (Figures 7–15) is per-operation latency
+and throughput; this module is the single place those numbers come from.
+Every layer of the stack — client driver, transport, server core,
+NoVoHT, WAL — records into one :class:`MetricsRegistry` so benchmarks,
+the ``STATS`` opcode, and the chaos harness all read the same counters
+and the same fixed-bucket latency distributions.
+
+Design constraints:
+
+* **Cheap when idle.** Counters are a lock-protected integer add (the
+  lock is uncontended in the single-threaded event-loop servers).
+  Timing spans allocate nothing and read no clock unless the registry
+  is enabled (see :mod:`repro.obs.tracing`).
+* **Fixed memory.** Histograms use a fixed logarithmic bucket ladder —
+  no per-sample storage — so a million-op run costs the same RAM as a
+  ten-op run.  Percentiles (p50/p90/p99/max) are read from the ladder.
+* **Process-local.** One registry per process, matching ZHT's
+  deployment unit; a loopback test cluster shares one registry, a real
+  multi-process deployment aggregates snapshots via the STATS opcode.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or read from a
+    provider callable at snapshot time (zero hot-path cost)."""
+
+    __slots__ = ("name", "_value", "_provider", "_lock")
+
+    def __init__(self, name: str, provider: Callable[[], float] | None = None):
+        self.name = name
+        self._value = 0.0
+        self._provider = provider
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        if self._provider is not None:
+            try:
+                return float(self._provider())
+            except Exception:
+                return 0.0
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+def _build_bucket_bounds() -> tuple[float, ...]:
+    """Upper bounds (seconds) of the fixed latency ladder.
+
+    1 µs → ~67 s in powers of two: 27 buckets plus an overflow bucket.
+    Sub-microsecond events land in the first bucket; anything beyond the
+    ladder lands in the overflow bucket and only moves ``max``.
+    """
+    bounds = []
+    us = 1e-6
+    for i in range(27):
+        bounds.append(us * (2**i))
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile readout.
+
+    ``record(seconds)`` is O(log #buckets) (a bisect plus a locked
+    increment); ``percentile(p)`` walks the ladder and returns the upper
+    bound of the bucket holding the p-th sample — an upper estimate with
+    at most 2× resolution error, which is what fixed ladders trade for
+    constant memory.  Exact ``min``/``max``/``sum`` are kept alongside.
+    """
+
+    __slots__ = ("name", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    BOUNDS: tuple[float, ...] = _build_bucket_bounds()
+
+    def __init__(self, name: str):
+        self.name = name
+        self._counts = [0] * (len(self.BOUNDS) + 1)  # +1 overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        index = bisect_left(self.BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += seconds
+            if seconds < self._min:
+                self._min = seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean_s(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def max_s(self) -> float:
+        return self._max
+
+    @property
+    def min_s(self) -> float:
+        return self._min if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper-bound estimate (seconds) of the p-th percentile."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            rank = max(1, int(p / 100 * total + 0.5))
+            seen = 0
+            for index, count in enumerate(self._counts):
+                seen += count
+                if seen >= rank:
+                    if index >= len(self.BOUNDS):
+                        return self._max
+                    # Clamp the bucket bound by the exact extremes so
+                    # p0/p100 never stray outside the observed range.
+                    return min(max(self.BOUNDS[index], self._min), self._max)
+            return self._max
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            count, total, mx = self._count, self._sum, self._max
+        if count == 0:
+            return {"count": 0}
+        return {
+            "count": count,
+            "mean_ms": round(total / count * 1e3, 6),
+            "p50_ms": round(self.percentile(50) * 1e3, 6),
+            "p90_ms": round(self.percentile(90) * 1e3, 6),
+            "p99_ms": round(self.percentile(99) * 1e3, 6),
+            "max_ms": round(mx * 1e3, 6),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.BOUNDS) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one process.
+
+    Instruments are created lazily on first use and live forever (names
+    are stable identities, so snapshots across time are comparable).
+    ``enabled`` gates only *timing spans* — counters and gauges are
+    always live because they are cheap and the transports' correctness
+    tests assert on them.
+    """
+
+    def __init__(self, *, enabled: bool = False):
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument access (get-or-create) ------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def gauge(
+        self, name: str, provider: Callable[[], float] | None = None
+    ) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name, provider))
+        return gauge
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, LatencyHistogram(name)
+                )
+        return histogram
+
+    # -- enablement ------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- reporting -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable view of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "enabled": self.enabled,
+            "counters": {
+                name: c.value for name, c in sorted(counters.items())
+            },
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "latency": {
+                name: h.snapshot()
+                for name, h in sorted(histograms.items())
+                if h.count
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (keeps identities; used by tests and
+        benchmark warmup)."""
+        with self._lock:
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for instrument in instruments:
+            instrument.reset()

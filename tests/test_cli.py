@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -75,3 +77,39 @@ class TestCommands:
             == 0
         )
         assert "UDP x 2 servers" in capsys.readouterr().out
+
+    def test_stats_self_contained_cluster(self, capsys):
+        assert main(["stats", "--nodes", "2", "--ops", "20"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["client.ops"] >= 40
+        assert snap["latency"]["client.op"]["count"] >= 40
+        assert "p50_ms" in snap["latency"]["client.op"]
+        assert "p99_ms" in snap["latency"]["client.op"]
+        assert len(snap["instances"]) == 2
+
+    def test_stats_unreachable_address_fails(self, capsys):
+        assert main(["stats", "--address", "127.0.0.1:1", "--timeout", "0.2"]) == 1
+        assert "no STATS response" in capsys.readouterr().err
+
+    def test_chaos_stats_json(self, tmp_path, capsys):
+        path = str(tmp_path / "snap.json")
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--backend",
+                    "local",
+                    "--nodes",
+                    "3",
+                    "--ops",
+                    "60",
+                    "--stats-json",
+                    path,
+                ]
+            )
+            == 0
+        )
+        with open(path) as f:
+            snap = json.load(f)
+        assert snap["enabled"] is True
+        assert snap["counters"]["client.ops"] > 0

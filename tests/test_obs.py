@@ -1,0 +1,484 @@
+"""Tests for the observability layer (repro.obs) and the transport
+correctness fixes that ride on it: request-id allocation under threads,
+TCP stream-desync eviction, UDP stale-response matching, and the
+registry-backed transport counters.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import ZHTConfig
+from repro.core.membership import Address
+from repro.core.protocol import OpCode, Request, Response, frame
+from repro.net.cluster import build_tcp_cluster, build_udp_cluster
+from repro.net.tcp import TCPClient
+from repro.net.udp import UDPClient
+from repro.obs import NULL_SPAN, REGISTRY, LatencyHistogram, TracingRegistry
+from repro.obs.metrics import Counter, Gauge
+from tests.test_server_core import deploy
+
+
+# ---------------------------------------------------------------------------
+# Metrics primitives
+# ---------------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        c = Counter("t")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        c.reset()
+        assert c.value == 0
+
+    def test_thread_safe(self):
+        c = Counter("t")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(10_000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge("g")
+        g.set(3.5)
+        assert g.value == 3.5
+
+    def test_provider_read_at_snapshot(self):
+        box = {"n": 1}
+        g = Gauge("g", provider=lambda: box["n"])
+        assert g.value == 1.0
+        box["n"] = 7
+        assert g.value == 7.0
+
+    def test_provider_failure_reads_zero(self):
+        def boom():
+            raise RuntimeError("gone")
+
+        assert Gauge("g", provider=boom).value == 0.0
+
+
+class TestLatencyHistogram:
+    def test_exact_stats(self):
+        h = LatencyHistogram("h")
+        for s in (0.001, 0.002, 0.004):
+            h.record(s)
+        assert h.count == 3
+        assert h.max_s == 0.004
+        assert h.mean_s == pytest.approx(0.007 / 3)
+
+    def test_percentiles_are_upper_bounds_within_2x(self):
+        h = LatencyHistogram("h")
+        for _ in range(100):
+            h.record(0.0015)  # exactly between the 1.024ms / 2.048ms bounds
+        p50 = h.percentile(50)
+        assert 0.0015 <= p50 <= 2 * 0.0015
+
+    def test_p100_clamped_to_observed_max(self):
+        h = LatencyHistogram("h")
+        h.record(0.0030)
+        assert h.percentile(100) == 0.0030
+
+    def test_ladder_ordering(self):
+        h = LatencyHistogram("h")
+        for _ in range(90):
+            h.record(0.0001)
+        for _ in range(10):
+            h.record(0.1)
+        assert h.percentile(50) < h.percentile(99)
+        assert h.percentile(99) >= 0.1
+
+    def test_empty_snapshot(self):
+        assert LatencyHistogram("h").snapshot() == {"count": 0}
+
+    def test_snapshot_fields(self):
+        h = LatencyHistogram("h")
+        h.record(0.002)
+        snap = h.snapshot()
+        assert set(snap) == {
+            "count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+        }
+        assert snap["count"] == 1
+        assert snap["max_ms"] == pytest.approx(2.0)
+
+    def test_reset(self):
+        h = LatencyHistogram("h")
+        h.record(1.0)
+        h.reset()
+        assert h.count == 0 and h.snapshot() == {"count": 0}
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram("h").percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        r = TracingRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("b") is r.histogram("b")
+        assert r.gauge("c") is r.gauge("c")
+
+    def test_snapshot_shape_and_json_roundtrip(self):
+        r = TracingRegistry(enabled=True)
+        r.counter("x").inc(3)
+        r.gauge("y").set(1.5)
+        r.histogram("z")  # empty: excluded from latency
+        with r.span("w"):
+            pass
+        snap = json.loads(json.dumps(r.snapshot()))
+        assert snap["enabled"] is True
+        assert snap["counters"]["x"] == 3
+        assert snap["gauges"]["y"] == 1.5
+        assert "z" not in snap["latency"]
+        assert snap["latency"]["w"]["count"] == 1
+
+    def test_reset_zeroes_everything(self):
+        r = TracingRegistry(enabled=True)
+        r.counter("x").inc()
+        r.time("h", 0.5)
+        r.reset()
+        snap = r.snapshot()
+        assert snap["counters"]["x"] == 0
+        assert snap["latency"] == {}
+
+
+class TestSpans:
+    def test_disabled_returns_shared_null_span(self):
+        r = TracingRegistry(enabled=False)
+        assert r.span("x") is NULL_SPAN
+        with r.span("x"):
+            pass
+        assert r.snapshot()["latency"] == {}
+
+    def test_enabled_records_duration(self):
+        r = TracingRegistry(enabled=True)
+        with r.span("x"):
+            time.sleep(0.002)
+        snap = r.histogram("x").snapshot()
+        assert snap["count"] == 1
+        assert snap["max_ms"] >= 2.0
+
+    def test_nesting_bumps_edge_counters(self):
+        r = TracingRegistry(enabled=True)
+        with r.span("parent"):
+            with r.span("child"):
+                pass
+            with r.span("child"):
+                pass
+        assert r.counter("span.edge.parent>child").value == 2
+        # The stack unwound fully: a new root span records no edge.
+        with r.span("other"):
+            pass
+        assert "span.edge.parent>other" not in r.snapshot()["counters"]
+
+    def test_time_gated_on_enabled(self):
+        r = TracingRegistry(enabled=False)
+        r.time("x", 1.0)
+        assert r.histogram("x").count == 0
+        r.enable()
+        r.time("x", 1.0)
+        assert r.histogram("x").count == 1
+
+
+# ---------------------------------------------------------------------------
+# Client-core regression: request-id allocation and stats under threads
+# ---------------------------------------------------------------------------
+
+
+class TestClientThreadSafety:
+    def test_concurrent_request_ids_are_unique(self):
+        """Duplicate ids defeat the UDP dedup cache: two distinct
+        mutations sharing an id would have the second answered with the
+        first's cached response and never applied."""
+        table, _servers, cfg = deploy()
+        from repro.core.client import ZHTClientCore
+
+        core = ZHTClientCore(table.copy(), cfg)
+        ids = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [core.allocate_request_id() for _ in range(2000)]
+            with lock:
+                ids.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ids) == len(set(ids)) == 16_000
+
+    def test_concurrent_stats_increments_do_not_lose_updates(self):
+        from repro.core.client import ClientStats
+
+        stats = ClientStats()
+        threads = [
+            threading.Thread(
+                target=lambda: [stats.inc("ops") for _ in range(5000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.ops == 40_000
+
+
+# ---------------------------------------------------------------------------
+# TCP: stream desync must evict, not re-cache
+# ---------------------------------------------------------------------------
+
+
+def _garbage_server(replies: list[bytes]):
+    """A TCP listener answering each connection's first frame with the
+    next canned payload (framed but not necessarily decodable)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(4)
+    address = Address("127.0.0.1", listener.getsockname()[1])
+
+    def serve():
+        for payload in replies:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            conn.recv(65536)
+            conn.sendall(frame(payload))
+            # Hold the connection open long enough for the client to
+            # decide whether to cache it.
+            time.sleep(0.2)
+            conn.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return listener, address
+
+
+class TestTCPDesyncEviction:
+    def test_garbled_frame_not_recached(self):
+        listener, address = _garbage_server([b"\xff\xff\xff\xff"])
+        client = TCPClient(cache_size=8)
+        before = REGISTRY.counter("tcp.client.decode_errors").value
+        try:
+            response = client.roundtrip(
+                address, Request(op=OpCode.PING, request_id=1), timeout=1.0
+            )
+            assert response is None
+            # The desynced socket must NOT be checked back into the cache.
+            assert address not in client._cache
+            assert (
+                REGISTRY.counter("tcp.client.decode_errors").value
+                == before + 1
+            )
+        finally:
+            client.close()
+            listener.close()
+
+    def test_valid_frame_is_recached(self):
+        payload = Response(status=0, request_id=1, op=int(OpCode.PING)).encode()
+        listener, address = _garbage_server([payload])
+        client = TCPClient(cache_size=8)
+        try:
+            response = client.roundtrip(
+                address, Request(op=OpCode.PING, request_id=1), timeout=1.0
+            )
+            assert response is not None
+            assert address in client._cache
+        finally:
+            client.close()
+            listener.close()
+
+
+# ---------------------------------------------------------------------------
+# UDP: response-to-request matching
+# ---------------------------------------------------------------------------
+
+
+class TestUDPResponseMatching:
+    def _m(self, request, response):
+        return UDPClient._matches(request, response)
+
+    def test_id_and_op_agree(self):
+        req = Request(op=OpCode.INSERT, request_id=7)
+        assert self._m(req, Response(request_id=7, op=int(OpCode.INSERT)))
+
+    def test_wrong_op_echo_rejected_despite_matching_id(self):
+        """A stale LOOKUP response whose id collides with a live REMOVE
+        must not be taken as the REMOVE's ack."""
+        req = Request(op=OpCode.REMOVE, request_id=7)
+        assert not self._m(req, Response(request_id=7, op=int(OpCode.LOOKUP)))
+
+    def test_wrong_id_rejected(self):
+        req = Request(op=OpCode.LOOKUP, request_id=7)
+        assert not self._m(req, Response(request_id=8, op=int(OpCode.LOOKUP)))
+
+    def test_legacy_no_echo_matches_by_id(self):
+        req = Request(op=OpCode.INSERT, request_id=7)
+        assert self._m(req, Response(request_id=7, op=0))
+
+    def test_id0_wildcard_allowed_for_reads(self):
+        req = Request(op=OpCode.LOOKUP, request_id=0)
+        assert self._m(req, Response(request_id=0, op=0))
+
+    def test_id0_wildcard_dropped_for_mutations(self):
+        """An un-identified mutation must not treat any datagram as its
+        ack: only a response that positively echoes the op counts."""
+        req = Request(op=OpCode.INSERT, request_id=0)
+        assert not self._m(req, Response(request_id=0, op=0))
+        assert self._m(req, Response(request_id=0, op=int(OpCode.INSERT)))
+        assert not self._m(req, Response(request_id=0, op=int(OpCode.LOOKUP)))
+
+    def test_stale_datagram_skipped_live(self):
+        """A late response for an earlier op arrives first; the client
+        must skip it and return the real ack."""
+        stale = Response(request_id=3, op=int(OpCode.LOOKUP), value=b"old")
+        real = Response(request_id=4, op=int(OpCode.INSERT))
+        server = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        server.bind(("127.0.0.1", 0))
+        address = Address("127.0.0.1", server.getsockname()[1])
+
+        def serve():
+            _data, peer = server.recvfrom(65000)
+            server.sendto(stale.encode(), peer)
+            server.sendto(real.encode(), peer)
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        client = UDPClient()
+        before = REGISTRY.counter("udp.client.stale_responses").value
+        try:
+            got = client.roundtrip(
+                address,
+                Request(op=OpCode.INSERT, key=b"k", request_id=4),
+                timeout=1.0,
+            )
+            assert got is not None and got.request_id == 4
+            assert (
+                REGISTRY.counter("udp.client.stale_responses").value
+                == before + 1
+            )
+        finally:
+            client.close()
+            server.close()
+            thread.join(timeout=2)
+
+
+# ---------------------------------------------------------------------------
+# Transport counter semantics via the registry
+# ---------------------------------------------------------------------------
+
+
+class TestTransportCounters:
+    def test_oneway_retry_on_stale_cached_socket(self):
+        cfg = ZHTConfig(transport="tcp", num_partitions=64, request_timeout=0.5)
+        with build_tcp_cluster(1, cfg) as cluster:
+            z = cluster.client()
+            z.insert("k", b"v")
+            # Break the cached socket in place (leave it in the cache) so
+            # the next one-way send hits a dead file descriptor.
+            transport = z.transport
+            for addr in list(transport._cache):
+                transport._cache._data[addr].close()
+            before = REGISTRY.counter("tcp.client.oneway_retries").value
+            transport.send_oneway(
+                cluster.servers[0].address, Request(op=OpCode.PING)
+            )
+            assert transport.oneway_retries >= 1
+            assert (
+                REGISTRY.counter("tcp.client.oneway_retries").value > before
+            )
+
+    def test_oneway_drop_on_dead_address(self):
+        client = TCPClient(cache_size=4, connect_timeout=0.2)
+        before = REGISTRY.counter("tcp.client.oneway_drops").value
+        client.send_oneway(Address("127.0.0.1", 1), Request(op=OpCode.PING))
+        assert client.oneway_drops == 1
+        assert REGISTRY.counter("tcp.client.oneway_drops").value == before + 1
+        client.close()
+
+    def test_udp_duplicate_suppression_counted(self):
+        cfg = ZHTConfig(transport="udp", num_partitions=64, request_timeout=0.5)
+        with build_udp_cluster(1, cfg) as cluster:
+            server_addr = cluster.servers[0].address
+            request = Request(
+                op=OpCode.INSERT, key=b"dup", value=b"v", request_id=424_242
+            )
+            client = UDPClient()
+            before = REGISTRY.counter("udp.server.duplicates_suppressed").value
+            try:
+                r1 = client.roundtrip(server_addr, request, timeout=0.5)
+                r2 = client.roundtrip(server_addr, request, timeout=0.5)
+            finally:
+                client.close()
+            assert r1 is not None and r2 is not None
+            assert (
+                REGISTRY.counter("udp.server.duplicates_suppressed").value
+                == before + 1
+            )
+            assert cluster.servers[0].duplicates_suppressed >= 1
+
+    def test_connection_cache_eviction_under_contention(self):
+        """A cache smaller than the server set must evict (and close) on
+        every alternation, visible on the registry."""
+        cfg = ZHTConfig(transport="tcp", num_partitions=64, request_timeout=0.5)
+        with build_tcp_cluster(2, cfg) as cluster:
+            client = TCPClient(cache_size=1)
+            before = REGISTRY.counter("tcp.client.cache_evictions").value
+            try:
+                for i in range(6):
+                    server = cluster.servers[i % 2]
+                    response = client.roundtrip(
+                        server.address,
+                        Request(op=OpCode.PING, request_id=i + 1),
+                        timeout=0.5,
+                    )
+                    assert response is not None
+            finally:
+                client.close()
+            evictions = (
+                REGISTRY.counter("tcp.client.cache_evictions").value - before
+            )
+            # 6 alternating checkins through a 1-slot cache: 5 evictions.
+            assert evictions >= 4
+            assert client._cache.evictions >= 4
+
+
+# ---------------------------------------------------------------------------
+# STATS opcode end-to-end
+# ---------------------------------------------------------------------------
+
+
+class TestStatsOpcode:
+    def test_stats_over_tcp(self):
+        cfg = ZHTConfig(transport="tcp", num_partitions=64, request_timeout=0.5)
+        with build_tcp_cluster(2, cfg) as cluster:
+            z = cluster.client()
+            for i in range(10):
+                z.insert(f"s{i}", b"v")
+            response = z.transport.roundtrip(
+                cluster.servers[0].address,
+                Request(op=OpCode.STATS, request_id=99),
+                1.0,
+            )
+            assert response is not None and response.status == 0
+            snap = json.loads(response.value)
+            assert "counters" in snap and "latency" in snap
+            inst = snap["instance"]
+            assert inst["node_id"] == "node-0000"
+            assert inst["stats"]["inserts"] >= 0
+            assert response.op == int(OpCode.STATS)
