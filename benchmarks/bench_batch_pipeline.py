@@ -1,0 +1,254 @@
+"""Batching & pipelining: BATCH round trips and WAL group commit.
+
+Two layers of the batched request path, measured against their per-op
+baselines:
+
+* **Wire level** (loopback TCP, multiplexed client): ops/s for per-op
+  inserts vs ``insert_many`` at increasing batch sizes, plus a pipeline
+  -depth sweep (N threads sharing one multiplexed connection).  The
+  zero-hop property makes client-side batch planning free of extra hops:
+  every key's owner is known locally, so a batch of B keys to one owner
+  costs one round trip instead of B.
+* **Storage level** (NoVoHT with ``fsync=True``): puts/s and WAL
+  fsyncs/op for sequential ``put`` vs ``apply_batch`` group commits —
+  a batch of B mutations pays one fsync instead of B.
+
+Run standalone for CI smoke mode::
+
+    PYTHONPATH=src python benchmarks/bench_batch_pipeline.py --smoke
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+from _util import emit_json, fmt, fmt_int, print_table, scales
+
+from repro.core import ZHTConfig
+from repro.net.cluster import build_tcp_cluster
+from repro.novoht import NoVoHT
+from repro.obs import REGISTRY
+
+BATCH_SIZES = (1, 8, 64)
+PIPELINE_DEPTHS = (4, 16)
+VALUE = b"v" * 132  # the paper's micro-benchmark value size
+
+
+def _wire_ops():
+    return scales(small=(1024,), paper=(8192,))[0]
+
+
+def _storage_ops():
+    return scales(small=(2048,), paper=(16384,))[0]
+
+
+def wire_series(ops: int):
+    """Loopback-TCP ops/s: per-op baseline, batch sizes, pipeline depths.
+
+    Returns ``(rows, speedups)`` where ``speedups`` maps series label to
+    throughput relative to the per-op baseline.
+    """
+    cfg = ZHTConfig(
+        transport="tcp", num_partitions=64, request_timeout=5.0
+    )
+    rows = []
+    speedups = {}
+    with build_tcp_cluster(1, cfg) as cluster:
+        z = cluster.client()
+        for i in range(32):  # warm the connection and the server
+            z.insert(f"warm{i:010d}", VALUE)
+
+        t0 = time.perf_counter()
+        for i in range(ops):
+            z.insert(f"po{i:013d}", VALUE)
+        baseline = ops / (time.perf_counter() - t0)
+        rows.append(("per-op", 1, 1, fmt_int(baseline), "1.00"))
+
+        for size in BATCH_SIZES:
+            keys = [f"b{size:03d}-{i:09d}" for i in range(ops)]
+            t0 = time.perf_counter()
+            for start in range(0, ops, size):
+                z.insert_many(
+                    {k: VALUE for k in keys[start : start + size]}
+                )
+            rate = ops / (time.perf_counter() - t0)
+            speedups[f"batch-{size}"] = rate / baseline
+            rows.append(
+                (
+                    f"batch-{size}",
+                    size,
+                    1,
+                    fmt_int(rate),
+                    fmt(rate / baseline, 2),
+                )
+            )
+
+        for depth in PIPELINE_DEPTHS:
+            keys = [f"p{depth:03d}-{i:09d}" for i in range(ops)]
+            chunk = (ops + depth - 1) // depth
+
+            def worker(slice_keys):
+                for k in slice_keys:
+                    z.insert(k, VALUE)
+
+            threads = [
+                threading.Thread(
+                    target=worker, args=(keys[i : i + chunk],)
+                )
+                for i in range(0, ops, chunk)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            rate = ops / (time.perf_counter() - t0)
+            speedups[f"pipeline-{depth}"] = rate / baseline
+            rows.append(
+                (
+                    f"pipeline-{depth}",
+                    1,
+                    depth,
+                    fmt_int(rate),
+                    fmt(rate / baseline, 2),
+                )
+            )
+    return rows, speedups
+
+
+def storage_series(ops: int):
+    """NoVoHT group commit: puts/s and fsyncs/op, per-op vs batched.
+
+    Returns ``(rows, fsyncs_per_op)`` with ``fsyncs_per_op`` keyed like
+    the row labels.
+    """
+    rows = []
+    fsyncs_per_op = {}
+    for label, batch in (("per-op", 1), ("batch-64", 64)):
+        workdir = tempfile.mkdtemp(prefix="zht-bench-gc-")
+        try:
+            store = NoVoHT(
+                os.path.join(workdir, "store"),
+                fsync=True,
+                checkpoint_interval_ops=0,
+            )
+            pairs = [
+                (f"k{i:014d}".encode(), VALUE) for i in range(ops)
+            ]
+            before = REGISTRY.counter("wal.fsyncs").value
+            t0 = time.perf_counter()
+            if batch == 1:
+                for key, value in pairs:
+                    store.put(key, value)
+            else:
+                for start in range(0, ops, batch):
+                    store.apply_batch(
+                        [
+                            ("put", key, value)
+                            for key, value in pairs[start : start + batch]
+                        ]
+                    )
+            elapsed = time.perf_counter() - t0
+            fsyncs = REGISTRY.counter("wal.fsyncs").value - before
+            store._wal = None  # skip the close-time checkpoint fsyncs
+            store.close()
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        rate = ops / elapsed
+        fsyncs_per_op[label] = fsyncs / ops
+        rows.append(
+            (
+                label,
+                batch,
+                fmt_int(rate),
+                fsyncs,
+                fmt(fsyncs / ops, 3),
+            )
+        )
+    return rows, fsyncs_per_op
+
+
+WIRE_HEADERS = ("series", "batch", "depth", "ops/s", "vs per-op")
+STORE_HEADERS = ("series", "batch", "puts/s", "fsyncs", "fsyncs/op")
+
+
+def run(wire_ops: int, storage_ops: int):
+    wire_rows, speedups = wire_series(wire_ops)
+    store_rows, fsyncs_per_op = storage_series(storage_ops)
+    print_table(
+        "Batched+pipelined request path: loopback TCP ops/s",
+        WIRE_HEADERS,
+        wire_rows,
+        note=(
+            "per-owner BATCH planning: B keys to one owner = 1 round trip"
+        ),
+    )
+    print_table(
+        "WAL group commit: NoVoHT puts/s with fsync=True",
+        STORE_HEADERS,
+        store_rows,
+        note="group commit: one write/flush/fsync per batch",
+    )
+    emit_json(
+        "batch_pipeline",
+        WIRE_HEADERS,
+        wire_rows,
+    )
+    emit_json(
+        "batch_pipeline_wal",
+        STORE_HEADERS,
+        store_rows,
+    )
+    return speedups, fsyncs_per_op
+
+
+def check(speedups, fsyncs_per_op) -> list[str]:
+    """Acceptance checks; returns a list of failure messages."""
+    failures = []
+    if speedups.get("batch-64", 0.0) < 2.0:
+        failures.append(
+            f"batch-64 speedup {speedups.get('batch-64'):.2f}x < 2x"
+        )
+    # Group commit amortizes fsyncs ~proportionally to the batch size.
+    if fsyncs_per_op["per-op"] < 1.0:
+        failures.append("per-op path must fsync every put")
+    if fsyncs_per_op["batch-64"] > fsyncs_per_op["per-op"] / 32:
+        failures.append(
+            f"batch-64 fsyncs/op {fsyncs_per_op['batch-64']:.3f} not "
+            f"proportionally below per-op {fsyncs_per_op['per-op']:.3f}"
+        )
+    return failures
+
+
+def test_batch_pipeline(benchmark):
+    speedups, fsyncs_per_op = run(_wire_ops(), _storage_ops())
+    assert not check(speedups, fsyncs_per_op)
+
+    def timed_case():
+        with NoVoHT(None) as store:
+            store.apply_batch(
+                [("put", f"t{i}".encode(), VALUE) for i in range(64)]
+            )
+
+    benchmark(timed_case)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    if smoke:
+        speedups, fsyncs_per_op = run(wire_ops=256, storage_ops=512)
+    else:
+        speedups, fsyncs_per_op = run(_wire_ops(), _storage_ops())
+    problems = check(speedups, fsyncs_per_op)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        print(
+            f"OK: batch-64 {speedups['batch-64']:.1f}x per-op on loopback "
+            f"TCP; WAL fsyncs/op {fsyncs_per_op['per-op']:.2f} -> "
+            f"{fsyncs_per_op['batch-64']:.3f}"
+        )
+    sys.exit(1 if problems else 0)

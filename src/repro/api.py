@@ -27,11 +27,12 @@ from __future__ import annotations
 import random
 from typing import Callable
 
-from .core.client import ZHTClientCore
+from .core.client import BatchEntry, ZHTClientCore
 from .core.config import ZHTConfig
 from .core.errors import (
     KeyNotFound,
     RequestTimeout,
+    Status,
     ZHTError,
     raise_for_status,
 )
@@ -47,7 +48,12 @@ from .core.membership import (
 from .core.protocol import OpCode
 from .core.server import ZHTServerCore
 from .net.local import LocalNetwork
-from .net.transport import ClientTransport, execute_op, run_script
+from .net.transport import (
+    ClientTransport,
+    execute_batch,
+    execute_op,
+    run_script,
+)
 
 
 def _to_key(key: str | bytes) -> bytes:
@@ -103,6 +109,65 @@ class ZHT:
         modification; creates the key if absent)."""
         driver = self.core.driver(OpCode.APPEND, _to_key(key), _to_value(value))
         execute_op(self.core, driver, self.transport)
+
+    # -- batched operations (one BATCH round trip per owner) -------------
+
+    def _run_batch(
+        self, op: OpCode, entries: list[BatchEntry]
+    ) -> list[BatchEntry]:
+        return execute_batch(self.core, op, entries, self.transport)
+
+    def insert_many(self, items) -> None:
+        """Store many pairs with one BATCH round trip per owning instance.
+
+        *items* is a mapping or an iterable of ``(key, value)`` pairs.
+        All-or-error per key: the first per-key failure raises its mapped
+        exception (other keys in the batch may still have been applied).
+        """
+        pairs = items.items() if hasattr(items, "items") else items
+        entries = [
+            BatchEntry(key=_to_key(k), value=_to_value(v)) for k, v in pairs
+        ]
+        for entry in self._run_batch(OpCode.INSERT, entries):
+            if entry.error is not None:
+                raise entry.error
+            raise_for_status(entry.response.status, "INSERT")
+
+    def lookup_many(self, keys) -> dict:
+        """Fetch many keys at once; returns ``{key: value | None}``.
+
+        Missing keys map to ``None`` (they fail individually without
+        affecting their batch siblings); transport-level failures raise.
+        """
+        keys = list(keys)
+        entries = [BatchEntry(key=_to_key(k)) for k in keys]
+        self._run_batch(OpCode.LOOKUP, entries)
+        result = {}
+        for key, entry in zip(keys, entries):
+            if entry.error is not None:
+                raise entry.error
+            if entry.response.status == Status.KEY_NOT_FOUND:
+                result[key] = None
+            else:
+                raise_for_status(entry.response.status, "LOOKUP")
+                result[key] = entry.response.value
+        return result
+
+    def remove_many(self, keys) -> dict:
+        """Delete many keys at once; returns ``{key: was_present}``."""
+        keys = list(keys)
+        entries = [BatchEntry(key=_to_key(k)) for k in keys]
+        self._run_batch(OpCode.REMOVE, entries)
+        result = {}
+        for key, entry in zip(keys, entries):
+            if entry.error is not None:
+                raise entry.error
+            if entry.response.status == Status.KEY_NOT_FOUND:
+                result[key] = False
+            else:
+                raise_for_status(entry.response.status, "REMOVE")
+                result[key] = True
+        return result
 
     # -- broadcast (§VI future-work primitive) ---------------------------
 

@@ -62,6 +62,49 @@ class Notification:
     request: Request
 
 
+@dataclass
+class BatchEntry:
+    """One key's slot in a batched operation, settled independently.
+
+    Per-key semantics: a missing key fails only its own entry, a redirect
+    re-plans only its own entry, and the final per-key outcome lands in
+    ``response`` (or ``error`` after the retry budget is exhausted).
+    """
+
+    key: bytes
+    value: bytes = b""
+    response: Response | None = None
+    error: ZHTError | None = None
+
+    @property
+    def settled(self) -> bool:
+        return self.response is not None or self.error is not None
+
+
+@dataclass
+class BatchAttempt:
+    """One BATCH round trip the transport should execute: a group of
+    entries whose keys all live on the same instance (per-owner planning
+    — the aggregation Monnerat & Amorim use per destination, applied to
+    ZHT's zero-hop routing where the owner is known client-side)."""
+
+    address: Address
+    node_id: str
+    instance_id: str
+    entries: list[BatchEntry]
+    requests: list[Request]
+
+    def to_request(self, core: "ZHTClientCore") -> Request:
+        from .protocol import encode_batch_requests
+
+        return Request(
+            op=OpCode.BATCH,
+            request_id=core.allocate_request_id(),
+            epoch=core.membership.epoch,
+            payload=encode_batch_requests(self.requests),
+        )
+
+
 class ClientStats:
     """Per-client operation counters, mirrored into the process registry.
 
@@ -78,6 +121,9 @@ class ClientStats:
         "membership_refreshes",
         "failovers",
         "nodes_marked_dead",
+        #: BATCH round trips issued and sub-operations carried by them.
+        "batches",
+        "batch_ops",
     )
 
     __slots__ = FIELDS + ("_lock",)
@@ -126,6 +172,10 @@ class ZHTClientCore:
         # FusionFS) must never mint the same request id: duplicates would
         # silently defeat the UDP server's mutation dedup cache.
         self._request_id_lock = threading.Lock()
+        # failure_counts and pending_notifications see read-modify-write
+        # from every thread driving ops through this core; guard them like
+        # allocate_request_id or concurrent timeouts lose counts.
+        self._state_lock = threading.Lock()
         #: Consecutive timeout counts per node id (reset on any success).
         self.failure_counts: dict[str, int] = {}
         #: Manager notifications awaiting dispatch by the transport.
@@ -140,6 +190,91 @@ class ZHTClientCore:
     def driver(self, op: OpCode, key: bytes, value: bytes = b"") -> "OpDriver":
         self.stats.inc("ops")
         return OpDriver(self, op, key, value)
+
+    def plan_batches(
+        self,
+        op: OpCode,
+        entries: list[BatchEntry],
+        *,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+    ) -> tuple[list[BatchAttempt], list[BatchEntry]]:
+        """Group *entries* by owning instance into BATCH attempts.
+
+        Every key's owner is computed from the local membership table
+        (zero hops); keys whose whole replica chain is dead come back in
+        the second element so the caller can fail them without a round
+        trip.  ``max_bytes`` chunks each owner's group so the encoded
+        BATCH request stays under a transport's datagram limit (UDP);
+        ``max_entries`` caps sub-requests per round trip.
+        """
+        from .protocol import batch_request_overhead, frame
+
+        groups: dict[str, BatchAttempt] = {}
+        unroutable: list[BatchEntry] = []
+        for entry in entries:
+            pid = self.membership.partition_of_key(
+                entry.key, self.config.hash_name
+            )
+            chain = self.membership.replicas_for_partition(
+                pid, self.config.num_replicas
+            )
+            target = None
+            replica_index = 0
+            for index, inst in enumerate(chain):
+                node = self.membership.nodes.get(inst.node_id)
+                if node is not None and node.alive:
+                    target, replica_index = inst, index
+                    break
+            if target is None:
+                unroutable.append(entry)
+                continue
+            attempt = groups.get(target.instance_id)
+            if attempt is None:
+                attempt = BatchAttempt(
+                    target.address, target.node_id, target.instance_id, [], []
+                )
+                groups[target.instance_id] = attempt
+            attempt.entries.append(entry)
+            attempt.requests.append(
+                Request(
+                    op=op,
+                    key=entry.key,
+                    value=entry.value,
+                    request_id=self.allocate_request_id(),
+                    epoch=self.membership.epoch,
+                    replica_index=replica_index,
+                )
+            )
+        if max_bytes is None and max_entries is None:
+            return list(groups.values()), unroutable
+        # Chunk each owner group under the transport's size/count limits.
+        overhead = batch_request_overhead(1 << 32, self.membership.epoch)
+        budget = None if max_bytes is None else max(1, max_bytes - overhead)
+        attempts: list[BatchAttempt] = []
+        for group in groups.values():
+            chunk = BatchAttempt(
+                group.address, group.node_id, group.instance_id, [], []
+            )
+            size = 0
+            for entry, request in zip(group.entries, group.requests):
+                wire = len(frame(request.encode()))
+                full_count = max_entries and len(chunk.entries) >= max_entries
+                full_bytes = (
+                    budget is not None and chunk.entries and size + wire > budget
+                )
+                if full_count or full_bytes:
+                    attempts.append(chunk)
+                    chunk = BatchAttempt(
+                        group.address, group.node_id, group.instance_id, [], []
+                    )
+                    size = 0
+                chunk.entries.append(entry)
+                chunk.requests.append(request)
+                size += wire
+            if chunk.entries:
+                attempts.append(chunk)
+        return attempts, unroutable
 
     def allocate_request_id(self) -> int:
         with self._request_id_lock:
@@ -164,23 +299,42 @@ class ZHTClientCore:
 
     def record_timeout(self, node_id: str) -> bool:
         """Count a timeout against *node_id*; returns True if it just died."""
-        count = self.failure_counts.get(node_id, 0) + 1
-        self.failure_counts[node_id] = count
-        if count >= self.config.failures_before_dead:
-            self._mark_node_dead(node_id)
-            return True
+        with self._state_lock:
+            count = self.failure_counts.get(node_id, 0) + 1
+            self.failure_counts[node_id] = count
+            reached_threshold = count >= self.config.failures_before_dead
+        if reached_threshold:
+            return self._mark_node_dead(node_id)
         return False
 
     def record_success(self, node_id: str) -> None:
-        self.failure_counts.pop(node_id, None)
+        with self._state_lock:
+            self.failure_counts.pop(node_id, None)
 
-    def _mark_node_dead(self, node_id: str) -> None:
-        try:
-            self.membership.mark_node_dead(node_id)
-        except MembershipError:
-            return
+    def take_notifications(self) -> list[Notification]:
+        """Atomically drain the pending manager notifications."""
+        with self._state_lock:
+            notes = self.pending_notifications
+            self.pending_notifications = []
+        return notes
+
+    def _mark_node_dead(self, node_id: str) -> bool:
+        """Mark *node_id* dead exactly once; True if this call did it.
+
+        The alive check and the table mutation happen under one lock so
+        concurrent drivers racing past the failure threshold cannot each
+        "kill" the node and queue duplicate manager notifications.
+        """
+        with self._state_lock:
+            node = self.membership.nodes.get(node_id)
+            if node is None or not node.alive:
+                return False
+            try:
+                self.membership.mark_node_dead(node_id)
+            except MembershipError:
+                return False
+            self.failure_counts.pop(node_id, None)
         self.stats.inc("nodes_marked_dead")
-        self.failure_counts.pop(node_id, None)
         if self.on_node_dead is not None:
             addresses = [
                 inst.address
@@ -191,17 +345,18 @@ class ZHTClientCore:
         if manager is not None:
             # Push our (newer) table — with the node marked dead — to a
             # random manager, which will broadcast and rebuild replicas.
-            self.pending_notifications.append(
-                Notification(
-                    manager,
-                    Request(
-                        op=OpCode.MEMBERSHIP_UPDATE,
-                        request_id=self.allocate_request_id(),
-                        epoch=self.membership.epoch,
-                        payload=self.membership.to_bytes(),
-                    ),
-                )
+            note = Notification(
+                manager,
+                Request(
+                    op=OpCode.MEMBERSHIP_UPDATE,
+                    request_id=self.allocate_request_id(),
+                    epoch=self.membership.epoch,
+                    payload=self.membership.to_bytes(),
+                ),
             )
+            with self._state_lock:
+                self.pending_notifications.append(note)
+        return True
 
     def _random_alive_manager(self) -> Address | None:
         alive = [n for n in self.membership.nodes.values() if n.alive]

@@ -76,6 +76,10 @@ class ZHTConfig:
     #: memcached, imposes no 250B/1MB limits).
     max_key_bytes: int | None = None
     max_value_bytes: int | None = None
+    #: fsync the WAL on every commit.  Off by default (matching NoVoHT's
+    #: benchmarked configuration); the group-commit benchmark turns it on
+    #: to measure one-fsync-per-batch durability.
+    wal_fsync: bool = False
 
     # --- networking -------------------------------------------------------
     #: "tcp", "udp", or "local" (in-process).
@@ -83,6 +87,12 @@ class ZHTConfig:
     #: LRU connection-cache capacity for TCP (0 = no connection caching,
     #: i.e. the paper's "TCP without connection caching" mode).
     connection_cache_size: int = 128
+    #: Use the multiplexed TCP client (many in-flight requests per
+    #: connection, matched by request id).  ``False`` falls back to the
+    #: exclusive stop-and-wait client for ablation benchmarks; the
+    #: fallback is also used when ``connection_cache_size`` is 0, since
+    #: multiplexing only makes sense over cached connections.
+    tcp_multiplex: bool = True
 
     # --- instances ---------------------------------------------------------
     #: ZHT instances per physical node (paper sweeps 1..8; 1 per core is

@@ -57,6 +57,12 @@ class OpCode(enum.IntEnum):
     #: Dump the serving process's metrics-registry snapshot as JSON
     #: (counters + latency percentiles; see :mod:`repro.obs`).
     STATS = 19
+    #: N framed sub-requests in one message; the response carries one
+    #: framed sub-response per sub-request (per-key statuses).  Batches
+    #: are planned per owning instance by the client (zero-hop routing
+    #: means the client already knows every key's owner), so one BATCH
+    #: costs one round trip regardless of how many keys it carries.
+    BATCH = 20
 
 
 #: Ops that mutate state (drive WAL writes and replication).
@@ -242,11 +248,81 @@ def deframe(buffer: bytes) -> tuple[bytes | None, bytes]:
 
     Returns ``(message, remainder)``; ``message`` is ``None`` when the
     buffer does not yet hold a complete frame.
+
+    Rebuilding the remainder copies the whole buffer, which is O(n²)
+    across a burst of frames — stream loops should use
+    :func:`deframe_at` over an accumulating ``bytearray`` instead.
+    """
+    message, offset = deframe_at(buffer, 0)
+    if message is None:
+        return None, buffer
+    return message, buffer[offset:]
+
+
+def deframe_at(buffer, offset: int) -> tuple[bytes | None, int]:
+    """Extract one framed message from *buffer* starting at *offset*.
+
+    Returns ``(message, next_offset)`` without copying the remainder;
+    ``message`` is ``None`` (and ``next_offset == offset``) when the
+    buffer does not yet hold a complete frame.  *buffer* may be ``bytes``
+    or a ``bytearray`` that keeps accumulating between calls.
     """
     try:
-        length, pos = decode_varint(buffer, 0)
+        length, pos = decode_varint(buffer, offset)
     except ValueError:
-        return None, buffer
+        return None, offset
     if len(buffer) - pos < length:
-        return None, buffer
-    return buffer[pos : pos + length], buffer[pos + length :]
+        return None, offset
+    return bytes(buffer[pos : pos + length]), pos + length
+
+
+# ---------------------------------------------------------------------------
+# Batch codec (BATCH opcode payloads)
+# ---------------------------------------------------------------------------
+
+
+def _encode_framed(messages: list[bytes]) -> bytes:
+    out = bytearray()
+    for message in messages:
+        out += frame(message)
+    return bytes(out)
+
+
+def _decode_framed(payload: bytes) -> list[bytes]:
+    messages: list[bytes] = []
+    offset = 0
+    while offset < len(payload):
+        message, offset = deframe_at(payload, offset)
+        if message is None:
+            raise ProtocolError("truncated frame inside batch payload")
+        messages.append(message)
+    return messages
+
+
+def encode_batch_requests(requests: list[Request]) -> bytes:
+    """Pack sub-requests into a BATCH request payload (framed, in order)."""
+    return _encode_framed([r.encode() for r in requests])
+
+
+def decode_batch_requests(payload: bytes) -> list[Request]:
+    return [Request.decode(m) for m in _decode_framed(payload)]
+
+
+def encode_batch_responses(responses: list["Response"]) -> bytes:
+    """Pack per-key sub-responses into a BATCH response value (framed,
+    positionally matching the request's sub-requests)."""
+    return _encode_framed([r.encode() for r in responses])
+
+
+def decode_batch_responses(payload: bytes) -> list["Response"]:
+    return [Response.decode(m) for m in _decode_framed(payload)]
+
+
+def batch_request_overhead(request_id: int, epoch: int) -> int:
+    """Encoded size of a BATCH envelope with an empty payload, plus the
+    payload field's worst-case tag+length prefix — used by the client
+    planner to chunk batches under a transport's datagram limit."""
+    probe = Request(
+        op=OpCode.BATCH, request_id=request_id, epoch=epoch
+    ).encode()
+    return len(probe) + 6

@@ -32,7 +32,15 @@ from .config import ReplicationMode, ZHTConfig
 from .errors import KeyNotFound, Status, ZHTError
 from .membership import Address, InstanceInfo, MembershipTable
 from .partition import Partition, QueuedRequest
-from .protocol import MUTATING_OPS, OpCode, Request, Response
+from .protocol import (
+    MUTATING_OPS,
+    OpCode,
+    Request,
+    Response,
+    decode_batch_requests,
+    encode_batch_requests,
+    encode_batch_responses,
+)
 
 
 class ServerStats:
@@ -48,6 +56,7 @@ class ServerStats:
         "lookups",
         "removes",
         "appends",
+        "batches",
         "redirects",
         "queued",
         "replica_updates",
@@ -156,6 +165,7 @@ class ZHTServerCore:
                 persistence_dir=pdir,
                 checkpoint_interval_ops=cfg.checkpoint_interval_ops,
                 gc_dead_ratio=cfg.gc_dead_ratio,
+                fsync=cfg.wal_fsync,
             )
             self.partitions[pid] = part
         return part
@@ -201,6 +211,8 @@ class ZHTServerCore:
             return HandleResult(self._respond(request, Status.OK))
         if op == OpCode.STATS:
             return self._handle_stats(request)
+        if op == OpCode.BATCH:
+            return self._handle_batch(request)
         return HandleResult(self._respond(request, Status.BAD_REQUEST))
 
     def _handle_stats(self, request: Request) -> HandleResult:
@@ -333,6 +345,219 @@ class ZHTServerCore:
             return self._respond(request, exc.status)
         return self._respond(request, Status.BAD_REQUEST)
 
+    # ------------------------------------------------------------------
+    # Batched operations (BATCH opcode)
+    # ------------------------------------------------------------------
+
+    #: Sub-request op → NoVoHT batch-op kind.
+    _BATCH_KINDS = {
+        OpCode.INSERT: "put",
+        OpCode.LOOKUP: "get",
+        OpCode.REMOVE: "remove",
+        OpCode.APPEND: "append",
+    }
+    _BATCH_STATS = {
+        "put": "inserts",
+        "get": "lookups",
+        "remove": "removes",
+        "append": "appends",
+    }
+
+    def _handle_batch(self, request: Request) -> HandleResult:
+        """Serve N framed sub-requests from one message.
+
+        One round trip carries the whole batch; per partition, all
+        mutations land in a single NoVoHT/WAL group commit; replica
+        fan-out is re-batched per peer (one BATCH of REPLICA_UPDATEs per
+        destination instead of one message per key).
+
+        Per-key semantics: every sub-request gets its own sub-response
+        with its own status — a missing key fails only its entry, and
+        sub-requests for partitions this instance does not own get
+        per-key REDIRECTs (with the membership table piggybacked on the
+        outer response) so a stale client re-plans only the affected
+        sub-batch.  Sub-requests against a migrating partition answer
+        MIGRATING (retry-after-backoff) instead of queuing, so one
+        locked partition cannot stall its batch-siblings' responses.
+        """
+        with REGISTRY.span("server.handle_batch"):
+            return self._handle_batch_inner(request)
+
+    def _sub_respond(
+        self,
+        sub: Request,
+        status: Status,
+        *,
+        value: bytes = b"",
+        redirect: bytes = b"",
+    ) -> Response:
+        # Membership is piggybacked once, on the outer response.
+        return Response(
+            status=status,
+            value=value,
+            request_id=sub.request_id,
+            epoch=self.membership.epoch,
+            redirect=redirect,
+            op=int(sub.op),
+        )
+
+    def _handle_batch_inner(self, request: Request) -> HandleResult:
+        try:
+            subs = decode_batch_requests(request.payload)
+        except ZHTError:
+            return HandleResult(self._respond(request, Status.BAD_REQUEST))
+        self.stats.inc("batches")
+        REGISTRY.counter("server.batch_sub_ops").inc(len(subs))
+        sub_responses: list[Response | None] = [None] * len(subs)
+        need_membership = False
+        result = HandleResult(None)
+        sync_groups: dict[Address, list[Request]] = {}
+        async_groups: dict[Address, list[Request]] = {}
+
+        # Route sub-requests to partitions (order preserved within each).
+        by_pid: dict[int, list[int]] = {}
+        for i, sub in enumerate(subs):
+            if sub.op == OpCode.REPLICA_UPDATE:
+                by_pid.setdefault(sub.partition, []).append(i)
+            elif sub.op in self._BATCH_KINDS:
+                pid = self.membership.partition_of_key(
+                    sub.key, self.config.hash_name
+                )
+                by_pid.setdefault(pid, []).append(i)
+            else:
+                sub_responses[i] = self._sub_respond(sub, Status.BAD_REQUEST)
+
+        for pid, idxs in by_pid.items():
+            served: list[int] = []
+            for i in idxs:
+                sub = subs[i]
+                if (
+                    sub.op != OpCode.REPLICA_UPDATE
+                    and sub.replica_index == 0
+                    and not self.owns(pid)
+                ):
+                    self.stats.inc("redirects")
+                    try:
+                        owner = self.membership.owner_of_partition(pid)
+                        redirect = str(owner.address).encode()
+                    except ZHTError:
+                        redirect = b""
+                    sub_responses[i] = self._sub_respond(
+                        sub, Status.REDIRECT, redirect=redirect
+                    )
+                    need_membership = True
+                else:
+                    served.append(i)
+            if not served:
+                continue
+            part = self.partition(pid)
+
+            # Translate servable sub-requests into store batch ops.
+            batch_ops: list[tuple[str, bytes, bytes]] = []
+            batch_map: list[int] = []
+            for i in served:
+                sub = subs[i]
+                if sub.op == OpCode.REPLICA_UPDATE:
+                    try:
+                        kind = self._BATCH_KINDS[OpCode(sub.inner_op)]
+                    except (ValueError, KeyError):
+                        sub_responses[i] = self._sub_respond(
+                            sub, Status.BAD_REQUEST
+                        )
+                        continue
+                    self.stats.inc("replica_updates")
+                else:
+                    if part.is_migrating:
+                        sub_responses[i] = self._sub_respond(
+                            sub, Status.MIGRATING
+                        )
+                        continue
+                    kind = self._BATCH_KINDS[sub.op]
+                    if kind in ("put", "append"):
+                        try:
+                            self._check_limits(sub)
+                        except ZHTError as exc:
+                            sub_responses[i] = self._sub_respond(
+                                sub, exc.status
+                            )
+                            continue
+                batch_ops.append((kind, sub.key, sub.value))
+                batch_map.append(i)
+            if not batch_ops:
+                continue
+
+            try:
+                outcomes = part.store.apply_batch(batch_ops)
+            except ZHTError as exc:
+                for i in batch_map:
+                    sub_responses[i] = self._sub_respond(subs[i], exc.status)
+                continue
+
+            for (kind, _key, _value), (ok, got), i in zip(
+                batch_ops, outcomes, batch_map
+            ):
+                sub = subs[i]
+                if sub.op == OpCode.REPLICA_UPDATE:
+                    # A REMOVE racing ahead of its INSERT on a replica is
+                    # not an error at the replication layer (see
+                    # _handle_replica_update): fold to OK.
+                    sub_responses[i] = self._sub_respond(sub, Status.OK)
+                    continue
+                if not ok:
+                    sub_responses[i] = self._sub_respond(
+                        sub, Status.KEY_NOT_FOUND
+                    )
+                    continue
+                self.stats.inc(self._BATCH_STATS[kind])
+                sub_responses[i] = self._sub_respond(
+                    sub, Status.OK, value=got or b""
+                )
+                if (
+                    sub.op in MUTATING_OPS
+                    and self.config.num_replicas > 0
+                    and (self.owns(pid) or sub.replica_index > 0)
+                ):
+                    for address, update, sync in self._replication_plan(sub, pid):
+                        group = sync_groups if sync else async_groups
+                        group.setdefault(address, []).append(update)
+
+        # Re-batch the replica fan-out: one message per peer.
+        for groups, sends in (
+            (sync_groups, result.sync_sends),
+            (async_groups, result.async_sends),
+        ):
+            for address, updates in groups.items():
+                sends.append((address, self._wrap_updates(updates, request)))
+
+        # A client batch's outer status stays OK (outcomes are per-key),
+        # but a replica-update batch folds its worst sub-status outward so
+        # the sync-ack check in ServerExecutor stays one comparison.
+        outer_status = Status.OK
+        for i, sub in enumerate(subs):
+            if (
+                sub.op == OpCode.REPLICA_UPDATE
+                and sub_responses[i].status != Status.OK
+            ):
+                outer_status = sub_responses[i].status
+                break
+        result.response = self._respond(
+            request,
+            outer_status,
+            value=encode_batch_responses(sub_responses),
+            membership=need_membership,
+        )
+        return result
+
+    def _wrap_updates(self, updates: list[Request], outer: Request) -> Request:
+        if len(updates) == 1:
+            return updates[0]
+        return Request(
+            op=OpCode.BATCH,
+            request_id=outer.request_id,
+            epoch=self.membership.epoch,
+            payload=encode_batch_requests(updates),
+        )
+
     def _check_limits(self, request: Request) -> None:
         cfg = self.config
         if cfg.max_key_bytes is not None and len(request.key) > cfg.max_key_bytes:
@@ -363,9 +588,20 @@ class ZHTServerCore:
         included — is fire-and-forget: the owner may well be dead, and a
         synchronous wait on it would stall every failover write.
         """
+        for address, update, sync in self._replication_plan(request, pid):
+            if sync:
+                result.sync_sends.append((address, update))
+            else:
+                result.async_sends.append((address, update))
+
+    def _replication_plan(
+        self, request: Request, pid: int
+    ) -> list[tuple[Address, Request, bool]]:
+        """The ``(address, update, sync?)`` fan-out for one mutation."""
         chain = self.membership.replicas_for_partition(pid, self.config.num_replicas)
         mode = self.config.replication_mode
         is_owner = self.owns(pid)
+        plan: list[tuple[Address, Request, bool]] = []
         for index, inst in enumerate(chain):
             if inst.instance_id == self.info.instance_id:
                 continue
@@ -379,13 +615,12 @@ class ZHTServerCore:
                 replica_index=index,
                 inner_op=int(request.op),
             )
-            if is_owner and (
+            sync = is_owner and (
                 mode == ReplicationMode.SYNC
                 or (mode == ReplicationMode.ASYNC and index == 1)
-            ):
-                result.sync_sends.append((inst.address, update))
-            else:
-                result.async_sends.append((inst.address, update))
+            )
+            plan.append((inst.address, update, sync))
+        return plan
 
     def _handle_replica_update(self, request: Request) -> HandleResult:
         try:

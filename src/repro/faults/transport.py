@@ -52,6 +52,9 @@ class FaultyClientTransport(ClientTransport):
     ):
         self.inner = inner
         self.plan = plan
+        # Batch planning chunks against the real transport's limit even
+        # when wrapped (a faulty UDP client still carries datagrams).
+        self.max_request_bytes = inner.max_request_bytes
         self.stats = FaultyTransportStats()
         self._sleep = sleep
         #: Cap on how long a DROP makes the caller actually wait — lost

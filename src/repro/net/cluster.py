@@ -20,7 +20,12 @@ from ..core.config import ZHTConfig
 from ..core.manager import ManagerCore
 from ..core.membership import MembershipTable
 from ..core.server import ZHTServerCore
-from .tcp import EventDrivenTCPServer, TCPClient, ThreadedTCPServer
+from .tcp import (
+    EventDrivenTCPServer,
+    MultiplexedTCPClient,
+    TCPClient,
+    ThreadedTCPServer,
+)
 from .transport import ClientTransport, run_script
 from .udp import UDPClient, UDPServer
 
@@ -122,11 +127,20 @@ def build_tcp_cluster(
     """
     config = config or ZHTConfig(transport="tcp")
     factory = ThreadedTCPServer if threaded_server else EventDrivenTCPServer
+    if config.tcp_multiplex and config.connection_cache_size > 0:
+        # Default: multiplexed connections (pipelined request path).
+        client_factory = lambda: MultiplexedTCPClient()  # noqa: E731
+    else:
+        # Ablations: stop-and-wait client, with or without connection
+        # caching (the paper's two TCP modes).
+        client_factory = lambda: TCPClient(  # noqa: E731
+            cache_size=config.connection_cache_size
+        )
     return _build_socket_cluster(
         num_nodes,
         config,
         factory,
-        lambda: TCPClient(cache_size=config.connection_cache_size),
+        client_factory,
         seed,
     )
 

@@ -29,7 +29,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..core.membership import Address
-from ..core.protocol import Request, Response, deframe, frame
+from ..core.protocol import Request, Response, deframe_at, frame
 from ..core.server import ZHTServerCore
 from ..obs import REGISTRY
 from .lru import LRUCache
@@ -37,12 +37,17 @@ from .transport import ClientTransport, ServerExecutor
 
 
 def _recv_frame(sock: socket.socket, timeout: float) -> bytes | None:
-    """Read one length-prefixed frame from a blocking socket."""
+    """Read one length-prefixed frame from a blocking socket.
+
+    Accumulates into a ``bytearray`` and deframes at an offset — a large
+    frame arriving in many chunks costs O(total) instead of the O(n²) a
+    ``bytes += chunk`` rebuild would.
+    """
     sock.settimeout(timeout)
-    buffer = b""
+    buffer = bytearray()
     try:
         while True:
-            message, buffer_rest = deframe(buffer)
+            message, _offset = deframe_at(buffer, 0)
             if message is not None:
                 return message
             chunk = sock.recv(65536)
@@ -176,15 +181,315 @@ class TCPClient(ClientTransport):
             self._cache.clear()
 
 
-class _Connection:
-    """Per-connection state inside the event loop."""
+class _MuxPending:
+    """Future for one in-flight multiplexed request."""
 
-    __slots__ = ("sock", "buffer", "write_lock")
+    __slots__ = ("event", "response")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.response: Response | None = None
+
+
+class _MuxConnection:
+    """One multiplexed socket: many in-flight requests, matched by id.
+
+    A writer sends frames under a lock; a dedicated reader thread
+    reassembles response frames (bytearray + offset, O(total) across
+    chunks) and hands each to its request's :class:`_MuxPending` by
+    ``request_id``.  Connection death fails every outstanding future.
+    """
+
+    #: Bound on remembered abandoned request ids (timed-out requests
+    #: whose late responses must be dropped silently).
+    _DISCARD_LIMIT = 4096
+
+    def __init__(self, sock: socket.socket, address: Address):
+        self.sock = sock
+        self.address = address
+        self.closed = False
+        self._write_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: dict[int, _MuxPending] = {}
+        self._discard: set[int] = set()
+        self._c_unmatched = REGISTRY.counter("tcp.client.mux_unmatched")
+        self._reader = threading.Thread(
+            target=self._reader_loop,
+            name=f"zht-mux-{address.host}:{address.port}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # -- caller side -------------------------------------------------------
+
+    def register(self, request_id: int) -> _MuxPending | None:
+        """Claim a future for *request_id*; ``None`` if the connection is
+        closed or the id is already in flight (caller falls back)."""
+        with self._state_lock:
+            if self.closed or request_id in self._pending:
+                return None
+            self._discard.discard(request_id)
+            slot = _MuxPending()
+            self._pending[request_id] = slot
+            return slot
+
+    def send(self, payload: bytes) -> bool:
+        try:
+            with self._write_lock:
+                self.sock.sendall(payload)
+            return True
+        except OSError:
+            self.shutdown()
+            return False
+
+    def forget(self, request_id: int, *, discard: bool = False) -> None:
+        """Abandon *request_id* (timeout); with ``discard``, a late
+        response for it is dropped silently instead of counting as
+        unmatched."""
+        with self._state_lock:
+            self._pending.pop(request_id, None)
+            if discard:
+                if len(self._discard) >= self._DISCARD_LIMIT:
+                    self._discard.pop()
+                self._discard.add(request_id)
+
+    def expect_discard(self, request_id: int) -> None:
+        """Pre-register a oneway request whose response should be eaten."""
+        self.forget(request_id, discard=True)
+
+    # -- reader side -------------------------------------------------------
+
+    def _reader_loop(self) -> None:
+        buffer = bytearray()
+        offset = 0
+        try:
+            self.sock.settimeout(None)
+        except OSError:
+            pass
+        while True:
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError:
+                break
+            if not chunk:
+                break
+            buffer += chunk
+            while True:
+                message, offset = deframe_at(buffer, offset)
+                if message is None:
+                    break
+                try:
+                    response = Response.decode(message)
+                except Exception:
+                    # Desynced/garbled stream: this connection is unusable.
+                    REGISTRY.counter("tcp.client.decode_errors").inc()
+                    self.shutdown()
+                    return
+                self._deliver(response)
+            if offset:
+                del buffer[:offset]
+                offset = 0
+        self.shutdown()
+
+    def _deliver(self, response: Response) -> None:
+        with self._state_lock:
+            slot = self._pending.pop(response.request_id, None)
+            if slot is None:
+                if response.request_id in self._discard:
+                    self._discard.discard(response.request_id)
+                else:
+                    self._c_unmatched.inc()
+                return
+        slot.response = response
+        slot.event.set()
+
+    def shutdown(self) -> None:
+        with self._state_lock:
+            if self.closed:
+                pending = []
+            else:
+                self.closed = True
+                pending = list(self._pending.values())
+                self._pending.clear()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        for slot in pending:
+            slot.event.set()  # response stays None => timeout upstream
+
+
+class MultiplexedTCPClient(ClientTransport):
+    """TCP client with multiplexed connections (pipelined request path).
+
+    Replaces :class:`TCPClient`'s exclusive checkout/checkin model: one
+    socket per server carries any number of concurrent in-flight
+    requests, matched back to per-request futures by ``request_id`` via
+    a reader thread — independent operations pipeline on the wire
+    instead of serializing behind stop-and-wait round trips.  A timed
+    -out request abandons its slot (its late response is discarded by
+    id), so slow responses neither poison the stream nor force a
+    reconnect.  :class:`TCPClient` remains available for the
+    stop-and-wait ablation (``ZHTConfig.tcp_multiplex=False``).
+    """
+
+    def __init__(self, *, connect_timeout: float = 2.0):
+        self._conns: dict[Address, _MuxConnection] = {}
+        self._lock = threading.Lock()
+        self.connect_timeout = connect_timeout
+        self.connects = 0
+        self.oneway_retries = 0
+        self.oneway_drops = 0
+        self._c_connects = REGISTRY.counter("tcp.client.connects")
+        self._c_oneway_drops = REGISTRY.counter("tcp.client.oneway_drops")
+
+    def _connect(self, address: Address) -> _MuxConnection | None:
+        try:
+            sock = socket.create_connection(
+                (address.host, address.port), timeout=self.connect_timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            return None
+        conn = _MuxConnection(sock, address)
+        with self._lock:
+            current = self._conns.get(address)
+            if current is not None and not current.closed:
+                # Lost a connect race; keep the established one.
+                conn.shutdown()
+                return current
+            self._conns[address] = conn
+        # Counted only when installed, so racing threads that all dialed
+        # at once still read as one logical connection per server.
+        self.connects += 1
+        self._c_connects.inc()
+        return conn
+
+    def _get(self, address: Address) -> _MuxConnection | None:
+        with self._lock:
+            conn = self._conns.get(address)
+        if conn is not None and not conn.closed:
+            return conn
+        return self._connect(address)
+
+    def roundtrip(
+        self, address: Address, request: Request, timeout: float
+    ) -> Response | None:
+        with REGISTRY.span("tcp.roundtrip"):
+            return self._roundtrip(address, request, timeout)
+
+    def _roundtrip(
+        self, address: Address, request: Request, timeout: float
+    ) -> Response | None:
+        rid = request.request_id
+        if not rid:
+            # Unmatchable by id: use an isolated stop-and-wait socket.
+            return self._oneshot_roundtrip(address, request, timeout)
+        payload = frame(request.encode())
+        for _attempt in range(2):  # one retry on a just-died connection
+            conn = self._get(address)
+            if conn is None:
+                return None
+            slot = conn.register(rid)
+            if slot is None:
+                if conn.closed:
+                    continue
+                # Same id already in flight on this socket (foreign core
+                # sharing the transport): isolate rather than mis-match.
+                return self._oneshot_roundtrip(address, request, timeout)
+            if not conn.send(payload):
+                continue
+            if not slot.event.wait(timeout):
+                conn.forget(rid, discard=True)
+                return None
+            return slot.response
+        return None
+
+    def _oneshot_roundtrip(
+        self, address: Address, request: Request, timeout: float
+    ) -> Response | None:
+        try:
+            sock = socket.create_connection(
+                (address.host, address.port), timeout=self.connect_timeout
+            )
+        except OSError:
+            return None
+        self.connects += 1
+        self._c_connects.inc()
+        try:
+            sock.sendall(frame(request.encode()))
+            payload = _recv_frame(sock, timeout)
+            if payload is None:
+                return None
+            try:
+                return Response.decode(payload)
+            except Exception:
+                REGISTRY.counter("tcp.client.decode_errors").inc()
+                return None
+        except OSError:
+            return None
+        finally:
+            sock.close()
+
+    def send_oneway(self, address: Address, request: Request) -> None:
+        payload = frame(request.encode())
+        for attempt in range(2):
+            conn = self._get(address)
+            if conn is not None:
+                if request.request_id:
+                    # The server answers oneway messages too; eat the
+                    # response instead of counting it unmatched.
+                    conn.expect_discard(request.request_id)
+                if conn.send(payload):
+                    return
+                self.oneway_retries += 1
+                REGISTRY.counter("tcp.client.oneway_retries").inc()
+        self.oneway_drops += 1
+        self._c_oneway_drops.inc()
+
+    def evict(self, address: Address) -> None:
+        with self._lock:
+            conn = self._conns.pop(address, None)
+        if conn is not None:
+            conn.shutdown()
+
+    def close(self) -> None:
+        with self._lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for conn in conns:
+            conn.shutdown()
+
+
+class _Connection:
+    """Per-connection state inside the event loop.
+
+    Frame reassembly accumulates into a ``bytearray`` and tracks a read
+    offset instead of rebuilding the buffer per chunk; consumed bytes are
+    compacted once per readable event.
+    """
+
+    __slots__ = ("sock", "buffer", "offset", "write_lock")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
-        self.buffer = b""
+        self.buffer = bytearray()
+        self.offset = 0
         self.write_lock = threading.Lock()
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Absorb *chunk*; return every complete frame now available."""
+        self.buffer += chunk
+        messages: list[bytes] = []
+        while True:
+            message, self.offset = deframe_at(self.buffer, self.offset)
+            if message is None:
+                break
+            messages.append(message)
+        if self.offset:
+            del self.buffer[: self.offset]
+            self.offset = 0
+        return messages
 
     def send_response(self, response: Response) -> None:
         data = frame(response.encode())
@@ -294,11 +599,7 @@ class EventDrivenTCPServer:
         if not chunk:
             self._drop(conn)
             return
-        conn.buffer += chunk
-        while True:
-            message, conn.buffer = deframe(conn.buffer)
-            if message is None:
-                break
+        for message in conn.feed(chunk):
             self._dispatch(message, conn)
 
     def _drop(self, conn: _Connection) -> None:
@@ -413,7 +714,6 @@ class ThreadedTCPServer:
     def _connection_loop(self, sock: socket.socket) -> None:
         conn = _Connection(sock)
         sock.settimeout(30)
-        buffer = b""
         while self._running:
             try:
                 chunk = sock.recv(65536)
@@ -421,11 +721,7 @@ class ThreadedTCPServer:
                 break
             if not chunk:
                 break
-            buffer += chunk
-            while True:
-                message, buffer = deframe(buffer)
-                if message is None:
-                    break
+            for message in conn.feed(chunk):
                 # Thread-per-request: spawn, run, join — paying the full
                 # thread lifecycle cost on the request's critical path.
                 worker = threading.Thread(

@@ -17,17 +17,29 @@ import abc
 import time
 from typing import Callable
 
-from ..core.client import OpDriver, ZHTClientCore
-from ..core.errors import Status
+from ..core.client import BatchEntry, OpDriver, ZHTClientCore
+from ..core.errors import (
+    STATUS_TO_EXCEPTION,
+    NodeDeadError,
+    ProtocolError,
+    RequestTimeout,
+    Status,
+    ZHTError,
+)
 from ..core.manager import PeerCall, Script
 from ..core.membership import Address
-from ..core.protocol import Request, Response
+from ..core.protocol import OpCode, Request, Response, decode_batch_responses
 from ..core.server import HandleResult, ZHTServerCore
 from ..obs import REGISTRY
 
 
 class ClientTransport(abc.ABC):
     """Moves one request to an address and returns the response."""
+
+    #: Largest encoded request this transport can carry in one message,
+    #: or ``None`` for stream transports.  The batch planner chunks
+    #: per-owner batches under this limit (UDP datagrams).
+    max_request_bytes: int | None = None
 
     @abc.abstractmethod
     def roundtrip(
@@ -161,9 +173,118 @@ def execute_op(
 
 def _flush_notifications(core: ZHTClientCore, transport: ClientTransport) -> None:
     """Deliver any pending failure reports to managers (best effort)."""
-    while core.pending_notifications:
-        note = core.pending_notifications.pop()
+    for note in core.take_notifications():
         transport.send_oneway(note.address, note.request)
+
+
+def _status_error(status: Status, context: str) -> ZHTError:
+    exc_type = STATUS_TO_EXCEPTION.get(status, ProtocolError)
+    return exc_type(f"{context}: {status.name}", status=status)
+
+
+def execute_batch(
+    core: ZHTClientCore,
+    op: OpCode,
+    entries: list[BatchEntry],
+    transport: ClientTransport,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+) -> list[BatchEntry]:
+    """Run one batched operation (*op* over all *entries*) to completion.
+
+    Entries are planned into per-owner BATCH round trips, executed, and
+    settled independently: a sub-response with a terminal status settles
+    its entry; REDIRECT/MIGRATING sub-statuses (and timed-out round
+    trips) send only the affected entries back through planning — a
+    stale membership epoch re-plans the affected sub-batch against the
+    refreshed table instead of failing the whole call.  Unsettled
+    entries get ``RequestTimeout`` once the retry budget is exhausted.
+    """
+    cfg = core.config
+    core.stats.inc("batch_ops", len(entries))
+    pending = [e for e in entries if not e.settled]
+    rounds = 0
+    with REGISTRY.span("client.batch"):
+        while pending:
+            if rounds > cfg.max_retries:
+                for entry in pending:
+                    entry.error = RequestTimeout(
+                        f"{op.name} batch entry exhausted retries"
+                    )
+                break
+            attempts, unroutable = core.plan_batches(
+                op, pending, max_bytes=transport.max_request_bytes
+            )
+            for entry in unroutable:
+                entry.error = NodeDeadError(
+                    f"no alive replica for key {entry.key!r} (op {op.name})"
+                )
+            retry: list[BatchEntry] = []
+            needs_backoff = False
+            for attempt in attempts:
+                outer = attempt.to_request(core)
+                # Larger batches earn proportionally more server time.
+                timeout = cfg.request_timeout * (1 + len(attempt.requests) / 256)
+                core.stats.inc("batches")
+                response = transport.roundtrip(attempt.address, outer, timeout)
+                if response is None:
+                    core.stats.inc("retries")
+                    core.record_timeout(attempt.node_id)
+                    retry.extend(attempt.entries)
+                    needs_backoff = True
+                    continue
+                core.record_success(attempt.node_id)
+                core.adopt_membership(response.membership)
+                if response.status in (Status.REDIRECT, Status.MIGRATING):
+                    core.stats.inc(
+                        "redirects_followed"
+                        if response.status == Status.REDIRECT
+                        else "retries"
+                    )
+                    needs_backoff |= response.status == Status.MIGRATING
+                    retry.extend(attempt.entries)
+                    continue
+                if response.status != Status.OK:
+                    # Whole-batch failure (REPLICATION_ERROR from a sync
+                    # replica, BAD_REQUEST, ...) fails every entry it
+                    # carried, mirroring the per-op path.
+                    for entry in attempt.entries:
+                        entry.error = _status_error(
+                            response.status, f"{op.name} batch"
+                        )
+                    continue
+                try:
+                    subs = decode_batch_responses(response.value)
+                except ProtocolError:
+                    retry.extend(attempt.entries)
+                    needs_backoff = True
+                    continue
+                if len(subs) != len(attempt.entries):
+                    retry.extend(attempt.entries)
+                    needs_backoff = True
+                    continue
+                for entry, sub in zip(attempt.entries, subs):
+                    if sub.status == Status.REDIRECT:
+                        core.stats.inc("redirects_followed")
+                        retry.append(entry)
+                    elif sub.status == Status.MIGRATING:
+                        core.stats.inc("retries")
+                        needs_backoff = True
+                        retry.append(entry)
+                    else:
+                        entry.response = sub
+            pending = retry
+            rounds += 1
+            if pending and needs_backoff:
+                sleep(
+                    min(
+                        cfg.request_timeout
+                        * (cfg.backoff_factor ** (rounds - 1)),
+                        cfg.request_timeout * 8,
+                    )
+                )
+    _flush_notifications(core, transport)
+    return entries
 
 
 def run_script(

@@ -17,7 +17,7 @@ import socket
 import threading
 
 from ..core.membership import Address
-from ..core.protocol import MUTATING_OPS, Request, Response
+from ..core.protocol import MUTATING_OPS, OpCode, Request, Response
 from ..core.server import ZHTServerCore
 from ..obs import REGISTRY
 from .lru import LRUCache
@@ -30,6 +30,10 @@ MAX_DATAGRAM = 65000
 
 class UDPClient(ClientTransport):
     """Datagram client: send, then block for the response/ack."""
+
+    #: The batch planner chunks per-owner batches so each encoded BATCH
+    #: request fits a single datagram.
+    max_request_bytes = MAX_DATAGRAM
 
     def __init__(self):
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -173,7 +177,11 @@ class UDPServer:
             REGISTRY.counter("udp.server.decode_errors").inc()
             return
         dedup_key = None
-        if request.op in MUTATING_OPS and request.request_id:
+        # BATCH joins the dedup set: a retransmitted batch may carry
+        # mutations (a duplicated sub-append applied twice corrupts it).
+        if (
+            request.op in MUTATING_OPS or request.op == OpCode.BATCH
+        ) and request.request_id:
             dedup_key = (peer, request.request_id)
             cached = self._dedup.get(dedup_key)
             if cached is not None:

@@ -254,6 +254,89 @@ class NoVoHT:
             REGISTRY.counter("novoht.appends").inc()
             self._after_mutation()
 
+    def apply_batch(
+        self, ops: list[tuple[str, bytes, bytes]]
+    ) -> list[tuple[bool, bytes | None]]:
+        """Apply a batch of operations with ONE WAL group commit.
+
+        *ops* is a list of ``(kind, key, value)`` where ``kind`` is one of
+        ``"put"``, ``"get"``, ``"remove"``, ``"append"`` (``value`` is
+        ignored for get/remove).  Returns one ``(ok, value)`` per op, in
+        order: ``ok`` is ``False`` only for a get/remove of a missing key;
+        ``value`` is the looked-up bytes for a successful get, else
+        ``None``.
+
+        Semantics are identical to applying the ops sequentially — same
+        results, same final map — but all WAL records land in a single
+        write/flush/fsync (:meth:`WriteAheadLog.append_many`), so a batch
+        of N mutations costs one fsync.  On crash, a torn tail drops only
+        the incomplete suffix of the group; since the batch is only
+        acknowledged after the group commit returns, acked batches are as
+        durable as acked single ops.
+        """
+        results: list[tuple[bool, bytes | None]] = []
+        wal_records: list[tuple[int, bytes, bytes]] = []
+        with REGISTRY.span("novoht.apply_batch"), self._lock:
+            self._ensure_open()
+            for kind, key, value in ops:
+                if kind == "get":
+                    self._check_key(key)
+                else:
+                    self._check_kv(key, value)
+                if kind == "put":
+                    if key in self._map:
+                        self.stats.dead_records += 1
+                    wal_records.append((OP_PUT, key, value))
+                    self._map[key] = value
+                    self.stats.puts += 1
+                    results.append((True, None))
+                elif kind == "get":
+                    self.stats.gets += 1
+                    found = self._map.get(key)
+                    if found is None:
+                        results.append((False, None))
+                    else:
+                        if isinstance(found, _Spilled):
+                            found = self._load_spilled(key, found)
+                        results.append((True, found))
+                elif kind == "remove":
+                    if key not in self._map:
+                        results.append((False, None))
+                        continue
+                    wal_records.append((OP_REMOVE, key, b""))
+                    old = self._map.pop(key)
+                    if isinstance(old, _Spilled):
+                        self._ovf_garbage += old.length
+                    self.stats.removes += 1
+                    self.stats.dead_records += 2
+                    results.append((True, None))
+                elif kind == "append":
+                    wal_records.append((OP_APPEND, key, value))
+                    old = self._map.get(key)
+                    if old is None:
+                        self._map[key] = value
+                    else:
+                        if isinstance(old, _Spilled):
+                            old = self._load_spilled(key, old)
+                        self._map[key] = old + value
+                        self.stats.dead_records += 1
+                    self.stats.appends += 1
+                    results.append((True, None))
+                else:
+                    raise ValueError(f"unknown batch op kind {kind!r}")
+            if self._wal is not None and wal_records:
+                self._wal.append_many(wal_records)
+            counts: dict[str, int] = {}
+            for kind, _key, _value in ops:
+                counts[kind] = counts.get(kind, 0) + 1
+            for kind, n in counts.items():
+                REGISTRY.counter(f"novoht.{kind}s").inc(n)
+            if wal_records:
+                self._after_mutations(len(wal_records))
+            else:
+                self._enforce_memory_bound()
+        return results
+
     def contains(self, key: bytes) -> bool:
         with self._lock:
             return key in self._map
@@ -373,7 +456,10 @@ class NoVoHT:
             raise TypeError(f"value must be bytes, got {type(value).__name__}")
 
     def _after_mutation(self) -> None:
-        self._ops_since_checkpoint += 1
+        self._after_mutations(1)
+
+    def _after_mutations(self, n: int) -> None:
+        self._ops_since_checkpoint += n
         if self._wal is not None:
             if (
                 self.checkpoint_interval_ops

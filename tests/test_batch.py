@@ -1,0 +1,575 @@
+"""Batched + pipelined request path: BATCH opcode, per-owner planning,
+multiplexed TCP, WAL group commit (tentpole tests)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.api import ZHT, build_local_cluster
+from repro.core import KeyNotFound, ZHTConfig
+from repro.core.client import BatchEntry, ZHTClientCore
+from repro.core.errors import ProtocolError, Status
+from repro.core.membership import Address
+from repro.core.protocol import (
+    OpCode,
+    Request,
+    Response,
+    decode_batch_requests,
+    decode_batch_responses,
+    encode_batch_requests,
+    encode_batch_responses,
+    frame,
+)
+from repro.faults.files import faulty_wal_opener
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.faults.transport import FaultyClientTransport
+from repro.net.cluster import build_tcp_cluster, build_udp_cluster
+from repro.net.tcp import MultiplexedTCPClient
+from repro.novoht import NoVoHT
+from repro.obs import REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+class TestBatchCodec:
+    def test_request_roundtrip(self):
+        subs = [
+            Request(
+                op=OpCode.INSERT,
+                key=f"k{i}".encode(),
+                value=bytes([i]) * i,
+                request_id=100 + i,
+                epoch=7,
+                replica_index=i % 3,
+            )
+            for i in range(5)
+        ]
+        decoded = decode_batch_requests(encode_batch_requests(subs))
+        assert len(decoded) == 5
+        for orig, got in zip(subs, decoded):
+            assert got.op == orig.op
+            assert got.key == orig.key
+            assert got.value == orig.value
+            assert got.request_id == orig.request_id
+            assert got.replica_index == orig.replica_index
+
+    def test_response_roundtrip(self):
+        subs = [
+            Response(
+                status=Status.OK if i % 2 else Status.KEY_NOT_FOUND,
+                value=b"v" * i,
+                request_id=i,
+            )
+            for i in range(4)
+        ]
+        decoded = decode_batch_responses(encode_batch_responses(subs))
+        assert [r.status for r in decoded] == [r.status for r in subs]
+        assert [r.value for r in decoded] == [r.value for r in subs]
+
+    def test_truncated_payload_raises(self):
+        payload = encode_batch_requests(
+            [Request(op=OpCode.LOOKUP, key=b"k", request_id=1)]
+        )
+        with pytest.raises(ProtocolError):
+            decode_batch_requests(payload[:-1])
+
+    def test_empty_payload_is_empty_batch(self):
+        assert decode_batch_requests(b"") == []
+
+
+# ---------------------------------------------------------------------------
+# Client-side planning
+# ---------------------------------------------------------------------------
+
+
+class TestBatchPlanning:
+    def test_groups_by_owner_and_covers_all_entries(self):
+        with build_local_cluster(4, ZHTConfig(transport="local")) as cluster:
+            core = cluster.client().core
+            entries = [
+                BatchEntry(key=f"key-{i}".encode(), value=b"v")
+                for i in range(64)
+            ]
+            attempts, unroutable = core.plan_batches(OpCode.INSERT, entries)
+            assert not unroutable
+            assert sum(len(a.entries) for a in attempts) == 64
+            # 64 keys over 4 instances: more than one owner group, and
+            # each group targets a distinct instance.
+            assert 1 < len(attempts) <= 4
+            assert len({a.instance_id for a in attempts}) == len(attempts)
+            for attempt in attempts:
+                for entry, sub in zip(attempt.entries, attempt.requests):
+                    assert sub.key == entry.key
+                    assert sub.request_id > 0
+
+    def test_max_bytes_chunks_attempts(self):
+        with build_local_cluster(1, ZHTConfig(transport="local")) as cluster:
+            core = cluster.client().core
+            entries = [
+                BatchEntry(key=f"key-{i:04d}".encode(), value=b"v" * 100)
+                for i in range(50)
+            ]
+            limit = 1024
+            attempts, _ = core.plan_batches(
+                OpCode.INSERT, entries, max_bytes=limit
+            )
+            assert len(attempts) > 1
+            assert sum(len(a.entries) for a in attempts) == 50
+            for attempt in attempts:
+                outer = attempt.to_request(core)
+                assert len(outer.encode()) <= limit
+
+    def test_dead_chain_is_unroutable(self):
+        with build_local_cluster(1, ZHTConfig(transport="local")) as cluster:
+            core = cluster.client().core
+            node_id = next(iter(core.membership.nodes))
+            core.membership.mark_node_dead(node_id)
+            attempts, unroutable = core.plan_batches(
+                OpCode.INSERT, [BatchEntry(key=b"k", value=b"v")]
+            )
+            assert not attempts
+            assert len(unroutable) == 1
+
+
+# ---------------------------------------------------------------------------
+# End-to-end batched operations
+# ---------------------------------------------------------------------------
+
+
+class TestBatchOps:
+    def test_many_ops_cycle_local(self):
+        with build_local_cluster(3, ZHTConfig(transport="local")) as cluster:
+            z = cluster.client()
+            items = {f"bk{i}": f"bv{i}".encode() for i in range(100)}
+            z.insert_many(items)
+            got = z.lookup_many(items.keys())
+            assert got == items
+            removed = z.remove_many(items.keys())
+            assert all(removed.values())
+            with pytest.raises(KeyNotFound):
+                z.lookup("bk0")
+
+    def test_missing_key_fails_only_its_entry(self):
+        with build_local_cluster(2, ZHTConfig(transport="local")) as cluster:
+            z = cluster.client()
+            z.insert_many({"present-1": b"a", "present-2": b"b"})
+            got = z.lookup_many(["present-1", "ghost", "present-2"])
+            assert got == {"present-1": b"a", "ghost": None, "present-2": b"b"}
+            removed = z.remove_many(["present-1", "ghost"])
+            assert removed == {"present-1": True, "ghost": False}
+
+    def test_batch_stats_counted(self):
+        with build_local_cluster(2, ZHTConfig(transport="local")) as cluster:
+            z = cluster.client()
+            z.insert_many({f"s{i}": b"v" for i in range(10)})
+            assert z.stats.batch_ops == 10
+            # At most one round trip per owning instance (2 instances).
+            assert 1 <= z.stats.batches <= 2
+
+    def test_replicated_batch_materializes_replicas(self):
+        cfg = ZHTConfig(transport="local", num_replicas=1)
+        with build_local_cluster(3, cfg) as cluster:
+            z = cluster.client()
+            z.insert_many({f"r{i}": b"v" for i in range(30)})
+            # Local-network sends are synchronous, so primaries and
+            # replicas have both landed by the time insert_many returns.
+            assert cluster.total_pairs() == 60
+
+    def test_stale_epoch_replans_via_per_key_redirect(self):
+        """A client planning against a stale membership table gets per-key
+        REDIRECTs and settles every entry after re-planning."""
+        with build_local_cluster(2, ZHTConfig(transport="local")) as cluster:
+            z = cluster.client()  # copies the table now
+            cluster.add_node()  # moves partitions; client copy is stale
+            items = {f"stale{i}": b"v" for i in range(40)}
+            z.insert_many(items)
+            assert z.stats.redirects_followed > 0
+            assert z.lookup_many(items.keys()) == items
+
+    def test_migrating_partition_fails_only_its_keys(self):
+        with build_local_cluster(1, ZHTConfig(transport="local")) as cluster:
+            z = cluster.client()
+            core = z.core
+            server = next(iter(cluster.servers.values()))
+            keys = [f"mig{i}".encode() for i in range(20)]
+            pids = {
+                k: core.membership.partition_of_key(k, core.config.hash_name)
+                for k in keys
+            }
+            locked_pid = pids[keys[0]]
+            server.partition(locked_pid).begin_migration()
+            try:
+                subs = [
+                    Request(
+                        op=OpCode.INSERT,
+                        key=k,
+                        value=b"v",
+                        request_id=1000 + i,
+                        epoch=core.membership.epoch,
+                    )
+                    for i, k in enumerate(keys)
+                ]
+                outer = Request(
+                    op=OpCode.BATCH,
+                    request_id=999,
+                    epoch=core.membership.epoch,
+                    payload=encode_batch_requests(subs),
+                )
+                result = server.handle(outer, None)
+                assert result.response.status == Status.OK
+                decoded = decode_batch_responses(result.response.value)
+                for k, sub in zip(keys, decoded):
+                    expect = (
+                        Status.MIGRATING
+                        if pids[k] == locked_pid
+                        else Status.OK
+                    )
+                    assert sub.status == expect
+                assert any(s.status == Status.OK for s in decoded)
+            finally:
+                server.partition(locked_pid).abort_migration()
+
+
+# ---------------------------------------------------------------------------
+# Batches under fault injection
+# ---------------------------------------------------------------------------
+
+
+def _faulty_client(cluster, plan) -> ZHT:
+    core = ZHTClientCore(cluster.membership.copy(), cluster.config)
+    return ZHT(core, FaultyClientTransport(cluster.network, plan))
+
+
+class TestBatchFaults:
+    def test_dropped_batch_retries_to_success(self):
+        with build_local_cluster(
+            2, ZHTConfig(transport="local", request_timeout=0.05)
+        ) as cluster:
+            plan = FaultPlan(seed=1).add(
+                FaultRule(FaultKind.DROP, op="BATCH", count=2)
+            )
+            z = _faulty_client(cluster, plan)
+            items = {f"d{i}": b"v" for i in range(20)}
+            z.insert_many(items)
+            assert z.transport.stats.drops == 2
+            assert z.lookup_many(items.keys()) == items
+
+    def test_duplicated_batch_is_harmless_for_inserts(self):
+        with build_local_cluster(
+            2, ZHTConfig(transport="local", request_timeout=0.05)
+        ) as cluster:
+            plan = FaultPlan(seed=2).add(
+                FaultRule(FaultKind.DUPLICATE, op="BATCH", count=3)
+            )
+            z = _faulty_client(cluster, plan)
+            items = {f"dup{i}": b"v" for i in range(20)}
+            z.insert_many(items)
+            assert z.transport.stats.duplicates >= 1
+            assert z.lookup_many(items.keys()) == items
+
+    def test_delayed_batch_still_settles(self):
+        with build_local_cluster(
+            2, ZHTConfig(transport="local", request_timeout=0.2)
+        ) as cluster:
+            plan = FaultPlan(seed=3).add(
+                FaultRule(FaultKind.DELAY, op="BATCH", delay=0.02, count=4)
+            )
+            z = _faulty_client(cluster, plan)
+            items = {f"slow{i}": b"v" for i in range(12)}
+            z.insert_many(items)
+            assert z.lookup_many(items.keys()) == items
+
+
+# ---------------------------------------------------------------------------
+# Real sockets
+# ---------------------------------------------------------------------------
+
+
+class TestBatchOverSockets:
+    def test_tcp_batch_cycle(self):
+        cfg = ZHTConfig(transport="tcp", num_partitions=64, request_timeout=1.0)
+        with build_tcp_cluster(2, cfg) as cluster:
+            z = cluster.client()
+            assert isinstance(z.transport, MultiplexedTCPClient)
+            items = {f"tcpb{i}": f"val{i}".encode() * 4 for i in range(80)}
+            z.insert_many(items)
+            assert z.lookup_many(items.keys()) == items
+            assert all(z.remove_many(items.keys()).values())
+
+    def test_udp_batch_chunks_to_datagrams(self):
+        cfg = ZHTConfig(transport="udp", num_partitions=64, request_timeout=1.0)
+        with build_udp_cluster(1, cfg) as cluster:
+            z = cluster.client()
+            # 120 x 1800 B values cannot fit one datagram, so the planner
+            # must chunk the inserts into several BATCH round trips.
+            items = {f"udpb{i}": b"x" * 1800 for i in range(120)}
+            z.insert_many(items)
+            assert z.stats.batches > 1
+            # Responses are single datagrams too, so verify in slices
+            # whose summed values fit (the same inherent UDP limit the
+            # per-op path has for oversized values).
+            keys = list(items)
+            for start in range(0, len(keys), 25):
+                chunk = keys[start : start + 25]
+                assert z.lookup_many(chunk) == {k: items[k] for k in chunk}
+
+
+# ---------------------------------------------------------------------------
+# Multiplexed TCP client
+# ---------------------------------------------------------------------------
+
+
+class _ReorderServer:
+    """Accepts one connection, reads ``expect`` framed requests, then
+    answers them in REVERSE order — out-of-order completion that the
+    multiplexed client must re-match by request id."""
+
+    def __init__(self, expect: int):
+        self.expect = expect
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(1)
+        self.address = Address("127.0.0.1", self._sock.getsockname()[1])
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        conn, _ = self._sock.accept()
+        with conn:
+            from repro.core.protocol import deframe_at
+
+            buffer = bytearray()
+            offset = 0
+            requests = []
+            while len(requests) < self.expect:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+                while True:
+                    message, offset = deframe_at(buffer, offset)
+                    if message is None:
+                        break
+                    requests.append(Request.decode(message))
+            for request in reversed(requests):
+                response = Response(
+                    status=Status.OK,
+                    value=request.key,
+                    request_id=request.request_id,
+                    op=int(request.op),
+                )
+                conn.sendall(frame(response.encode()))
+
+    def close(self):
+        self._sock.close()
+        self.thread.join(timeout=2)
+
+
+class TestMultiplexedClient:
+    def test_out_of_order_responses_match_by_id(self):
+        depth = 8
+        server = _ReorderServer(depth)
+        client = MultiplexedTCPClient()
+        results: dict[int, Response | None] = {}
+
+        def run(rid: int):
+            results[rid] = client.roundtrip(
+                server.address,
+                Request(op=OpCode.LOOKUP, key=f"key{rid}".encode(), request_id=rid),
+                timeout=5.0,
+            )
+
+        try:
+            # Establish the connection up front: the fake server accepts
+            # exactly one socket, so the racing threads must all find a
+            # cached connection rather than dialing concurrently.
+            assert client._get(server.address) is not None
+            threads = [
+                threading.Thread(target=run, args=(rid,))
+                for rid in range(1, depth + 1)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            for rid in range(1, depth + 1):
+                assert results[rid] is not None
+                assert results[rid].request_id == rid
+                assert results[rid].value == f"key{rid}".encode()
+            # All depth requests shared ONE pipelined connection.
+            assert client.connects == 1
+        finally:
+            client.close()
+            server.close()
+
+    def test_timeout_leaves_connection_usable(self):
+        server = _ReorderServer(expect=2)  # answers only once 2 arrived
+        client = MultiplexedTCPClient()
+        try:
+            first = client.roundtrip(
+                server.address,
+                Request(op=OpCode.LOOKUP, key=b"a", request_id=1),
+                timeout=0.1,  # server is still waiting for the 2nd request
+            )
+            assert first is None  # timed out; connection must survive
+            second = client.roundtrip(
+                server.address,
+                Request(op=OpCode.LOOKUP, key=b"b", request_id=2),
+                timeout=5.0,
+            )
+            assert second is not None and second.value == b"b"
+            assert client.connects == 1
+            # The late response to request 1 was discarded silently, not
+            # mis-matched to request 2.
+            assert second.request_id == 2
+        finally:
+            client.close()
+            server.close()
+
+    def test_roundtrip_to_dead_address_returns_none(self):
+        client = MultiplexedTCPClient(connect_timeout=0.2)
+        assert (
+            client.roundtrip(
+                Address("127.0.0.1", 1), Request(op=OpCode.PING, request_id=1), 0.2
+            )
+            is None
+        )
+        client.close()
+
+    def test_oneway_drop_on_dead_address_counted(self):
+        client = MultiplexedTCPClient(connect_timeout=0.2)
+        client.send_oneway(
+            Address("127.0.0.1", 1), Request(op=OpCode.PING, request_id=9)
+        )
+        assert client.oneway_drops == 1
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# WAL group commit
+# ---------------------------------------------------------------------------
+
+
+class TestGroupCommit:
+    def test_one_fsync_per_batch(self, tmp_path):
+        before = REGISTRY.counter("wal.fsyncs").value
+        commits = REGISTRY.counter("wal.group_commits").value
+        with NoVoHT(str(tmp_path / "store"), fsync=True) as store:
+            ops = [("put", f"gk{i}".encode(), b"v" * 32) for i in range(64)]
+            results = store.apply_batch(ops)
+            assert all(ok for ok, _ in results)
+            # 64 mutations, ONE fsync (vs 64 on the per-op path).
+            assert REGISTRY.counter("wal.fsyncs").value == before + 1
+            assert REGISTRY.counter("wal.group_commits").value == commits + 1
+
+    def test_apply_batch_matches_sequential_semantics(self, tmp_path):
+        with NoVoHT(str(tmp_path / "store")) as store:
+            store.put(b"seed", b"s")
+            results = store.apply_batch(
+                [
+                    ("put", b"a", b"1"),
+                    ("append", b"a", b"2"),
+                    ("get", b"a", b""),
+                    ("get", b"ghost", b""),
+                    ("remove", b"seed", b""),
+                    ("remove", b"ghost", b""),
+                    ("append", b"fresh", b"new"),
+                ]
+            )
+            assert results == [
+                (True, None),
+                (True, None),
+                (True, b"12"),
+                (False, None),
+                (True, None),
+                (False, None),
+                (True, None),
+            ]
+            assert store.get(b"a") == b"12"
+            assert store.get(b"fresh") == b"new"
+            assert b"seed" not in store
+
+    def test_group_commit_crash_recovery_drops_only_torn_suffix(self, tmp_path):
+        """Batch 1 is fsynced (durable); batch 2's fsync is lost and the
+        crash tears its single group write — recovery must keep all of
+        batch 1 and only a *prefix* of batch 2's records."""
+        plan = FaultPlan(seed=0).add(
+            FaultRule(FaultKind.FSYNC_LOSS, after=1)  # lose 2nd+ fsyncs
+        )
+        opener = faulty_wal_opener(plan)
+        path = str(tmp_path / "store")
+        store = NoVoHT(
+            path, fsync=True, checkpoint_interval_ops=0, wal_opener=opener
+        )
+        batch1 = [("put", f"durable{i}".encode(), b"D" * 40) for i in range(8)]
+        batch2 = [("put", f"volatile{i}".encode(), b"V" * 40) for i in range(8)]
+        store.apply_batch(batch1)
+        store.apply_batch(batch2)
+        opener.last.simulate_crash()
+
+        recovered = NoVoHT(path, checkpoint_interval_ops=0)
+        try:
+            for _, key, value in batch1:
+                assert recovered.get(key) == value
+            survived = [
+                recovered.contains(key) for _, key, _ in batch2
+            ]
+            # Only a prefix of the torn group survives: once one record is
+            # gone, every later record of that group is gone too.
+            assert not all(survived)
+            first_gone = survived.index(False)
+            assert all(survived[:first_gone])
+            assert not any(survived[first_gone:])
+            # Surviving values are intact, never torn mid-record.
+            for flag, (_, key, value) in zip(survived, batch2):
+                if flag:
+                    assert recovered.get(key) == value
+        finally:
+            recovered.close()
+
+    def test_replay_streams_records(self, tmp_path):
+        store = NoVoHT(str(tmp_path / "s"), checkpoint_interval_ops=0)
+        for i in range(10):
+            store.put(f"k{i}".encode(), b"v")
+        wal = store._wal
+        store._wal = None  # keep close() from checkpointing/truncating
+        store.close()
+        replay = wal.replay()
+        assert iter(replay) is replay  # a lazy iterator, not a list
+        first = next(replay)
+        assert wal.record_count == 1  # counts as records are consumed
+        assert first == (1, b"k0", b"v")
+        assert sum(1 for _ in replay) == 9
+        assert wal.record_count == 10
+
+
+# ---------------------------------------------------------------------------
+# Client-core thread safety (failure bookkeeping)
+# ---------------------------------------------------------------------------
+
+
+class TestClientCoreLocking:
+    def test_concurrent_timeouts_mark_dead_exactly_once(self):
+        with build_local_cluster(2, ZHTConfig(transport="local")) as cluster:
+            core = cluster.client().core
+            node_id = next(iter(core.membership.nodes))
+            threads = [
+                threading.Thread(
+                    target=lambda: [core.record_timeout(node_id) for _ in range(50)]
+                )
+                for _ in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # 400 concurrent timeouts: the node dies exactly once and
+            # exactly one manager notification is queued.
+            assert not core.membership.nodes[node_id].alive
+            notes = core.take_notifications()
+            assert len(notes) == 1
+            assert core.take_notifications() == []

@@ -204,8 +204,13 @@ class TestClientRobustness:
         with build_tcp_cluster(1, cfg) as cluster:
             z = cluster.client()
             z.insert("k", b"v")
-            # Kill the cached connection server-side by restarting nothing —
-            # instead drop the client's cached socket mid-stream.
-            for sock_addr in list(z.transport._cache):
-                z.transport._cache.pop(sock_addr).close()
+            # Kill the cached connection out from under the client; the
+            # next operation must reconnect transparently.
+            conns = getattr(z.transport, "_conns", None)
+            if conns is not None:  # multiplexed client
+                for conn in list(conns.values()):
+                    conn.sock.close()
+            else:  # classic checkout/checkin client
+                for sock_addr in list(z.transport._cache):
+                    z.transport._cache.pop(sock_addr).close()
             assert z.lookup("k") == b"v"

@@ -385,7 +385,15 @@ class TestUDPResponseMatching:
 
 class TestTransportCounters:
     def test_oneway_retry_on_stale_cached_socket(self):
-        cfg = ZHTConfig(transport="tcp", num_partitions=64, request_timeout=0.5)
+        # Pins the classic checkout/checkin client (tcp_multiplex=False):
+        # the retry-on-stale-cached-socket path under test is specific to
+        # its LRU connection cache.
+        cfg = ZHTConfig(
+            transport="tcp",
+            num_partitions=64,
+            request_timeout=0.5,
+            tcp_multiplex=False,
+        )
         with build_tcp_cluster(1, cfg) as cluster:
             z = cluster.client()
             z.insert("k", b"v")
