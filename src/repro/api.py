@@ -24,6 +24,7 @@ Example::
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Callable
 
@@ -64,17 +65,52 @@ def _to_value(value: str | bytes) -> bytes:
     return value.encode("utf-8") if isinstance(value, str) else bytes(value)
 
 
+#: Process-wide default client ids (``client-0``, ``client-1``, ...).
+_client_ids = itertools.count()
+
+#: OpCode -> history op name for the recorder.
+_OP_NAMES = {
+    OpCode.INSERT: "insert",
+    OpCode.LOOKUP: "lookup",
+    OpCode.REMOVE: "remove",
+    OpCode.APPEND: "append",
+}
+
+
 class ZHT:
     """Client handle for a ZHT deployment.
 
     Wraps a :class:`~repro.core.client.ZHTClientCore` (routing, retries,
     failover, lazy membership refresh) and a transport.  Keys and values
     may be ``str`` (encoded UTF-8) or ``bytes``.
+
+    When *recorder* is given (or the ``ZHT_HISTORY`` environment
+    variable names a JSONL path), every operation's invocation/response
+    interval is captured for the consistency checker
+    (:mod:`repro.verify`).  With no recorder the per-op cost of the hook
+    is a single ``is None`` test.
     """
 
-    def __init__(self, core: ZHTClientCore, transport: ClientTransport):
+    def __init__(
+        self,
+        core: ZHTClientCore,
+        transport: ClientTransport,
+        *,
+        recorder=None,
+        client_id: str | None = None,
+    ):
         self.core = core
         self.transport = transport
+        if recorder is None:
+            from .verify.history import recorder_from_env
+
+            recorder = recorder_from_env()
+        self.recorder = recorder
+        self.client_id = (
+            client_id
+            if client_id is not None
+            else f"client-{next(_client_ids)}"
+        )
         # When the failure detector declares a node dead, drop any cached
         # connections to it so retries/failovers never target a socket
         # whose server has crashed.
@@ -84,38 +120,141 @@ class ZHT:
         for address in addresses:
             self.transport.evict(address)
 
+    def _execute(self, op: OpCode, key: bytes, value: bytes = b"") -> "Response":
+        """Drive one operation, recording its interval when enabled."""
+        driver = self.core.driver(op, key, value)
+        recorder = self.recorder
+        if recorder is None:
+            return execute_op(self.core, driver, self.transport)
+        from .verify.history import STATUS_FAIL, STATUS_NOTFOUND, STATUS_OK
+
+        t_call = recorder.now()
+        status, result = STATUS_FAIL, b""
+        try:
+            response = execute_op(self.core, driver, self.transport)
+            status = STATUS_OK
+            if op == OpCode.LOOKUP:
+                result = response.value
+            return response
+        except KeyNotFound:
+            # A retried REMOVE that observes NOT_FOUND may have applied on
+            # an earlier attempt whose ack was lost (ZHT mutations are
+            # at-least-once), so its outcome is indefinite for the checker.
+            if op == OpCode.REMOVE and driver._attempts_used > 1:
+                status = STATUS_FAIL
+            else:
+                status = STATUS_NOTFOUND
+            raise
+        finally:
+            recorder.record(
+                self.client_id,
+                _OP_NAMES[op],
+                key,
+                value,
+                t_call,
+                recorder.now(),
+                status,
+                result=result,
+                replica_index=driver.served_replica_index,
+            )
+
     # -- the four ZHT operations (§III.A) -------------------------------
 
     def insert(self, key: str | bytes, value: str | bytes) -> None:
         """Store *value* under *key*, overwriting any existing value."""
-        driver = self.core.driver(OpCode.INSERT, _to_key(key), _to_value(value))
-        execute_op(self.core, driver, self.transport)
+        self._execute(OpCode.INSERT, _to_key(key), _to_value(value))
 
     def lookup(self, key: str | bytes) -> bytes:
         """Return the value stored under *key*.
 
         Raises :class:`~repro.core.errors.KeyNotFound` if absent.
         """
-        driver = self.core.driver(OpCode.LOOKUP, _to_key(key))
-        return execute_op(self.core, driver, self.transport).value
+        return self._execute(OpCode.LOOKUP, _to_key(key)).value
 
     def remove(self, key: str | bytes) -> None:
         """Delete *key*; raises :class:`KeyNotFound` if absent."""
-        driver = self.core.driver(OpCode.REMOVE, _to_key(key))
-        execute_op(self.core, driver, self.transport)
+        self._execute(OpCode.REMOVE, _to_key(key))
 
     def append(self, key: str | bytes, value: str | bytes) -> None:
         """Append *value* to the value under *key* (lock-free concurrent
         modification; creates the key if absent)."""
-        driver = self.core.driver(OpCode.APPEND, _to_key(key), _to_value(value))
-        execute_op(self.core, driver, self.transport)
+        self._execute(OpCode.APPEND, _to_key(key), _to_value(value))
+
+    def lookup_at_replica(self, key: str | bytes, replica_index: int) -> bytes:
+        """Read *key* directly from chain position *replica_index*.
+
+        Positions >= 2 are asynchronously updated (weak/bounded
+        consistency, §III.J); the recorded event carries the replica
+        index so the checker applies the bounded-staleness model instead
+        of linearizability.  Primarily a verification/diagnostic aid.
+        """
+        driver = self.core.driver(OpCode.LOOKUP, _to_key(key))
+        driver._replica_index = replica_index
+        recorder = self.recorder
+        if recorder is None:
+            return execute_op(self.core, driver, self.transport).value
+        from .verify.history import STATUS_FAIL, STATUS_NOTFOUND, STATUS_OK
+
+        t_call = recorder.now()
+        status, result = STATUS_FAIL, b""
+        try:
+            response = execute_op(self.core, driver, self.transport)
+            status, result = STATUS_OK, response.value
+            return result
+        except KeyNotFound:
+            status = STATUS_NOTFOUND
+            raise
+        finally:
+            recorder.record(
+                self.client_id,
+                "lookup",
+                _to_key(key),
+                b"",
+                t_call,
+                recorder.now(),
+                status,
+                result=result,
+                replica_index=driver.served_replica_index,
+            )
 
     # -- batched operations (one BATCH round trip per owner) -------------
 
     def _run_batch(
         self, op: OpCode, entries: list[BatchEntry]
     ) -> list[BatchEntry]:
-        return execute_batch(self.core, op, entries, self.transport)
+        recorder = self.recorder
+        if recorder is None:
+            return execute_batch(self.core, op, entries, self.transport)
+        # Each entry settles independently; record one event per key
+        # spanning the batch call (every sub-op was invoked and settled
+        # within this interval, which is all the checker needs).
+        from .verify.history import STATUS_FAIL, STATUS_NOTFOUND, STATUS_OK
+
+        t_call = recorder.now()
+        try:
+            return execute_batch(self.core, op, entries, self.transport)
+        finally:
+            t_return = recorder.now()
+            for entry in entries:
+                if entry.response is None:
+                    status, result = STATUS_FAIL, b""
+                elif entry.response.status == Status.OK:
+                    status = STATUS_OK
+                    result = entry.response.value if op == OpCode.LOOKUP else b""
+                elif entry.response.status == Status.KEY_NOT_FOUND:
+                    status, result = STATUS_NOTFOUND, b""
+                else:
+                    status, result = STATUS_FAIL, b""
+                recorder.record(
+                    self.client_id,
+                    _OP_NAMES[op],
+                    entry.key,
+                    entry.value,
+                    t_call,
+                    t_return,
+                    status,
+                    result=result,
+                )
 
     def insert_many(self, items) -> None:
         """Store many pairs with one BATCH round trip per owning instance.
@@ -132,6 +271,18 @@ class ZHT:
             if entry.error is not None:
                 raise entry.error
             raise_for_status(entry.response.status, "INSERT")
+
+    def append_many(self, items) -> None:
+        """Append many fragments with one BATCH round trip per owning
+        instance (same semantics as :meth:`append` per key)."""
+        pairs = items.items() if hasattr(items, "items") else items
+        entries = [
+            BatchEntry(key=_to_key(k), value=_to_value(v)) for k, v in pairs
+        ]
+        for entry in self._run_batch(OpCode.APPEND, entries):
+            if entry.error is not None:
+                raise entry.error
+            raise_for_status(entry.response.status, "APPEND")
 
     def lookup_many(self, keys) -> dict:
         """Fetch many keys at once; returns ``{key: value | None}``.
@@ -271,11 +422,17 @@ class LocalCluster:
 
     # -- clients ----------------------------------------------------------
 
-    def client(self, *, seed: int | None = None) -> ZHT:
+    def client(
+        self,
+        *,
+        seed: int | None = None,
+        recorder=None,
+        client_id: str | None = None,
+    ) -> ZHT:
         """A new client with its own copy of the membership table."""
         rng = random.Random(seed if seed is not None else self.rng.random())
         core = ZHTClientCore(self.membership.copy(), self.config, rng=rng)
-        return ZHT(core, self.network)
+        return ZHT(core, self.network, recorder=recorder, client_id=client_id)
 
     # -- managers ----------------------------------------------------------
 

@@ -10,6 +10,9 @@ Commands:
   percentiles) from a live cluster via the ``STATS`` opcode.
 * ``chaos``     — kill a node mid-workload under a seeded fault plan and
   verify failover, re-replication, and acked-write durability.
+* ``verify``    — record a concurrent workload's operation history
+  through a crash/recovery and check it for linearizability and bounded
+  staleness (or re-check a saved history with ``--check``).
 """
 
 from __future__ import annotations
@@ -270,6 +273,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import (
+        check_history,
+        final_values_from_history,
+        load_history,
+        run_verify,
+    )
+
+    if args.check:
+        # Offline mode: re-check a previously recorded JSONL artifact
+        # (e.g. one uploaded by CI from a failing run).  The artifact is
+        # self-contained: the runner's final read-back events pin each
+        # append key's quiesced value.
+        try:
+            events = load_history(args.check)
+        except OSError as exc:
+            print(f"error: cannot read history: {exc}", file=sys.stderr)
+            return 2
+        report = check_history(
+            events,
+            final_values=final_values_from_history(events),
+            staleness_bound=args.bound,
+            strict_append_once=False,
+        )
+        print(f"loaded {len(events)} events from {args.check}")
+        for line in report.summary_lines():
+            print(line)
+        return 0 if report.ok else 1
+
+    try:
+        report = run_verify(
+            args.backend,
+            ops=args.ops,
+            seed=args.seed,
+            clients=args.clients,
+            nodes=args.nodes,
+            replicas=args.replicas,
+            chaos=not args.no_chaos,
+            mutation=args.mutation,
+            history_path=args.history,
+            staleness_bound=args.bound,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -389,6 +442,55 @@ def build_parser() -> argparse.ArgumentParser:
         "message-level faults, which make mutations at-least-once)",
     )
     chaos.set_defaults(fn=_cmd_chaos)
+
+    verify = sub.add_parser(
+        "verify",
+        help="consistency verification: record a concurrent workload "
+        "through crash/recovery, then check linearizability + bounded "
+        "staleness (exit 1 on violation)",
+    )
+    verify.add_argument(
+        "--backend",
+        choices=("local", "tcp", "udp", "sim"),
+        default="local",
+    )
+    verify.add_argument("--ops", type=int, default=400)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--clients", type=int, default=4)
+    verify.add_argument("--nodes", type=int, default=4)
+    verify.add_argument("--replicas", type=int, default=1)
+    verify.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="skip the mid-workload node kill + repair",
+    )
+    verify.add_argument(
+        "--mutation",
+        choices=("none", "ack-unreplicated", "stale-tail"),
+        default="none",
+        help="run a deliberately broken replication mode (the checker's "
+        "self-test: the run MUST report a violation)",
+    )
+    verify.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="also stream the recorded history to PATH as JSONL",
+    )
+    verify.add_argument(
+        "--bound",
+        type=float,
+        default=0.25,
+        help="staleness bound (seconds) for async tail-replica reads",
+    )
+    verify.add_argument(
+        "--check",
+        default=None,
+        metavar="PATH",
+        help="offline mode: re-check a saved history JSONL instead of "
+        "running a cluster",
+    )
+    verify.set_defaults(fn=_cmd_verify)
     return parser
 
 

@@ -384,6 +384,14 @@ class OpDriver:
     # ------------------------------------------------------------------
 
     @property
+    def served_replica_index(self) -> int:
+        """Replica-chain position of the final attempt's target (0 =
+        owner, 1 = strongly-consistent secondary, >=2 = async replica).
+        The history recorder stores this with each event so the
+        consistency checker knows which guarantee the read carries."""
+        return self._replica_index
+
+    @property
     def pid(self) -> int:
         return self.core.membership.partition_of_key(
             self.key, self.core.config.hash_name

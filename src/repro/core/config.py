@@ -99,6 +99,18 @@ class ZHTConfig:
     #: reported to give the best utilisation).
     instances_per_node: int = 1
 
+    # --- consistency mutation modes (verification self-test ONLY) ----------
+    #: TEST-ONLY: the owner acknowledges mutations *without* updating the
+    #: strongly-consistent secondary (no sync send at all).  Breaks the
+    #: paper's primary/secondary strong-consistency guarantee; exists so
+    #: the consistency checker (:mod:`repro.verify`) can prove it detects
+    #: exactly this failure class.  Never enable outside tests.
+    test_skip_secondary_sync: bool = False
+    #: TEST-ONLY: replicas at chain position >= 2 silently drop incoming
+    #: replica updates, so async-replica reads become unboundedly stale.
+    #: Exists to prove the bounded-staleness checker can fail.
+    test_freeze_tail_replicas: bool = False
+
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
             raise ValueError("num_partitions must be positive")

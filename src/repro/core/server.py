@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 
 from ..novoht import NoVoHT
@@ -90,6 +91,68 @@ class ServerStats:
         return f"ServerStats({body})"
 
 
+class ReplicationSequencer:
+    """Server-wide FIFO release order for outgoing replica updates.
+
+    A mutation's store apply and its ticket grab happen inside the same
+    store critical section, so per partition the ticket order equals the
+    apply order; transports then release each result's replica sends in
+    ticket order.  Without this, concurrent mutations applied A-then-B by
+    the primary can reach the secondary B-then-A (the sends run on
+    whatever thread finishes planning first), and a failover that
+    promotes the secondary surfaces the divergence as a non-linearizable
+    history — concurrent appends are where it bites, since their replica
+    updates carry deltas whose arrival order IS the replica's value.
+
+    ``wait_turn`` times out rather than wedging the chain: if an earlier
+    ticket's sends stall past the peer timeout, later sends proceed
+    unordered (the stalled peer is about to be declared dead anyway).
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._next = 0
+        self._served = 0
+        self._retired: set[int] = set()
+
+    def ticket(self) -> int:
+        with self._cond:
+            t = self._next
+            self._next += 1
+            return t
+
+    def reticket(self, old: int | None) -> int:
+        """Trade *old* for a fresh (later) ticket.
+
+        Used by multi-partition batches: each mutating partition group
+        re-tickets under that group's store lock, so the result's final
+        ticket is ordered after every concurrent mutation of every
+        partition the batch touched, while never holding more than one
+        live ticket (which keeps the release order deadlock-free).
+        """
+        fresh = self.ticket()
+        if old is not None:
+            self.retire(old)
+        return fresh
+
+    def wait_turn(self, ticket: int, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._served < ticket:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                self._cond.wait(remaining)
+
+    def retire(self, ticket: int) -> None:
+        with self._cond:
+            self._retired.add(ticket)
+            while self._served in self._retired:
+                self._retired.remove(self._served)
+                self._served += 1
+            self._cond.notify_all()
+
+
 @dataclass
 class HandleResult:
     """Outcome of handling one request.
@@ -111,6 +174,11 @@ class HandleResult:
     forwards: list[tuple[Address, QueuedRequest]] = field(default_factory=list)
     #: Queued requests to fail (answered with MIGRATING) after an abort.
     failed_queued: list[QueuedRequest] = field(default_factory=list)
+    #: When set, the transport must release this result's replica sends
+    #: in ticket order (and retire the ticket afterwards, even if no
+    #: sends were planned).
+    repl_sequencer: ReplicationSequencer | None = None
+    repl_ticket: int | None = None
 
 
 class ZHTServerCore:
@@ -137,6 +205,7 @@ class ZHTServerCore:
         self.config = config or ZHTConfig()
         self.partitions: dict[int, Partition] = {}
         self.stats = ServerStats()
+        self.repl_sequencer = ReplicationSequencer()
         #: Node-local store for broadcast pairs (every instance holds a
         #: full copy of broadcast data; it is outside the partition space).
         self.broadcast_store = NoVoHT(None)
@@ -301,14 +370,25 @@ class ZHTServerCore:
             self.stats.inc("queued")
             return HandleResult(None)
 
-        response = self._apply_to_store(request, part.store)
-        result = HandleResult(response)
-        if (
-            response.status == Status.OK
-            and request.op in MUTATING_OPS
+        replicating = (
+            request.op in MUTATING_OPS
             and self.config.num_replicas > 0
             and (self.owns(pid) or request.replica_index > 0)
-        ):
+        )
+        if replicating:
+            # Apply and grab the replication ticket inside one store
+            # critical section, so the replica-send release order (see
+            # ReplicationSequencer) matches the apply order.
+            with part.store.lock:
+                response = self._apply_to_store(request, part.store)
+                result = HandleResult(response)
+                if response.status == Status.OK:
+                    result.repl_sequencer = self.repl_sequencer
+                    result.repl_ticket = self.repl_sequencer.ticket()
+        else:
+            response = self._apply_to_store(request, part.store)
+            result = HandleResult(response)
+        if response.status == Status.OK and replicating:
             # The owner fans out along the chain as usual; this also covers
             # failover-addressed writes (replica_index > 0) arriving after
             # a repair promoted us.  A *replica* serving a failover write
@@ -466,6 +546,13 @@ class ZHTServerCore:
                         )
                         continue
                     self.stats.inc("replica_updates")
+                    if (
+                        self.config.test_freeze_tail_replicas
+                        and sub.replica_index >= 2
+                    ):
+                        # TEST-ONLY broken mode (see _handle_replica_update).
+                        sub_responses[i] = self._sub_respond(sub, Status.OK)
+                        continue
                 else:
                     if part.is_migrating:
                         sub_responses[i] = self._sub_respond(
@@ -486,8 +573,25 @@ class ZHTServerCore:
             if not batch_ops:
                 continue
 
+            replicating = self.config.num_replicas > 0 and any(
+                subs[i].op in MUTATING_OPS
+                and (self.owns(pid) or subs[i].replica_index > 0)
+                for i in batch_map
+            )
             try:
-                outcomes = part.store.apply_batch(batch_ops)
+                if replicating:
+                    # Atomic apply + ticket, as in _handle_client_op; a
+                    # batch spanning several partitions trades its ticket
+                    # up per group so one (latest) ticket orders it after
+                    # every concurrent mutation it raced with.
+                    with part.store.lock:
+                        outcomes = part.store.apply_batch(batch_ops)
+                        result.repl_ticket = self.repl_sequencer.reticket(
+                            result.repl_ticket
+                        )
+                        result.repl_sequencer = self.repl_sequencer
+                else:
+                    outcomes = part.store.apply_batch(batch_ops)
             except ZHTError as exc:
                 for i in batch_map:
                     sub_responses[i] = self._sub_respond(subs[i], exc.status)
@@ -619,6 +723,11 @@ class ZHTServerCore:
                 mode == ReplicationMode.SYNC
                 or (mode == ReplicationMode.ASYNC and index == 1)
             )
+            if sync and self.config.test_skip_secondary_sync:
+                # TEST-ONLY broken mode: acknowledge without the sync
+                # replica write, so the secondary silently diverges —
+                # the failure class the consistency checker must flag.
+                continue
             plan.append((inst.address, update, sync))
         return plan
 
@@ -627,6 +736,15 @@ class ZHTServerCore:
             inner = OpCode(request.inner_op)
         except ValueError:
             return HandleResult(self._respond(request, Status.BAD_REQUEST))
+        if (
+            self.config.test_freeze_tail_replicas
+            and request.replica_index >= 2
+        ):
+            # TEST-ONLY broken mode: the tail replica acks but never
+            # applies, so its reads go unboundedly stale — the failure
+            # the bounded-staleness checker must flag.
+            self.stats.inc("replica_updates")
+            return HandleResult(self._respond(request, Status.OK))
         part = self.partition(request.partition)
         inner_request = Request(
             op=inner,

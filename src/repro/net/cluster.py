@@ -48,12 +48,18 @@ class SocketCluster:
         self.rng = rng
         self._transports: list[ClientTransport] = []
 
-    def client(self, *, seed: int | None = None) -> ZHT:
+    def client(
+        self,
+        *,
+        seed: int | None = None,
+        recorder=None,
+        client_id: str | None = None,
+    ) -> ZHT:
         transport = self._client_factory()
         self._transports.append(transport)
         rng = random.Random(seed if seed is not None else self.rng.random())
         core = ZHTClientCore(self.membership.copy(), self.config, rng=rng)
-        return ZHT(core, transport)
+        return ZHT(core, transport, recorder=recorder, client_id=client_id)
 
     def manager(self) -> ManagerCore:
         node_id = next(iter(self.membership.nodes))

@@ -619,7 +619,13 @@ class EventDrivenTCPServer:
         REGISTRY.counter("tcp.server.requests").inc()
         result = self.core.handle(request, reply_context=conn)
         needs_peer_io = bool(
-            result.sync_sends or result.forwards or result.failed_queued
+            result.sync_sends
+            or result.forwards
+            or result.failed_queued
+            # Ticketed results (replicated mutations) detour through the
+            # pool even when all their sends are async: _apply_effects
+            # releases them in apply order and retires the ticket.
+            or result.repl_sequencer is not None
         )
         if needs_peer_io:
             # Keep the loop responsive: effects that block on the network

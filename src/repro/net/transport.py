@@ -99,19 +99,30 @@ class ServerExecutor:
 
     def _apply_effects(self, result: HandleResult) -> None:
         response = result.response
-        # Strongly-consistent replicas: the response cannot be released
-        # until every sync replica acknowledged; a failed ack degrades the
-        # response to REPLICATION_ERROR (§III.J).
-        if response is not None:
-            for address, update in result.sync_sends:
-                ack = self.peer_client.roundtrip(
-                    address, update, self.peer_timeout
-                )
-                if ack is None or ack.status != Status.OK:
-                    response.status = Status.REPLICATION_ERROR
-                    break
-        for address, update in result.async_sends:
-            self.peer_client.send_oneway(address, update)
+        # Replica updates must leave in store-apply order (ticketed by the
+        # core, see ReplicationSequencer) or concurrent mutations can land
+        # on replicas in a different order than the primary applied them.
+        if result.repl_sequencer is not None:
+            result.repl_sequencer.wait_turn(
+                result.repl_ticket, self.peer_timeout
+            )
+        try:
+            # Strongly-consistent replicas: the response cannot be
+            # released until every sync replica acknowledged; a failed ack
+            # degrades the response to REPLICATION_ERROR (§III.J).
+            if response is not None:
+                for address, update in result.sync_sends:
+                    ack = self.peer_client.roundtrip(
+                        address, update, self.peer_timeout
+                    )
+                    if ack is None or ack.status != Status.OK:
+                        response.status = Status.REPLICATION_ERROR
+                        break
+            for address, update in result.async_sends:
+                self.peer_client.send_oneway(address, update)
+        finally:
+            if result.repl_sequencer is not None:
+                result.repl_sequencer.retire(result.repl_ticket)
         # Queued requests released by a migration commit are forwarded to
         # the new owner, and the owner's answer relayed to the original
         # requester.

@@ -151,6 +151,17 @@ class NoVoHT:
             self._recover()
             self._wal.open()
 
+    @property
+    def lock(self) -> threading.RLock:
+        """The store's mutation lock (reentrant).
+
+        Callers that must make a store mutation atomic with bookkeeping
+        of their own — e.g. the server core pairing an apply with a
+        replication-order ticket — hold this around both; the store's
+        methods re-acquire it safely.
+        """
+        return self._lock
+
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------

@@ -1,0 +1,75 @@
+"""Consistency verification: history capture + linearizability checking.
+
+The paper's consistency claims (§III.J) — strongly consistent
+primary/secondary, bounded-lag asynchronous tails — are *checked*, not
+assumed, by this package:
+
+* :mod:`~repro.verify.history` records every client operation as a
+  timestamped invocation/response interval (negligible overhead when
+  off; ``ZHT_HISTORY=path`` attaches a process-global JSONL recorder);
+* :mod:`~repro.verify.checker` validates recorded histories — per-key
+  Wing&Gong linearizability for insert/lookup/remove, multiset
+  containment for concurrent appends, bounded staleness for async
+  replica reads — and shrinks violations to a minimal sub-history;
+* :mod:`~repro.verify.workload` generates deterministic seeded
+  schedules (and synthetic valid histories for benchmarking);
+* :mod:`~repro.verify.runner` composes them with the fault-injection
+  harness into the ``python -m repro verify`` record → crash → recover
+  → check loop, including deliberately broken replication modes that
+  prove the checker actually detects violations.
+"""
+
+from .checker import (
+    UNKNOWN_FINAL,
+    CheckReport,
+    KeyReport,
+    check_append_key,
+    check_history,
+    final_values_from_history,
+    tokenize_fragments,
+)
+from .history import (
+    STATUS_FAIL,
+    STATUS_NOTFOUND,
+    STATUS_OK,
+    HistoryEvent,
+    HistoryRecorder,
+    load_history,
+    recorder_from_env,
+    save_history,
+)
+from .runner import BACKENDS, MUTATIONS, VerifyReport, run_verify
+from .workload import (
+    VerifyOp,
+    VerifySchedule,
+    fragment,
+    generate_schedule,
+    synthesize_history,
+)
+
+__all__ = [
+    "BACKENDS",
+    "MUTATIONS",
+    "CheckReport",
+    "HistoryEvent",
+    "HistoryRecorder",
+    "KeyReport",
+    "STATUS_FAIL",
+    "STATUS_NOTFOUND",
+    "STATUS_OK",
+    "UNKNOWN_FINAL",
+    "VerifyOp",
+    "VerifyReport",
+    "VerifySchedule",
+    "check_append_key",
+    "check_history",
+    "final_values_from_history",
+    "fragment",
+    "generate_schedule",
+    "load_history",
+    "recorder_from_env",
+    "run_verify",
+    "save_history",
+    "synthesize_history",
+    "tokenize_fragments",
+]

@@ -1,0 +1,226 @@
+"""Operation-history capture for consistency verification.
+
+A :class:`HistoryRecorder` logs every client operation as a timestamped
+*interval* — ``(client_id, op, key, value, t_call, t_return, status)``
+— which is exactly the input a linearizability checker needs: two
+operations are concurrent iff their intervals overlap, and only the
+real-time order between non-overlapping intervals constrains the
+allowed linearizations (Herlihy & Wing).
+
+Design constraints:
+
+* **Negligible overhead when disabled.** The hook in
+  :class:`repro.api.ZHT` is a single ``is None`` check per operation;
+  nothing is allocated, no clock is read.
+* **Transport-agnostic.** The recorder hangs off the client handle, so
+  the same capture path covers local, TCP, UDP, and (via an injectable
+  ``clock``) the discrete-event simulator, where timestamps are
+  simulated seconds (``env.now``).
+* **Replayable artifact.** Events serialize to JSONL (one event per
+  line, latin-1-escaped bytes) so a failing run's history can be
+  shipped as a CI artifact and re-checked offline with
+  ``python -m repro verify --check PATH``.
+
+The ``ZHT_HISTORY=path`` environment hook attaches one process-global
+JSONL recorder to every :class:`~repro.api.ZHT` client constructed in
+the process — which is how the chaos harness (``python -m repro chaos``)
+records without any code knowing about it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Terminal outcome of one operation interval.
+STATUS_OK = "ok"  #: definite success (effect applied / value returned)
+STATUS_NOTFOUND = "notfound"  #: definite miss (lookup/remove of absent key)
+STATUS_FAIL = "fail"  #: no definite response — the op MAY have applied
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One operation's invocation/response interval."""
+
+    client_id: str
+    op: str  #: "insert" | "lookup" | "remove" | "append"
+    key: bytes
+    value: bytes  #: argument value (mutations) — empty for lookups
+    t_call: float
+    t_return: float
+    status: str  #: STATUS_OK | STATUS_NOTFOUND | STATUS_FAIL
+    #: Value the operation returned (lookups only).
+    result: bytes = b""
+    #: Replica-chain position that served the final attempt (0 = owner,
+    #: 1 = strongly-consistent secondary, >=2 = asynchronous replica).
+    replica_index: int = 0
+    #: Process-unique monotonically increasing event id.
+    seq: int = 0
+
+    @property
+    def definite(self) -> bool:
+        """The client saw a response — the effect definitely happened."""
+        return self.status != STATUS_FAIL
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "client": self.client_id,
+                "op": self.op,
+                "key": self.key.decode("latin-1"),
+                "value": self.value.decode("latin-1"),
+                "t_call": self.t_call,
+                "t_return": self.t_return,
+                "status": self.status,
+                "result": self.result.decode("latin-1"),
+                "replica_index": self.replica_index,
+                "seq": self.seq,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "HistoryEvent":
+        d = json.loads(line)
+        return cls(
+            client_id=d["client"],
+            op=d["op"],
+            key=d["key"].encode("latin-1"),
+            value=d["value"].encode("latin-1"),
+            t_call=d["t_call"],
+            t_return=d["t_return"],
+            status=d["status"],
+            result=d.get("result", "").encode("latin-1"),
+            replica_index=d.get("replica_index", 0),
+            seq=d.get("seq", 0),
+        )
+
+
+class HistoryRecorder:
+    """Thread-safe event sink shared by all clients of one run.
+
+    Events accumulate in memory (for the in-run checker) and, when
+    *path* is given, are appended to a JSONL file as they happen, so a
+    crashed run still leaves a usable artifact behind.
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        *,
+        clock=time.monotonic,
+        fresh: bool = False,
+    ):
+        self.path = path
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._events: list[HistoryEvent] = []
+        self._seq = 0
+        # Append by default so several recorders (e.g. multiple client
+        # processes sharing one ZHT_HISTORY path) interleave instead of
+        # truncating each other; one-shot runs pass fresh=True so a
+        # stale artifact from a previous run cannot poison the check.
+        mode = "w" if fresh else "a"
+        self._file = open(path, mode, buffering=1) if path else None
+
+    def now(self) -> float:
+        return self.clock()
+
+    def record(
+        self,
+        client_id: str,
+        op: str,
+        key: bytes,
+        value: bytes,
+        t_call: float,
+        t_return: float,
+        status: str,
+        *,
+        result: bytes = b"",
+        replica_index: int = 0,
+    ) -> HistoryEvent:
+        with self._lock:
+            self._seq += 1
+            event = HistoryEvent(
+                client_id,
+                op,
+                bytes(key),
+                bytes(value),
+                t_call,
+                t_return,
+                status,
+                result=bytes(result),
+                replica_index=replica_index,
+                seq=self._seq,
+            )
+            self._events.append(event)
+            if self._file is not None:
+                self._file.write(event.to_json() + "\n")
+        return event
+
+    def events(self) -> list[HistoryEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "HistoryRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def save_history(events: list[HistoryEvent], path: str) -> None:
+    with open(path, "w") as f:
+        for event in events:
+            f.write(event.to_json() + "\n")
+
+
+def load_history(path: str) -> list[HistoryEvent]:
+    events = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                events.append(HistoryEvent.from_json(line))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# ZHT_HISTORY environment hook
+# ---------------------------------------------------------------------------
+
+_env_lock = threading.Lock()
+_env_recorder: HistoryRecorder | None = None
+_env_path: str | None = None
+
+
+def recorder_from_env() -> HistoryRecorder | None:
+    """The process-global recorder named by ``$ZHT_HISTORY``, if set.
+
+    Every :class:`repro.api.ZHT` client constructed while the variable
+    is set shares this recorder, so existing drivers (the chaos harness,
+    the demo command, user scripts) record histories with zero code
+    changes.  Returns ``None`` — the no-overhead path — when unset.
+    """
+    global _env_recorder, _env_path
+    path = os.environ.get("ZHT_HISTORY")
+    if not path:
+        return None
+    with _env_lock:
+        if _env_recorder is None or _env_path != path:
+            _env_recorder = HistoryRecorder(path)
+            _env_path = path
+        return _env_recorder

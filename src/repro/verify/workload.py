@@ -1,0 +1,191 @@
+"""Deterministic workload/schedule generation for the verifier.
+
+One seed fully determines *what* every logical client does (ops, keys,
+values, barrier positions); the *interleaving* is whatever the backend
+produces (thread scheduling on live transports, event order in the
+DES).  That split is deliberate: the checker validates any observed
+interleaving, so only the workload itself needs to be reproducible for
+a failure to be replayable.
+
+Two key populations:
+
+* **register keys** (``reg-…``) receive insert/lookup/remove — the
+  per-key linearizability model;
+* **append keys** (``app-…``) receive only appends and lookups — the
+  multiset-containment model.  Every fragment embeds
+  ``(client, op index)`` with a terminator so fragments are pairwise
+  distinct and no fragment is a proper prefix of another, making the
+  final-value tokenization unambiguous.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VerifyOp:
+    """One scheduled client operation."""
+
+    client: int
+    index: int
+    op: str  #: "insert" | "lookup" | "remove" | "append"
+    key: bytes
+    value: bytes = b""
+
+
+@dataclass(frozen=True)
+class VerifySchedule:
+    """The full deterministic plan for one verify run."""
+
+    seed: int
+    #: Per-client operation sequences.
+    clients: list
+    #: Every key the run may touch (for the final strong read-back).
+    keys: list
+    #: Keys using the append model (subset of ``keys``).
+    append_keys: list
+    #: Global op counts at which the harness injects the node kill and
+    #: runs the repair (mirrors the chaos harness's kill/repair points).
+    kill_at: int
+    repair_at: int
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(ops) for ops in self.clients)
+
+
+def fragment(seed: int, client: int, index: int) -> bytes:
+    """A globally unique, prefix-free append fragment."""
+    return f"|s{seed}c{client:02d}i{index:05d};".encode()
+
+
+def generate_schedule(
+    seed: int,
+    ops: int,
+    *,
+    clients: int = 4,
+    register_keys: int = 0,
+    append_keys: int = 0,
+    append_fraction: float = 0.25,
+    remove_fraction: float = 0.1,
+    lookup_fraction: float = 0.35,
+    kill_fraction: float = 0.35,
+    repair_fraction: float = 0.6,
+) -> VerifySchedule:
+    """Generate a seeded schedule of *ops* operations over *clients*.
+
+    Key-space sizes default to ``ops // 8`` register keys and
+    ``max(2, clients)`` append keys — small enough that keys see real
+    concurrency, large enough that per-key histories stay tractable.
+    """
+    rng = random.Random(seed)
+    n_reg = register_keys or max(4, ops // 8)
+    n_app = append_keys or max(2, clients)
+    reg = [f"reg-{seed}-{i:04d}".encode() for i in range(n_reg)]
+    app = [f"app-{seed}-{i:04d}".encode() for i in range(n_app)]
+
+    per_client: list[list[VerifyOp]] = [[] for _ in range(clients)]
+    for i in range(ops):
+        client = i % clients
+        index = len(per_client[client])
+        roll = rng.random()
+        if roll < append_fraction:
+            key = rng.choice(app)
+            if rng.random() < lookup_fraction:
+                op = VerifyOp(client, index, "lookup", key)
+            else:
+                op = VerifyOp(
+                    client, index, "append", key, fragment(seed, client, index)
+                )
+        else:
+            key = rng.choice(reg)
+            r = rng.random()
+            if r < lookup_fraction:
+                op = VerifyOp(client, index, "lookup", key)
+            elif r < lookup_fraction + remove_fraction:
+                op = VerifyOp(client, index, "remove", key)
+            else:
+                value = f"v{seed}-{client}-{index}-{rng.randrange(1 << 30)}".encode()
+                op = VerifyOp(client, index, "insert", key, value)
+        per_client[client].append(op)
+
+    return VerifySchedule(
+        seed=seed,
+        clients=per_client,
+        keys=reg + app,
+        append_keys=app,
+        kill_at=max(1, int(ops * kill_fraction)),
+        repair_at=min(ops - 1, max(2, int(ops * repair_fraction))),
+    )
+
+
+def synthesize_history(seed: int, ops: int, *, clients: int = 8):
+    """Build a *valid* concurrent history without running a cluster.
+
+    Used by the checker throughput benchmark: applies a seeded schedule
+    to a plain dict model under a logical clock, giving each client
+    overlapping operation intervals (so the checker really searches)
+    while the outcomes stay linearizable by construction — the model IS
+    the linearization.
+    """
+    from .history import STATUS_NOTFOUND, STATUS_OK, HistoryEvent
+
+    schedule = generate_schedule(seed, ops, clients=clients)
+    rng = random.Random(seed ^ 0x5EED)
+    model: dict[bytes, bytes] = {}
+    events: list[HistoryEvent] = []
+    #: Each client's earliest possible next invocation time.
+    free_at = [0.0] * clients
+    seq = 0
+    flat = [
+        (client, op)
+        for client, ops_list in enumerate(schedule.clients)
+        for op in ops_list
+    ]
+    # Interleave clients round-robin with jittered overlapping intervals.
+    # Ops are applied to the model in flat order, so that order must be a
+    # valid linearization of the emitted intervals: each op's
+    # linearization point t_lin advances a global clock, and its interval
+    # [t_call, t_return] brackets t_lin with jitter so intervals of
+    # different clients genuinely overlap (the checker has to search).
+    now = 0.0
+    for client, op in flat:
+        t_lin = max(now, free_at[client]) + rng.random() * 1e-4 + 1e-9
+        t_call = max(free_at[client], t_lin - rng.random() * 5e-4)
+        t_return = t_lin + rng.random() * 5e-4
+        now = t_lin
+        free_at[client] = t_return
+        status, result = STATUS_OK, b""
+        if op.op == "insert":
+            model[op.key] = op.value
+        elif op.op == "append":
+            model[op.key] = model.get(op.key, b"") + op.value
+        elif op.op == "remove":
+            if op.key in model:
+                del model[op.key]
+            else:
+                status = STATUS_NOTFOUND
+        elif op.op == "lookup":
+            if op.key in model:
+                result = model[op.key]
+            else:
+                status = STATUS_NOTFOUND
+        seq += 1
+        events.append(
+            HistoryEvent(
+                client_id=f"c{client}",
+                op=op.op,
+                key=op.key,
+                value=op.value,
+                t_call=t_call,
+                t_return=t_return,
+                status=status,
+                result=result,
+                seq=seq,
+            )
+        )
+    events.sort(key=lambda e: e.t_call)
+    final_values = {key: model.get(key) for key in schedule.append_keys}
+    return events, final_values

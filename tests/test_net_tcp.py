@@ -157,7 +157,10 @@ class TestServerArchitectures:
             z.insert("t", b"v")
             assert z.lookup("t") == b"v"
 
+    @pytest.mark.slow
     def test_event_driven_outperforms_threaded(self):
+        # Relative-throughput assertion; sensitive to machine load, so it
+        # runs in the slow tier rather than gating every tier-1 run.
         """§IV.D: "The current epoll-based ZHT outperforms the multithread
         version 3X."  We assert a conservative >1.3x on loopback."""
         ops = 200

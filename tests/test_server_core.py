@@ -324,3 +324,88 @@ class TestMembershipUpdate:
             Request(op=OpCode.MEMBERSHIP_UPDATE, payload=b"junk")
         )
         assert r.response.status == Status.BAD_REQUEST
+
+
+class TestReplicationSequencer:
+    """Replica sends must leave in store-apply (ticket) order."""
+
+    def test_tickets_are_fifo(self):
+        import threading
+
+        from repro.core.server import ReplicationSequencer
+
+        seq = ReplicationSequencer()
+        order = []
+        tickets = [seq.ticket() for _ in range(3)]
+
+        def sender(t):
+            seq.wait_turn(t, timeout=5.0)
+            order.append(t)
+            seq.retire(t)
+
+        # Start the senders in reverse ticket order; the sequencer must
+        # still release them 0, 1, 2.
+        threads = [
+            threading.Thread(target=sender, args=(t,))
+            for t in reversed(tickets)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert order == tickets
+
+    def test_wait_turn_times_out_instead_of_wedging(self):
+        import time
+
+        from repro.core.server import ReplicationSequencer
+
+        seq = ReplicationSequencer()
+        stuck = seq.ticket()  # never retired (peer hung)
+        late = seq.ticket()
+        t0 = time.monotonic()
+        seq.wait_turn(late, timeout=0.05)  # returns rather than wedging
+        assert time.monotonic() - t0 < 1.0
+
+    def test_reticket_retires_the_old_ticket(self):
+        from repro.core.server import ReplicationSequencer
+
+        seq = ReplicationSequencer()
+        first = seq.ticket()
+        second = seq.reticket(first)
+        assert second > first
+        # The trade retired `first`, so retiring `second` drains the
+        # queue and a new ticket's turn comes up immediately.
+        seq.retire(second)
+        seq.wait_turn(seq.ticket(), timeout=0.0)
+
+    def test_replicated_mutations_carry_ticket(self):
+        table, servers, cfg = deploy(num_nodes=4, num_replicas=1)
+        server, _ = owner_server(table, servers, b"seq-key", cfg)
+        r = server.handle(
+            Request(op=OpCode.INSERT, key=b"seq-key", value=b"v")
+        )
+        assert r.repl_sequencer is server.repl_sequencer
+        assert r.repl_ticket is not None
+        assert r.sync_sends  # the strong secondary
+        read = server.handle(Request(op=OpCode.LOOKUP, key=b"seq-key"))
+        assert read.repl_sequencer is None and read.repl_ticket is None
+
+    def test_tickets_issued_in_apply_order(self):
+        table, servers, cfg = deploy(num_nodes=4, num_replicas=1)
+        server, _ = owner_server(table, servers, b"seq-key", cfg)
+        tickets = []
+        for i in range(3):
+            r = server.handle(
+                Request(op=OpCode.APPEND, key=b"seq-key", value=b"|%d;" % i)
+            )
+            tickets.append(r.repl_ticket)
+        assert tickets == sorted(tickets)
+
+    def test_unreplicated_mutations_carry_no_ticket(self):
+        table, servers, cfg = deploy(num_replicas=0)
+        server, _ = owner_server(table, servers, b"seq-key", cfg)
+        r = server.handle(
+            Request(op=OpCode.INSERT, key=b"seq-key", value=b"v")
+        )
+        assert r.repl_sequencer is None and r.repl_ticket is None
