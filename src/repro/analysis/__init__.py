@@ -1,0 +1,47 @@
+"""repro.analysis — repo-aware static analysis for the ZHT reproduction.
+
+The dynamic verifier (:mod:`repro.verify`) can only *sample* schedules;
+this package proves whole classes of bugs absent before runtime with
+four AST-based checkers tuned to this codebase:
+
+* **lock-discipline** (``LOCK00x``) — attributes declared guarded (via a
+  ``# guarded-by: <lock>`` annotation on their ``__init__`` assignment,
+  or the ``[guarded]`` registry in ``.zhtlint.toml``) must only be
+  touched inside a ``with self.<lock>:`` scope; plus a cross-module
+  lock-acquisition graph with potential-deadlock-cycle detection.
+* **blocking-under-lock** (``BLOCK001``) — socket I/O, ``os.fsync``,
+  ``time.sleep`` and friends reached (transitively, through resolvable
+  calls) while a lock is held.
+* **protocol-exhaustiveness** (``PROTO00x``) — every :class:`OpCode`
+  member has a construction site, a server dispatch handler, and an
+  explicit MUTATING/NON_MUTATING membership decision.
+* **config-drift** (``CFG00x``) — every :class:`ZHTConfig` field is read
+  somewhere, and every config attribute access / constructor keyword
+  names a real field.
+
+Run with ``python -m repro lint``; see DESIGN.md §11 for the annotation
+conventions and the suppression policy.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    CHECKERS,
+    Finding,
+    LintConfig,
+    LintReport,
+    Project,
+    run_lint,
+)
+
+# Importing the checker modules registers them in CHECKERS.
+from . import blocking, configdrift, locks, protocol_check  # noqa: E402,F401
+
+__all__ = [
+    "CHECKERS",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Project",
+    "run_lint",
+]

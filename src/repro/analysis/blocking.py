@@ -1,0 +1,165 @@
+"""Blocking-under-lock checker (**BLOCK001**).
+
+Flags calls that can block indefinitely — socket I/O, ``os.fsync``,
+``time.sleep``, ``.wait()`` on events/conditions — made while a lock is
+held, directly or through a resolvable call chain (``NoVoHT.put`` →
+``WriteAheadLog.append`` → ``os.fsync``).
+
+Deliberately name-based on *distinctive* methods only: bare ``send`` /
+``get`` / ``put`` / ``join`` are not matched (generator ``.send()``,
+``dict.get()``, ``str.join()`` would drown the signal); socket traffic
+in this tree goes through ``sendall``/``sendto``/``recv``/``recvfrom``.
+
+``cond.wait()`` while *that same condition* is held is the normal
+condition-variable idiom and is allowed; waiting on anything else while
+holding a lock is flagged.
+
+Intentional cases (the WAL fsync-under-lock group commit) are suppressed
+in ``.zhtlint.toml`` with a justification rather than silently skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import _called_name, iter_functions
+from .engine import Finding, Project, register
+from .locks import FunctionLockFacts, collect_lock_facts
+
+
+#: Methods that are blocking wherever they appear.
+_SOCKET_METHODS = frozenset(
+    {
+        "sendall",
+        "sendto",
+        "recv",
+        "recvfrom",
+        "recv_into",
+        "accept",
+        "connect",
+        "create_connection",
+    }
+)
+
+
+def _direct_blocking(call: ast.Call) -> str | None:
+    """A description when *call* is intrinsically blocking, else None.
+
+    ``.wait()`` is handled separately (held-condition exemption).
+    """
+    chain = _called_name(call)
+    if not chain:
+        return None
+    last = chain[-1]
+    if last in _SOCKET_METHODS:
+        return f"socket .{last}()"
+    if last == "fsync" and (len(chain) == 1 or chain[-2] == "os"):
+        return "os.fsync()"
+    if last == "sleep" and len(chain) >= 2 and chain[-2] == "time":
+        return "time.sleep()"
+    return None
+
+
+def _is_wait(call: ast.Call) -> bool:
+    chain = _called_name(call)
+    return bool(chain) and chain[-1] == "wait"
+
+
+def _held_str(held) -> str:
+    return ", ".join(str(lock) for lock in held)
+
+
+@register("blocking-under-lock")
+def check(project: Project) -> list[Finding]:
+    index = project.index
+    all_facts: dict[str, FunctionLockFacts] = {}
+    for fn in iter_functions(index):
+        all_facts[fn.qualname] = collect_lock_facts(index, fn)
+
+    # Summary fixpoint: does a function block at all (anywhere in its
+    # body, any lock state), and through which call chain?
+    blocks: dict[str, str] = {}
+    for name, facts in all_facts.items():
+        for call, _held in facts.calls:
+            desc = _direct_blocking(call)
+            if desc is None and _is_wait(call):
+                desc = ".wait()"
+            if desc is not None:
+                blocks.setdefault(name, desc)
+                break
+    changed = True
+    while changed:
+        changed = False
+        for name, facts in all_facts.items():
+            if name in blocks:
+                continue
+            for call, _held in facts.calls:
+                for callee in facts.resolver.resolve_call(call):
+                    inner = blocks.get(callee.qualname)
+                    if inner is not None:
+                        blocks[name] = f"{inner} via {callee.qualname}"
+                        changed = True
+                        break
+                if name in blocks:
+                    break
+
+    findings: list[Finding] = []
+    for facts in all_facts.values():
+        fn = facts.fn
+        if fn.single_threaded:
+            continue
+        for call, held in facts.calls:
+            if not held:
+                continue
+            desc = _direct_blocking(call)
+            if desc is not None:
+                findings.append(
+                    Finding(
+                        checker="blocking-under-lock",
+                        code="BLOCK001",
+                        path=fn.module.relpath,
+                        line=call.lineno,
+                        symbol=fn.qualname,
+                        message=(
+                            f"blocking call {desc} while holding "
+                            f"{_held_str(held)}"
+                        ),
+                    )
+                )
+                continue
+            if _is_wait(call) and isinstance(call.func, ast.Attribute):
+                receiver = facts.resolver.lock_identity(call.func.value)
+                if receiver is not None and receiver in held:
+                    continue  # cond.wait() on the held condition: idiom
+                findings.append(
+                    Finding(
+                        checker="blocking-under-lock",
+                        code="BLOCK001",
+                        path=fn.module.relpath,
+                        line=call.lineno,
+                        symbol=fn.qualname,
+                        message=(
+                            ".wait() on an object other than the held "
+                            f"lock while holding {_held_str(held)}"
+                        ),
+                    )
+                )
+                continue
+            for callee in facts.resolver.resolve_call(call):
+                desc = blocks.get(callee.qualname)
+                if desc is not None:
+                    findings.append(
+                        Finding(
+                            checker="blocking-under-lock",
+                            code="BLOCK001",
+                            path=fn.module.relpath,
+                            line=call.lineno,
+                            symbol=fn.qualname,
+                            message=(
+                                f"call to {callee.qualname} may block "
+                                f"({desc}) while holding {_held_str(held)}"
+                            ),
+                        )
+                    )
+                    break
+    return findings

@@ -1,0 +1,175 @@
+"""Config-drift checker (**CFG00x**).
+
+* **CFG001** — a :class:`ZHTConfig` field that no code ever reads: dead
+  configuration drifting away from the implementation.
+* **CFG002** — an access naming a field that does not exist: a config
+  attribute read (``config.reqest_timeout``), a ``ZHTConfig(...)`` /
+  ``.replace(...)`` keyword, or a literal ``getattr(config, "...")``.
+
+Receivers are recognised either structurally (an expression that
+resolves to ``ZHTConfig`` via the type resolver) or by the repo's naming
+convention: a bare ``config`` / ``cfg`` local, or any ``*.config``
+attribute — validated to always be a ``ZHTConfig`` in this tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .astutil import TypeResolver, _called_name, iter_functions
+from .engine import Finding, Project, register
+
+_CONFIG_CLASS = "ZHTConfig"
+_RECEIVER_NAMES = frozenset({"config", "cfg"})
+#: Non-field attributes legitimately accessed on a config object.
+_ALLOWED_ATTRS = frozenset({"replace"})
+
+
+@dataclass
+class _Access:
+    module_relpath: str
+    line: int
+    symbol: str
+    attr: str
+    is_read: bool  #: attribute read vs. constructor/replace keyword
+
+
+def _config_fields(project: Project) -> dict[str, int]:
+    """Field name -> definition line, from the class-body annotations."""
+    cinfo = project.index.classes.get(_CONFIG_CLASS)
+    if cinfo is None:
+        return {}
+    fields: dict[str, int] = {}
+    for stmt in cinfo.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def _is_config_receiver(expr: ast.expr, resolver: TypeResolver) -> bool:
+    # When the resolver knows the type, trust it outright — a local
+    # named ``config`` holding some other class is not a ZHTConfig.
+    resolved = resolver.resolve(expr)
+    if resolved:
+        return any(c.name == _CONFIG_CLASS for c in resolved)
+    if isinstance(expr, ast.Name) and expr.id in _RECEIVER_NAMES:
+        return True
+    return isinstance(expr, ast.Attribute) and expr.attr == "config"
+
+
+def _collect_accesses(project: Project) -> list[_Access]:
+    accesses: list[_Access] = []
+    config_module = None
+    cinfo = project.index.classes.get(_CONFIG_CLASS)
+    if cinfo is not None:
+        config_module = cinfo.module
+
+    for fn in iter_functions(project.index):
+        if fn.module is config_module and fn.cls is cinfo:
+            continue  # the dataclass's own methods touch fields freely
+        resolver = TypeResolver(project.index, fn)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Attribute) and _is_config_receiver(
+                node.value, resolver
+            ):
+                accesses.append(
+                    _Access(
+                        module_relpath=fn.module.relpath,
+                        line=node.lineno,
+                        symbol=fn.qualname,
+                        attr=node.attr,
+                        is_read=True,
+                    )
+                )
+            elif isinstance(node, ast.Call):
+                chain = _called_name(node)
+                is_ctor = bool(chain) and chain[-1] == _CONFIG_CLASS
+                is_replace = (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "replace"
+                    and _is_config_receiver(node.func.value, resolver)
+                )
+                if is_ctor or is_replace:
+                    for kw in node.keywords:
+                        if kw.arg is None:
+                            continue  # **kwargs: not statically checkable
+                        accesses.append(
+                            _Access(
+                                module_relpath=fn.module.relpath,
+                                line=kw.value.lineno,
+                                symbol=fn.qualname,
+                                attr=kw.arg,
+                                is_read=False,
+                            )
+                        )
+                elif (
+                    chain == ["getattr"]
+                    and len(node.args) >= 2
+                    and isinstance(node.args[1], ast.Constant)
+                    and isinstance(node.args[1].value, str)
+                    and _is_config_receiver(node.args[0], resolver)
+                ):
+                    accesses.append(
+                        _Access(
+                            module_relpath=fn.module.relpath,
+                            line=node.lineno,
+                            symbol=fn.qualname,
+                            attr=node.args[1].value,
+                            is_read=True,
+                        )
+                    )
+    return accesses
+
+
+@register("config-drift")
+def check(project: Project) -> list[Finding]:
+    fields = _config_fields(project)
+    if not fields:
+        return []
+    cinfo = project.index.classes[_CONFIG_CLASS]
+    accesses = _collect_accesses(project)
+
+    findings: list[Finding] = []
+    read_fields = {a.attr for a in accesses if a.is_read and a.attr in fields}
+    for name, line in sorted(fields.items(), key=lambda kv: kv[1]):
+        if name not in read_fields:
+            findings.append(
+                Finding(
+                    checker="config-drift",
+                    code="CFG001",
+                    path=cinfo.module.relpath,
+                    line=line,
+                    symbol=f"{_CONFIG_CLASS}.{name}",
+                    message=(
+                        f"config field {name!r} is never read anywhere "
+                        "in the tree"
+                    ),
+                )
+            )
+
+    method_names = set(cinfo.methods)
+    for access in accesses:
+        if access.attr in fields:
+            continue
+        if access.is_read and (
+            access.attr in _ALLOWED_ATTRS
+            or access.attr in method_names
+            or access.attr.startswith("__")
+        ):
+            continue
+        findings.append(
+            Finding(
+                checker="config-drift",
+                code="CFG002",
+                path=access.module_relpath,
+                line=access.line,
+                symbol=access.symbol,
+                message=(
+                    f"config access names unknown field {access.attr!r}"
+                ),
+            )
+        )
+    return findings

@@ -1,0 +1,296 @@
+"""Lint engine: file walking, suppression policy, JSON report.
+
+Suppression policy (DESIGN.md §11): every finding on the tree is either
+**fixed** or **suppressed with a one-line justification**.  Two ways to
+suppress, both requiring a reason:
+
+* inline, at the offending line::
+
+      self._value += 1  # zht-lint: ignore[LOCK001] atomic int read
+
+* in the committed baseline file ``.zhtlint.toml``::
+
+      [[suppress]]
+      code = "BLOCK001"
+      path = "src/repro/novoht/novoht.py"
+      symbol = "NoVoHT.*"            # fnmatch over the enclosing scope
+      reason = "WAL fsync must stay inside the store lock (group commit)"
+
+``.zhtlint.toml`` may also carry a ``[guarded]`` registry mapping
+``"Class.attr"`` to its lock for code that cannot take an inline
+``# guarded-by:`` annotation, and ``[options] roots = [...]``.
+
+A suppression without a reason is a configuration error (exit 2), and
+suppressions that matched nothing are reported so the baseline cannot
+silently rot.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import re
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .astutil import ModuleInfo, ProjectIndex, parse_module
+
+#: Default directories (relative to the repo root) the engine scans.
+DEFAULT_ROOTS = ("src/repro",)
+
+_INLINE_RE = re.compile(r"zht-lint:\s*ignore\[([A-Z0-9,\s]+)\]\s*(.*)")
+
+
+@dataclass
+class Finding:
+    """One checker hit."""
+
+    checker: str
+    code: str
+    path: str  #: repo-relative path
+    line: int
+    symbol: str  #: enclosing "Class.method" / "function" / ""
+    message: str
+    suppressed_by: str | None = None  #: reason, when suppressed
+
+    def as_dict(self) -> dict:
+        return {
+            "checker": self.checker,
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "suppressed_by": self.suppressed_by,
+        }
+
+    def render(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.path}:{self.line}: {self.code} {self.message}{where}"
+
+
+@dataclass
+class Suppression:
+    code: str
+    reason: str
+    path: str | None = None
+    symbol: str | None = None
+    line: int | None = None
+    used: int = 0
+
+    def matches(self, finding: Finding) -> bool:
+        if self.code not in (finding.code, "*"):
+            return False
+        if self.path is not None and not (
+            finding.path == self.path or finding.path.endswith("/" + self.path)
+        ):
+            return False
+        if self.line is not None and finding.line != self.line:
+            return False
+        if self.symbol is not None and not fnmatch.fnmatch(
+            finding.symbol, self.symbol
+        ):
+            return False
+        return True
+
+    def describe(self) -> str:
+        scope = self.path or "*"
+        if self.symbol:
+            scope += f"::{self.symbol}"
+        if self.line:
+            scope += f":{self.line}"
+        return f"{self.code} @ {scope}"
+
+
+class LintConfigError(Exception):
+    """Malformed .zhtlint.toml (missing reasons, unknown keys)."""
+
+
+@dataclass
+class LintConfig:
+    roots: list[str] = field(default_factory=lambda: list(DEFAULT_ROOTS))
+    suppressions: list[Suppression] = field(default_factory=list)
+    #: "Class.attr" -> lock attribute (the GUARDED_BY registry).
+    guarded: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, root: Path) -> "LintConfig":
+        config = cls()
+        path = root / ".zhtlint.toml"
+        if not path.exists():
+            return config
+        try:
+            data = tomllib.loads(path.read_text(encoding="utf-8"))
+        except (OSError, tomllib.TOMLDecodeError) as exc:
+            raise LintConfigError(f"{path}: {exc}") from exc
+        options = data.get("options", {})
+        if "roots" in options:
+            config.roots = list(options["roots"])
+        for raw in data.get("suppress", []):
+            reason = str(raw.get("reason", "")).strip()
+            code = str(raw.get("code", "")).strip()
+            if not code:
+                raise LintConfigError(f"{path}: suppression without a code")
+            if not reason:
+                raise LintConfigError(
+                    f"{path}: suppression for {code} has no reason — every "
+                    "suppression must carry a one-line justification"
+                )
+            config.suppressions.append(
+                Suppression(
+                    code=code,
+                    reason=reason,
+                    path=raw.get("path"),
+                    symbol=raw.get("symbol"),
+                    line=raw.get("line"),
+                )
+            )
+        for key, lock in data.get("guarded", {}).items():
+            config.guarded[str(key)] = str(lock)
+        return config
+
+
+@dataclass
+class Project:
+    """Everything a checker may need, parsed once."""
+
+    root: Path
+    config: LintConfig
+    modules: list[ModuleInfo]
+    index: ProjectIndex
+    #: config-error strings (unknown guarded classes etc.).
+    errors: list[str] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, root: Path, config: LintConfig | None = None) -> "Project":
+        root = root.resolve()
+        config = config or LintConfig.load(root)
+        modules: list[ModuleInfo] = []
+        for rel in config.roots:
+            base = root / rel
+            if base.is_file():
+                candidates = [base]
+            else:
+                candidates = sorted(base.rglob("*.py"))
+            for path in candidates:
+                module = parse_module(path, str(path.relative_to(root)))
+                if module is not None:
+                    modules.append(module)
+        index = ProjectIndex.build(modules)
+        errors = index.apply_guarded_registry(config.guarded)
+        return cls(
+            root=root, config=config, modules=modules, index=index, errors=errors
+        )
+
+
+@dataclass
+class LintReport:
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    unused_suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed_by is None]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed_by is not None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active and not self.errors
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "counts": {
+                "active": len(self.active),
+                "suppressed": len(self.suppressed),
+            },
+            "findings": [f.as_dict() for f in self.findings],
+            "errors": self.errors,
+            "unused_suppressions": [
+                s.describe() for s in self.unused_suppressions
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+
+def _apply_inline_suppressions(
+    finding: Finding, module_by_relpath: dict[str, ModuleInfo]
+) -> None:
+    module = module_by_relpath.get(finding.path)
+    if module is None:
+        return
+    # Same line, or a standalone comment on the line directly above.
+    for line in (finding.line, finding.line - 1):
+        match = _INLINE_RE.search(module.comment_on(line))
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group(1).split(",")}
+        reason = match.group(2).strip()
+        if finding.code in codes and reason:
+            finding.suppressed_by = f"inline: {reason}"
+            return
+
+
+def run_lint(
+    root: Path | str,
+    checkers: list[str] | None = None,
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Run the checkers over *root*; returns the full report."""
+    # The package __init__ imports the checker modules, which register
+    # themselves in CHECKERS; guard against direct-module use in tests.
+    from . import blocking, configdrift, locks, protocol_check  # noqa: F401
+
+    root = Path(root)
+    report = LintReport()
+    try:
+        project = Project.load(root, config)
+    except LintConfigError as exc:
+        report.errors.append(str(exc))
+        return report
+    report.errors.extend(project.errors)
+
+    module_by_relpath = {m.relpath: m for m in project.modules}
+    selected = checkers or list(CHECKERS)
+    for name in selected:
+        checker = CHECKERS.get(name)
+        if checker is None:
+            report.errors.append(f"unknown checker {name!r}")
+            continue
+        for finding in checker(project):
+            _apply_inline_suppressions(finding, module_by_relpath)
+            if finding.suppressed_by is None:
+                for supp in project.config.suppressions:
+                    if supp.matches(finding):
+                        supp.used += 1
+                        finding.suppressed_by = supp.reason
+                        break
+            report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.code))
+    if checkers is None:
+        # Staleness is only meaningful when every checker ran — a
+        # subset run would flag other checkers' suppressions.
+        report.unused_suppressions = [
+            s for s in project.config.suppressions if not s.used
+        ]
+    return report
+
+
+#: name -> checker callable ``(Project) -> list[Finding]``.  Populated by
+#: the checker modules at import time via :func:`register`.
+CHECKERS: dict[str, object] = {}
+
+
+def register(name: str):
+    def wrap(fn):
+        CHECKERS[name] = fn
+        return fn
+
+    return wrap

@@ -1,0 +1,371 @@
+"""Lock-discipline checker.
+
+* **LOCK001** — read/write of an attribute declared guarded (via a
+  ``# guarded-by: <lock>`` annotation on its ``__init__`` assignment or
+  the ``[guarded]`` registry) outside a ``with <lock>:`` scope.  A
+  ``# holds-lock: <lock>`` annotation on a ``def`` line declares that
+  callers hold the lock for the whole body.
+* **LOCK002** — potential deadlock: a cycle in the cross-module
+  lock-acquisition graph (edge A→B whenever B is acquired — directly or
+  through a resolvable call chain — while A is held).
+* **LOCK003** — a ``guarded-by`` declaration naming an attribute that is
+  not a known lock of the class.
+* **LOCK004** — re-acquisition of a non-reentrant ``threading.Lock``
+  that is already held (directly nested, or through a call chain).
+
+Lock identity is class-wide: every instance of ``NoVoHT._lock`` is one
+node.  That conflation is deliberate — it is what lets the graph span
+modules — and is why RLock/Condition self-edges are not reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .astutil import (
+    FunctionInfo,
+    LockId,
+    ProjectIndex,
+    TypeResolver,
+    iter_functions,
+)
+from .engine import Finding, Project, register
+
+
+@dataclass
+class FunctionLockFacts:
+    """What one function does with locks, from a single body walk."""
+
+    fn: FunctionInfo
+    resolver: TypeResolver
+    #: attribute accesses: (node, held-locks-at-that-point).
+    accesses: list[tuple[ast.Attribute, tuple[LockId, ...]]] = field(
+        default_factory=list
+    )
+    #: every call expression with the locks held at the call site.
+    calls: list[tuple[ast.Call, tuple[LockId, ...]]] = field(
+        default_factory=list
+    )
+    #: lock acquisitions: (lock, held-before, with-item expression).
+    acquisitions: list[tuple[LockId, tuple[LockId, ...], ast.expr]] = field(
+        default_factory=list
+    )
+
+
+def collect_lock_facts(
+    index: ProjectIndex, fn: FunctionInfo
+) -> FunctionLockFacts:
+    """Walk *fn*'s body tracking ``with <lock>:`` scopes.
+
+    Nested function/class definitions are skipped: their bodies run
+    later, under whatever locks their eventual caller holds.
+    """
+    resolver = TypeResolver(index, fn)
+    facts = FunctionLockFacts(fn=fn, resolver=resolver)
+    base: list[LockId] = []
+    if fn.cls is not None:
+        for name in fn.holds_locks:
+            lock = fn.cls.lock_id(name)
+            if lock is not None:
+                base.append(lock)
+
+    def walk_expr(expr: ast.AST, held: tuple[LockId, ...]) -> None:
+        if isinstance(expr, ast.Lambda):
+            return  # runs later, under the caller's locks
+        if isinstance(expr, ast.Attribute):
+            facts.accesses.append((expr, held))
+        elif isinstance(expr, ast.Call):
+            facts.calls.append((expr, held))
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                walk_expr(child, held)
+            else:  # keyword / comprehension / slice wrappers
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.expr):
+                        walk_expr(sub, held)
+
+    def walk_stmt(stmt: ast.stmt, held: tuple[LockId, ...]) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = list(held)
+            for item in stmt.items:
+                walk_expr(item.context_expr, tuple(inner))
+                lock = resolver.lock_identity(item.context_expr)
+                if lock is not None:
+                    facts.acquisitions.append(
+                        (lock, tuple(inner), item.context_expr)
+                    )
+                    inner.append(lock)
+            walk_body(stmt.body, tuple(inner))
+            return
+        for _name, value in ast.iter_fields(stmt):
+            if isinstance(value, list):
+                for entry in value:
+                    if isinstance(entry, ast.stmt):
+                        walk_stmt(entry, held)
+                    elif isinstance(entry, ast.expr):
+                        walk_expr(entry, held)
+                    elif isinstance(entry, ast.excepthandler):
+                        walk_body(entry.body, held)
+            elif isinstance(value, ast.expr):
+                walk_expr(value, held)
+
+    def walk_body(stmts: list[ast.stmt], held: tuple[LockId, ...]) -> None:
+        for stmt in stmts:
+            walk_stmt(stmt, held)
+
+    walk_body(fn.node.body, tuple(base))
+    return facts
+
+
+def transitive_acquires(
+    all_facts: dict[str, FunctionLockFacts],
+) -> dict[str, set[LockId]]:
+    """Fixpoint: locks each function may acquire, through resolvable calls."""
+    acquires: dict[str, set[LockId]] = {
+        name: {lock for lock, _held, _node in facts.acquisitions}
+        for name, facts in all_facts.items()
+    }
+    callees: dict[str, set[str]] = {}
+    for name, facts in all_facts.items():
+        targets: set[str] = set()
+        for call, _held in facts.calls:
+            for callee in facts.resolver.resolve_call(call):
+                targets.add(callee.qualname)
+        callees[name] = targets
+    changed = True
+    while changed:
+        changed = False
+        for name, targets in callees.items():
+            mine = acquires[name]
+            before = len(mine)
+            for target in targets:
+                mine |= acquires.get(target, set())
+            if len(mine) != before:
+                changed = True
+    return acquires
+
+
+def _held_str(held: tuple[LockId, ...]) -> str:
+    return ", ".join(str(lock) for lock in held)
+
+
+@register("lock-discipline")
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    index = project.index
+
+    # LOCK003: guarded-by declarations naming unknown locks.
+    for cinfo in index.classes.values():
+        for attr, guard in sorted(cinfo.guarded.items()):
+            if cinfo.lock_id(guard) is None:
+                findings.append(
+                    Finding(
+                        checker="lock-discipline",
+                        code="LOCK003",
+                        path=cinfo.module.relpath,
+                        line=cinfo.node.lineno,
+                        symbol=cinfo.name,
+                        message=(
+                            f"attribute {attr!r} declared guarded-by "
+                            f"{guard!r}, which is not a lock of {cinfo.name}"
+                        ),
+                    )
+                )
+
+    all_facts: dict[str, FunctionLockFacts] = {}
+    for fn in iter_functions(index):
+        all_facts[fn.qualname] = collect_lock_facts(index, fn)
+
+    # LOCK001: guarded attribute touched without its lock.
+    for facts in all_facts.values():
+        fn = facts.fn
+        if fn.single_threaded or fn.node.name == "__init__":
+            continue
+        for node, held in facts.accesses:
+            for owner in facts.resolver.resolve(node.value):
+                guard = owner.guarded.get(node.attr)
+                if guard is None:
+                    continue
+                lock = owner.lock_id(guard)
+                if lock is None or lock in held:
+                    continue
+                findings.append(
+                    Finding(
+                        checker="lock-discipline",
+                        code="LOCK001",
+                        path=fn.module.relpath,
+                        line=node.lineno,
+                        symbol=fn.qualname,
+                        message=(
+                            f"access to {owner.name}.{node.attr} "
+                            f"(guarded by {lock}) without holding it"
+                            + (
+                                f" (held: {_held_str(held)})"
+                                if held
+                                else ""
+                            )
+                        ),
+                    )
+                )
+
+    # LOCK004 + acquisition-graph edges.
+    acquires = transitive_acquires(all_facts)
+    # edge (A, B) -> provenance (path, line, symbol); first wins.
+    edges: dict[tuple[LockId, LockId], tuple[str, int, str]] = {}
+    for facts in all_facts.values():
+        fn = facts.fn
+        if fn.single_threaded:
+            continue
+        for lock, held, node in facts.acquisitions:
+            if lock in held and lock.kind == "lock":
+                findings.append(
+                    Finding(
+                        checker="lock-discipline",
+                        code="LOCK004",
+                        path=fn.module.relpath,
+                        line=node.lineno,
+                        symbol=fn.qualname,
+                        message=(
+                            f"non-reentrant lock {lock} acquired while "
+                            "already held (self-deadlock)"
+                        ),
+                    )
+                )
+            for prior in held:
+                if prior != lock:
+                    edges.setdefault(
+                        (prior, lock),
+                        (fn.module.relpath, node.lineno, fn.qualname),
+                    )
+        for call, held in facts.calls:
+            if not held:
+                continue
+            for callee in facts.resolver.resolve_call(call):
+                for lock in acquires.get(callee.qualname, set()):
+                    if lock in held:
+                        if lock.kind == "lock":
+                            findings.append(
+                                Finding(
+                                    checker="lock-discipline",
+                                    code="LOCK004",
+                                    path=fn.module.relpath,
+                                    line=call.lineno,
+                                    symbol=fn.qualname,
+                                    message=(
+                                        f"call to {callee.qualname} may "
+                                        f"re-acquire non-reentrant {lock} "
+                                        "already held here"
+                                    ),
+                                )
+                            )
+                        continue
+                    for prior in held:
+                        if prior != lock:
+                            edges.setdefault(
+                                (prior, lock),
+                                (
+                                    fn.module.relpath,
+                                    call.lineno,
+                                    fn.qualname,
+                                ),
+                            )
+
+    findings.extend(_deadlock_cycles(edges))
+    return findings
+
+
+def _deadlock_cycles(
+    edges: dict[tuple[LockId, LockId], tuple[str, int, str]],
+) -> list[Finding]:
+    """LOCK002: strongly connected components of size ≥ 2 in the
+    acquisition graph are potential lock-order inversions."""
+    graph: dict[LockId, set[LockId]] = {}
+    for a, b in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+
+    # Tarjan's SCC, iterative.
+    indexes: dict[LockId, int] = {}
+    lowlinks: dict[LockId, int] = {}
+    on_stack: set[LockId] = set()
+    stack: list[LockId] = []
+    sccs: list[list[LockId]] = []
+    counter = [0]
+
+    def strongconnect(root: LockId) -> None:
+        work = [(root, iter(sorted(graph[root], key=str)))]
+        indexes[root] = lowlinks[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in indexes:
+                    indexes[succ] = lowlinks[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ], key=str))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indexes[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indexes[node]:
+                component: list[LockId] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(component)
+
+    for node in sorted(graph, key=str):
+        if node not in indexes:
+            strongconnect(node)
+
+    findings: list[Finding] = []
+    for component in sccs:
+        members = sorted(component, key=str)
+        involved = sorted(
+            (
+                (pair, where)
+                for pair, where in edges.items()
+                if pair[0] in component and pair[1] in component
+            ),
+            key=lambda item: (item[1][0], item[1][1]),
+        )
+        detail = "; ".join(
+            f"{a} -> {b} at {path}:{line}"
+            for (a, b), (path, line, _sym) in involved
+        )
+        path, line, symbol = involved[0][1]
+        findings.append(
+            Finding(
+                checker="lock-discipline",
+                code="LOCK002",
+                path=path,
+                line=line,
+                symbol=symbol,
+                message=(
+                    "potential deadlock cycle between "
+                    + ", ".join(str(m) for m in members)
+                    + f" ({detail})"
+                ),
+            )
+        )
+    return findings

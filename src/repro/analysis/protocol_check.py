@@ -1,0 +1,181 @@
+"""Protocol-exhaustiveness checker (**PROTO00x**).
+
+Every :class:`OpCode` member must have:
+
+* a construction site (``Request(op=OpCode.X, ...)`` or equivalent) —
+  otherwise the op is dead wire-format (**PROTO002**);
+* a server dispatch handler — a reference inside a ``_dispatch`` /
+  ``dispatch`` function, so new opcodes can never silently fall through
+  to BAD_REQUEST again (**PROTO001**);
+* an explicit mutating/read-only decision: membership in exactly one of
+  ``MUTATING_OPS`` / ``NON_MUTATING_OPS`` (**PROTO003** missing,
+  **PROTO004** in both).
+
+The *decode* path is structural (``OpCode(value)`` in ``decode``) and is
+enforced at test time by the generated roundtrip test
+(``tests/test_protocol_exhaustive.py``), which is parametrized over all
+members via this module's helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .astutil import ModuleInfo, _attr_chain, iter_nodes_with_scope
+from .engine import Finding, Project, register
+
+_SET_NAMES = ("MUTATING_OPS", "NON_MUTATING_OPS")
+_DISPATCH_NAMES = ("_dispatch", "dispatch")
+
+
+@dataclass
+class OpCodeUsage:
+    """Everything the checker (and the generated test) needs to know."""
+
+    module: ModuleInfo | None = None
+    #: member name -> line of its definition in the OpCode class body.
+    members: dict[str, int] = field(default_factory=dict)
+    #: members listed in MUTATING_OPS / NON_MUTATING_OPS.
+    mutating: set[str] = field(default_factory=set)
+    non_mutating: set[str] = field(default_factory=set)
+    #: members referenced inside a dispatch function.
+    dispatched: set[str] = field(default_factory=set)
+    #: members with a construction site (not a compare, not a set def,
+    #: not inside dispatch).
+    constructed: set[str] = field(default_factory=set)
+
+
+def collect_usage(project: Project) -> OpCodeUsage:
+    usage = OpCodeUsage()
+    opcode_cls = project.index.classes.get("OpCode")
+    if opcode_cls is None:
+        return usage
+    usage.module = opcode_cls.module
+    for stmt in opcode_cls.node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    usage.members[target.id] = stmt.lineno
+
+    for module in project.modules:
+        set_ranges: dict[str, tuple[int, int]] = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id in _SET_NAMES
+                for t in stmt.targets
+            ):
+                name = next(
+                    t.id
+                    for t in stmt.targets
+                    if isinstance(t, ast.Name) and t.id in _SET_NAMES
+                )
+                set_ranges[name] = (stmt.lineno, stmt.end_lineno or stmt.lineno)
+                for sub in ast.walk(stmt.value):
+                    chain = (
+                        _attr_chain(sub)
+                        if isinstance(sub, ast.Attribute)
+                        else None
+                    )
+                    if chain and len(chain) == 2 and chain[0] == "OpCode":
+                        target_set = (
+                            usage.mutating
+                            if name == "MUTATING_OPS"
+                            else usage.non_mutating
+                        )
+                        target_set.add(chain[1])
+
+        # ids of Attribute nodes that sit inside a comparison (parents
+        # are yielded before descendants, so this fills in time).
+        compare_attr_ids: set[int] = set()
+        for node, scope in iter_nodes_with_scope(module.tree):
+            if isinstance(node, ast.Compare):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Attribute):
+                        compare_attr_ids.add(id(sub))
+            if not isinstance(node, ast.Attribute):
+                continue
+            chain = _attr_chain(node)
+            if not chain or len(chain) != 2 or chain[0] != "OpCode":
+                continue
+            member = chain[1]
+            in_dispatch = scope.rpartition(".")[2] in _DISPATCH_NAMES
+            in_set = any(
+                first <= node.lineno <= last
+                for first, last in set_ranges.values()
+            )
+            in_compare = id(node) in compare_attr_ids
+            if in_dispatch:
+                usage.dispatched.add(member)
+            elif not in_set and not in_compare:
+                usage.constructed.add(member)
+    return usage
+
+
+@register("protocol-exhaustiveness")
+def check(project: Project) -> list[Finding]:
+    usage = collect_usage(project)
+    if usage.module is None or not usage.members:
+        return []
+    relpath = usage.module.relpath
+    findings: list[Finding] = []
+    for member, line in sorted(usage.members.items(), key=lambda kv: kv[1]):
+        if member not in usage.dispatched:
+            findings.append(
+                Finding(
+                    checker="protocol-exhaustiveness",
+                    code="PROTO001",
+                    path=relpath,
+                    line=line,
+                    symbol=f"OpCode.{member}",
+                    message=(
+                        f"OpCode.{member} has no server dispatch handler "
+                        "(would fall through to BAD_REQUEST)"
+                    ),
+                )
+            )
+        if member not in usage.constructed:
+            findings.append(
+                Finding(
+                    checker="protocol-exhaustiveness",
+                    code="PROTO002",
+                    path=relpath,
+                    line=line,
+                    symbol=f"OpCode.{member}",
+                    message=(
+                        f"OpCode.{member} is never constructed — dead "
+                        "wire-format (no encode path)"
+                    ),
+                )
+            )
+        in_mut = member in usage.mutating
+        in_non = member in usage.non_mutating
+        if not in_mut and not in_non:
+            findings.append(
+                Finding(
+                    checker="protocol-exhaustiveness",
+                    code="PROTO003",
+                    path=relpath,
+                    line=line,
+                    symbol=f"OpCode.{member}",
+                    message=(
+                        f"OpCode.{member} has no replication decision: "
+                        "not in MUTATING_OPS or NON_MUTATING_OPS"
+                    ),
+                )
+            )
+        elif in_mut and in_non:
+            findings.append(
+                Finding(
+                    checker="protocol-exhaustiveness",
+                    code="PROTO004",
+                    path=relpath,
+                    line=line,
+                    symbol=f"OpCode.{member}",
+                    message=(
+                        f"OpCode.{member} is in both MUTATING_OPS and "
+                        "NON_MUTATING_OPS"
+                    ),
+                )
+            )
+    return findings

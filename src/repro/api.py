@@ -376,6 +376,39 @@ class ZHT:
         raise_for_status(response.status, "LOOKUP_LOCAL")
         return response.value
 
+    # -- membership -------------------------------------------------------
+
+    def refresh_membership(self, instance_address=None) -> bool:
+        """Explicitly fetch a server's membership table (GET_MEMBERSHIP).
+
+        Normal operation refreshes lazily from piggybacked tables and
+        redirects; this forces a round trip — useful after a topology
+        change when the client has been idle.  Returns True when a
+        strictly newer table was adopted.
+        """
+        from .core.broadcast import broadcast_order
+        from .core.protocol import Request
+
+        if instance_address is None:
+            order = broadcast_order(self.core.membership)
+            if not order:
+                raise ZHTError("no alive instances")
+            instance_address = order[0]
+        request = Request(
+            op=OpCode.GET_MEMBERSHIP,
+            request_id=self.core.allocate_request_id(),
+            epoch=self.core.membership.epoch,
+        )
+        response = self.transport.roundtrip(
+            instance_address, request, self.core.config.request_timeout
+        )
+        if response is None:
+            raise RequestTimeout("GET_MEMBERSHIP timed out")
+        raise_for_status(response.status, "GET_MEMBERSHIP")
+        if not response.membership:
+            return False
+        return self.core.adopt_membership(response.membership)
+
     # -- conveniences -----------------------------------------------------
 
     def get(self, key: str | bytes, default: bytes | None = None) -> bytes | None:

@@ -13,6 +13,9 @@ Commands:
 * ``verify``    — record a concurrent workload's operation history
   through a crash/recovery and check it for linearizability and bounded
   staleness (or re-check a saved history with ``--check``).
+* ``lint``      — repo-aware static analysis (lock discipline, blocking
+  under lock, protocol exhaustiveness, config drift); exit 1 on any
+  unsuppressed finding.
 """
 
 from __future__ import annotations
@@ -323,6 +326,49 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import CHECKERS, run_lint
+
+    if args.checker:
+        unknown = [c for c in args.checker if c not in CHECKERS]
+        # Touch the registry before validating: checkers register on
+        # first run, so run_lint must see the selection as given.
+        if unknown:
+            print(
+                f"error: unknown checker(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(CHECKERS))}",
+                file=sys.stderr,
+            )
+            return 2
+    report = run_lint(args.root, checkers=args.checker or None)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+    for error in report.errors:
+        print(f"error: {error}", file=sys.stderr)
+    for finding in report.active:
+        print(finding.render())
+    if args.verbose:
+        for finding in report.suppressed:
+            print(f"suppressed: {finding.render()}")
+            print(f"  reason: {finding.suppressed_by}")
+    for supp in report.unused_suppressions:
+        print(f"warning: stale suppression matched nothing: {supp.describe()}")
+    summary = (
+        f"{len(report.active)} finding(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if report.errors:
+        print(f"lint: configuration errors; {summary}", file=sys.stderr)
+        return 2
+    if report.active:
+        print(f"lint: FAIL — {summary}", file=sys.stderr)
+        return 1
+    print(f"lint: OK — {summary}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -491,6 +537,38 @@ def build_parser() -> argparse.ArgumentParser:
         "running a cluster",
     )
     verify.set_defaults(fn=_cmd_verify)
+
+    lint = sub.add_parser(
+        "lint",
+        help="repo-aware static analysis: lock discipline, blocking-"
+        "under-lock, protocol exhaustiveness, config drift (exit 1 on "
+        "unsuppressed findings)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="repository root to lint (default: current directory)",
+    )
+    lint.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full report (findings + suppressions) as JSON",
+    )
+    lint.add_argument(
+        "--checker",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this checker (repeatable); default: all",
+    )
+    lint.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print suppressed findings with their justifications",
+    )
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

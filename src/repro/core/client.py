@@ -128,7 +128,7 @@ class ClientStats:
 
     __slots__ = FIELDS + ("_lock",)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         for name in self.FIELDS:
             setattr(self, name, 0)
@@ -162,12 +162,12 @@ class ZHTClientCore:
         config: ZHTConfig | None = None,
         *,
         rng: random.Random | None = None,
-    ):
+    ) -> None:
         self.membership = membership
         self.config = config or ZHTConfig()
         self.stats = ClientStats()
         self.rng = rng or random.Random()
-        self._next_request_id = 1
+        self._next_request_id = 1  # guarded-by: _request_id_lock
         # Concurrent drivers over one core (threaded benchmark clients,
         # FusionFS) must never mint the same request id: duplicates would
         # silently defeat the UDP server's mutation dedup cache.
@@ -177,9 +177,9 @@ class ZHTClientCore:
         # allocate_request_id or concurrent timeouts lose counts.
         self._state_lock = threading.Lock()
         #: Consecutive timeout counts per node id (reset on any success).
-        self.failure_counts: dict[str, int] = {}
+        self.failure_counts: dict[str, int] = {}  # guarded-by: _state_lock
         #: Manager notifications awaiting dispatch by the transport.
-        self.pending_notifications: list[Notification] = []
+        self.pending_notifications: list[Notification] = []  # guarded-by: _state_lock
         #: Called as ``fn(node_id, instance_addresses)`` right after a node
         #: is marked dead — the transport layer hooks this to evict cached
         #: connections so failovers never re-use a socket to a dead server.
@@ -368,7 +368,7 @@ class ZHTClientCore:
 class OpDriver:
     """Drives one logical operation through attempts until done/failed."""
 
-    def __init__(self, core: ZHTClientCore, op: OpCode, key: bytes, value: bytes):
+    def __init__(self, core: ZHTClientCore, op: OpCode, key: bytes, value: bytes) -> None:
         self.core = core
         self.op = op
         self.key = key

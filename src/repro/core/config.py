@@ -135,7 +135,7 @@ class ZHTConfig:
         if self.instances_per_node <= 0:
             raise ValueError("instances_per_node must be positive")
 
-    def replace(self, **changes) -> "ZHTConfig":
+    def replace(self, **changes: object) -> "ZHTConfig":
         """Return a copy of this config with *changes* applied."""
         return dataclasses.replace(self, **changes)
 

@@ -51,7 +51,7 @@ class ZHTError(Exception):
 
     status: Status = Status.BAD_REQUEST
 
-    def __init__(self, message: str = "", *, status: Status | None = None):
+    def __init__(self, message: str = "", *, status: Status | None = None) -> None:
         super().__init__(message or self.__class__.__name__)
         if status is not None:
             self.status = status

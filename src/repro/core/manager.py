@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from .config import ZHTConfig
-from .errors import MembershipError, MigrationError, Status
+from .errors import MembershipError, Status
 from .membership import (
     Address,
     InstanceInfo,
@@ -81,7 +81,7 @@ class ManagerCore:
         config: ZHTConfig | None = None,
         *,
         rng: random.Random | None = None,
-    ):
+    ) -> None:
         self.node_id = node_id
         self.membership = membership
         self.config = config or ZHTConfig()

@@ -26,6 +26,7 @@ original hashed location").
 from __future__ import annotations
 
 import json
+import random
 import uuid as _uuid
 from dataclasses import dataclass, replace
 
@@ -50,7 +51,7 @@ class Address:
         return [self.host, self.port]
 
     @classmethod
-    def from_obj(cls, obj) -> "Address":
+    def from_obj(cls, obj: "tuple[object, object] | list[object]") -> "Address":
         return cls(str(obj[0]), int(obj[1]))
 
     def __str__(self) -> str:
@@ -101,7 +102,7 @@ class NodeInfo:
         return cls(obj["id"], Address.from_obj(obj["mgr"]), bool(obj["alive"]))
 
 
-def new_instance_id(rng=None) -> str:
+def new_instance_id(rng: "random.Random | None" = None) -> str:
     """Mint a universally-unique instance id (ring position)."""
     if rng is not None:
         return f"{rng.getrandbits(128):032x}"
@@ -109,7 +110,7 @@ def new_instance_id(rng=None) -> str:
 
 
 def correlated_instance_id(
-    node_index: int, instance_index: int = 0, rng=None
+    node_index: int, instance_index: int = 0, rng: "random.Random | None" = None
 ) -> str:
     """Mint an instance id whose ring position tracks network position.
 
@@ -138,7 +139,7 @@ class MembershipTable:
     and reconcile via epochs.
     """
 
-    def __init__(self, num_partitions: int):
+    def __init__(self, num_partitions: int) -> None:
         if num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
         self.num_partitions = num_partitions

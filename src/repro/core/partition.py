@@ -59,7 +59,7 @@ class Partition:
         gc_dead_ratio: float = 0.5,
         max_memory_pairs: int | None = None,
         fsync: bool = False,
-    ):
+    ) -> None:
         self.pid = pid
         store_dir = (
             os.path.join(persistence_dir, f"partition-{pid:06d}")

@@ -70,6 +70,32 @@ MUTATING_OPS = frozenset(
     {OpCode.INSERT, OpCode.REMOVE, OpCode.APPEND, OpCode.REPLICA_UPDATE}
 )
 
+#: Ops that must NOT drive replication.  Every OpCode member belongs to
+#: exactly one of these two sets — the protocol-exhaustiveness checker
+#: (``python -m repro lint``) and tests/test_protocol_exhaustive.py both
+#: enforce the partition, so a new opcode cannot ship without an
+#: explicit replication decision.  Notes on the less obvious members:
+#: MIGRATE_* move whole partitions (their effects replicate when the
+#: new owner's chain applies them), BROADCAST writes only node-local
+#: broadcast stores, and BATCH is a carrier — its mutating
+#: sub-requests are re-dispatched individually and take the MUTATING
+#: path there.
+NON_MUTATING_OPS = frozenset(
+    {
+        OpCode.LOOKUP,
+        OpCode.MIGRATE_BEGIN,
+        OpCode.MIGRATE_DATA,
+        OpCode.MIGRATE_COMMIT,
+        OpCode.MEMBERSHIP_UPDATE,
+        OpCode.PING,
+        OpCode.GET_MEMBERSHIP,
+        OpCode.BROADCAST,
+        OpCode.LOOKUP_LOCAL,
+        OpCode.STATS,
+        OpCode.BATCH,
+    }
+)
+
 
 def _emit_varint_field(out: bytearray, field_num: int, value: int) -> None:
     if value:
@@ -259,7 +285,7 @@ def deframe(buffer: bytes) -> tuple[bytes | None, bytes]:
     return message, buffer[offset:]
 
 
-def deframe_at(buffer, offset: int) -> tuple[bytes | None, int]:
+def deframe_at(buffer: "bytes | bytearray | memoryview", offset: int) -> tuple[bytes | None, int]:
     """Extract one framed message from *buffer* starting at *offset*.
 
     Returns ``(message, next_offset)`` without copying the remainder;

@@ -68,7 +68,7 @@ class ServerStats:
 
     __slots__ = FIELDS + ("_lock",)
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         for name in self.FIELDS:
             setattr(self, name, 0)
@@ -109,11 +109,11 @@ class ReplicationSequencer:
     unordered (the stalled peer is about to be declared dead anyway).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._next = 0
-        self._served = 0
-        self._retired: set[int] = set()
+        self._next = 0  # guarded-by: _cond
+        self._served = 0  # guarded-by: _cond
+        self._retired: set[int] = set()  # guarded-by: _cond
 
     def ticket(self) -> int:
         with self._cond:
@@ -199,7 +199,7 @@ class ZHTServerCore:
         info: InstanceInfo,
         membership: MembershipTable,
         config: ZHTConfig | None = None,
-    ):
+    ) -> None:
         self.info = info
         self.membership = membership
         self.config = config or ZHTConfig()
@@ -300,6 +300,7 @@ class ZHTServerCore:
             "stats": self.stats.as_dict(),
             "partitions": len(self.partitions),
             "pairs": sum(len(p.store) for p in self.partitions.values()),
+            "transport": self.config.transport,
         }
         payload = json.dumps(snapshot, sort_keys=True).encode()
         return HandleResult(self._respond(request, Status.OK, value=payload))

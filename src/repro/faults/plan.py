@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 import random
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class FaultKind:

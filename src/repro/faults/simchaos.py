@@ -51,9 +51,11 @@ def _sim_roundtrip(cluster: SimulatedCluster, address, request, timeout):
     return reply.value if winner == 0 else None
 
 
-def _sim_execute(cluster: SimulatedCluster, core: ZHTClientCore, driver):
+def _sim_execute(cluster: SimulatedCluster, core: ZHTClientCore, driver):  # lint: single-threaded
     """DES sub-generator mirroring :func:`repro.net.transport.execute_op`:
-    drives one op through retries/backoff/failover in simulated time."""
+    drives one op through retries/backoff/failover in simulated time.
+    The discrete-event simulator runs everything on one thread, so the
+    client core's locks are not needed here."""
     while True:
         attempt = driver.next_attempt()
         if attempt is None:

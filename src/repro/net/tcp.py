@@ -210,8 +210,8 @@ class _MuxConnection:
         self.closed = False
         self._write_lock = threading.Lock()
         self._state_lock = threading.Lock()
-        self._pending: dict[int, _MuxPending] = {}
-        self._discard: set[int] = set()
+        self._pending: dict[int, _MuxPending] = {}  # guarded-by: _state_lock
+        self._discard: set[int] = set()  # guarded-by: _state_lock
         self._c_unmatched = REGISTRY.counter("tcp.client.mux_unmatched")
         self._reader = threading.Thread(
             target=self._reader_loop,
@@ -334,7 +334,7 @@ class MultiplexedTCPClient(ClientTransport):
     """
 
     def __init__(self, *, connect_timeout: float = 2.0):
-        self._conns: dict[Address, _MuxConnection] = {}
+        self._conns: dict[Address, _MuxConnection] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self.connect_timeout = connect_timeout
         self.connects = 0

@@ -95,14 +95,17 @@ class UDPClient(ClientTransport):
                 return None
 
     def send_oneway(self, address: Address, request: Request) -> None:
+        # No lock: datagram sendto is atomic and this path never reads
+        # from the socket, so it cannot steal another thread's response.
+        # Taking _lock here would serialise fire-and-forget sends behind
+        # a full roundtrip timeout.
         payload = request.encode()
         if len(payload) > MAX_DATAGRAM:
             return
-        with self._lock:
-            try:
-                self._sock.sendto(payload, (address.host, address.port))
-            except OSError:
-                pass
+        try:
+            self._sock.sendto(payload, (address.host, address.port))
+        except OSError:
+            pass
 
     def close(self) -> None:
         self._sock.close()

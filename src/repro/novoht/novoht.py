@@ -31,8 +31,8 @@ from __future__ import annotations
 
 import os
 import threading
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
+from typing import BinaryIO, Callable, Iterator
 
 from ..core.errors import KeyNotFound, StoreError
 from ..obs import REGISTRY
@@ -60,7 +60,7 @@ class _Spilled:
 
     __slots__ = ("offset", "length")
 
-    def __init__(self, offset: int, length: int):
+    def __init__(self, offset: int, length: int) -> None:
         self.offset = offset
         self.length = length
 
@@ -110,8 +110,8 @@ class NoVoHT:
         initial_capacity: int = 1024,
         resize_factor: float = 2.0,
         fsync: bool = False,
-        wal_opener=None,
-    ):
+        wal_opener: "Callable[[str, str], BinaryIO] | None" = None,
+    ) -> None:
         if checkpoint_interval_ops < 0:
             raise ValueError("checkpoint_interval_ops must be >= 0")
         if not 0.0 <= gc_dead_ratio <= 1.0:
@@ -123,7 +123,7 @@ class NoVoHT:
         if resize_factor <= 1.0:
             raise ValueError("resize_factor must be > 1.0")
 
-        self._map: dict[bytes, bytes | _Spilled] = {}
+        self._map: dict[bytes, bytes | _Spilled] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
         self.stats = NoVoHTStats()
         self.checkpoint_interval_ops = checkpoint_interval_ops
@@ -131,15 +131,15 @@ class NoVoHT:
         self.max_memory_pairs = max_memory_pairs or 0
         self.initial_capacity = initial_capacity
         self.resize_factor = resize_factor
-        self._ops_since_checkpoint = 0
-        self._closed = False
+        self._ops_since_checkpoint = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
         self.path = path
         self._wal: WriteAheadLog | None = None
         self._ckpt_path: str | None = None
         self._ovf_path: str | None = None
-        self._ovf_file = None
-        self._ovf_garbage = 0
+        self._ovf_file = None  # guarded-by: _lock
+        self._ovf_garbage = 0  # guarded-by: _lock
 
         if path is not None:
             os.makedirs(path, exist_ok=True)
@@ -166,7 +166,7 @@ class NoVoHT:
     # Recovery
     # ------------------------------------------------------------------
 
-    def _recover(self) -> None:
+    def _recover(self) -> None:  # lint: single-threaded (construction only)
         """Rebuild the in-memory map from checkpoint + WAL replay."""
         assert self._wal is not None and self._ckpt_path is not None
         for key, value in read_checkpoint(self._ckpt_path):
@@ -412,9 +412,12 @@ class NoVoHT:
 
     def close(self) -> None:
         """Checkpoint (if persistent) and release file handles."""
-        if self._closed:
-            return
         with self._lock:
+            # Checked under the lock: two racing closers would otherwise
+            # both pass an unlocked fast-path test and double-close the
+            # WAL and overflow handles.
+            if self._closed:
+                return
             if self._wal is not None:
                 self.checkpoint()
                 self._wal.close()
@@ -426,7 +429,7 @@ class NoVoHT:
     def __enter__(self) -> "NoVoHT":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def info(self) -> dict:
@@ -451,7 +454,7 @@ class NoVoHT:
     # Internals
     # ------------------------------------------------------------------
 
-    def _ensure_open(self) -> None:
+    def _ensure_open(self) -> None:  # holds-lock: _lock
         if self._closed:
             raise StoreError("NoVoHT is closed")
 
@@ -466,10 +469,10 @@ class NoVoHT:
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError(f"value must be bytes, got {type(value).__name__}")
 
-    def _after_mutation(self) -> None:
+    def _after_mutation(self) -> None:  # holds-lock: _lock
         self._after_mutations(1)
 
-    def _after_mutations(self, n: int) -> None:
+    def _after_mutations(self, n: int) -> None:  # holds-lock: _lock
         self._ops_since_checkpoint += n
         if self._wal is not None:
             if (
@@ -487,14 +490,14 @@ class NoVoHT:
 
     # -- spill-to-disk ----------------------------------------------------
 
-    def _open_overflow(self):
+    def _open_overflow(self) -> None:  # holds-lock: _lock
         if self._ovf_file is None:
             if self._ovf_path is None:
                 raise StoreError("memory bound requires a persistence path")
             self._ovf_file = open(self._ovf_path, "a+b")
         return self._ovf_file
 
-    def _enforce_memory_bound(self) -> None:
+    def _enforce_memory_bound(self) -> None:  # holds-lock: _lock
         if not self.max_memory_pairs:
             return
         in_ram = [
@@ -515,7 +518,7 @@ class NoVoHT:
             self._map[key] = _Spilled(offset, len(value))
         f.flush()
 
-    def _load_spilled(self, key: bytes, marker: _Spilled) -> bytes:
+    def _load_spilled(self, key: bytes, marker: _Spilled) -> bytes:  # holds-lock: _lock
         f = self._open_overflow()
         f.seek(marker.offset)
         value = f.read(marker.length)

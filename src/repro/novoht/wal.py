@@ -152,7 +152,7 @@ class WriteAheadLog:
         *,
         fsync: bool = False,
         opener: "Callable[[str, str], BinaryIO] | None" = None,
-    ):
+    ) -> None:
         self.path = path
         self.fsync = fsync
         self._opener = opener

@@ -35,7 +35,7 @@ class Counter:
 
     def __init__(self, name: str):
         self.name = name
-        self._value = 0
+        self._value = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
@@ -44,7 +44,7 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        return self._value  # zht-lint: ignore[LOCK001] GIL-atomic int read; snapshot precision not required
 
     def reset(self) -> None:
         with self._lock:
@@ -59,7 +59,7 @@ class Gauge:
 
     def __init__(self, name: str, provider: Callable[[], float] | None = None):
         self.name = name
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._provider = provider
         self._lock = threading.Lock()
 
@@ -74,7 +74,7 @@ class Gauge:
                 return float(self._provider())
             except Exception:
                 return 0.0
-        return self._value
+        return self._value  # zht-lint: ignore[LOCK001] GIL-atomic float read; snapshot precision not required
 
     def reset(self) -> None:
         with self._lock:
@@ -111,11 +111,11 @@ class LatencyHistogram:
 
     def __init__(self, name: str):
         self.name = name
-        self._counts = [0] * (len(self.BOUNDS) + 1)  # +1 overflow
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = 0.0
+        self._counts = [0] * (len(self.BOUNDS) + 1)  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._min = float("inf")  # guarded-by: _lock
+        self._max = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def record(self, seconds: float) -> None:
@@ -133,18 +133,20 @@ class LatencyHistogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        return self._count  # zht-lint: ignore[LOCK001] GIL-atomic int read
 
     @property
     def mean_s(self) -> float:
+        # zht-lint: ignore[LOCK001] torn sum/count read only skews a progress readout
         return self._sum / self._count if self._count else 0.0
 
     @property
     def max_s(self) -> float:
-        return self._max
+        return self._max  # zht-lint: ignore[LOCK001] GIL-atomic float read
 
     @property
     def min_s(self) -> float:
+        # zht-lint: ignore[LOCK001] GIL-atomic float reads; min/count skew is harmless
         return self._min if self._count else 0.0
 
     def percentile(self, p: float) -> float:

@@ -19,7 +19,7 @@ scaling in :func:`~repro.sim.network.zht_instance_service`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.client import ZHTClientCore
 from ..core.config import ReplicationMode, ZHTConfig

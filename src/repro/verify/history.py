@@ -33,7 +33,7 @@ import json
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Terminal outcome of one operation interval.
 STATUS_OK = "ok"  #: definite success (effect applied / value returned)

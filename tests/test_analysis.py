@@ -1,0 +1,544 @@
+"""Fixture tests for the repo-aware lint suite (repro.analysis).
+
+Each checker gets a known-bad snippet proving it fires and a known-good
+snippet proving it stays quiet; the meta-test at the bottom asserts the
+real tree lints clean (zero unsuppressed findings, no stale
+suppressions) — the same invariant CI's ``repro lint --json`` gate
+enforces.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import LintConfig, run_lint
+from repro.analysis.engine import LintConfigError, Suppression
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_snippet(tmp_path, source, checker=None, config=None, name="mod.py"):
+    (tmp_path / name).write_text(textwrap.dedent(source), encoding="utf-8")
+    cfg = config or LintConfig(roots=["."])
+    checkers = [checker] if checker else None
+    return run_lint(tmp_path, checkers=checkers, config=cfg)
+
+
+def codes(report):
+    return sorted({f.code for f in report.active})
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+
+LOCK_SNIPPET = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._data = {}  # guarded-by: _lock
+
+        def good(self, k, v):
+            with self._lock:
+                self._data[k] = v
+
+        def bad(self, k):
+            return self._data.get(k)
+"""
+
+
+def test_lock001_fires_on_unguarded_access(tmp_path):
+    report = lint_snippet(tmp_path, LOCK_SNIPPET, "lock-discipline")
+    assert codes(report) == ["LOCK001"]
+    (finding,) = report.active
+    assert finding.symbol == "Store.bad"
+    assert "_data" in finding.message
+
+
+def test_lock001_quiet_inside_with_scope(tmp_path):
+    good_only = LOCK_SNIPPET.replace(
+        "def bad(self, k):\n            return self._data.get(k)",
+        "def also_good(self, k):\n"
+        "            with self._lock:\n"
+        "                return self._data.get(k)",
+    )
+    report = lint_snippet(tmp_path, good_only, "lock-discipline")
+    assert report.active == []
+
+
+def test_lock001_holds_lock_annotation(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}  # guarded-by: _lock
+
+            def _evict(self):  # holds-lock: _lock
+                self._data.clear()
+
+            def _setup(self):  # lint: single-threaded
+                self._data.clear()
+        """,
+        "lock-discipline",
+    )
+    assert report.active == []
+
+
+def test_lock001_guarded_registry(tmp_path):
+    config = LintConfig(roots=["."], guarded={"Store._data": "_lock"})
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def bad(self):
+                return len(self._data)
+        """,
+        "lock-discipline",
+        config=config,
+    )
+    assert codes(report) == ["LOCK001"]
+
+
+def test_lock002_reports_cross_class_cycle(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+
+        class A:
+            b: "B"
+
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def hit(self):
+                with self._lock:
+                    self.b.poke()
+
+        class B:
+            a: "A"
+
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poke(self):
+                with self._lock:
+                    pass
+
+            def reverse(self):
+                with self._lock:
+                    self.a.hit()
+        """,
+        "lock-discipline",
+    )
+    assert "LOCK002" in codes(report)
+    (finding,) = [f for f in report.active if f.code == "LOCK002"]
+    assert "A._lock" in finding.message and "B._lock" in finding.message
+
+
+def test_lock002_quiet_on_consistent_order(tmp_path):
+    # Same nesting everywhere: A._lock then B._lock. No inversion.
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+
+        class B:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poke(self):
+                with self._lock:
+                    pass
+
+        class A:
+            b: "B"
+
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def hit(self):
+                with self._lock:
+                    self.b.poke()
+
+            def hit_again(self):
+                with self._lock:
+                    with self.b._lock:
+                        pass
+        """,
+        "lock-discipline",
+    )
+    assert report.active == []
+
+
+def test_lock003_unknown_guard_target(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}  # guarded-by: _missing
+        """,
+        "lock-discipline",
+    )
+    assert codes(report) == ["LOCK003"]
+
+
+def test_lock004_nested_nonreentrant_acquire(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._rlock = threading.RLock()
+
+            def deadlocks(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+
+            def fine(self):
+                with self._rlock:
+                    with self._rlock:
+                        pass
+        """,
+        "lock-discipline",
+    )
+    lock004 = [f for f in report.active if f.code == "LOCK004"]
+    assert len(lock004) == 1
+    assert lock004[0].symbol == "Store.deadlocks"
+
+
+def test_lock_property_alias_resolves(tmp_path):
+    # `with store.lock:` (a property aliasing _lock) must satisfy the
+    # guard on _data — the NoVoHT.lock idiom.
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.RLock()
+                self._data = {}  # guarded-by: _lock
+
+            @property
+            def lock(self):
+                return self._lock
+
+        class User:
+            store: "Store"
+
+            def ok(self):
+                with self.store.lock:
+                    return len(self.store._data)
+        """,
+        "lock-discipline",
+    )
+    assert report.active == []
+
+
+# ---------------------------------------------------------------------------
+# blocking-under-lock
+# ---------------------------------------------------------------------------
+
+
+def test_block001_direct_and_transitive(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import os
+        import threading
+        import time
+
+        class W:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def direct(self):
+                with self._lock:
+                    time.sleep(0.1)
+
+            def _flush(self):
+                os.fsync(1)
+
+            def transitive(self):
+                with self._lock:
+                    self._flush()
+
+            def fine(self):
+                time.sleep(0.1)
+                with self._lock:
+                    pass
+        """,
+        "blocking-under-lock",
+    )
+    assert codes(report) == ["BLOCK001"]
+    symbols = sorted(f.symbol for f in report.active)
+    assert symbols == ["W.direct", "W.transitive"]
+
+
+def test_block001_condition_wait_idiom_allowed(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+
+        class Seq:
+            def __init__(self):
+                self._cond = threading.Condition()
+
+            def ok(self):
+                with self._cond:
+                    self._cond.wait()
+
+            def bad(self, event):
+                with self._cond:
+                    event.wait()
+        """,
+        "blocking-under-lock",
+    )
+    assert [f.symbol for f in report.active] == ["Seq.bad"]
+
+
+def test_block001_inline_suppression(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import os
+        import threading
+
+        class W:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def flush(self):
+                with self._lock:
+                    os.fsync(1)  # zht-lint: ignore[BLOCK001] group commit
+        """,
+        "blocking-under-lock",
+    )
+    assert report.active == []
+    (finding,) = report.suppressed
+    assert finding.suppressed_by == "inline: group commit"
+
+
+# ---------------------------------------------------------------------------
+# protocol-exhaustiveness
+# ---------------------------------------------------------------------------
+
+
+PROTO_SNIPPET = """
+    class OpCode:
+        INSERT = 1
+        LOOKUP = 2
+        ORPHAN = 3
+        DOUBLE = 4
+
+    MUTATING_OPS = frozenset({OpCode.INSERT, OpCode.DOUBLE})
+    NON_MUTATING_OPS = frozenset({OpCode.LOOKUP, OpCode.DOUBLE})
+
+    def make_insert():
+        return (OpCode.INSERT, OpCode.LOOKUP, OpCode.DOUBLE)
+
+    class Server:
+        def _dispatch(self, op):
+            if op == OpCode.INSERT:
+                return 1
+            if op == OpCode.LOOKUP:
+                return 2
+            if op == OpCode.DOUBLE:
+                return 4
+            return None
+"""
+
+
+def test_proto_orphan_and_double_membership(tmp_path):
+    report = lint_snippet(tmp_path, PROTO_SNIPPET, "protocol-exhaustiveness")
+    by_code = {}
+    for f in report.active:
+        by_code.setdefault(f.code, set()).add(f.symbol)
+    # ORPHAN: no dispatch, no construction, no membership decision.
+    assert by_code["PROTO001"] == {"OpCode.ORPHAN"}
+    assert by_code["PROTO002"] == {"OpCode.ORPHAN"}
+    assert by_code["PROTO003"] == {"OpCode.ORPHAN"}
+    # DOUBLE: listed in both sets.
+    assert by_code["PROTO004"] == {"OpCode.DOUBLE"}
+
+
+def test_proto_quiet_when_exhaustive(tmp_path):
+    clean = (
+        PROTO_SNIPPET.replace("        ORPHAN = 3\n", "")
+        .replace("        DOUBLE = 4\n", "")
+        .replace("{OpCode.INSERT, OpCode.DOUBLE}", "{OpCode.INSERT}")
+        .replace("{OpCode.LOOKUP, OpCode.DOUBLE}", "{OpCode.LOOKUP}")
+        .replace(", OpCode.DOUBLE)", ")")
+        .replace(
+            "            if op == OpCode.DOUBLE:\n                return 4\n",
+            "",
+        )
+    )
+    report = lint_snippet(tmp_path, clean, "protocol-exhaustiveness")
+    assert report.active == []
+
+
+# ---------------------------------------------------------------------------
+# config-drift
+# ---------------------------------------------------------------------------
+
+
+def test_cfg001_unread_field_and_cfg002_unknown(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        class ZHTConfig:
+            timeout: float = 1.0
+            unused_knob: int = 3
+
+        def use(config):
+            return config.timeout + config.missing_field
+
+        def build():
+            return ZHTConfig(timeout=2.0, bogus=1)
+        """,
+        "config-drift",
+    )
+    by_code = {}
+    for f in report.active:
+        by_code.setdefault(f.code, []).append(f)
+    assert [f.symbol for f in by_code["CFG001"]] == ["ZHTConfig.unused_knob"]
+    assert sorted(f.message for f in by_code["CFG002"]) == [
+        "config access names unknown field 'bogus'",
+        "config access names unknown field 'missing_field'",
+    ]
+
+
+def test_cfg_getattr_literal_checked(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        class ZHTConfig:
+            timeout: float = 1.0
+
+        def dynamic(cfg):
+            good = getattr(cfg, "timeout")
+            bad = getattr(cfg, "tmeout")
+            return good, bad
+        """,
+        "config-drift",
+    )
+    assert codes(report) == ["CFG002"]
+    (finding,) = report.active
+    assert "tmeout" in finding.message
+
+
+def test_cfg_quiet_when_all_fields_read(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        class ZHTConfig:
+            timeout: float = 1.0
+
+            def replace(self, **kw):
+                return self
+
+        def use(config):
+            fresh = config.replace(timeout=2.0)
+            return config.timeout
+        """,
+        "config-drift",
+    )
+    assert report.active == []
+
+
+# ---------------------------------------------------------------------------
+# engine: suppression policy
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_file_requires_reason(tmp_path):
+    (tmp_path / ".zhtlint.toml").write_text(
+        '[[suppress]]\ncode = "LOCK001"\n', encoding="utf-8"
+    )
+    try:
+        LintConfig.load(tmp_path)
+    except LintConfigError as exc:
+        assert "reason" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("missing reason must be rejected")
+
+
+def test_suppression_matches_symbol_glob(tmp_path):
+    config = LintConfig(
+        roots=["."],
+        suppressions=[
+            Suppression(
+                code="LOCK001", symbol="Store.*", reason="test fixture"
+            )
+        ],
+    )
+    report = lint_snippet(tmp_path, LOCK_SNIPPET, "lock-discipline", config)
+    assert report.active == []
+    (finding,) = report.suppressed
+    assert finding.suppressed_by == "test fixture"
+    assert report.unused_suppressions == []
+
+
+def test_unused_suppressions_reported_on_full_run(tmp_path):
+    config = LintConfig(
+        roots=["."],
+        suppressions=[
+            Suppression(code="LOCK001", symbol="Nothing.*", reason="stale")
+        ],
+    )
+    (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    report = run_lint(tmp_path, config=config)
+    assert [s.reason for s in report.unused_suppressions] == ["stale"]
+
+
+def test_json_report_shape(tmp_path):
+    report = lint_snippet(tmp_path, LOCK_SNIPPET, "lock-discipline")
+    data = __import__("json").loads(report.to_json())
+    assert data["ok"] is False
+    assert data["counts"]["active"] == 1
+    (finding,) = data["findings"]
+    assert finding["code"] == "LOCK001"
+    assert finding["path"] == "mod.py"
+
+
+# ---------------------------------------------------------------------------
+# meta: the repository itself lints clean
+# ---------------------------------------------------------------------------
+
+
+def test_repo_lints_clean():
+    report = run_lint(REPO_ROOT)
+    assert not report.errors, report.errors
+    assert report.active == [], "\n".join(f.render() for f in report.active)
+    assert report.unused_suppressions == [], [
+        s.describe() for s in report.unused_suppressions
+    ]
+    # The baseline is doing real work: the intentional cases are
+    # suppressed with justifications, not invisible.
+    assert len(report.suppressed) >= 10
+    assert all(f.suppressed_by for f in report.suppressed)

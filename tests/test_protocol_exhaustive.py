@@ -1,0 +1,97 @@
+"""Exhaustiveness tests generated from the OpCode enum itself.
+
+Parametrized over ``list(OpCode)`` so a newly added opcode fails these
+tests immediately unless it gets a wire roundtrip, a mutating /
+non-mutating classification, and a server dispatch handler — the
+runtime counterpart of the ``protocol-exhaustiveness`` lint checker
+(``python -m repro lint``), which proves the same properties statically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import LintConfig, Project
+from repro.analysis.protocol_check import collect_usage
+from repro.core.protocol import (
+    MUTATING_OPS,
+    NON_MUTATING_OPS,
+    OpCode,
+    Request,
+)
+from repro.core.server import ZHTServerCore
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ALL_OPS = list(OpCode)
+
+
+def _usage():
+    # Cached per-session: one parse of src/repro is plenty.
+    if not hasattr(_usage, "value"):
+        project = Project.load(REPO_ROOT, LintConfig(roots=["src/repro"]))
+        _usage.value = collect_usage(project)
+    return _usage.value
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+def test_op_in_exactly_one_mutation_set(op):
+    in_mut = op in MUTATING_OPS
+    in_non = op in NON_MUTATING_OPS
+    assert in_mut != in_non, (
+        f"{op.name} must be in exactly one of MUTATING_OPS / "
+        f"NON_MUTATING_OPS (mutating={in_mut}, non_mutating={in_non})"
+    )
+
+
+def test_mutation_sets_partition_the_enum():
+    assert MUTATING_OPS | NON_MUTATING_OPS == frozenset(OpCode)
+    assert not MUTATING_OPS & NON_MUTATING_OPS
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+def test_request_wire_roundtrip(op):
+    request = Request(
+        op=op,
+        key=b"k" * 7,
+        value=b"v" * 11,
+        request_id=42,
+        epoch=3,
+        partition=5,
+        replica_index=1,
+        inner_op=int(OpCode.INSERT),
+        payload=b"\x00\xffpayload",
+    )
+    decoded = Request.decode(request.encode())
+    assert decoded == request
+    assert isinstance(decoded.op, OpCode)
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+def test_op_has_server_dispatch_handler(op):
+    usage = _usage()
+    assert usage is not None, "OpCode class not found by the analyzer"
+    assert op.name in usage.dispatched, (
+        f"{op.name} has no handler in ZHTServerCore._dispatch"
+    )
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+def test_op_is_constructed_somewhere(op):
+    usage = _usage()
+    assert op.name in usage.constructed, (
+        f"{op.name} has no client/server construction site — dead opcode"
+    )
+
+
+def test_batch_kinds_cover_batchable_ops():
+    # The BATCH fast path must understand every key/value data op the
+    # client can batch; anything else goes through _dispatch per-sub-op.
+    batchable = {OpCode.INSERT, OpCode.LOOKUP, OpCode.REMOVE, OpCode.APPEND}
+    assert set(ZHTServerCore._BATCH_KINDS) == batchable
+    # Kind strings must be unique (they key the NoVoHT batch op switch).
+    kinds = list(ZHTServerCore._BATCH_KINDS.values())
+    assert len(set(kinds)) == len(kinds)
+    assert set(ZHTServerCore._BATCH_STATS) == set(kinds)

@@ -81,3 +81,16 @@ class TestBroadcastPrimitiveOverTCP:
         for server in tcp_cluster.servers:
             assert server.core.broadcast_store.get(b"cfg/threads") == b"64"
         assert z.lookup_broadcast("cfg/threads") == b"64"
+
+
+class TestExplicitMembershipRefresh:
+    def test_refresh_membership_adopts_newer_table(self, tcp_cluster):
+        z = tcp_cluster.client(seed=1)
+        z.insert(b"rk", b"rv")
+        # Client already at the server's epoch: nothing newer to adopt.
+        assert z.refresh_membership() is False
+        # A stale client (older epoch) must adopt the server's table.
+        z.core.membership.epoch -= 1
+        assert z.refresh_membership() is True
+        assert z.core.membership.epoch == tcp_cluster.membership.epoch
+        assert z.lookup(b"rk") == b"rv"
