@@ -1,0 +1,211 @@
+"""Overload survival: goodput and bounded tail latency past saturation.
+
+The request-survival layer (DESIGN.md §12) promises that a ZHT
+deployment pushed past its sustainable throughput degrades by *shedding*
+— explicit RETRY_LATER rejections and expired-deadline drops — rather
+than by collapsing into timeout storms.  This benchmark measures that
+contract on loopback TCP:
+
+1. **peak** — closed-loop calibration: N workers drive the cluster as
+   fast as it will go; the completed rate is the sustainable peak;
+2. **overload** — 2N workers (≈2× the sustainable load, since phase 1
+   saturated the server) with a short per-op deadline; admission
+   control sheds the excess at the door.
+
+Acceptance: goodput (accepted ops/s) under 2× load stays >= 70% of
+peak, and the p99 latency of *accepted* requests stays bounded by the
+deadline budget — overload makes the cluster say "no" quickly, not
+slowly.
+
+Run standalone for CI smoke mode::
+
+    PYTHONPATH=src python benchmarks/bench_overload.py --smoke
+"""
+
+import sys
+import threading
+import time
+
+from _util import emit_json, fmt, fmt_int, print_table
+
+from repro.core import ZHTConfig
+from repro.core.errors import ZHTError
+from repro.net.cluster import build_tcp_cluster
+
+NODES = 3
+VALUE = b"v" * 132  # the paper's micro-benchmark value size
+PEAK_WORKERS = 6
+OVERLOAD_FACTOR = 2
+#: Per-op wall-clock budget during the overload phase.
+DEADLINE_S = 0.1
+
+
+def _config() -> ZHTConfig:
+    return ZHTConfig(
+        transport="tcp",
+        num_partitions=32,
+        num_replicas=1,
+        request_timeout=0.1,
+        backoff_factor=1.5,
+        max_retries=5,
+        op_deadline_s=DEADLINE_S,
+        # Sized between the two phase concurrencies: phase 1's workers
+        # all fit, phase 2's exceed it and get shed at the door.
+        max_inflight=PEAK_WORKERS + 2,
+    )
+
+
+def _phase(cluster, workers: int, duration: float):
+    """Closed-loop phase: each worker hammers its own client until the
+    clock runs out.  Returns (accepted, rejected, sorted latencies)."""
+    stop = time.monotonic() + duration
+    latencies: list[list[float]] = [[] for _ in range(workers)]
+    rejected = [0] * workers
+
+    def drive(wid: int) -> None:
+        client = cluster.client(seed=100 + wid)
+        i = 0
+        while time.monotonic() < stop:
+            key = f"w{wid}-{i:06d}".encode()
+            i += 1
+            t0 = time.monotonic()
+            try:
+                if i % 4 == 0:
+                    # Read back the previous iteration's insert (i-1 was
+                    # this key's index before the increment; i-2 is the
+                    # last one actually inserted).
+                    client.lookup(f"w{wid}-{i - 2:06d}".encode())
+                else:
+                    client.insert(key, VALUE)
+            except ZHTError:
+                rejected[wid] += 1
+                continue
+            latencies[wid].append(time.monotonic() - t0)
+
+    threads = [
+        threading.Thread(target=drive, args=(w,)) for w in range(workers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    flat = sorted(lat for per in latencies for lat in per)
+    return len(flat), sum(rejected), flat
+
+
+def _pct(latencies: list[float], p: float) -> float:
+    if not latencies:
+        return 0.0
+    return latencies[min(len(latencies) - 1, int(p * (len(latencies) - 1)))]
+
+
+def run(duration: float):
+    config = _config()
+    with build_tcp_cluster(NODES, config, seed=17) as cluster:
+        # Warm connections and partitions before timing anything.
+        warm = cluster.client(seed=1)
+        for i in range(64):
+            warm.insert(f"warm-{i}".encode(), VALUE)
+
+        peak_ok, peak_rej, peak_lat = _phase(cluster, PEAK_WORKERS, duration)
+        over_ok, over_rej, over_lat = _phase(
+            cluster, PEAK_WORKERS * OVERLOAD_FACTOR, duration
+        )
+        shed = sum(
+            s.core.stats.shed_overload + s.core.stats.shed_expired
+            for s in cluster.servers
+            if s.core is not None
+        )
+
+    peak = peak_ok / duration
+    goodput = over_ok / duration
+    rows = [
+        (
+            "peak",
+            PEAK_WORKERS,
+            fmt_int(peak),
+            peak_ok,
+            peak_rej,
+            fmt(_pct(peak_lat, 0.50) * 1e3, 1),
+            fmt(_pct(peak_lat, 0.99) * 1e3, 1),
+        ),
+        (
+            f"{OVERLOAD_FACTOR}x load",
+            PEAK_WORKERS * OVERLOAD_FACTOR,
+            fmt_int(goodput),
+            over_ok,
+            over_rej,
+            fmt(_pct(over_lat, 0.50) * 1e3, 1),
+            fmt(_pct(over_lat, 0.99) * 1e3, 1),
+        ),
+    ]
+    stats = {
+        "peak_ops_s": peak,
+        "goodput_ops_s": goodput,
+        "goodput_ratio": goodput / peak if peak else 0.0,
+        "accepted_p99_s": _pct(over_lat, 0.99),
+        "rejected": over_rej,
+        "shed_by_servers": shed,
+    }
+    return rows, stats
+
+
+HEADERS = ("phase", "workers", "ops/s", "accepted", "rejected", "p50 ms", "p99 ms")
+
+
+def check(stats: dict) -> list[str]:
+    """Acceptance checks; returns a list of failure messages."""
+    failures = []
+    if stats["goodput_ratio"] < 0.70:
+        failures.append(
+            f"goodput at 2x load is {stats['goodput_ratio']:.0%} of peak "
+            "(< 70%)"
+        )
+    # Accepted requests must settle within the deadline budget (one
+    # request_timeout of scheduling slack on top of the op deadline).
+    bound = DEADLINE_S + _config().request_timeout
+    if stats["accepted_p99_s"] > bound:
+        failures.append(
+            f"accepted p99 {stats['accepted_p99_s'] * 1e3:.1f} ms exceeds "
+            f"{bound * 1e3:.0f} ms bound"
+        )
+    return failures
+
+
+def _report(duration: float) -> list[str]:
+    rows, stats = run(duration)
+    print_table(
+        f"Overload survival: {OVERLOAD_FACTOR}x sustainable load "
+        f"(TCP, {NODES} nodes, deadline {DEADLINE_S * 1e3:.0f} ms)",
+        HEADERS,
+        rows,
+        note=(
+            f"goodput ratio {stats['goodput_ratio']:.0%}, "
+            f"{stats['rejected']} client rejections, "
+            f"{stats['shed_by_servers']} server sheds"
+        ),
+    )
+    emit_json("overload", HEADERS, rows)
+    return check(stats)
+
+
+def test_overload_goodput(benchmark):
+    failures = _report(duration=1.5)
+    assert not failures, failures
+
+    def timed_case():
+        config = _config()
+        with build_tcp_cluster(NODES, config, seed=17) as cluster:
+            client = cluster.client(seed=2)
+            for i in range(64):
+                client.insert(f"t-{i}".encode(), VALUE)
+
+    benchmark(timed_case)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    failures = _report(duration=0.8 if smoke else 2.5)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1 if failures else 0)

@@ -11,6 +11,16 @@ Every :class:`OpCode` member must have:
   ``MUTATING_OPS`` / ``NON_MUTATING_OPS`` (**PROTO003** missing,
   **PROTO004** in both).
 
+Every :class:`Status` member must likewise have:
+
+* a reference outside the enum body — otherwise the status is dead
+  wire-format that no code path ever produces or inspects (**PROTO005**);
+* a client-side handling decision: either an entry in
+  ``STATUS_TO_EXCEPTION`` (it raises) or an explicit comparison site
+  (a retry-loop/control-flow branch) — without either, a server can send
+  it and every client falls through to the generic ProtocolError
+  (**PROTO006**).
+
 The *decode* path is structural (``OpCode(value)`` in ``decode``) and is
 enforced at test time by the generated roundtrip test
 (``tests/test_protocol_exhaustive.py``), which is parametrized over all
@@ -27,6 +37,7 @@ from .engine import Finding, Project, register
 
 _SET_NAMES = ("MUTATING_OPS", "NON_MUTATING_OPS")
 _DISPATCH_NAMES = ("_dispatch", "dispatch")
+_EXCEPTION_MAP_NAME = "STATUS_TO_EXCEPTION"
 
 
 @dataclass
@@ -44,6 +55,69 @@ class OpCodeUsage:
     #: members with a construction site (not a compare, not a set def,
     #: not inside dispatch).
     constructed: set[str] = field(default_factory=set)
+
+
+@dataclass
+class StatusUsage:
+    """Status-code coverage facts for PROTO005/PROTO006."""
+
+    module: ModuleInfo | None = None
+    #: member name -> line of its definition in the Status class body.
+    members: dict[str, int] = field(default_factory=dict)
+    #: members referenced anywhere outside the enum body.
+    referenced: set[str] = field(default_factory=set)
+    #: members keyed in STATUS_TO_EXCEPTION (raise on receipt).
+    mapped: set[str] = field(default_factory=set)
+    #: members appearing inside a comparison (explicit handling branch).
+    compared: set[str] = field(default_factory=set)
+
+
+def collect_status_usage(project: Project) -> StatusUsage:
+    usage = StatusUsage()
+    status_cls = project.index.classes.get("Status")
+    if status_cls is None:
+        return usage
+    usage.module = status_cls.module
+    for stmt in status_cls.node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    usage.members[target.id] = stmt.lineno
+
+    for module in project.modules:
+        map_range: tuple[int, int] | None = None
+        for stmt in module.tree.body:
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+                if isinstance(stmt, ast.AnnAssign)
+                else []
+            )
+            if any(
+                isinstance(t, ast.Name) and t.id == _EXCEPTION_MAP_NAME
+                for t in targets
+            ):
+                map_range = (stmt.lineno, stmt.end_lineno or stmt.lineno)
+
+        compare_attr_ids: set[int] = set()
+        for node, _scope in iter_nodes_with_scope(module.tree):
+            if isinstance(node, ast.Compare):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Attribute):
+                        compare_attr_ids.add(id(sub))
+            if not isinstance(node, ast.Attribute):
+                continue
+            chain = _attr_chain(node)
+            if not chain or len(chain) != 2 or chain[0] != "Status":
+                continue
+            member = chain[1]
+            usage.referenced.add(member)
+            if map_range and map_range[0] <= node.lineno <= map_range[1]:
+                usage.mapped.add(member)
+            if id(node) in compare_attr_ids:
+                usage.compared.add(member)
+    return usage
 
 
 def collect_usage(project: Project) -> OpCodeUsage:
@@ -175,6 +249,41 @@ def check(project: Project) -> list[Finding]:
                     message=(
                         f"OpCode.{member} is in both MUTATING_OPS and "
                         "NON_MUTATING_OPS"
+                    ),
+                )
+            )
+
+    status = collect_status_usage(project)
+    if status.module is None:
+        return findings
+    relpath = status.module.relpath
+    for member, line in sorted(status.members.items(), key=lambda kv: kv[1]):
+        if member not in status.referenced:
+            findings.append(
+                Finding(
+                    checker="protocol-exhaustiveness",
+                    code="PROTO005",
+                    path=relpath,
+                    line=line,
+                    symbol=f"Status.{member}",
+                    message=(
+                        f"Status.{member} is never referenced outside the "
+                        "enum body — dead wire-format"
+                    ),
+                )
+            )
+        elif member not in status.mapped and member not in status.compared:
+            findings.append(
+                Finding(
+                    checker="protocol-exhaustiveness",
+                    code="PROTO006",
+                    path=relpath,
+                    line=line,
+                    symbol=f"Status.{member}",
+                    message=(
+                        f"Status.{member} is neither in STATUS_TO_EXCEPTION "
+                        "nor explicitly compared anywhere — clients would "
+                        "fall through to a generic protocol error"
                     ),
                 )
             )

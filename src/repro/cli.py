@@ -232,7 +232,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         enable_metrics()
 
     plan = None
-    if args.drop or args.delay or args.duplicate:
+    if args.plan == "overload":
+        plan = FaultPlan.overload(args.seed)
+    elif args.plan == "flapping":
+        plan = FaultPlan.flapping(args.seed)
+    elif args.drop or args.delay or args.duplicate:
         plan = FaultPlan.message_chaos(
             args.seed,
             drop=args.drop,
@@ -248,6 +252,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ops=args.ops,
             seed=args.seed,
             plan=plan,
+            detector=args.detector,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -473,6 +478,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="per-message duplication probability",
+    )
+    chaos.add_argument(
+        "--plan",
+        choices=("overload", "flapping"),
+        default=None,
+        help="named fault plan: 'overload' (random server stalls) or "
+        "'flapping' (periodic drop bursts against one target); "
+        "overrides --drop/--delay/--duplicate",
+    )
+    chaos.add_argument(
+        "--detector",
+        choices=("phi", "count"),
+        default=None,
+        help="failure-detector override for the run (phi = RTT-adaptive "
+        "suspicion, count = legacy consecutive-timeout counter)",
     )
     chaos.add_argument(
         "--stats-json",

@@ -5,11 +5,22 @@ operation directly to the owning instance (zero hops).  This module
 implements everything about an operation *except* moving bytes:
 
 * target selection (owner, then replica failover);
-* retry with exponential backoff on timeouts ("lazily tagging nodes that
-  do not respond to requests repeatedly as failed (using exponential back
-  off)", §III.H);
-* marking nodes dead after repeated failures and queueing a notification
-  for "a random manager" (§III.C "Node departures");
+* retry with full-jitter exponential backoff on timeouts ("lazily tagging
+  nodes that do not respond to requests repeatedly as failed (using
+  exponential back off)", §III.H);
+* deadline propagation — each operation gets an absolute wall-clock
+  deadline, carried in every request header, capping both retry delays
+  and attempt timeouts so total latency is bounded;
+* adaptive (phi-accrual-style) failure detection: each timeout adds an
+  RTT-scaled suspicion amount, so nodes with an established fast RTT
+  history are declared dead sooner than the fixed consecutive-timeout
+  counter would, and queueing a notification for "a random manager"
+  (§III.C "Node departures");
+* a per-node circuit breaker (closed/open/half-open) that re-probes
+  suspected-dead nodes after a cooldown instead of requiring a client
+  restart to rediscover a recovered node;
+* overload handling: RETRY_LATER responses back off without counting
+  toward suspicion, and lookups may degrade to replica reads;
 * lazy membership refresh from piggybacked tables and redirects.
 
 Real and simulated transports drive the same :class:`OpDriver` loop::
@@ -26,15 +37,19 @@ from __future__ import annotations
 import enum
 import random
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable
 
 from ..obs import REGISTRY
+from ..obs.metrics import LatencyHistogram
 from .config import ZHTConfig
 from .errors import (
+    DeadlineExceeded,
     MembershipError,
     NodeDeadError,
     RequestTimeout,
+    ServerOverloaded,
     Status,
     ZHTError,
     raise_for_status,
@@ -94,7 +109,9 @@ class BatchAttempt:
     entries: list[BatchEntry]
     requests: list[Request]
 
-    def to_request(self, core: "ZHTClientCore") -> Request:
+    def to_request(
+        self, core: "ZHTClientCore", deadline_us: int = 0
+    ) -> Request:
         from .protocol import encode_batch_requests
 
         return Request(
@@ -102,7 +119,34 @@ class BatchAttempt:
             request_id=core.allocate_request_id(),
             epoch=core.membership.epoch,
             payload=encode_batch_requests(self.requests),
+            deadline_us=deadline_us,
         )
+
+
+class BreakerState(enum.Enum):
+    """Per-node circuit-breaker states gating traffic to suspected nodes.
+
+    ``CLOSED`` (no breaker entry) — node healthy, traffic flows.
+    ``OPEN`` — node was marked dead by local suspicion; no traffic until
+    the cooldown elapses.  ``HALF_OPEN`` — cooldown elapsed; the node is
+    revived in the local table so the next operation probes it.  One
+    success closes the breaker; one timeout re-opens it with a doubled
+    cooldown (capped at ``breaker_cooldown_max_s``).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class _Breaker:
+    """Bookkeeping for one suspected node (guarded by core._state_lock)."""
+
+    state: BreakerState
+    opened_at: float
+    cooldown: float
+    open_count: int = 1
 
 
 class ClientStats:
@@ -124,6 +168,12 @@ class ClientStats:
         #: BATCH round trips issued and sub-operations carried by them.
         "batches",
         "batch_ops",
+        #: RETRY_LATER (overload-shed) responses absorbed by the retry loop.
+        "retry_later",
+        #: Lookups served by a replica because the owner shed load.
+        "degraded_reads",
+        #: Suspected-dead nodes revived for a half-open probe.
+        "reprobes",
     )
 
     __slots__ = FIELDS + ("_lock",)
@@ -162,11 +212,15 @@ class ZHTClientCore:
         config: ZHTConfig | None = None,
         *,
         rng: random.Random | None = None,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         self.membership = membership
         self.config = config or ZHTConfig()
         self.stats = ClientStats()
         self.rng = rng or random.Random()
+        #: Wall-clock source for deadlines and breaker cooldowns; the
+        #: simulator injects its virtual clock here.
+        self.clock = clock
         self._next_request_id = 1  # guarded-by: _request_id_lock
         # Concurrent drivers over one core (threaded benchmark clients,
         # FusionFS) must never mint the same request id: duplicates would
@@ -178,16 +232,49 @@ class ZHTClientCore:
         self._state_lock = threading.Lock()
         #: Consecutive timeout counts per node id (reset on any success).
         self.failure_counts: dict[str, int] = {}  # guarded-by: _state_lock
+        #: Accrued suspicion per node id; in "phi" mode each timeout adds
+        #: an RTT-scaled amount in [1, suspicion_event_cap], in "count"
+        #: mode exactly 1 — so suspicion >= failures_before_dead is the
+        #: single death condition for both detectors.
+        self.suspicion: dict[str, float] = {}  # guarded-by: _state_lock
+        #: Per-node RTT history feeding the adaptive detector.  Kept
+        #: per-core (a process can host many independent clients) and
+        #: mirrored into the process registry for ``repro stats``.
+        self._rtt: dict[str, LatencyHistogram] = {}  # guarded-by: _state_lock
+        #: Circuit breakers for nodes marked dead by *local* suspicion.
+        self._breakers: dict[str, _Breaker] = {}  # guarded-by: _state_lock
         #: Manager notifications awaiting dispatch by the transport.
         self.pending_notifications: list[Notification] = []  # guarded-by: _state_lock
         #: Called as ``fn(node_id, instance_addresses)`` right after a node
         #: is marked dead — the transport layer hooks this to evict cached
         #: connections so failovers never re-use a socket to a dead server.
         self.on_node_dead: Callable[[str, list[Address]], None] | None = None
+        self._derived_budget: float | None = None
+
+    def deadline_budget(self) -> float:
+        """Wall-clock budget (seconds) for one logical operation.
+
+        ``op_deadline_s`` when configured; otherwise the worst-case sum of
+        the retry schedule's timeouts and backoff delays, so the derived
+        deadline can never fire before the retry budget does — existing
+        retry semantics are unchanged unless an explicit deadline is set.
+        """
+        cfg = self.config
+        if cfg.op_deadline_s is not None:
+            return cfg.op_deadline_s
+        if self._derived_budget is None:
+            total = 0.0
+            for r in range(cfg.max_retries + 1):
+                total += cfg.request_timeout * cfg.backoff_factor**r
+                if r:
+                    total += cfg.request_timeout * cfg.backoff_factor ** (r - 1)
+            self._derived_budget = total
+        return self._derived_budget
 
     # ------------------------------------------------------------------
 
     def driver(self, op: OpCode, key: bytes, value: bytes = b"") -> "OpDriver":
+        self.maybe_reprobe()
         self.stats.inc("ops")
         return OpDriver(self, op, key, value)
 
@@ -210,6 +297,7 @@ class ZHTClientCore:
         """
         from .protocol import batch_request_overhead, frame
 
+        self.maybe_reprobe()
         groups: dict[str, BatchAttempt] = {}
         unroutable: list[BatchEntry] = []
         for entry in entries:
@@ -292,24 +380,112 @@ class ZHTClientCore:
             return False
         if self.membership.maybe_adopt(table):
             self.stats.inc("membership_refreshes")
+            # The authoritative table supersedes local suspicion: drop
+            # breakers and accrued suspicion so a manager-confirmed view
+            # (dead or recovered) is not fought by stale local verdicts.
+            with self._state_lock:
+                self._breakers.clear()
+                self.suspicion.clear()
             return True
         return False
 
     # -- failure detection ------------------------------------------------
 
-    def record_timeout(self, node_id: str) -> bool:
-        """Count a timeout against *node_id*; returns True if it just died."""
+    def _suspicion_contribution(
+        self, hist: LatencyHistogram | None, timeout_s: float
+    ) -> float:
+        """Suspicion units one timeout adds against the node whose RTT
+        history is *hist*.
+
+        Phi-accrual intuition without the Gaussian machinery: the longer
+        the elapsed timeout is relative to the node's *expected* response
+        time, the stronger the evidence of death.  The expectation is an
+        RTO-style estimate ``max(rto_min_s, 4 * p99(rtt))`` from the
+        node's own RTT history.  A node with no history (cold start)
+        contributes exactly 1.0 — identical to the legacy counter — so
+        the adaptive detector can only be *faster*, never trigger-happier
+        on nodes it knows nothing about.
+        """
+        cfg = self.config
+        if cfg.failure_detector != "phi" or timeout_s <= 0:
+            return 1.0
+        if hist is None or hist.count < 8:
+            return 1.0  # not enough history to trust an RTO estimate
+        rto = max(cfg.rto_min_s, hist.percentile(99) * 4)
+        return min(max(timeout_s / rto, 1.0), cfg.suspicion_event_cap)
+
+    def record_timeout(self, node_id: str, timeout_s: float = 0.0) -> bool:
+        """Count a timeout against *node_id*; returns True if it just died.
+
+        *timeout_s* is the attempt's timeout (how long the client waited
+        before giving up); it scales the suspicion contribution in phi
+        mode.  A timeout against a HALF_OPEN node re-opens its breaker
+        immediately — a failed probe is conclusive, not one more strike.
+        """
         with self._state_lock:
             count = self.failure_counts.get(node_id, 0) + 1
             self.failure_counts[node_id] = count
-            reached_threshold = count >= self.config.failures_before_dead
-        if reached_threshold:
+            breaker = self._breakers.get(node_id)
+            probe_failed = (
+                breaker is not None and breaker.state is BreakerState.HALF_OPEN
+            )
+            hist = self._rtt.get(node_id)
+        # The histogram is internally locked; only the dict lookup needs
+        # _state_lock, so the percentile math runs outside it.
+        contribution = self._suspicion_contribution(hist, timeout_s)
+        with self._state_lock:
+            score = self.suspicion.get(node_id, 0.0) + contribution
+            self.suspicion[node_id] = score
+            reached_threshold = score >= self.config.failures_before_dead
+        if probe_failed or reached_threshold:
             return self._mark_node_dead(node_id)
         return False
 
-    def record_success(self, node_id: str) -> None:
+    def record_success(self, node_id: str, rtt_s: float | None = None) -> None:
+        """Clear suspicion for *node_id* and feed its RTT history."""
         with self._state_lock:
             self.failure_counts.pop(node_id, None)
+            self.suspicion.pop(node_id, None)
+            self._breakers.pop(node_id, None)  # half-open probe succeeded
+            if rtt_s is not None:
+                hist = self._rtt.get(node_id)
+                if hist is None:
+                    hist = LatencyHistogram(f"client.rtt.{node_id}")
+                    self._rtt[node_id] = hist
+        if rtt_s is not None:
+            hist.record(rtt_s)
+            REGISTRY.histogram(f"client.rtt.{node_id}").record(rtt_s)
+
+    def breaker_state(self, node_id: str) -> BreakerState:
+        """Current circuit-breaker state for *node_id* (CLOSED = healthy)."""
+        with self._state_lock:
+            breaker = self._breakers.get(node_id)
+            return BreakerState.CLOSED if breaker is None else breaker.state
+
+    def maybe_reprobe(self) -> None:
+        """Transition OPEN breakers whose cooldown elapsed to HALF_OPEN.
+
+        The node is revived in the *local* table so normal routing sends
+        it the next matching operation as a probe: one success closes the
+        breaker, one timeout re-opens it with a doubled cooldown.  This is
+        what lets a client rediscover a recovered node without a restart.
+        """
+        now = self.clock()
+        to_probe: list[str] = []
+        with self._state_lock:
+            for node_id, breaker in self._breakers.items():
+                if (
+                    breaker.state is BreakerState.OPEN
+                    and now - breaker.opened_at >= breaker.cooldown
+                ):
+                    breaker.state = BreakerState.HALF_OPEN
+                    to_probe.append(node_id)
+        for node_id in to_probe:
+            try:
+                self.membership.mark_node_alive(node_id)
+            except MembershipError:
+                continue
+            self.stats.inc("reprobes")
 
     def take_notifications(self) -> list[Notification]:
         """Atomically drain the pending manager notifications."""
@@ -325,6 +501,7 @@ class ZHTClientCore:
         concurrent drivers racing past the failure threshold cannot each
         "kill" the node and queue duplicate manager notifications.
         """
+        cfg = self.config
         with self._state_lock:
             node = self.membership.nodes.get(node_id)
             if node is None or not node.alive:
@@ -334,7 +511,31 @@ class ZHTClientCore:
             except MembershipError:
                 return False
             self.failure_counts.pop(node_id, None)
-        self.stats.inc("nodes_marked_dead")
+            self.suspicion.pop(node_id, None)
+            # Open (or re-open) the circuit breaker so the node gets a
+            # half-open probe after the cooldown instead of staying dead
+            # until the client process restarts.
+            breaker = self._breakers.get(node_id)
+            first_death = breaker is None
+            if first_death:
+                self._breakers[node_id] = _Breaker(
+                    state=BreakerState.OPEN,
+                    opened_at=self.clock(),
+                    cooldown=cfg.breaker_cooldown_s,
+                )
+            else:
+                breaker.state = BreakerState.OPEN
+                breaker.opened_at = self.clock()
+                breaker.open_count += 1
+                breaker.cooldown = min(
+                    cfg.breaker_cooldown_s * 2.0 ** (breaker.open_count - 1),
+                    cfg.breaker_cooldown_max_s,
+                )
+        # A failed half-open probe re-opens the breaker; it is not a new
+        # death verdict, so only a node's first death (per suspicion
+        # episode) counts toward the stat.
+        if first_death:
+            self.stats.inc("nodes_marked_dead")
         if self.on_node_dead is not None:
             addresses = [
                 inst.address
@@ -376,10 +577,14 @@ class OpDriver:
         self.state = OpState.RUNNING
         self.response: Response | None = None
         self.error: ZHTError | None = None
+        #: Absolute wall-clock deadline; propagated in every request
+        #: header and enforced locally when planning each attempt.
+        self.deadline = core.clock() + core.deadline_budget()
         self._attempts_used = 0
         self._retries_on_target = 0
         self._replica_index = 0
         self._current: Attempt | None = None
+        self._overloaded_seen = False
 
     # ------------------------------------------------------------------
 
@@ -423,7 +628,20 @@ class OpDriver:
             return None
         cfg = self.core.config
         if self._attempts_used > cfg.max_retries:
-            self._fail(RequestTimeout(f"{self.op.name} exhausted retries"))
+            if self._overloaded_seen:
+                self._fail(
+                    ServerOverloaded(
+                        f"{self.op.name} shed by overloaded servers"
+                    )
+                )
+            else:
+                self._fail(RequestTimeout(f"{self.op.name} exhausted retries"))
+            return None
+        remaining = self.deadline - self.core.clock()
+        if remaining <= 0:
+            self._fail(
+                DeadlineExceeded(f"{self.op.name} deadline exceeded")
+            )
             return None
         target = self._target()
         if target is None:
@@ -441,6 +659,7 @@ class OpDriver:
             request_id=self.core.allocate_request_id(),
             epoch=self.core.membership.epoch,
             replica_index=self._replica_index,
+            deadline_us=int(self.deadline * 1e6),
         )
         timeout = cfg.request_timeout * (
             cfg.backoff_factor ** self._retries_on_target
@@ -450,19 +669,34 @@ class OpDriver:
             delay = cfg.request_timeout * (
                 cfg.backoff_factor ** (self._retries_on_target - 1)
             )
+            if cfg.retry_jitter:
+                # Full jitter (delay ~ U[0, base]) desynchronizes the
+                # retry storms that lockstep exponential backoff creates
+                # when many clients time out against one slow server.
+                delay = self.core.rng.uniform(0.0, delay)
+        # The deadline caps both the wait before the attempt and the
+        # attempt itself; a schedule that cannot fit gives the attempt
+        # whatever budget is left rather than overshooting the deadline.
+        delay = min(delay, remaining)
+        timeout = min(timeout, remaining - delay)
+        if timeout <= 0:
+            self._fail(
+                DeadlineExceeded(f"{self.op.name} deadline exceeded")
+            )
+            return None
         self._current = Attempt(target.address, request, timeout, delay)
         self._attempts_used += 1
         return self._current
 
     # ------------------------------------------------------------------
 
-    def on_response(self, response: Response) -> None:
+    def on_response(self, response: Response, rtt_s: float | None = None) -> None:
         if self.state is not OpState.RUNNING or self._current is None:
             return
         core = self.core
         target = self._target()
         if target is not None:
-            core.record_success(target.node_id)
+            core.record_success(target.node_id, rtt_s=rtt_s)
         core.adopt_membership(response.membership)
 
         if response.status == Status.REDIRECT:
@@ -475,6 +709,32 @@ class OpDriver:
             core.stats.inc("retries")
             self._retries_on_target += 1
             return
+        if response.status == Status.RETRY_LATER:
+            # Explicit overload shed: the node is alive (it answered), so
+            # nothing counts toward suspicion.  Lookups degrade to the
+            # next replica under the bounded-staleness contract; anything
+            # else backs off (with jitter) and retries the same target.
+            core.stats.inc("retry_later")
+            if (
+                self.op == OpCode.LOOKUP
+                and core.config.degraded_reads
+                and self._replica_index < core.config.num_replicas
+            ):
+                self._replica_index += 1
+                self._retries_on_target = 0
+                core.stats.inc("degraded_reads")
+                return
+            self._overloaded_seen = True
+            core.stats.inc("retries")
+            self._retries_on_target += 1
+            return
+        if response.status == Status.DEADLINE_EXCEEDED:
+            # The server's clock says our deadline passed.  Trust our own
+            # clock instead (tolerates skew): back off and let
+            # next_attempt() settle the failure if we agree.
+            core.stats.inc("retries")
+            self._retries_on_target += 1
+            return
         self.response = response
         self.state = OpState.DONE
 
@@ -484,11 +744,12 @@ class OpDriver:
             return
         core = self.core
         core.stats.inc("retries")
+        timeout_s = self._current.timeout
         self._retries_on_target += 1
         target = self._target()
         if target is None:
             return  # next_attempt() will settle the failure
-        died = core.record_timeout(target.node_id)
+        died = core.record_timeout(target.node_id, timeout_s=timeout_s)
         if died:
             # Fail over to the next replica in the chain.
             self._replica_index += 1

@@ -58,10 +58,42 @@ class ZHTConfig:
     #: nodes that do not respond to requests repeatedly as failed (using
     #: exponential back off)").
     backoff_factor: float = 2.0
-    #: Consecutive failures before a physical node is marked dead.
+    #: Suspicion threshold before a physical node is marked dead.  With
+    #: ``failure_detector="count"`` this is the classic consecutive-timeout
+    #: counter; with ``"phi"`` each timeout contributes an RTT-scaled
+    #: suspicion amount in ``[1, suspicion_event_cap]``, so established-fast
+    #: nodes are declared dead sooner while cold-start behaviour degrades
+    #: exactly to the counter.
     failures_before_dead: int = 3
     #: Max retries per logical operation (across replicas).
     max_retries: int = 6
+    #: Total wall-clock budget for one logical operation (seconds); the
+    #: deadline is propagated to servers in the request header.  ``None``
+    #: derives a worst-case budget from the retry/backoff schedule so it
+    #: never binds before the retry budget does.
+    op_deadline_s: float | None = None
+    #: Full-jitter retry backoff (delay ~ Uniform[0, base_delay]); disable
+    #: for deterministic backoff schedules in tests/ablations.
+    retry_jitter: bool = True
+    #: Failure-detector algorithm: ``"phi"`` (RTT-adaptive accrual) or
+    #: ``"count"`` (legacy consecutive-timeout counter, kept for ablation).
+    failure_detector: str = "phi"
+    #: Max suspicion units a single timeout may contribute in phi mode.
+    suspicion_event_cap: float = 2.0
+    #: Floor for the adaptive retransmission-timeout estimate used to
+    #: scale suspicion contributions (seconds).
+    rto_min_s: float = 0.002
+    #: Circuit-breaker cooldown before a suspected-dead node is re-probed
+    #: (half-open), doubling per consecutive re-open up to the max.
+    breaker_cooldown_s: float = 0.5
+    breaker_cooldown_max_s: float = 8.0
+    #: Allow lookups to fail over to replicas when the owner sheds load
+    #: (RETRY_LATER) — reads degrade to the bounded-staleness contract
+    #: instead of erroring.
+    degraded_reads: bool = True
+    #: Server admission control: max concurrently-admitted client requests
+    #: before new ones are shed with RETRY_LATER (0 = unbounded).
+    max_inflight: int = 256
 
     # --- persistence (NoVoHT) --------------------------------------------
     #: Directory for NoVoHT WAL + checkpoint files; ``None`` = memory only.
@@ -128,6 +160,22 @@ class ZHTConfig:
             raise ValueError("backoff_factor must be >= 1.0")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.op_deadline_s is not None and self.op_deadline_s <= 0:
+            raise ValueError("op_deadline_s must be positive or None")
+        if self.failure_detector not in ("phi", "count"):
+            raise ValueError("failure_detector must be 'phi' or 'count'")
+        if self.suspicion_event_cap < 1.0:
+            raise ValueError("suspicion_event_cap must be >= 1.0")
+        if self.rto_min_s <= 0:
+            raise ValueError("rto_min_s must be positive")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
+        if self.breaker_cooldown_max_s < self.breaker_cooldown_s:
+            raise ValueError(
+                "breaker_cooldown_max_s must be >= breaker_cooldown_s"
+            )
+        if self.max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0")
         if not 0.0 <= self.gc_dead_ratio <= 1.0:
             raise ValueError("gc_dead_ratio must be in [0, 1]")
         if self.transport not in ("tcp", "udp", "local"):

@@ -42,8 +42,16 @@ class Status(enum.IntEnum):
     #: Operation not supported by this store (e.g. append on memcached).
     UNSUPPORTED = 10
     #: Membership epoch in the request was newer than the server's view.
-    STALE_SERVER = 11
+    STALE_SERVER = 11  # zht-lint: ignore[PROTO005] reserved: epoch-push (server behind client) is not implemented yet
     TIMEOUT = 12
+    #: Admission control shed the request: the server's bounded in-flight
+    #: queue is full.  An explicit overload signal — *not* a timeout — so
+    #: clients back off (with jitter) instead of counting it against the
+    #: failure detector.
+    RETRY_LATER = 13
+    #: The request's propagated deadline had already expired on arrival;
+    #: the server refused to do dead work the client has given up on.
+    DEADLINE_EXCEEDED = 14
 
 
 class ZHTError(Exception):
@@ -73,6 +81,23 @@ class NodeDeadError(ZHTError):
     """All replicas for the key's partition are marked dead."""
 
     status = Status.NODE_DEAD
+
+
+class ServerOverloaded(ZHTError):
+    """The server shed the request under admission control (RETRY_LATER).
+
+    Raised only after the client's retry/backoff budget is exhausted while
+    the server keeps shedding; a single RETRY_LATER response is absorbed by
+    the retry loop with full-jitter backoff.
+    """
+
+    status = Status.RETRY_LATER
+
+
+class DeadlineExceeded(ZHTError, TimeoutError):
+    """The operation's propagated deadline expired before it completed."""
+
+    status = Status.DEADLINE_EXCEEDED
 
 
 class ValueTooLarge(ZHTError, ValueError):
@@ -124,7 +149,16 @@ STATUS_TO_EXCEPTION: dict[Status, type[ZHTError]] = {
     Status.UNSUPPORTED: UnsupportedOperation,
     Status.TIMEOUT: RequestTimeout,
     Status.BAD_REQUEST: ProtocolError,
+    Status.RETRY_LATER: ServerOverloaded,
+    Status.DEADLINE_EXCEEDED: DeadlineExceeded,
 }
+
+#: Statuses that are pure client-side control flow: the retry loop consumes
+#: them (re-route, wait, fail over) and they must never surface to callers
+#: via :func:`raise_for_status`.
+CONTROL_FLOW_STATUSES: frozenset[Status] = frozenset(
+    {Status.REDIRECT, Status.MIGRATING}
+)
 
 
 def raise_for_status(status: Status, message: str = "") -> None:
@@ -136,5 +170,10 @@ def raise_for_status(status: Status, message: str = "") -> None:
     """
     if status == Status.OK:
         return
+    if status in CONTROL_FLOW_STATUSES:
+        raise ProtocolError(
+            f"control-flow status {status.name} leaked past the retry loop",
+            status=status,
+        )
     exc = STATUS_TO_EXCEPTION.get(status, ProtocolError)
     raise exc(message or status.name, status=status)

@@ -338,6 +338,16 @@ class MembershipTable:
             self.nodes[node_id] = replace(node, alive=False)
             self._bump()
 
+    def mark_node_alive(self, node_id: str) -> None:
+        """Revive a node in this local view (circuit-breaker half-open
+        re-probe, or a manager-confirmed recovery)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise MembershipError(f"unknown node {node_id}")
+        if not node.alive:
+            self.nodes[node_id] = replace(node, alive=True)
+            self._bump()
+
     def reassign_partition(self, pid: int, new_instance_id: str) -> None:
         if not 0 <= pid < self.num_partitions:
             raise MembershipError(f"partition {pid} out of range")

@@ -173,9 +173,17 @@ class Request:
     inner_op: int = 0
     #: Opaque payload for membership/migration messages.
     payload: bytes = b""
+    #: Absolute wall-clock deadline in microseconds since the epoch; 0
+    #: means "no deadline".  Servers shed requests that arrive already
+    #: expired instead of doing work the client has given up on.  Encoded
+    #: as a varint field that is simply absent when zero, so old peers
+    #: skip it (unknown fields are ignored) and new peers interoperate
+    #: with old clients.
+    deadline_us: int = 0
 
     _F_OP, _F_KEY, _F_VALUE, _F_REQID, _F_EPOCH = 1, 2, 3, 4, 5
     _F_PARTITION, _F_REPLICA, _F_INNER, _F_PAYLOAD = 6, 7, 8, 9
+    _F_DEADLINE = 10
 
     def encode(self) -> bytes:
         out = bytearray()
@@ -188,6 +196,7 @@ class Request:
         _emit_varint_field(out, self._F_REPLICA, self.replica_index)
         _emit_varint_field(out, self._F_INNER, self.inner_op)
         _emit_bytes_field(out, self._F_PAYLOAD, self.payload)
+        _emit_varint_field(out, self._F_DEADLINE, self.deadline_us)
         return bytes(out)
 
     @classmethod
@@ -208,6 +217,7 @@ class Request:
             replica_index=_get_int(fields, cls._F_REPLICA),
             inner_op=_get_int(fields, cls._F_INNER),
             payload=_get_bytes(fields, cls._F_PAYLOAD),
+            deadline_us=_get_int(fields, cls._F_DEADLINE),
         )
 
 

@@ -26,6 +26,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..novoht import NoVoHT
 from ..obs import REGISTRY, metrics_snapshot
@@ -64,6 +65,12 @@ class ServerStats:
         "migrations_in",
         "migrations_out",
         "membership_updates",
+        #: Requests shed on arrival because their propagated deadline had
+        #: already expired (doing the work would be wasted effort).
+        "shed_expired",
+        #: Requests shed with RETRY_LATER because the bounded in-flight
+        #: admission queue was full.
+        "shed_overload",
     )
 
     __slots__ = FIELDS + ("_lock",)
@@ -199,6 +206,8 @@ class ZHTServerCore:
         info: InstanceInfo,
         membership: MembershipTable,
         config: ZHTConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         self.info = info
         self.membership = membership
@@ -206,6 +215,18 @@ class ZHTServerCore:
         self.partitions: dict[int, Partition] = {}
         self.stats = ServerStats()
         self.repl_sequencer = ReplicationSequencer()
+        #: Wall-clock source for deadline checks (simulator injects its
+        #: virtual clock).
+        self.clock = clock
+        #: Client requests currently admitted (between admission and the
+        #: end of dispatch); bounded by ``config.max_inflight``.
+        self._inflight = 0  # guarded-by: _inflight_lock
+        self._inflight_lock = threading.Lock()
+        #: Optional extra load source counted against the admission bound —
+        #: event-driven transports report queued-but-not-yet-dispatched
+        #: work here so backpressure sees the true backlog, not just the
+        #: requests inside ``handle``.
+        self.extra_inflight: Callable[[], int] | None = None
         #: Node-local store for broadcast pairs (every instance holds a
         #: full copy of broadcast data; it is outside the partition space).
         self.broadcast_store = NoVoHT(None)
@@ -249,10 +270,63 @@ class ZHTServerCore:
     # Request dispatch
     # ------------------------------------------------------------------
 
+    #: Ops subject to admission control.  Server-to-server traffic
+    #: (replica updates, migration, membership, probes) must never be
+    #: shed: dropping a replica update breaks the consistency contract,
+    #: and shedding PING would make overload look like death.
+    _ADMITTED_OPS = frozenset(
+        {OpCode.INSERT, OpCode.LOOKUP, OpCode.REMOVE, OpCode.APPEND, OpCode.BATCH}
+    )
+
     def handle(self, request: Request, reply_context: object = None) -> HandleResult:
         """Process one request; never raises for protocol-level errors."""
         with REGISTRY.span("server.handle"):
-            return self._dispatch(request, reply_context)
+            shed = self._admission_shed(request)
+            if shed is not None:
+                return HandleResult(shed)
+            admitted = request.op in self._ADMITTED_OPS
+            if admitted:
+                with self._inflight_lock:
+                    self._inflight += 1
+            try:
+                return self._dispatch(request, reply_context)
+            finally:
+                if admitted:
+                    with self._inflight_lock:
+                        self._inflight -= 1
+
+    def _admission_shed(self, request: Request) -> Response | None:
+        """Deadline + overload admission check for client ops.
+
+        Returns the shed :class:`Response` (DEADLINE_EXCEEDED or
+        RETRY_LATER), or ``None`` to admit.  Shed responses are built
+        directly — no membership piggyback, no store access — so the shed
+        path stays O(1) no matter how overloaded the server is.
+        """
+        if request.op not in self._ADMITTED_OPS:
+            return None
+        if request.deadline_us and self.clock() * 1e6 > request.deadline_us:
+            self.stats.inc("shed_expired")
+            return Response(
+                status=Status.DEADLINE_EXCEEDED,
+                request_id=request.request_id,
+                epoch=self.membership.epoch,
+                op=int(request.op),
+            )
+        limit = self.config.max_inflight
+        if limit:
+            backlog = self._inflight  # zht-lint: ignore[LOCK001] GIL-atomic int read; admission is advisory
+            if self.extra_inflight is not None:
+                backlog += self.extra_inflight()
+            if backlog >= limit:
+                self.stats.inc("shed_overload")
+                return Response(
+                    status=Status.RETRY_LATER,
+                    request_id=request.request_id,
+                    epoch=self.membership.epoch,
+                    op=int(request.op),
+                )
+        return None
 
     def _dispatch(
         self, request: Request, reply_context: object

@@ -30,7 +30,14 @@ from .invariants import (
     classify_acked_outcomes,
     holders_of_key,
 )
-from .plan import FaultKind, FaultPlan, FaultRecord, FaultRule
+from .plan import (
+    VICTIM_TARGET,
+    FaultKind,
+    FaultPlan,
+    FaultRecord,
+    FaultRule,
+    resolve_victim_rules,
+)
 from .transport import FaultyClientTransport, FaultyTransportStats
 
 

@@ -38,7 +38,7 @@ from .invariants import (
     check_replication_level,
     classify_acked_outcomes,
 )
-from .plan import FaultPlan
+from .plan import FaultPlan, resolve_victim_rules
 from .transport import FaultyClientTransport
 
 BACKENDS = ("local", "tcp", "udp", "sim")
@@ -126,14 +126,20 @@ class ChaosReport:
 
 
 def _default_config(backend: str, replicas: int) -> ZHTConfig:
+    timeout = 0.02 if backend == "local" else 0.15
     return ZHTConfig(
         transport="local" if backend == "local" else backend,
         num_partitions=64,
         num_replicas=replicas,
-        request_timeout=0.02 if backend == "local" else 0.15,
+        request_timeout=timeout,
         failures_before_dead=2,
         backoff_factor=1.5,
         max_retries=10,
+        # Scale the breaker to the fast chaos timeouts so a flapping node
+        # is re-probed within a few op latencies instead of the default
+        # wall-clock half second.
+        breaker_cooldown_s=timeout * 4,
+        breaker_cooldown_max_s=timeout * 40,
     )
 
 
@@ -181,12 +187,15 @@ def run_chaos(
     config: ZHTConfig | None = None,
     value_bytes: int = 64,
     kill_fraction: float = 0.35,
+    detector: str | None = None,
 ) -> ChaosReport:
     """Run one kill-and-repair chaos scenario; returns the report.
 
     ``plan`` may add message-level chaos (drops/delays/duplicates) on
     top of the node kill; with ``plan=None`` only the kill is injected.
     The fault sequence for a given ``(seed, plan)`` is deterministic.
+    ``detector`` overrides ``failure_detector`` in whatever config is
+    used (the phi-vs-count failover ablation).
     """
     if backend == "sim":
         from .simchaos import run_chaos_sim
@@ -199,6 +208,7 @@ def run_chaos(
             plan=plan,
             value_bytes=value_bytes,
             kill_fraction=kill_fraction,
+            detector=detector,
         )
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}")
@@ -206,6 +216,8 @@ def run_chaos(
         raise ValueError("chaos needs >= 3 nodes (victim + survivors)")
 
     config = config or _default_config(backend, replicas)
+    if detector is not None:
+        config = config.replace(failure_detector=detector)
     plan = plan or FaultPlan(seed)
     report = ChaosReport(backend, nodes, replicas, seed)
     rng = random.Random(seed)
@@ -216,6 +228,7 @@ def run_chaos(
     with _build_cluster(backend, nodes, config, seed) as cluster:
         victim = sorted(cluster.membership.nodes)[1]
         report.victim = victim
+        resolve_victim_rules(plan, cluster.membership, victim)
         client = cluster.client(seed=seed)
         client.transport = FaultyClientTransport(client.transport, plan)
 

@@ -19,7 +19,13 @@ from __future__ import annotations
 import hashlib
 import random
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+#: Sentinel rule target resolved by the chaos harness to the concrete
+#: instance addresses of the node it is about to kill (the transports
+#: match faults against address strings, which are only known once the
+#: cluster is built).
+VICTIM_TARGET = "victim"
 
 
 class FaultKind:
@@ -172,6 +178,59 @@ class FaultPlan:
             plan.add(FaultRule(FaultKind.RESET, target=target, probability=reset))
         return plan
 
+    @classmethod
+    def overload(
+        cls,
+        seed: int,
+        *,
+        target: str | None = None,
+        stall_s: float = 0.05,
+        probability: float = 0.35,
+    ) -> "FaultPlan":
+        """An overloaded (slow, not dead) server: a fraction of round
+        trips to *target* complete *stall_s* late, emulating queueing
+        delay.  Exercises admission control / RETRY_LATER handling and
+        the detector's ability to not declare a slow node dead."""
+        plan = cls(seed)
+        plan.add(
+            FaultRule(
+                FaultKind.STALL,
+                target=target,
+                probability=probability,
+                delay=stall_s,
+            )
+        )
+        return plan
+
+    @classmethod
+    def flapping(
+        cls,
+        seed: int,
+        *,
+        target: str | None = VICTIM_TARGET,
+        period: int = 40,
+        burst: int = 8,
+        cycles: int = 6,
+    ) -> "FaultPlan":
+        """A flapping node: every *period* matching messages, the next
+        *burst* round trips to *target* are dropped, for *cycles* cycles.
+        The default target is the :data:`VICTIM_TARGET` sentinel, which
+        the chaos harness resolves to its kill victim's addresses.
+        Exercises the circuit breaker's open → half-open → closed loop —
+        the client must both suspect the node quickly and rediscover it
+        once the burst passes."""
+        plan = cls(seed)
+        for k in range(cycles):
+            plan.add(
+                FaultRule(
+                    FaultKind.DROP,
+                    target=target,
+                    after=k * period,
+                    count=burst,
+                )
+            )
+        return plan
+
     # -- deterministic decisions ------------------------------------------
 
     def _chance(self, rule_index: int, n: int) -> float:
@@ -284,3 +343,24 @@ class FaultPlan:
     def trace_keys(self) -> list[tuple]:
         with self._lock:
             return [record.key() for record in self.trace]
+
+
+def resolve_victim_rules(plan, membership, victim: str) -> None:
+    """Rewrite rules targeting :data:`VICTIM_TARGET` to *victim*'s
+    concrete instance addresses.
+
+    Must run before any traffic consults the plan: rules are replaced
+    in place (preserving rule indices and so the deterministic firing
+    schedule), with extra per-address copies appended at the end.
+    """
+    addresses = [
+        str(inst.address) for inst in membership.instances_on_node(victim)
+    ]
+    if not addresses:
+        return
+    extra = []
+    for i, rule in enumerate(plan.rules):
+        if rule.target == VICTIM_TARGET:
+            plan.rules[i] = replace(rule, target=addresses[0])
+            extra.extend(replace(rule, target=a) for a in addresses[1:])
+    plan.rules.extend(extra)

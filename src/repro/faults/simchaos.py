@@ -30,7 +30,7 @@ from .invariants import (
     check_replication_level,
     classify_acked_outcomes,
 )
-from .plan import FaultPlan
+from .plan import FaultPlan, resolve_victim_rules
 
 
 def _sim_roundtrip(cluster: SimulatedCluster, address, request, timeout):
@@ -62,13 +62,14 @@ def _sim_execute(cluster: SimulatedCluster, core: ZHTClientCore, driver):  # lin
             break
         if attempt.delay > 0:
             yield cluster.env.timeout(attempt.delay)
+        sent_at = cluster.env.now
         response = yield from _sim_roundtrip(
             cluster, attempt.address, attempt.request, attempt.timeout
         )
         if response is None:
             driver.on_timeout()
         else:
-            driver.on_response(response)
+            driver.on_response(response, rtt_s=cluster.env.now - sent_at)
     # Manager failure notifications have no routable address in the sim.
     core.pending_notifications.clear()
     return driver.result()
@@ -110,6 +111,7 @@ def run_chaos_sim(
     value_bytes: int = 64,
     kill_fraction: float = 0.35,
     partitions_per_instance: int = 16,
+    detector: str | None = None,
 ) -> ChaosReport:
     """One kill-and-repair chaos scenario inside the DES; see
     :func:`repro.faults.chaos.run_chaos` for the scenario shape."""
@@ -127,7 +129,12 @@ def run_chaos_sim(
         failures_before_dead=2,
         backoff_factor=1.5,
         max_retries=10,
+        # Re-probe flapping nodes within a few (simulated) op latencies.
+        breaker_cooldown_s=0.02,
+        breaker_cooldown_max_s=0.2,
     )
+    if detector is not None:
+        config = config.replace(failure_detector=detector)
     spec = SimSpec(
         num_nodes=nodes,
         num_replicas=replicas,
@@ -144,11 +151,15 @@ def run_chaos_sim(
     report = ChaosReport("sim", nodes, replicas, seed)
     victim = sorted(membership.nodes)[1]
     report.victim = victim
+    resolve_victim_rules(plan, membership, victim)
     rng = random.Random(seed)
     value = bytes(rng.randrange(256) for _ in range(value_bytes))
     ledger = AckLedger()
     core = ZHTClientCore(
-        membership.copy(), config, rng=random.Random((seed << 16) ^ 0xFA)
+        membership.copy(),
+        config,
+        rng=random.Random((seed << 16) ^ 0xFA),
+        clock=lambda: env.now,
     )
 
     kill_index = max(1, int(ops * kill_fraction))

@@ -528,6 +528,13 @@ class EventDrivenTCPServer:
         self._thread: threading.Thread | None = None
         self._running = False
         self.requests_served = 0
+        # Results handed to the effect pool but not yet finished.  The
+        # event loop dispatches synchronously, so the core's own in-flight
+        # gauge sees at most one request at a time here; this backlog is
+        # where overload actually accumulates, so it feeds the core's
+        # admission bound via ``extra_inflight``.
+        self._pending_effects = 0  # guarded-by: _pending_lock
+        self._pending_lock = threading.Lock()
         if core is not None:
             self.attach_core(core)
 
@@ -539,7 +546,11 @@ class EventDrivenTCPServer:
         table from the real addresses, and only then create the cores.
         """
         self.core = core
+        core.extra_inflight = self._effects_backlog
         self.executor = ServerExecutor(core, self._peer_client, self._deferred_reply)
+
+    def _effects_backlog(self) -> int:
+        return self._pending_effects  # zht-lint: ignore[LOCK001] GIL-atomic int read; admission is advisory
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -631,6 +642,8 @@ class EventDrivenTCPServer:
             # Keep the loop responsive: effects that block on the network
             # run on the worker pool; the response is released after the
             # sync replicas acknowledge.
+            with self._pending_lock:
+                self._pending_effects += 1
             self._pool.submit(self._finish, result, conn)
         else:
             for address, update in result.async_sends:
@@ -641,9 +654,13 @@ class EventDrivenTCPServer:
                 conn.send_response(result.response)
 
     def _finish(self, result, conn: _Connection) -> None:
-        self.executor._apply_effects(result)
-        if result.response is not None:
-            conn.send_response(result.response)
+        try:
+            self.executor._apply_effects(result)
+            if result.response is not None:
+                conn.send_response(result.response)
+        finally:
+            with self._pending_lock:
+                self._pending_effects -= 1
 
     def _deferred_reply(self, reply_context: object, response: Response) -> None:
         if isinstance(reply_context, _Connection):

@@ -20,9 +20,11 @@ from typing import Callable
 from ..core.client import BatchEntry, OpDriver, ZHTClientCore
 from ..core.errors import (
     STATUS_TO_EXCEPTION,
+    DeadlineExceeded,
     NodeDeadError,
     ProtocolError,
     RequestTimeout,
+    ServerOverloaded,
     Status,
     ZHTError,
 )
@@ -171,13 +173,16 @@ def execute_op(
                 break
             if attempt.delay > 0:
                 sleep(attempt.delay)
+            start = time.monotonic()
             response = transport.roundtrip(
                 attempt.address, attempt.request, attempt.timeout
             )
             if response is None:
                 driver.on_timeout()
             else:
-                driver.on_response(response)
+                # The measured RTT feeds the per-node history behind the
+                # adaptive (phi) failure detector.
+                driver.on_response(response, rtt_s=time.monotonic() - start)
     _flush_notifications(core, transport)
     return driver.result()
 
@@ -215,12 +220,30 @@ def execute_batch(
     core.stats.inc("batch_ops", len(entries))
     pending = [e for e in entries if not e.settled]
     rounds = 0
+    # One deadline covers the whole batched operation: it is split across
+    # attempts (each round trip gets at most the remaining budget) and
+    # propagated to servers in every BATCH envelope.
+    deadline = core.clock() + core.deadline_budget()
+    deadline_us = int(deadline * 1e6)
+    overloaded_seen = False
     with REGISTRY.span("client.batch"):
         while pending:
             if rounds > cfg.max_retries:
                 for entry in pending:
-                    entry.error = RequestTimeout(
-                        f"{op.name} batch entry exhausted retries"
+                    if overloaded_seen:
+                        entry.error = ServerOverloaded(
+                            f"{op.name} batch entry shed by overloaded servers"
+                        )
+                    else:
+                        entry.error = RequestTimeout(
+                            f"{op.name} batch entry exhausted retries"
+                        )
+                break
+            remaining = deadline - core.clock()
+            if remaining <= 0:
+                for entry in pending:
+                    entry.error = DeadlineExceeded(
+                        f"{op.name} batch entry deadline exceeded"
                     )
                 break
             attempts, unroutable = core.plan_batches(
@@ -233,19 +256,40 @@ def execute_batch(
             retry: list[BatchEntry] = []
             needs_backoff = False
             for attempt in attempts:
-                outer = attempt.to_request(core)
-                # Larger batches earn proportionally more server time.
-                timeout = cfg.request_timeout * (1 + len(attempt.requests) / 256)
+                outer = attempt.to_request(core, deadline_us)
+                # Larger batches earn proportionally more server time —
+                # capped by what is left of the operation's deadline.
+                timeout = min(
+                    cfg.request_timeout * (1 + len(attempt.requests) / 256),
+                    max(deadline - core.clock(), 1e-6),
+                )
                 core.stats.inc("batches")
+                start = time.monotonic()
                 response = transport.roundtrip(attempt.address, outer, timeout)
                 if response is None:
                     core.stats.inc("retries")
-                    core.record_timeout(attempt.node_id)
+                    core.record_timeout(attempt.node_id, timeout_s=timeout)
                     retry.extend(attempt.entries)
                     needs_backoff = True
                     continue
-                core.record_success(attempt.node_id)
+                core.record_success(
+                    attempt.node_id, rtt_s=time.monotonic() - start
+                )
                 core.adopt_membership(response.membership)
+                if response.status in (
+                    Status.RETRY_LATER,
+                    Status.DEADLINE_EXCEEDED,
+                ):
+                    # Overload shed (or a server clock disagreeing about
+                    # the deadline): the node is alive, so back off and
+                    # re-plan — our own clock settles expiry next round.
+                    if response.status == Status.RETRY_LATER:
+                        core.stats.inc("retry_later")
+                        overloaded_seen = True
+                    core.stats.inc("retries")
+                    needs_backoff = True
+                    retry.extend(attempt.entries)
+                    continue
                 if response.status in (Status.REDIRECT, Status.MIGRATING):
                     core.stats.inc(
                         "redirects_followed"
@@ -287,13 +331,15 @@ def execute_batch(
             pending = retry
             rounds += 1
             if pending and needs_backoff:
-                sleep(
-                    min(
-                        cfg.request_timeout
-                        * (cfg.backoff_factor ** (rounds - 1)),
-                        cfg.request_timeout * 8,
-                    )
+                base = min(
+                    cfg.request_timeout * (cfg.backoff_factor ** (rounds - 1)),
+                    cfg.request_timeout * 8,
                 )
+                if cfg.retry_jitter:
+                    base = core.rng.uniform(0.0, base)
+                delay = min(base, max(deadline - core.clock(), 0.0))
+                if delay > 0:
+                    sleep(delay)
     _flush_notifications(core, transport)
     return entries
 

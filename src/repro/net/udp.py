@@ -16,6 +16,7 @@ from __future__ import annotations
 import socket
 import threading
 
+from ..core.errors import Status
 from ..core.membership import Address
 from ..core.protocol import MUTATING_OPS, OpCode, Request, Response
 from ..core.server import ZHTServerCore
@@ -196,7 +197,15 @@ class UDPServer:
         REGISTRY.counter("udp.server.requests").inc()
         response = self.executor.process(request, reply_context=peer)
         if response is not None:
-            if dedup_key is not None:
+            # Shed verdicts (overload / expired deadline) must not enter
+            # the dedup cache: a client retrying the same request id after
+            # backing off would get the cached shed replayed forever
+            # instead of the mutation actually executing.
+            shed = response.status in (
+                Status.RETRY_LATER,
+                Status.DEADLINE_EXCEEDED,
+            )
+            if dedup_key is not None and not shed:
                 self._dedup.put(dedup_key, response)
             self._send(response, peer)
 

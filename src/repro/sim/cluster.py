@@ -172,7 +172,9 @@ class SimulatedCluster:
                 transport="local",
             )
             self.handlers = [
-                ZHTServerCore(inst, self.membership, self.config)
+                ZHTServerCore(
+                    inst, self.membership, self.config, clock=lambda: self.env.now
+                )
                 for inst in self.instances
             ]
         else:

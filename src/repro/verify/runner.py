@@ -219,8 +219,11 @@ def _run_verify_live(
         # suspects a healthy owner and fails reads over to a replica
         # that never saw the writes — real (and detected!) weak
         # behavior, but not the scenario under test.  More strikes make
-        # false suspicion rare while dead-node failover still works.
-        config = config.replace(failures_before_dead=4)
+        # false suspicion rare while dead-node failover still works
+        # (under the phi detector each timeout can accrue up to
+        # ``suspicion_event_cap`` units, so the threshold is doubled
+        # again to preserve the original two-real-timeouts intent).
+        config = config.replace(failures_before_dead=8)
     schedule = generate_schedule(seed, ops, clients=clients)
     recorder = HistoryRecorder(history_path, fresh=True)
     report = VerifyReport(

@@ -62,6 +62,7 @@ class TestTimeoutsAndBackoff:
             backoff_factor=2.0,
             failures_before_dead=10,
             max_retries=10,
+            retry_jitter=False,
         )
         client = make_client(table, cfg)
         driver = client.driver(OpCode.LOOKUP, b"k")
@@ -73,6 +74,35 @@ class TestTimeoutsAndBackoff:
             driver.on_timeout()
         assert timeouts == [0.1, 0.2, 0.4, 0.8]
         assert delays == [0.0, 0.1, 0.2, 0.4]
+
+    def test_full_jitter_bounded_by_exponential_schedule(self):
+        table, _, _ = deploy()
+        cfg = ZHTConfig(
+            num_partitions=32,
+            request_timeout=0.1,
+            backoff_factor=2.0,
+            failures_before_dead=10,
+            max_retries=10,
+        )
+        client = make_client(table, cfg)
+        driver = client.driver(OpCode.LOOKUP, b"k")
+        delays = []
+        for _ in range(4):
+            attempt = driver.next_attempt()
+            delays.append(attempt.delay)
+            driver.on_timeout()
+        # Full jitter: delay ~ U[0, base] where base follows the
+        # deterministic exponential schedule.
+        for delay, base in zip(delays, [0.0, 0.1, 0.2, 0.4]):
+            assert 0.0 <= delay <= base
+        # Two clients with different rngs must not retry in lockstep.
+        other = make_client(table, cfg, seed=4)
+        d2 = other.driver(OpCode.LOOKUP, b"k")
+        delays2 = []
+        for _ in range(4):
+            delays2.append(d2.next_attempt().delay)
+            d2.on_timeout()
+        assert delays[1:] != delays2[1:]
 
     def test_exhausted_retries_fails(self):
         table, _, _ = deploy()

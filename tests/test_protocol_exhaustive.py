@@ -14,26 +14,45 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.engine import LintConfig, Project
-from repro.analysis.protocol_check import collect_usage
+from repro.analysis.protocol_check import collect_status_usage, collect_usage
+from repro.core.errors import (
+    STATUS_TO_EXCEPTION,
+    Status,
+    ZHTError,
+    raise_for_status,
+)
 from repro.core.protocol import (
     MUTATING_OPS,
     NON_MUTATING_OPS,
     OpCode,
     Request,
+    Response,
 )
 from repro.core.server import ZHTServerCore
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 ALL_OPS = list(OpCode)
+ALL_STATUSES = list(Status)
+
+
+def _project():
+    # Cached per-session: one parse of src/repro is plenty.
+    if not hasattr(_project, "value"):
+        _project.value = Project.load(REPO_ROOT, LintConfig(roots=["src/repro"]))
+    return _project.value
 
 
 def _usage():
-    # Cached per-session: one parse of src/repro is plenty.
     if not hasattr(_usage, "value"):
-        project = Project.load(REPO_ROOT, LintConfig(roots=["src/repro"]))
-        _usage.value = collect_usage(project)
+        _usage.value = collect_usage(_project())
     return _usage.value
+
+
+def _status_usage():
+    if not hasattr(_status_usage, "value"):
+        _status_usage.value = collect_status_usage(_project())
+    return _status_usage.value
 
 
 @pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
@@ -84,6 +103,57 @@ def test_op_is_constructed_somewhere(op):
     assert op.name in usage.constructed, (
         f"{op.name} has no client/server construction site — dead opcode"
     )
+
+
+@pytest.mark.parametrize("status", ALL_STATUSES, ids=lambda s: s.name)
+def test_status_wire_roundtrip(status):
+    response = Response(status=status, request_id=7, epoch=2, op=1)
+    decoded = Response.decode(response.encode())
+    assert decoded.status == status
+    assert isinstance(decoded.status, Status)
+
+
+@pytest.mark.parametrize("status", ALL_STATUSES, ids=lambda s: s.name)
+def test_status_is_referenced_somewhere(status):
+    # A status no code produces or inspects is dead wire-format
+    # (PROTO005's runtime counterpart).  STALE_SERVER is the one
+    # deliberate reservation, suppressed in the lint with a reason.
+    if status is Status.STALE_SERVER:
+        pytest.skip("reserved status, suppressed in lint")
+    usage = _status_usage()
+    assert usage.module is not None, "Status class not found by the analyzer"
+    assert status.name in usage.referenced, (
+        f"Status.{status.name} is never referenced outside the enum body"
+    )
+
+
+@pytest.mark.parametrize("status", ALL_STATUSES, ids=lambda s: s.name)
+def test_status_has_client_handling_decision(status):
+    # Every non-OK status must either raise a typed exception or be an
+    # explicit control-flow branch in the retry loop (PROTO006).
+    if status in (Status.OK, Status.STALE_SERVER):
+        pytest.skip("OK is success; STALE_SERVER reserved")
+    usage = _status_usage()
+    handled = status.name in usage.mapped or status.name in usage.compared
+    assert handled, (
+        f"Status.{status.name} has no STATUS_TO_EXCEPTION entry and no "
+        "comparison site — clients would fall through to ProtocolError"
+    )
+
+
+@pytest.mark.parametrize("status", ALL_STATUSES, ids=lambda s: s.name)
+def test_raise_for_status_is_total(status):
+    # raise_for_status must terminate deterministically for every member:
+    # OK returns, control-flow statuses raise ProtocolError (a leak),
+    # everything else raises its mapped (or generic) ZHTError subclass.
+    if status is Status.OK:
+        assert raise_for_status(status) is None
+        return
+    with pytest.raises(ZHTError) as exc_info:
+        raise_for_status(status, "boom")
+    expected = STATUS_TO_EXCEPTION.get(status)
+    if expected is not None:
+        assert isinstance(exc_info.value, expected)
 
 
 def test_batch_kinds_cover_batchable_ops():

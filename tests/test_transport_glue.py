@@ -128,8 +128,11 @@ class TestExecuteOp:
     def test_sleep_called_for_backoff(self):
         table, servers, cfg = deploy()
         cfg = cfg.replace(
-            failures_before_dead=10, max_retries=2, request_timeout=0.01
-        )
+            failures_before_dead=10,
+            max_retries=2,
+            request_timeout=0.01,
+            retry_jitter=False,  # deterministic schedule; jitter is covered
+        )  # by tests/test_overload.py
         network = wire_up(table, servers)
         client = ZHTClientCore(table.copy(), cfg)
         victim, _ = owner_server(table, servers, b"k", cfg)
