@@ -1,0 +1,316 @@
+"""Zipf hot keys: replica read spreading + client hot-key cache.
+
+Under uniform keys ZHT's hashing spreads load evenly; under Zipf-skewed
+popularity (s = 0.99, the YCSB default) a handful of keys dominate and
+their owners become hot spots while the rest of the cluster idles.  The
+hot-key path (DESIGN.md §13) counters with two client-side moves:
+
+* **replica read spreading** — lookups of a client-observed hot key
+  rotate across the replica chain instead of hammering the owner
+  (bounded-staleness reads, same contract as degraded reads);
+* **hot-key value cache** — a small TTL'd LRU serves repeat lookups
+  locally, invalidated on every mutation ack.
+
+This benchmark measures all three states on loopback TCP with the same
+key universe and write ratio:
+
+1. **uniform** — uniformly random keys (the paper's assumption);
+2. **zipf off** — Zipf s=0.99, both mitigations disabled;
+3. **zipf on**  — Zipf s=0.99, spreading + cache enabled.
+
+Acceptance: aggregate ops/s with mitigations on is >= 1.5x the
+unmitigated Zipf run, and p99 does not regress past the unmitigated
+p99 (the point of offload is less queueing, not more).
+
+Run standalone for CI smoke mode::
+
+    PYTHONPATH=src python benchmarks/bench_zipf_hotkey.py --smoke
+"""
+
+import random
+import sys
+import threading
+import time
+
+from _util import emit_json, fmt, fmt_int, print_table
+
+from repro.core import ZHTConfig
+from repro.core.errors import ZHTError
+from repro.core.protocol import OpCode
+from repro.net.cluster import build_tcp_cluster
+from repro.workload import ZipfWorkload, random_value
+
+NODES = 3
+WORKERS = 8
+#: Shared key universe for all phases (preloaded before timing).
+UNIVERSE = 512
+#: YCSB's default skew.
+ZIPF_S = 0.99
+WRITE_RATIO = 0.05
+#: Hot-key knobs for the mitigated phase.  The threshold is low so the
+#: Zipf head heats up within even a smoke run; the TTL is the staleness
+#: budget this deployment accepts for hot reads (a deployment knob —
+#: `repro verify --hot-cache` separately certifies hits against its own
+#: tighter bound by capping the TTL at bound/2).
+HOT_THRESHOLD = 2
+CACHE_SIZE = 512
+CACHE_TTL_S = 0.4
+
+
+def _config(*, mitigate: bool) -> ZHTConfig:
+    return ZHTConfig(
+        transport="tcp",
+        num_partitions=64,
+        num_replicas=2,
+        request_timeout=0.5,
+        backoff_factor=1.5,
+        max_retries=5,
+        hot_read_spread=mitigate,
+        hot_key_threshold=HOT_THRESHOLD,
+        hot_key_cache_size=CACHE_SIZE if mitigate else 0,
+        hot_key_cache_ttl_s=CACHE_TTL_S,
+    )
+
+
+def _uniform_ops(wid: int, seed: int = 7):
+    """Uniform sampler over the same universe/write mix as the Zipf one."""
+    rng = random.Random((seed << 20) ^ wid)
+    while True:
+        key = f"zipf-{rng.randrange(UNIVERSE):08d}".encode()
+        if rng.random() < WRITE_RATIO:
+            yield OpCode.INSERT, key, random_value(rng)
+        else:
+            yield OpCode.LOOKUP, key, b""
+
+
+def _zipf_ops(wid: int, seed: int = 7):
+    workload = ZipfWorkload(
+        ops_per_client=1 << 30,
+        universe=UNIVERSE,
+        alpha=ZIPF_S,
+        write_ratio=WRITE_RATIO,
+        seed=seed,
+    )
+    return workload.client_ops(wid)
+
+
+#: Untimed steady-state ramp per phase: the heat tracker and cache are
+#: per-client, so the timed window must not start from a cold tracker.
+WARMUP_S = 0.4
+
+
+def _phase(cluster, make_ops, duration: float):
+    """Closed-loop: each worker drives its own client through an untimed
+    warmup, then until the clock runs out.  Returns (completed, failed,
+    latencies, client_stats) for the timed window only."""
+    warm_until = time.monotonic() + WARMUP_S
+    stop = warm_until + duration
+    latencies: list[list[float]] = [[] for _ in range(WORKERS)]
+    failed = [0] * WORKERS
+    hits = [0] * WORKERS
+    spread = [0] * WORKERS
+
+    def drive(wid: int) -> None:
+        client = cluster.client(seed=100 + wid)
+        ops = make_ops(wid)
+        warm_hits = warm_spread = 0
+        warming = True
+        for op, key, value in ops:
+            now = time.monotonic()
+            if warming and now >= warm_until:
+                warming = False
+                warm_hits = client.stats.hot_cache_hits
+                warm_spread = client.stats.hot_spread_reads
+            if now >= stop:
+                break
+            t0 = time.monotonic()
+            try:
+                if op == OpCode.LOOKUP:
+                    client.lookup(key)
+                else:
+                    client.insert(key, value)
+            except ZHTError:
+                if not warming:
+                    failed[wid] += 1
+                continue
+            if not warming:
+                latencies[wid].append(time.monotonic() - t0)
+        hits[wid] = client.stats.hot_cache_hits - warm_hits
+        spread[wid] = client.stats.hot_spread_reads - warm_spread
+
+    threads = [
+        threading.Thread(target=drive, args=(w,)) for w in range(WORKERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    flat = sorted(lat for per in latencies for lat in per)
+    return len(flat), sum(failed), flat, {
+        "cache_hits": sum(hits),
+        "spread_reads": sum(spread),
+    }
+
+
+def _pct(latencies: list[float], p: float) -> float:
+    if not latencies:
+        return 0.0
+    return latencies[min(len(latencies) - 1, int(p * (len(latencies) - 1)))]
+
+
+def _imbalance(cluster) -> float:
+    """Worst per-partition imbalance ratio across instances; resets the
+    trackers so each phase reads its own window."""
+    worst = 1.0
+    for s in cluster.servers:
+        if s.core is None:
+            continue
+        snap = s.core.partition_load.snapshot(reset=True)
+        worst = max(worst, snap["imbalance_ratio"])
+    return worst
+
+
+def _preload(cluster) -> None:
+    client = cluster.client(seed=1)
+    rng = random.Random(3)
+    keys = [f"zipf-{i:08d}".encode() for i in range(UNIVERSE)]
+    for lo in range(0, UNIVERSE, 256):
+        client.insert_many(
+            (k, random_value(rng)) for k in keys[lo : lo + 256]
+        )
+
+
+def _run_one(make_ops, duration: float, *, mitigate: bool):
+    config = _config(mitigate=mitigate)
+    with build_tcp_cluster(NODES, config, seed=17) as cluster:
+        _preload(cluster)
+        _imbalance(cluster)  # reset the load window after the preload
+        ok, fail, lat, cstats = _phase(cluster, make_ops, duration)
+        imbalance = _imbalance(cluster)
+    return {
+        "completed": ok,
+        "failed": fail,
+        "ops_s": ok / duration,
+        "p50_s": _pct(lat, 0.50),
+        "p99_s": _pct(lat, 0.99),
+        "imbalance": imbalance,
+        **cstats,
+    }
+
+
+def run(duration: float):
+    # ZipfWorkload lazily builds its CDF; touch it once before any
+    # threads share an instance's sampler.
+    next(iter(_zipf_ops(0)))
+
+    uniform = _run_one(_uniform_ops, duration, mitigate=False)
+    zipf_off = _run_one(_zipf_ops, duration, mitigate=False)
+    zipf_on = _run_one(_zipf_ops, duration, mitigate=True)
+
+    def row(name, r):
+        return (
+            name,
+            fmt_int(r["ops_s"]),
+            r["completed"],
+            r["failed"],
+            fmt(r["p50_s"] * 1e3, 1),
+            fmt(r["p99_s"] * 1e3, 1),
+            fmt(r["imbalance"], 1),
+            r["cache_hits"],
+            r["spread_reads"],
+        )
+
+    rows = [
+        row("uniform", uniform),
+        row(f"zipf s={ZIPF_S} off", zipf_off),
+        row(f"zipf s={ZIPF_S} on", zipf_on),
+    ]
+    stats = {
+        "uniform_ops_s": uniform["ops_s"],
+        "zipf_baseline_ops_s": zipf_off["ops_s"],
+        "zipf_mitigated_ops_s": zipf_on["ops_s"],
+        "speedup": (
+            zipf_on["ops_s"] / zipf_off["ops_s"] if zipf_off["ops_s"] else 0.0
+        ),
+        "zipf_baseline_p99_s": zipf_off["p99_s"],
+        "zipf_mitigated_p99_s": zipf_on["p99_s"],
+        "zipf_baseline_imbalance": zipf_off["imbalance"],
+        "zipf_mitigated_imbalance": zipf_on["imbalance"],
+        "cache_hits": zipf_on["cache_hits"],
+        "spread_reads": zipf_on["spread_reads"],
+    }
+    return rows, stats
+
+
+HEADERS = (
+    "phase",
+    "ops/s",
+    "completed",
+    "failed",
+    "p50 ms",
+    "p99 ms",
+    "imbalance",
+    "cache hits",
+    "spread reads",
+)
+
+
+def check(stats: dict) -> list[str]:
+    """Acceptance checks; returns a list of failure messages."""
+    failures = []
+    if stats["speedup"] < 1.5:
+        failures.append(
+            f"mitigated Zipf throughput is {stats['speedup']:.2f}x the "
+            "unmitigated run (< 1.5x)"
+        )
+    if stats["zipf_mitigated_p99_s"] > stats["zipf_baseline_p99_s"] * 1.5:
+        failures.append(
+            f"mitigated p99 {stats['zipf_mitigated_p99_s'] * 1e3:.1f} ms "
+            f"regressed past 1.5x the unmitigated p99 "
+            f"{stats['zipf_baseline_p99_s'] * 1e3:.1f} ms"
+        )
+    if stats["cache_hits"] == 0:
+        failures.append("hot-key cache never hit (mitigation inert)")
+    return failures
+
+
+def _report(duration: float) -> list[str]:
+    rows, stats = run(duration)
+    print_table(
+        f"Zipf hot keys: spread + cache vs none "
+        f"(TCP, {NODES} nodes, {WORKERS} workers, "
+        f"universe {UNIVERSE}, {WRITE_RATIO:.0%} writes)",
+        HEADERS,
+        rows,
+        note=(
+            f"speedup {stats['speedup']:.2f}x, "
+            f"{stats['cache_hits']} cache hits, "
+            f"{stats['spread_reads']} spread reads, "
+            f"imbalance {stats['zipf_baseline_imbalance']:.1f} -> "
+            f"{stats['zipf_mitigated_imbalance']:.1f}"
+        ),
+    )
+    emit_json("zipf_hotkey", HEADERS, rows)
+    return check(stats)
+
+
+def test_zipf_hotkey(benchmark):
+    failures = _report(duration=1.5)
+    assert not failures, failures
+
+    def timed_case():
+        config = _config(mitigate=True)
+        with build_tcp_cluster(NODES, config, seed=17) as cluster:
+            client = cluster.client(seed=2)
+            for i in range(64):
+                client.insert(f"t-{i}".encode(), b"v" * 132)
+
+    benchmark(timed_case)
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    failures = _report(duration=1.2 if smoke else 2.5)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1 if failures else 0)

@@ -46,6 +46,14 @@ def _direct_blocking(call: ast.Call) -> str | None:
     """A description when *call* is intrinsically blocking, else None.
 
     ``.wait()`` is handled separately (held-condition exemption).
+
+    File I/O is covered by ``.flush()``, ``os.replace``/``os.rename``
+    and ``shutil.copyfileobj`` — the moves where buffered writes hit the
+    OS.  Bare ``.write()`` is deliberately not matched (too generic to
+    stay name-based), but any full-file writer worth flagging flushes or
+    renames before it matters, and the transitive pass then carries the
+    taint to whoever calls it under a lock (``checkpoint`` →
+    ``write_checkpoint`` → ``f.flush()``).
     """
     chain = _called_name(call)
     if not chain:
@@ -57,6 +65,12 @@ def _direct_blocking(call: ast.Call) -> str | None:
         return "os.fsync()"
     if last == "sleep" and len(chain) >= 2 and chain[-2] == "time":
         return "time.sleep()"
+    if last == "flush":
+        return "file .flush()"
+    if last in ("replace", "rename") and len(chain) >= 2 and chain[-2] == "os":
+        return f"os.{last}()"
+    if last == "copyfileobj" and len(chain) >= 2 and chain[-2] == "shutil":
+        return "shutil.copyfileobj()"
     return None
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import threading
 from typing import Callable
 
 from .core.client import BatchEntry, ZHTClientCore
@@ -46,7 +47,7 @@ from .core.membership import (
     correlated_instance_id,
     new_instance_id,
 )
-from .core.protocol import OpCode
+from .core.protocol import OpCode, Response
 from .core.server import ZHTServerCore
 from .net.local import LocalNetwork
 from .net.transport import (
@@ -115,48 +116,160 @@ class ZHT:
         # connections to it so retries/failovers never target a socket
         # whose server has crashed.
         core.on_node_dead = self._evict_dead_node
+        # Hot-key value cache (bounded LRU; see DESIGN.md §13).  Serves
+        # repeat lookups of hot keys locally for up to hot_key_cache_ttl_s
+        # after a fetch; every mutation of a key through this client
+        # invalidates its entry on ack.  Cache hits are recorded as
+        # bounded-stale reads (replica_index >= 2) — a served value can be
+        # up to TTL + async-replication-lag old, so verify runs must use a
+        # staleness bound of at least that.  LRUCache is not internally
+        # synchronized; _cache_lock guards every access.
+        self._hot_cache = None
+        self._cache_lock = threading.Lock()
+        if self.core.config.hot_key_cache_size > 0:
+            from .net.lru import LRUCache
+
+            self._hot_cache = LRUCache(self.core.config.hot_key_cache_size)
 
     def _evict_dead_node(self, node_id: str, addresses) -> None:
         for address in addresses:
             self.transport.evict(address)
 
+    # -- hot-key cache ----------------------------------------------------
+
+    def _cache_get(self, key: bytes) -> tuple[bytes, int] | None:
+        """A fresh cached value for *key* as ``(value, effective_replica
+        _index)``, or ``None``.  The effective index is clamped to >= 2 so
+        the recorded event always lands in the checker's bounded-staleness
+        model — a cached value is stale by construction, no matter which
+        chain position served the original fetch."""
+        cache = self._hot_cache
+        if cache is None:
+            return None
+        now = self.core.clock()
+        with self._cache_lock:
+            entry = cache.get(key)
+            if entry is not None:
+                value, fetched_at, source_index = entry
+                if now - fetched_at <= self.core.config.hot_key_cache_ttl_s:
+                    self.core.stats.inc("hot_cache_hits")
+                    return value, max(2, source_index)
+                cache.pop(key)  # expired
+        self.core.stats.inc("hot_cache_misses")
+        return None
+
+    def _cache_fill(
+        self, key: bytes, value: bytes, fetched_at: float, source_index: int
+    ) -> None:
+        """Cache a freshly-fetched value if the key is hot (population is
+        heat-gated so cold keys never displace hot entries)."""
+        cache = self._hot_cache
+        if cache is None or not self.core.is_hot(key):
+            return
+        with self._cache_lock:
+            cache.put(key, (value, fetched_at, source_index))
+
+    def _cache_invalidate(self, key: bytes) -> None:
+        """Drop *key*'s cached value after a mutation ack.
+
+        Called for failed mutations too: ZHT mutations are at-least-once,
+        so a timed-out insert may still have applied server-side — keeping
+        the pre-mutation value cached would extend its staleness past the
+        TTL accounting."""
+        cache = self._hot_cache
+        if cache is None:
+            return
+        with self._cache_lock:
+            dropped = cache.pop(key) is not None
+        if dropped:
+            self.core.stats.inc("hot_cache_invalidations")
+
     def _execute(self, op: OpCode, key: bytes, value: bytes = b"") -> "Response":
         """Drive one operation, recording its interval when enabled."""
-        driver = self.core.driver(op, key, value)
-        recorder = self.recorder
-        if recorder is None:
-            return execute_op(self.core, driver, self.transport)
-        from .verify.history import STATUS_FAIL, STATUS_NOTFOUND, STATUS_OK
-
-        t_call = recorder.now()
-        status, result = STATUS_FAIL, b""
+        if op == OpCode.LOOKUP:
+            hit = self._cache_get(key)
+            if hit is not None:
+                return self._serve_cache_hit(key, hit)
+            fetched_at = self.core.clock() if self._hot_cache is not None else 0.0
         try:
-            response = execute_op(self.core, driver, self.transport)
-            status = STATUS_OK
-            if op == OpCode.LOOKUP:
-                result = response.value
-            return response
-        except KeyNotFound:
-            # A retried REMOVE that observes NOT_FOUND may have applied on
-            # an earlier attempt whose ack was lost (ZHT mutations are
-            # at-least-once), so its outcome is indefinite for the checker.
-            if op == OpCode.REMOVE and driver._attempts_used > 1:
-                status = STATUS_FAIL
-            else:
-                status = STATUS_NOTFOUND
-            raise
+            driver = self.core.driver(op, key, value)
+            recorder = self.recorder
+            if recorder is None:
+                response = execute_op(self.core, driver, self.transport)
+                if op == OpCode.LOOKUP:
+                    self._cache_fill(
+                        key,
+                        response.value,
+                        fetched_at,
+                        driver.served_replica_index,
+                    )
+                return response
+            from .verify.history import STATUS_FAIL, STATUS_NOTFOUND, STATUS_OK
+
+            t_call = recorder.now()
+            status, result = STATUS_FAIL, b""
+            try:
+                response = execute_op(self.core, driver, self.transport)
+                status = STATUS_OK
+                if op == OpCode.LOOKUP:
+                    result = response.value
+                    self._cache_fill(
+                        key,
+                        response.value,
+                        fetched_at,
+                        driver.served_replica_index,
+                    )
+                return response
+            except KeyNotFound:
+                # A retried REMOVE that observes NOT_FOUND may have applied on
+                # an earlier attempt whose ack was lost (ZHT mutations are
+                # at-least-once), so its outcome is indefinite for the checker.
+                if op == OpCode.REMOVE and driver._attempts_used > 1:
+                    status = STATUS_FAIL
+                else:
+                    status = STATUS_NOTFOUND
+                raise
+            finally:
+                recorder.record(
+                    self.client_id,
+                    _OP_NAMES[op],
+                    key,
+                    value,
+                    t_call,
+                    recorder.now(),
+                    status,
+                    result=result,
+                    replica_index=driver.served_replica_index,
+                )
         finally:
+            # Mutations (acked *or* ambiguous) drop the key's cached value.
+            if op != OpCode.LOOKUP:
+                self._cache_invalidate(key)
+
+    def _serve_cache_hit(self, key: bytes, hit: tuple[bytes, int]) -> Response:
+        """Answer a lookup from the hot-key cache, recording it as a
+        bounded-stale read at the clamped replica index."""
+        value, replica_index = hit
+        response = Response(
+            status=Status.OK, value=value, op=int(OpCode.LOOKUP)
+        )
+        recorder = self.recorder
+        if recorder is not None:
+            from .verify.history import STATUS_OK
+
+            now = recorder.now()
             recorder.record(
                 self.client_id,
-                _OP_NAMES[op],
+                "lookup",
                 key,
-                value,
-                t_call,
+                b"",
+                now,
                 recorder.now(),
-                status,
-                result=result,
-                replica_index=driver.served_replica_index,
+                STATUS_OK,
+                result=value,
+                replica_index=replica_index,
             )
+        return response
 
     # -- the four ZHT operations (§III.A) -------------------------------
 
@@ -220,6 +333,18 @@ class ZHT:
     # -- batched operations (one BATCH round trip per owner) -------------
 
     def _run_batch(
+        self, op: OpCode, entries: list[BatchEntry]
+    ) -> list[BatchEntry]:
+        try:
+            return self._run_batch_inner(op, entries)
+        finally:
+            # Batched mutations drop every touched key's cached value,
+            # acked or not (a partially-applied batch is still a mutation).
+            if op != OpCode.LOOKUP:
+                for entry in entries:
+                    self._cache_invalidate(entry.key)
+
+    def _run_batch_inner(
         self, op: OpCode, entries: list[BatchEntry]
     ) -> list[BatchEntry]:
         recorder = self.recorder

@@ -322,6 +322,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             mutation=args.mutation,
             history_path=args.history,
             staleness_bound=args.bound,
+            hot_cache=args.hot_cache,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -555,6 +556,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="offline mode: re-check a saved history JSONL instead of "
         "running a cluster",
+    )
+    verify.add_argument(
+        "--hot-cache",
+        action="store_true",
+        help="enable the client-side hot-key value cache (low heat "
+        "threshold, TTL capped at bound/2) and verify its hits satisfy "
+        "the bounded-staleness contract; forces --replicas >= 2",
     )
     verify.set_defaults(fn=_cmd_verify)
 

@@ -172,6 +172,13 @@ class ClientStats:
         "retry_later",
         #: Lookups served by a replica because the owner shed load.
         "degraded_reads",
+        #: Lookups of a client-observed hot key started at a non-owner
+        #: chain position (heat-triggered read spreading).
+        "hot_spread_reads",
+        #: Hot-key cache outcomes (see repro.api.ZHT's value cache).
+        "hot_cache_hits",
+        "hot_cache_misses",
+        "hot_cache_invalidations",
         #: Suspected-dead nodes revived for a half-open probe.
         "reprobes",
     )
@@ -250,6 +257,17 @@ class ZHTClientCore:
         #: connections so failovers never re-use a socket to a dead server.
         self.on_node_dead: Callable[[str, list[Address]], None] | None = None
         self._derived_budget: float | None = None
+        # Client-observed key heat: a bounded LRU of per-key access
+        # counters (a sliding-window approximation — eviction forgets a
+        # key's count, so sustained popularity is required to stay hot).
+        # LRUCache is not internally synchronized (see its docstring);
+        # every access happens under _heat_lock.  Imported lazily:
+        # repro.net pulls this module in at import time, so a top-level
+        # import of repro.net.lru here would be circular.
+        from ..net.lru import LRUCache
+
+        self._heat_lock = threading.Lock()
+        self._key_heat = LRUCache(self.config.hot_key_tracker_size)
 
     def deadline_budget(self) -> float:
         """Wall-clock budget (seconds) for one logical operation.
@@ -276,7 +294,63 @@ class ZHTClientCore:
     def driver(self, op: OpCode, key: bytes, value: bytes = b"") -> "OpDriver":
         self.maybe_reprobe()
         self.stats.inc("ops")
-        return OpDriver(self, op, key, value)
+        start = 0
+        if op is OpCode.LOOKUP:
+            start = self._hot_read_start(key)
+        return OpDriver(self, op, key, value, start_replica_index=start)
+
+    # -- client-observed key heat ------------------------------------------
+
+    def note_key_access(self, key: bytes) -> int:
+        """Count one access of *key*; returns its tally in the tracker's
+        sliding window."""
+        with self._heat_lock:
+            count = (self._key_heat.get(key) or 0) + 1
+            self._key_heat.put(key, count)
+        return count
+
+    def key_heat(self, key: bytes) -> int:
+        """Current window tally for *key* (0 = cold/evicted), without
+        counting an access."""
+        with self._heat_lock:
+            count = self._key_heat.get(key)
+        return count or 0
+
+    def is_hot(self, key: bytes) -> bool:
+        return self.key_heat(key) >= self.config.hot_key_threshold
+
+    def _hot_read_start(self, key: bytes) -> int:
+        """Replica-chain position this lookup should start at.
+
+        Cold keys (and every write) go to the owner.  Once a key's tally
+        crosses ``hot_key_threshold``, its lookups rotate round-robin
+        across the *alive* chain positions, so a hot key's read load is
+        divided across ``num_replicas + 1`` servers instead of melting
+        the owner.  Positions >= 2 are async replicas: those reads carry
+        the same bounded-staleness guarantee as degraded reads, which is
+        what makes the spread safe under the §III.J consistency model.
+        """
+        cfg = self.config
+        count = self.note_key_access(key)
+        if (
+            not cfg.hot_read_spread
+            or cfg.num_replicas == 0
+            or count < cfg.hot_key_threshold
+        ):
+            return 0
+        pid = self.membership.partition_of_key(key, cfg.hash_name)
+        chain = self.membership.replicas_for_partition(pid, cfg.num_replicas)
+        alive = []
+        for index, inst in enumerate(chain):
+            node = self.membership.nodes.get(inst.node_id)
+            if node is not None and node.alive:
+                alive.append(index)
+        if len(alive) <= 1:
+            return 0
+        start = alive[count % len(alive)]
+        if start:
+            self.stats.inc("hot_spread_reads")
+        return start
 
     def plan_batches(
         self,
@@ -569,7 +643,15 @@ class ZHTClientCore:
 class OpDriver:
     """Drives one logical operation through attempts until done/failed."""
 
-    def __init__(self, core: ZHTClientCore, op: OpCode, key: bytes, value: bytes) -> None:
+    def __init__(
+        self,
+        core: ZHTClientCore,
+        op: OpCode,
+        key: bytes,
+        value: bytes,
+        *,
+        start_replica_index: int = 0,
+    ) -> None:
         self.core = core
         self.op = op
         self.key = key
@@ -582,7 +664,10 @@ class OpDriver:
         self.deadline = core.clock() + core.deadline_budget()
         self._attempts_used = 0
         self._retries_on_target = 0
-        self._replica_index = 0
+        #: Chain position of the current target.  Normally 0 (the owner);
+        #: heat-spread lookups start deeper in the chain and walk forward
+        #: from there like any degraded read.
+        self._replica_index = start_replica_index
         self._current: Attempt | None = None
         self._overloaded_seen = False
 

@@ -95,6 +95,29 @@ class ZHTConfig:
     #: before new ones are shed with RETRY_LATER (0 = unbounded).
     max_inflight: int = 256
 
+    # --- hot keys (Zipf skew) ----------------------------------------------
+    #: Spread lookups of client-observed hot keys across the replica chain
+    #: (primary + replicas, round-robin) instead of hammering the owner.
+    #: Reads served off positions >= 2 fall under the same bounded-staleness
+    #: contract as degraded reads; requires ``num_replicas`` > 0 to have
+    #: any effect.
+    hot_read_spread: bool = True
+    #: Lookups of one key within the heat tracker's sliding window before
+    #: the client treats it as hot.
+    hot_key_threshold: int = 64
+    #: Capacity of the per-client key-heat tracker (bounded LRU of access
+    #: counters; the window over which hot_key_threshold is measured).
+    hot_key_tracker_size: int = 512
+    #: Client-side hot-key value cache capacity (entries).  0 disables the
+    #: cache (default: caching trades read recency for owner offload and
+    #: is only sound while reads tolerate ``hot_key_cache_ttl_s`` of
+    #: staleness — the bounded-staleness contract).
+    hot_key_cache_size: int = 0
+    #: Max age of a served cache entry in seconds.  Cache hits count as
+    #: bounded-stale reads: verify runs must use a staleness bound >= this
+    #: TTL plus the async replication lag.
+    hot_key_cache_ttl_s: float = 0.1
+
     # --- persistence (NoVoHT) --------------------------------------------
     #: Directory for NoVoHT WAL + checkpoint files; ``None`` = memory only.
     persistence_dir: str | None = None
@@ -176,6 +199,14 @@ class ZHTConfig:
             )
         if self.max_inflight < 0:
             raise ValueError("max_inflight must be >= 0")
+        if self.hot_key_threshold <= 0:
+            raise ValueError("hot_key_threshold must be positive")
+        if self.hot_key_tracker_size <= 0:
+            raise ValueError("hot_key_tracker_size must be positive")
+        if self.hot_key_cache_size < 0:
+            raise ValueError("hot_key_cache_size must be >= 0")
+        if self.hot_key_cache_ttl_s <= 0:
+            raise ValueError("hot_key_cache_ttl_s must be positive")
         if not 0.0 <= self.gc_dead_ratio <= 1.0:
             raise ValueError("gc_dead_ratio must be in [0, 1]")
         if self.transport not in ("tcp", "udp", "local"):

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..novoht import NoVoHT
-from ..obs import REGISTRY, metrics_snapshot
+from ..obs import REGISTRY, PartitionLoadTracker, metrics_snapshot
 from .config import ReplicationMode, ZHTConfig
 from .errors import KeyNotFound, Status, ZHTError
 from .membership import Address, InstanceInfo, MembershipTable
@@ -230,6 +230,9 @@ class ZHTServerCore:
         #: Node-local store for broadcast pairs (every instance holds a
         #: full copy of broadcast data; it is outside the partition space).
         self.broadcast_store = NoVoHT(None)
+        #: Per-partition request accounting; surfaced via the STATS op so
+        #: operators can see Zipf hot partitions (rate + imbalance ratio).
+        self.partition_load = PartitionLoadTracker()
 
     # ------------------------------------------------------------------
     # Partition access
@@ -375,6 +378,7 @@ class ZHTServerCore:
             "partitions": len(self.partitions),
             "pairs": sum(len(p.store) for p in self.partitions.values()),
             "transport": self.config.transport,
+            "partition_load": self.partition_load.snapshot(),
         }
         payload = json.dumps(snapshot, sort_keys=True).encode()
         return HandleResult(self._respond(request, Status.OK, value=payload))
@@ -439,6 +443,7 @@ class ZHTServerCore:
             )
 
         part = self.partition(pid)
+        self.partition_load.record(pid)
         if part.is_migrating:
             # Queue everything (reads included): partition state is locked.
             part.queue_request(QueuedRequest(request, reply_context))
@@ -460,6 +465,9 @@ class ZHTServerCore:
                 if response.status == Status.OK:
                     result.repl_sequencer = self.repl_sequencer
                     result.repl_ticket = self.repl_sequencer.ticket()
+            # Maintenance triggered by the apply parks while we hold the
+            # store lock (checkpoints must not run under it); drain it now.
+            part.store.run_pending_maintenance()
         else:
             response = self._apply_to_store(request, part.store)
             result = HandleResult(response)
@@ -606,6 +614,7 @@ class ZHTServerCore:
             if not served:
                 continue
             part = self.partition(pid)
+            self.partition_load.record(pid, len(served))
 
             # Translate servable sub-requests into store batch ops.
             batch_ops: list[tuple[str, bytes, bytes]] = []
@@ -665,6 +674,8 @@ class ZHTServerCore:
                             result.repl_ticket
                         )
                         result.repl_sequencer = self.repl_sequencer
+                    # Drain maintenance parked while the lock was held.
+                    part.store.run_pending_maintenance()
                 else:
                     outcomes = part.store.apply_batch(batch_ops)
             except ZHTError as exc:

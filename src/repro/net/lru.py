@@ -20,6 +20,22 @@ class LRUCache(Generic[K, V]):
     A ``capacity`` of 0 disables caching entirely: every :meth:`put` is
     immediately evicted (this models the paper's "TCP without connection
     caching" configuration with no special-casing in callers).
+
+    **Thread-safety contract: none.**  The cache has no internal lock;
+    the ``hits``/``misses``/``evictions`` counters are unguarded
+    read-modify-write, and the OrderedDict itself can be corrupted by
+    concurrent mutation.  Callers that share an instance across threads
+    must hold their own lock around *every* access (the TCP connection
+    cache, the client key-heat tracker, and the hot-key value cache all
+    do).  ``on_evict`` fires *inside* :meth:`put`/:meth:`clear` — with
+    the caller's lock held, under that contract — so an ``on_evict``
+    that re-enters :meth:`put` on the same instance can evict-loop;
+    callbacks must only release resources, never re-insert.
+
+    On a same-key :meth:`put`, the old value is passed to ``on_evict``
+    (unless it *is* the new value), then the key is re-inserted as the
+    most recently used — a replace counts as an eviction of the old
+    value but not of the key.
     """
 
     def __init__(

@@ -1,15 +1,28 @@
 """Checkpoint (snapshot) files for NoVoHT.
 
 A checkpoint is a point-in-time serialization of the whole table.  After
-a checkpoint commits, the write-ahead log can be truncated; recovery is
-"load latest checkpoint, then replay WAL".
+a checkpoint commits, the WAL prefix it covers can be dropped; recovery
+is "load latest checkpoint, then replay the uncovered WAL suffix".
 
-File format:
+File format (v2):
 
-    header   8 bytes  b"NOVOHT\\x01\\x00"
-    count    varint   number of pairs
-    pairs    count ×  (klen varint, vlen varint, key, value)
-    crc32    u32      over everything above
+    header     8 bytes  b"NOVOHT\\x02\\x00"
+    wal_epoch  varint   epoch of the WAL file the snapshot was cut against
+    wal_offset varint   byte offset of the WAL tail at snapshot time
+    count      varint   number of pairs
+    pairs      count ×  (klen varint, vlen varint, key, value)
+    crc32      u32      over everything above
+
+``(wal_epoch, wal_offset)`` name the exact log prefix the snapshot
+covers: recovery skips it when the on-disk WAL still carries that epoch
+(crash between checkpoint commit and WAL compaction) and replays the
+whole log otherwise (the compacted log *is* the uncovered suffix).  This
+is what makes it safe to write the snapshot outside the store lock while
+mutations keep appending: nothing is ever truncated that the snapshot
+did not capture, and nothing captured is ever replayed twice (replaying
+covered ``append`` records would duplicate fragments).
+
+v1 files (``NOVOHT\\x01\\x00``, no wal metadata) are still readable.
 
 Checkpoints are written to a temp file and atomically renamed, so a crash
 mid-checkpoint leaves the previous checkpoint intact.
@@ -25,10 +38,17 @@ from typing import Iterable, Iterator
 from ..core.errors import StoreError
 from .wal import decode_varint, encode_varint
 
-CHECKPOINT_MAGIC = b"NOVOHT\x01\x00"
+CHECKPOINT_MAGIC_V1 = b"NOVOHT\x01\x00"
+CHECKPOINT_MAGIC = b"NOVOHT\x02\x00"
 
 
-def write_checkpoint(path: str, pairs: Iterable[tuple[bytes, bytes]]) -> int:
+def write_checkpoint(
+    path: str,
+    pairs: Iterable[tuple[bytes, bytes]],
+    *,
+    wal_epoch: int = 0,
+    wal_offset: int = 0,
+) -> int:
     """Atomically write *pairs* to *path*; return the number written."""
     tmp = path + ".tmp"
     crc = zlib.crc32(CHECKPOINT_MAGIC)
@@ -38,12 +58,14 @@ def write_checkpoint(path: str, pairs: Iterable[tuple[bytes, bytes]]) -> int:
         chunk = encode_varint(len(key)) + encode_varint(len(value)) + key + value
         body_chunks.append(chunk)
         count += 1
-    count_bytes = encode_varint(count)
+    meta_bytes = (
+        encode_varint(wal_epoch) + encode_varint(wal_offset) + encode_varint(count)
+    )
     try:
         with open(tmp, "wb") as f:
             f.write(CHECKPOINT_MAGIC)
-            f.write(count_bytes)
-            crc = zlib.crc32(count_bytes, crc)
+            f.write(meta_bytes)
+            crc = zlib.crc32(meta_bytes, crc)
             for chunk in body_chunks:
                 f.write(chunk)
                 crc = zlib.crc32(chunk, crc)
@@ -54,6 +76,28 @@ def write_checkpoint(path: str, pairs: Iterable[tuple[bytes, bytes]]) -> int:
     except OSError as exc:
         raise StoreError(f"checkpoint write failed: {exc}") from exc
     return count
+
+
+def checkpoint_meta(path: str) -> tuple[int, int] | None:
+    """``(wal_epoch, wal_offset)`` recorded in the checkpoint at *path*.
+
+    ``None`` for a missing, v1, or unparseable file — the caller then
+    falls back to a full WAL replay, which is always safe for v1 files
+    (they were written with the WAL truncated under the same lock).
+    """
+    try:
+        with open(path, "rb") as f:
+            head = f.read(len(CHECKPOINT_MAGIC) + 30)
+    except OSError:
+        return None
+    if not head.startswith(CHECKPOINT_MAGIC):
+        return None
+    try:
+        wal_epoch, pos = decode_varint(head, len(CHECKPOINT_MAGIC))
+        wal_offset, _pos = decode_varint(head, pos)
+    except ValueError:
+        return None
+    return wal_epoch, wal_offset
 
 
 def read_checkpoint(path: str) -> Iterator[tuple[bytes, bytes]]:
@@ -71,7 +115,10 @@ def read_checkpoint(path: str) -> Iterator[tuple[bytes, bytes]]:
     except OSError as exc:
         raise StoreError(f"checkpoint read failed: {exc}") from exc
 
-    if len(data) < len(CHECKPOINT_MAGIC) + 4 or not data.startswith(CHECKPOINT_MAGIC):
+    v2 = data.startswith(CHECKPOINT_MAGIC)
+    if len(data) < len(CHECKPOINT_MAGIC) + 4 or not (
+        v2 or data.startswith(CHECKPOINT_MAGIC_V1)
+    ):
         raise StoreError(f"corrupt checkpoint {path}: bad header")
     body, crc_bytes = data[:-4], data[-4:]
     if zlib.crc32(body) != struct.unpack("<I", crc_bytes)[0]:
@@ -79,6 +126,9 @@ def read_checkpoint(path: str) -> Iterator[tuple[bytes, bytes]]:
 
     pos = len(CHECKPOINT_MAGIC)
     try:
+        if v2:
+            _wal_epoch, pos = decode_varint(body, pos)
+            _wal_offset, pos = decode_varint(body, pos)
         count, pos = decode_varint(body, pos)
         for _ in range(count):
             klen, pos = decode_varint(body, pos)

@@ -36,7 +36,7 @@ from typing import BinaryIO, Callable, Iterator
 
 from ..core.errors import KeyNotFound, StoreError
 from ..obs import REGISTRY
-from .checkpoint import read_checkpoint, write_checkpoint
+from .checkpoint import checkpoint_meta, read_checkpoint, write_checkpoint
 from .wal import OP_APPEND, OP_PUT, OP_REMOVE, WriteAheadLog
 
 
@@ -125,6 +125,11 @@ class NoVoHT:
 
         self._map: dict[bytes, bytes | _Spilled] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
+        #: Serializes checkpoint/GC passes; waiters release _lock while
+        #: a pass's unlocked snapshot write is in flight.
+        self._maint_cond = threading.Condition(self._lock)
+        self._maint_busy = False  # guarded-by: _lock
+        self._maint_pending: str | None = None  # guarded-by: _lock
         self.stats = NoVoHTStats()
         self.checkpoint_interval_ops = checkpoint_interval_ops
         self.gc_dead_ratio = gc_dead_ratio
@@ -167,11 +172,25 @@ class NoVoHT:
     # ------------------------------------------------------------------
 
     def _recover(self) -> None:  # lint: single-threaded (construction only)
-        """Rebuild the in-memory map from checkpoint + WAL replay."""
+        """Rebuild the in-memory map from checkpoint + WAL replay.
+
+        The checkpoint names the WAL prefix it covers (epoch + offset);
+        when the on-disk log still carries that epoch — a crash landed
+        between the checkpoint commit and the WAL compaction — replay
+        starts past the covered prefix instead of re-applying it (covered
+        ``append`` records would otherwise duplicate their fragments).
+        An epoch mismatch means the log was compacted after the
+        checkpoint committed, so the whole log is the uncovered suffix.
+        """
         assert self._wal is not None and self._ckpt_path is not None
         for key, value in read_checkpoint(self._ckpt_path):
             self._map[key] = value
-        for op, key, value in self._wal.replay():
+        meta = checkpoint_meta(self._ckpt_path)
+        wal_epoch = self._wal.read_epoch()
+        start_offset = None
+        if meta is not None and wal_epoch and meta[0] == wal_epoch:
+            start_offset = meta[1]
+        for op, key, value in self._wal.replay(start_offset=start_offset):
             if op == OP_PUT:
                 self._map[key] = value
             elif op == OP_REMOVE:
@@ -204,7 +223,8 @@ class NoVoHT:
             self._map[key] = value
             self.stats.puts += 1
             REGISTRY.counter("novoht.puts").inc()
-            self._after_mutation()
+            maint = self._after_mutation()
+        self._run_maintenance(maint)
 
     def get(self, key: bytes) -> bytes:
         """Return the value for *key*; raise :class:`KeyNotFound` if absent."""
@@ -236,7 +256,8 @@ class NoVoHT:
             self.stats.removes += 1
             self.stats.dead_records += 2  # the put and the remove record
             REGISTRY.counter("novoht.removes").inc()
-            self._after_mutation()
+            maint = self._after_mutation()
+        self._run_maintenance(maint)
 
     def append(self, key: bytes, value: bytes) -> None:
         """Append *value* to the value stored at *key*.
@@ -263,7 +284,8 @@ class NoVoHT:
                 self.stats.dead_records += 1
             self.stats.appends += 1
             REGISTRY.counter("novoht.appends").inc()
-            self._after_mutation()
+            maint = self._after_mutation()
+        self._run_maintenance(maint)
 
     def apply_batch(
         self, ops: list[tuple[str, bytes, bytes]]
@@ -287,6 +309,7 @@ class NoVoHT:
         """
         results: list[tuple[bool, bytes | None]] = []
         wal_records: list[tuple[int, bytes, bytes]] = []
+        maint: str | None = None
         with REGISTRY.span("novoht.apply_batch"), self._lock:
             self._ensure_open()
             for kind, key, value in ops:
@@ -343,9 +366,10 @@ class NoVoHT:
             for kind, n in counts.items():
                 REGISTRY.counter(f"novoht.{kind}s").inc(n)
             if wal_records:
-                self._after_mutations(len(wal_records))
+                maint = self._after_mutations(len(wal_records))
             else:
                 self._enforce_memory_bound()
+        self._run_maintenance(maint)
         return results
 
     def contains(self, key: bytes) -> bool:
@@ -384,27 +408,97 @@ class NoVoHT:
     # Persistence management
     # ------------------------------------------------------------------
 
-    def checkpoint(self) -> None:
-        """Snapshot the table and truncate the WAL."""
-        if self._wal is None or self._ckpt_path is None:
-            return
-        with REGISTRY.span("novoht.checkpoint"), self._lock:
-            write_checkpoint(self._ckpt_path, self.items())
-            self._wal.truncate()
-            self.stats.checkpoints += 1
-            REGISTRY.counter("novoht.checkpoints").inc()
-            self.stats.dead_records = 0
-            self._ops_since_checkpoint = 0
+    def checkpoint(self, *, wait: bool = True) -> None:
+        """Snapshot the table and drop the covered WAL prefix.
 
-    def gc(self) -> None:
-        """Compact the WAL down to the live pairs."""
+        The expensive full-table serialization + fsync runs **outside**
+        the store lock: the table is snapshotted under the lock, written
+        while concurrent put/get/remove proceed, then the WAL prefix the
+        snapshot covers is dropped under a brief re-acquire.  Mutations
+        that land mid-write stay in the WAL suffix and survive.
+
+        ``wait=False`` returns immediately if another checkpoint/GC pass
+        is already in flight (the automatic maintenance path);
+        ``wait=True`` queues behind it and then runs its own pass, so an
+        explicit ``checkpoint()``/``flush()`` always covers every
+        mutation that preceded the call.
+        """
+        self._checkpoint_impl("checkpoint", wait=wait)
+
+    def gc(self, *, wait: bool = True) -> None:
+        """Reclaim dead WAL records.
+
+        Delegates to the checkpoint pass: compacting the log *to the live
+        puts alone* (the old implementation) silently dropped ``remove``
+        records that a key present in an older checkpoint still needed —
+        crash recovery would resurrect the key.  A checkpoint supersedes
+        the whole log, so the compacted result is a fresh snapshot plus
+        an (empty) suffix, and removals stay removed.
+        """
         if self._wal is None:
             return
-        with REGISTRY.span("novoht.gc"), self._lock:
-            self._wal.rewrite(self.items())
-            self.stats.gc_runs += 1
-            REGISTRY.counter("novoht.gc_runs").inc()
-            self.stats.dead_records = 0
+        self._checkpoint_impl("gc", wait=wait)
+
+    def _checkpoint_impl(self, kind: str, *, wait: bool) -> None:
+        if self._wal is None or self._ckpt_path is None:
+            return
+        with REGISTRY.span(f"novoht.{kind}"):
+            with self._lock:
+                while self._maint_busy:
+                    if not wait:
+                        return
+                    # Condition.wait releases _lock in full (even when
+                    # held reentrantly it re-balances), so the in-flight
+                    # pass can take the lock to commit.
+                    self._maint_cond.wait()
+                if not self._wal.is_open:
+                    return
+                self._maint_busy = True
+                pairs = self._snapshot_pairs()
+                _epoch, covered_offset, covered_records = self._wal.tail_position()
+                covered_dead = self.stats.dead_records
+                self._ops_since_checkpoint = 0
+            committed = False
+            try:
+                # No lock held: concurrent mutations append to the WAL
+                # suffix past covered_offset and edit the live map; both
+                # are outside what this snapshot claims to cover.
+                write_checkpoint(
+                    self._ckpt_path,
+                    pairs,
+                    wal_epoch=_epoch,
+                    wal_offset=covered_offset,
+                )
+                committed = True
+            finally:
+                with self._lock:
+                    if committed:
+                        self._wal.drop_covered(covered_offset, covered_records)
+                        self.stats.dead_records = max(
+                            0, self.stats.dead_records - covered_dead
+                        )
+                        if kind == "gc":
+                            self.stats.gc_runs += 1
+                            REGISTRY.counter("novoht.gc_runs").inc()
+                        else:
+                            self.stats.checkpoints += 1
+                            REGISTRY.counter("novoht.checkpoints").inc()
+                    self._maint_busy = False
+                    self._maint_cond.notify_all()
+
+    def _snapshot_pairs(self) -> list[tuple[bytes, bytes]]:  # holds-lock: _lock
+        """Materialize the live ``(key, value)`` pairs for a snapshot.
+
+        Spilled values are read without promoting them back to RAM — a
+        snapshot is a read-only observer and must not churn the memory
+        bound while it holds the lock.
+        """
+        pairs: list[tuple[bytes, bytes]] = []
+        for key, value in self._map.items():
+            if isinstance(value, _Spilled):
+                value = self._read_spilled(key, value)
+            pairs.append((key, value))
+        return pairs
 
     def flush(self) -> None:
         """Force a checkpoint if persistence is enabled."""
@@ -418,13 +512,18 @@ class NoVoHT:
             # WAL and overflow handles.
             if self._closed:
                 return
+            self._closed = True
+        # The final checkpoint runs outside the lock like any other; new
+        # mutations are already rejected by _ensure_open, and wait=True
+        # queues behind (then supersedes) any in-flight pass.
+        if self._wal is not None:
+            self.checkpoint()
+        with self._lock:
             if self._wal is not None:
-                self.checkpoint()
                 self._wal.close()
             if self._ovf_file is not None:
                 self._ovf_file.close()
                 self._ovf_file = None
-            self._closed = True
 
     def __enter__(self) -> "NoVoHT":
         return self
@@ -469,24 +568,72 @@ class NoVoHT:
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError(f"value must be bytes, got {type(value).__name__}")
 
-    def _after_mutation(self) -> None:  # holds-lock: _lock
-        self._after_mutations(1)
+    def _after_mutation(self) -> str | None:  # holds-lock: _lock
+        return self._after_mutations(1)
 
-    def _after_mutations(self, n: int) -> None:  # holds-lock: _lock
+    def _after_mutations(self, n: int) -> str | None:  # holds-lock: _lock
+        """Post-mutation bookkeeping; returns the maintenance pass that is
+        now due (``"checkpoint"`` / ``"gc"`` / ``None``).
+
+        The pass itself must run *after* the caller releases ``_lock``
+        (:meth:`_run_maintenance`) — running it here would hold the lock
+        across the full-table disk write, stalling every concurrent op on
+        the store for the duration.
+        """
         self._ops_since_checkpoint += n
-        if self._wal is not None:
-            if (
-                self.checkpoint_interval_ops
-                and self._ops_since_checkpoint >= self.checkpoint_interval_ops
-            ):
-                self.checkpoint()
-            elif (
-                self._wal.record_count >= self._GC_MIN_RECORDS
-                and self.stats.dead_records
-                >= self.gc_dead_ratio * self._wal.record_count
-            ):
-                self.gc()
         self._enforce_memory_bound()
+        if self._wal is None:
+            return None
+        if (
+            self.checkpoint_interval_ops
+            and self._ops_since_checkpoint >= self.checkpoint_interval_ops
+        ):
+            return "checkpoint"
+        if (
+            self._wal.record_count >= self._GC_MIN_RECORDS
+            and self.stats.dead_records
+            >= self.gc_dead_ratio * self._wal.record_count
+        ):
+            return "gc"
+        return None
+
+    def _run_maintenance(self, kind: str | None) -> None:
+        """Run (or defer) a due maintenance pass, lock not held by us.
+
+        Callers that wrap store mutations in ``store.lock`` themselves
+        (the server core pairs an apply with a replication ticket) still
+        hold the reentrant lock here; starting the pass now would drag
+        the lock across the snapshot write.  For them the pass is parked
+        and picked up by :meth:`run_pending_maintenance` once they
+        release the lock.
+        """
+        if kind is not None:
+            with self._lock:
+                if self._maint_pending is None:
+                    self._maint_pending = kind
+        if self._lock_held_by_caller():
+            return
+        self.run_pending_maintenance()
+
+    def run_pending_maintenance(self) -> None:
+        """Run any maintenance pass parked by a lock-holding mutator.
+
+        External callers that mutate under :attr:`lock` should call this
+        after releasing it; a no-op when nothing is pending.
+        """
+        with self._lock:
+            kind, self._maint_pending = self._maint_pending, None
+        if kind == "checkpoint":
+            self.checkpoint(wait=False)
+        elif kind == "gc":
+            self.gc(wait=False)
+
+    def _lock_held_by_caller(self) -> bool:
+        # RLock._is_owned: true iff the *current thread* owns the lock.
+        # Called only after our own with-blocks have exited, so ownership
+        # means an outer frame of this thread still holds it.
+        is_owned = getattr(self._lock, "_is_owned", None)
+        return bool(is_owned()) if is_owned is not None else False
 
     # -- spill-to-disk ----------------------------------------------------
 
@@ -517,6 +664,15 @@ class NoVoHT:
             f.write(value)
             self._map[key] = _Spilled(offset, len(value))
         f.flush()
+
+    def _read_spilled(self, key: bytes, marker: _Spilled) -> bytes:  # holds-lock: _lock
+        """Read a spilled value without promoting it back to RAM."""
+        f = self._open_overflow()
+        f.seek(marker.offset)
+        value = f.read(marker.length)
+        if len(value) != marker.length:
+            raise StoreError(f"overflow file truncated reading {key!r}")
+        return value
 
     def _load_spilled(self, key: bytes, marker: _Spilled) -> bytes:  # holds-lock: _lock
         f = self._open_overflow()

@@ -18,11 +18,25 @@ Record wire format (little-endian):
 A torn final record (power loss mid-append) fails either the magic, the
 length decode, or the CRC, and replay stops cleanly at the last complete
 record — this is exercised by the failure-injection tests.
+
+The log file opens with a small **epoch header**::
+
+    magic   5 bytes  b"ZWAL\\x01"
+    epoch   u64le    bumped by every truncate/compaction
+    crc32   u32      over magic + epoch
+
+The epoch lets a checkpoint name the exact log prefix it covers
+(``wal_epoch`` + byte offset): recovery replays only the uncovered
+suffix when the epochs match, and falls back to a full replay when the
+log was compacted after the checkpoint committed (the compacted log *is*
+the uncovered suffix).  Headerless files (epoch 0) from earlier versions
+replay unchanged.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 import struct
 import zlib
 from typing import BinaryIO, Callable, Iterator
@@ -31,6 +45,29 @@ from ..core.errors import StoreError
 from ..obs import REGISTRY
 
 RECORD_MAGIC = 0xA7
+
+#: First byte 0x5A ≠ RECORD_MAGIC, so a headerless parser never mistakes
+#: the header for a record (and vice versa).
+WAL_HEADER_MAGIC = b"ZWAL\x01"
+WAL_HEADER_LEN = len(WAL_HEADER_MAGIC) + 8 + 4
+
+
+def encode_wal_header(epoch: int) -> bytes:
+    body = WAL_HEADER_MAGIC + struct.pack("<Q", epoch)
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def decode_wal_header(buf: bytes) -> int | None:
+    """Return the epoch encoded in *buf*'s first bytes, or ``None`` if
+    *buf* does not start with a valid header (legacy or torn file)."""
+    if len(buf) < WAL_HEADER_LEN or not buf.startswith(WAL_HEADER_MAGIC):
+        return None
+    body = buf[: WAL_HEADER_LEN - 4]
+    (crc,) = struct.unpack_from("<I", buf, WAL_HEADER_LEN - 4)
+    if zlib.crc32(body) != crc:
+        return None
+    (epoch,) = struct.unpack_from("<Q", buf, len(WAL_HEADER_MAGIC))
+    return epoch
 
 OP_PUT = 1
 OP_REMOVE = 2
@@ -159,11 +196,17 @@ class WriteAheadLog:
         self._file: BinaryIO | None = None
         #: Number of records appended since open/compaction (live + dead).
         self.record_count = 0
+        #: Epoch of the current log file (0 = legacy headerless file).
+        self.epoch = 0
 
     # -- lifecycle ----------------------------------------------------------
 
     def open(self) -> None:
-        """Open (creating if needed) the log for appending."""
+        """Open (creating if needed) the log for appending.
+
+        A brand-new (empty) log gets an epoch header; an existing file
+        keeps whatever epoch it carries (0 for legacy headerless logs).
+        """
         if self._file is not None:
             return
         try:
@@ -171,6 +214,12 @@ class WriteAheadLog:
                 self._file = self._opener(self.path, "ab")
             else:
                 self._file = open(self.path, "ab")
+            if os.path.getsize(self.path) == 0:
+                self.epoch = self.epoch + 1 if self.epoch else 1
+                self._file.write(encode_wal_header(self.epoch))
+                self._file.flush()
+            else:
+                self.epoch = self.read_epoch()
         except OSError as exc:
             raise StoreError(f"cannot open WAL {self.path}: {exc}") from exc
 
@@ -242,28 +291,112 @@ class WriteAheadLog:
 
     # -- recovery / compaction ------------------------------------------------
 
-    def replay(self) -> Iterator[tuple[int, bytes, bytes]]:
+    def read_epoch(self) -> int:
+        """Read the epoch header off the on-disk file (0 if headerless or
+        missing); updates :attr:`epoch`."""
+        try:
+            with open(self.path, "rb") as f:
+                head = f.read(WAL_HEADER_LEN)
+        except OSError:
+            return self.epoch
+        self.epoch = decode_wal_header(head) or 0
+        return self.epoch
+
+    def replay(
+        self, start_offset: int | None = None
+    ) -> Iterator[tuple[int, bytes, bytes]]:
         """Yield all complete records currently in the log file.
 
         Streams straight off the file — records are never materialized as
         a list, so replaying a large un-checkpointed log costs O(1) extra
         memory instead of doubling the peak during recovery.
         ``record_count`` is updated as records are consumed.
+
+        ``start_offset`` (a byte position previously returned by
+        :meth:`tail_position`) skips the prefix a checkpoint already
+        covers; callers must first confirm the checkpoint's ``wal_epoch``
+        matches :meth:`read_epoch`.  A start past EOF yields nothing
+        (the un-covered suffix was lost to a crash before it was synced).
         """
         self.record_count = 0
         if not os.path.exists(self.path):
             return
         with open(self.path, "rb") as f:
+            head = f.read(WAL_HEADER_LEN)
+            epoch = decode_wal_header(head)
+            self.epoch = epoch or 0
+            if epoch is None:
+                f.seek(0)
+            if start_offset is not None and start_offset > f.tell():
+                f.seek(start_offset)
             for record in iter_records(f):
                 self.record_count += 1
                 yield record
 
+    def tail_position(self) -> tuple[int, int, int]:
+        """``(epoch, byte_offset, record_count)`` of the current log tail.
+
+        The caller must hold whatever lock serializes appends; the
+        returned offset is then a stable record boundary naming the
+        prefix that a snapshot taken at the same moment covers.
+        """
+        if self._file is not None:
+            self._file.flush()
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return self.epoch, size, self.record_count
+
     def truncate(self) -> None:
-        """Discard all records (called right after a checkpoint commits)."""
+        """Discard all records (bumps the epoch so any checkpoint offset
+        naming the old file can no longer match)."""
         self.close()
-        with open(self.path, "wb"):
-            pass
+        new_epoch = self.epoch + 1
+        try:
+            with open(self.path, "wb") as f:
+                f.write(encode_wal_header(new_epoch))
+                f.flush()
+                os.fsync(f.fileno())
+        except OSError as exc:
+            raise StoreError(f"WAL truncate failed: {exc}") from exc
+        self.epoch = new_epoch
         self.record_count = 0
+        self.open()
+
+    def drop_covered(self, upto_offset: int, covered_records: int) -> None:
+        """Drop the log prefix up to *upto_offset*, keeping the suffix.
+
+        This is the commit step of a non-blocking checkpoint: the prefix
+        is covered by the snapshot that just landed, while the suffix
+        holds mutations that raced with the (unlocked) snapshot write and
+        must survive.  The suffix is spliced after a fresh header (epoch
+        + 1) in a side file and atomically renamed, so a crash at any
+        point keeps either the old full log (epoch still matching the
+        new checkpoint's covered prefix) or the new suffix-only log.
+
+        The caller must hold the lock that serializes appends — the
+        splice is bounded by the handful of records that landed during
+        the snapshot write, not the table size.
+        """
+        if self._file is not None:
+            self._file.flush()
+        tmp = self.path + ".gc"
+        new_epoch = self.epoch + 1
+        try:
+            with open(tmp, "wb") as out:
+                out.write(encode_wal_header(new_epoch))
+                with open(self.path, "rb") as src:
+                    src.seek(upto_offset)
+                    shutil.copyfileobj(src, out)
+                out.flush()
+                os.fsync(out.fileno())
+        except OSError as exc:
+            raise StoreError(f"WAL compaction failed: {exc}") from exc
+        self.close()
+        os.replace(tmp, self.path)
+        self.epoch = new_epoch
+        self.record_count = max(0, self.record_count - covered_records)
         self.open()
 
     def rewrite(self, live: Iterator[tuple[bytes, bytes]]) -> None:
@@ -274,8 +407,10 @@ class WriteAheadLog:
         file and atomically renamed so a crash mid-GC keeps the old log.
         """
         tmp = self.path + ".gc"
+        new_epoch = self.epoch + 1
         try:
             with open(tmp, "wb") as f:
+                f.write(encode_wal_header(new_epoch))
                 count = 0
                 for key, value in live:
                     f.write(encode_record(OP_PUT, key, value))
@@ -286,6 +421,7 @@ class WriteAheadLog:
             raise StoreError(f"WAL GC failed: {exc}") from exc
         self.close()
         os.replace(tmp, self.path)
+        self.epoch = new_epoch
         self.record_count = count
         self.open()
 

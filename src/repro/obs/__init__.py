@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 
 from .metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+from .partload import PartitionLoadTracker
 from .tracing import NULL_SPAN, Span, TracingRegistry
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "PartitionLoadTracker",
     "TracingRegistry",
     "Span",
     "NULL_SPAN",

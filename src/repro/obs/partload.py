@@ -1,0 +1,75 @@
+"""Per-partition load accounting (Zipf hot-key observability).
+
+Under uniform keys every partition of an instance sees roughly the same
+request rate; under Zipf skew one partition absorbs the hot keys and the
+paper's flat load assumption breaks.  :class:`PartitionLoadTracker`
+counts client requests per partition so the STATS opcode can report
+*where* the load lands, as a rate and as an imbalance ratio — the
+signals the hot-key mitigations (replica read spreading, client caches)
+are meant to flatten.
+
+The tracker is intentionally tiny: one dict of counters behind a lock,
+sampled and optionally reset by ``snapshot()``.  The serving hot path
+pays one lock/increment per request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class PartitionLoadTracker:
+    """Counts requests per partition over a sampling window.
+
+    The window is whatever elapsed since construction or the last
+    ``snapshot(reset=True)``; rates are counts divided by that span.
+    The clock is injectable so tests (and the simulator) can drive it
+    deterministically.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counts: dict[int, int] = {}  # guarded-by: _lock
+        self._window_start = clock()  # guarded-by: _lock
+
+    def record(self, pid: int, n: int = 1) -> None:
+        """Count *n* requests against partition *pid*."""
+        with self._lock:
+            self._counts[pid] = self._counts.get(pid, 0) + n
+
+    def snapshot(self, *, reset: bool = False, top: int = 8) -> dict:
+        """JSON-serializable view of the current window.
+
+        ``imbalance_ratio`` is max/mean over partitions that saw any
+        traffic: 1.0 means perfectly flat, N means the hottest partition
+        carries N× its fair share *of the active set*.  (Idle partitions
+        are excluded so an instance serving one key does not look
+        infinitely imbalanced just because its other partitions are
+        empty.)  ``hottest`` lists the ``top`` busiest partitions as
+        ``[pid, count]`` pairs, busiest first.
+        """
+        now = self._clock()
+        with self._lock:
+            counts = dict(self._counts)
+            window_s = max(now - self._window_start, 0.0)
+            if reset:
+                self._counts.clear()
+                self._window_start = now
+        total = sum(counts.values())
+        active = [c for c in counts.values() if c > 0]
+        if active:
+            imbalance = max(active) / (total / len(active))
+        else:
+            imbalance = 1.0
+        hottest = sorted(counts.items(), key=lambda kv: -kv[1])[:top]
+        return {
+            "window_s": window_s,
+            "total_requests": total,
+            "active_partitions": len(active),
+            "requests_per_s": total / window_s if window_s > 0 else 0.0,
+            "imbalance_ratio": imbalance,
+            "hottest": [[pid, count] for pid, count in hottest],
+        }

@@ -502,6 +502,61 @@ def _check_stale_reads(
     return violations
 
 
+def _check_stale_append_reads(
+    strong: list[HistoryEvent],
+    stale_reads: list[HistoryEvent],
+    bound: float,
+    final_value,
+) -> list[str]:
+    """Bounded staleness for append-only keys.
+
+    Register staleness is version-based; append-only values instead grow
+    monotonically, and replication applies fragments in the primary's
+    serialization order.  A replica read lagging by at most *bound*
+    seconds may therefore miss *recent* fragments, but it must
+
+    * contain every fragment acked more than *bound* seconds before the
+      read was invoked (anything older has had the whole bound to reach
+      the replica);
+    * not contain a fragment whose append had not even been invoked by
+      the time the read returned (staleness cannot show the future);
+    * still be a prefix of the final value when one is known — a lagged
+      replica is *behind* the primary, never differently ordered.
+    """
+    appends = [e for e in strong if e.op == "append"]
+    acked = [e for e in appends if e.status == STATUS_OK]
+    violations = []
+    for r in stale_reads:
+        got = r.result if r.status == STATUS_OK else b""
+        if (
+            isinstance(final_value, bytes)
+            and got
+            and not final_value.startswith(got)
+        ):
+            violations.append(
+                f"stale read at t={r.t_call:.6f} on replica "
+                f"{r.replica_index} returned {got!r}, not a prefix of the "
+                f"final value (fragments reordered on the replica)"
+            )
+            continue
+        for e in acked:
+            if e.t_return < r.t_call - bound and e.value not in got:
+                violations.append(
+                    f"stale read at t={r.t_call:.6f} on replica "
+                    f"{r.replica_index} misses fragment {e.value!r} acked "
+                    f"at t={e.t_return:.6f}, beyond the {bound}s staleness "
+                    f"bound (lag >= {r.t_call - e.t_return:.6f}s)"
+                )
+        for e in appends:
+            if e.t_call > r.t_return and e.value and e.value in got:
+                violations.append(
+                    f"stale read at t={r.t_call:.6f} returned fragment "
+                    f"{e.value!r} before its append was invoked "
+                    f"(time travel)"
+                )
+    return violations
+
+
 # ---------------------------------------------------------------------------
 # Whole-history check
 # ---------------------------------------------------------------------------
@@ -576,7 +631,8 @@ def check_history(
         strong = [e for e in key_events if e.seq not in stale_seqs]
 
         ops = {e.op for e in strong}
-        if "append" in ops and not (ops - {"append", "lookup"}):
+        append_key = "append" in ops and not (ops - {"append", "lookup"})
+        if append_key:
             report.append_keys += 1
             key_report = check_append_key(
                 key,
@@ -604,9 +660,17 @@ def check_history(
 
         if staleness_bound is not None and stale_reads:
             report.stale_reads_checked += len(stale_reads)
-            stale_violations = _check_stale_reads(
-                strong, stale_reads, staleness_bound
-            )
+            if append_key:
+                stale_violations = _check_stale_append_reads(
+                    strong,
+                    stale_reads,
+                    staleness_bound,
+                    final_values.get(key, UNKNOWN_FINAL),
+                )
+            else:
+                stale_violations = _check_stale_reads(
+                    strong, stale_reads, staleness_bound
+                )
             if stale_violations:
                 key_report.ok = False
                 key_report.violations.extend(stale_violations)

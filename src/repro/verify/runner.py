@@ -83,6 +83,8 @@ class VerifyReport:
     ops_failed: int = 0
     events_recorded: int = 0
     stale_probes: int = 0
+    hot_cache: bool = False
+    cache_hits: int = 0
     history_path: str | None = None
     elapsed_s: float = 0.0
     check: CheckReport | None = None
@@ -99,6 +101,8 @@ class VerifyReport:
         )
         if self.mutation != "none":
             head += f" mutation={self.mutation}"
+        if self.hot_cache:
+            head += f" hot-cache=on ({self.cache_hits} hits)"
         lines = [
             head,
             f"workload: {self.ops_acked}/{self.ops_attempted} acked, "
@@ -131,6 +135,7 @@ def run_verify(
     mutation: str = "none",
     history_path: str | None = None,
     staleness_bound: float = 0.25,
+    hot_cache: bool = False,
     plan: FaultPlan | None = None,
 ) -> VerifyReport:
     """Run one end-to-end verification scenario; returns the report.
@@ -139,12 +144,31 @@ def run_verify(
     the interleaving is whatever the backend produces, which is exactly
     what the checker validates.  ``plan`` may layer message-level chaos
     (drops/delays/duplicates) on top of the node kill.
+
+    ``hot_cache=True`` turns on the client-side hot-key value cache with
+    an aggressively low heat threshold, so the run proves cache hits
+    satisfy the bounded-staleness contract: hits are recorded as reads at
+    chain position >= 2, the cache TTL is capped at half the staleness
+    bound, and ``replicas`` is raised to 2 so the checker applies the
+    bounded-staleness model.  (The sim backend drives client cores
+    directly and has no value cache; hot-read spreading still applies.)
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}")
     if mutation not in MUTATIONS:
         raise ValueError(f"mutation must be one of {MUTATIONS}")
     mut_flags = {}
+    if hot_cache:
+        mut_flags.update(
+            hot_key_cache_size=256,
+            # TTL well inside the bound: a served value is at most
+            # TTL + replication-lag old, and the checker's window is
+            # staleness_bound.
+            hot_key_cache_ttl_s=min(0.1, staleness_bound / 2),
+            hot_key_threshold=4,
+            hot_read_spread=True,
+        )
+        replicas = max(replicas, 2)
     if mutation == "ack-unreplicated":
         # The bug only surfaces once the secondary serves reads, so the
         # scenario needs a replica chain and the mid-run kill.
@@ -172,6 +196,7 @@ def run_verify(
             staleness_bound=staleness_bound,
             plan=plan,
             mut_flags=mut_flags,
+            hot_cache=hot_cache,
         )
     return _run_verify_live(
         backend,
@@ -186,6 +211,7 @@ def run_verify(
         staleness_bound=staleness_bound,
         plan=plan,
         mut_flags=mut_flags,
+        hot_cache=hot_cache,
     )
 
 
@@ -208,6 +234,7 @@ def _run_verify_live(
     staleness_bound: float,
     plan: FaultPlan | None,
     mut_flags: dict,
+    hot_cache: bool = False,
 ) -> VerifyReport:
     from ..faults.chaos import _build_cluster, _default_config, _kill, _repair
 
@@ -233,12 +260,13 @@ def _run_verify_live(
         seed,
         mutation=mutation,
         chaos=chaos,
+        hot_cache=hot_cache,
         history_path=history_path,
     )
     t_start = time.perf_counter()
     lock = threading.Lock()
     progress = {"done": 0}
-    results: list[tuple[int, int]] = [(0, 0)] * clients
+    results: list[tuple[int, int, int]] = [(0, 0, 0)] * clients
 
     with _build_cluster(backend, nodes, config, seed) as cluster:
         victim = sorted(cluster.membership.nodes)[1] if chaos else ""
@@ -273,7 +301,7 @@ def _run_verify_live(
                     failed += 1
                 with lock:
                     progress["done"] += 1
-            results[ci] = (acked, failed)
+            results[ci] = (acked, failed, zht.stats.hot_cache_hits)
 
         threads = [
             threading.Thread(
@@ -307,13 +335,42 @@ def _run_verify_live(
         if chaos and not repaired:
             _repair(cluster, victim, config, seed)
 
-        for acked, failed in results:
+        for acked, failed, hits in results:
             report.ops_acked += acked
             report.ops_failed += failed
+            report.cache_hits += hits
         report.ops_attempted = schedule.total_ops
 
         if backend in ("tcp", "udp"):
             time.sleep(0.2)  # drain in-flight async replica updates
+
+        # -- hot-key cache probes ----------------------------------------
+        # The scheduled workload spreads accesses too thin to heat any
+        # key, so this phase manufactures heat: hammer a few keys past
+        # the (lowered) threshold so the cache fills and serves hits —
+        # each recorded as a bounded-stale read the checker must accept —
+        # then overwrite each key and read it again, proving mutations
+        # invalidate (the post-insert lookup must observe the new value,
+        # which the checker rejects if served from a stale cache entry).
+        if hot_cache:
+            hot = cluster.client(
+                seed=(seed << 8) + 0xF3,
+                recorder=recorder,
+                client_id="hot-prober",
+            )
+            hot.transport = FaultyClientTransport(hot.transport, plan)
+            for key in schedule.keys[:4]:
+                try:
+                    for _ in range(config.hot_key_threshold * 3):
+                        try:
+                            hot.lookup(key)
+                        except KeyNotFound:
+                            break
+                    hot.insert(key, b"hot-rewrite")
+                    hot.lookup(key)
+                except ZHTError:
+                    continue
+            report.cache_hits += hot.stats.hot_cache_hits
 
         # -- final strong read-back (pins append-key final values) -------
         reader = cluster.client(
@@ -386,6 +443,7 @@ def _run_verify_sim(
     staleness_bound: float,
     plan: FaultPlan | None,
     mut_flags: dict,
+    hot_cache: bool = False,
     partitions_per_instance: int = 16,
 ) -> VerifyReport:
     """The same scenario inside the DES (simulated-seconds timestamps)."""
@@ -431,6 +489,7 @@ def _run_verify_sim(
         seed,
         mutation=mutation,
         chaos=chaos,
+        hot_cache=hot_cache,
         history_path=history_path,
     )
     victim = sorted(membership.nodes)[1] if chaos else ""

@@ -1,0 +1,136 @@
+"""Workload generators shared by the simulator and the real benchmarks.
+
+The paper's micro-benchmark (§IV.A): "Each client creates a long list of
+key-value pairs; here we set the length of the key to 15 bytes and length
+of value to 132 bytes.  Clients sequentially send all of the key-value
+pairs through a ZHT Client API for insert, then lookup, and then remove.
+... Since the keys are randomly generated, the communication pattern is
+All-to-All."
+
+Every generator is seed-deterministic **per client id**: the same
+``(seed, client_id)`` produces the identical op stream whether it drives
+the discrete-event simulator or a live TCP cluster, so sim results and
+real-transport benchmark results are directly comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .core.protocol import OpCode
+
+#: Paper's micro-benchmark payload shape.
+KEY_BYTES = 15
+VALUE_BYTES = 132
+
+
+def random_key(rng: random.Random, length: int = KEY_BYTES) -> bytes:
+    """A random printable ASCII key (ZHT keys are "variable length ASCII
+    text string"s)."""
+    alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+    return "".join(rng.choice(alphabet) for _ in range(length)).encode("ascii")
+
+
+def random_value(rng: random.Random, length: int = VALUE_BYTES) -> bytes:
+    return rng.randbytes(length)
+
+
+@dataclass
+class MicroBenchmarkWorkload:
+    """Insert-then-lookup-then-remove over random keys (all-to-all)."""
+
+    ops_per_client: int
+    key_bytes: int = KEY_BYTES
+    value_bytes: int = VALUE_BYTES
+    seed: int = 0
+    #: Include the remove phase (benchmarks measuring only insert+lookup
+    #: can disable it).
+    include_remove: bool = True
+
+    def client_ops(self, client_id: int) -> Iterator[tuple[OpCode, bytes, bytes]]:
+        """The exact op sequence for one client (deterministic per id)."""
+        rng = random.Random((self.seed << 20) ^ client_id)
+        keys = [random_key(rng, self.key_bytes) for _ in range(self.ops_per_client)]
+        value = random_value(rng, self.value_bytes)
+        for key in keys:
+            yield OpCode.INSERT, key, value
+        for key in keys:
+            yield OpCode.LOOKUP, key, b""
+        if self.include_remove:
+            for key in keys:
+                yield OpCode.REMOVE, key, b""
+
+    @property
+    def total_ops_per_client(self) -> int:
+        return self.ops_per_client * (3 if self.include_remove else 2)
+
+
+@dataclass
+class AppendWorkload:
+    """Concurrent appends to a small hot key set (the FusionFS directory
+    pattern: many clients appending entries under one parent-dir key)."""
+
+    ops_per_client: int
+    hot_keys: int = 1
+    fragment_bytes: int = 64
+    seed: int = 0
+
+    def client_ops(self, client_id: int) -> Iterator[tuple[OpCode, bytes, bytes]]:
+        rng = random.Random((self.seed << 20) ^ client_id)
+        for i in range(self.ops_per_client):
+            key = f"hot-dir-{rng.randrange(self.hot_keys):04d}".encode()
+            fragment = f"[c{client_id}:{i}]".encode().ljust(self.fragment_bytes, b".")
+            yield OpCode.APPEND, key, fragment
+
+    @property
+    def total_ops_per_client(self) -> int:
+        return self.ops_per_client
+
+
+@dataclass
+class ZipfWorkload:
+    """Skewed-popularity reads/writes (stress for hot partitions)."""
+
+    ops_per_client: int
+    universe: int = 10_000
+    alpha: float = 1.1
+    write_ratio: float = 0.1
+    seed: int = 0
+    _cdf: list[float] = field(default_factory=list, repr=False)
+
+    def _ensure_cdf(self) -> None:
+        if self._cdf:
+            return
+        weights = [1.0 / (i + 1) ** self.alpha for i in range(self.universe)]
+        total = sum(weights)
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def _sample(self, rng: random.Random) -> int:
+        self._ensure_cdf()
+        u = rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def client_ops(self, client_id: int) -> Iterator[tuple[OpCode, bytes, bytes]]:
+        rng = random.Random((self.seed << 20) ^ client_id)
+        for _ in range(self.ops_per_client):
+            key = f"zipf-{self._sample(rng):08d}".encode()
+            if rng.random() < self.write_ratio:
+                yield OpCode.INSERT, key, random_value(rng)
+            else:
+                yield OpCode.LOOKUP, key, b""
+
+    @property
+    def total_ops_per_client(self) -> int:
+        return self.ops_per_client

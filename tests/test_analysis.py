@@ -321,6 +321,50 @@ def test_block001_condition_wait_idiom_allowed(tmp_path):
     assert [f.symbol for f in report.active] == ["Seq.bad"]
 
 
+def test_block001_file_write_under_lock(tmp_path):
+    """Full-file writers (flush / os.replace / shutil.copyfileobj) taint
+    their callers: a checkpoint-style helper called under a lock is a
+    finding even though the helper itself never touches the lock —
+    exactly the NoVoHT.checkpoint() stall shape this PR fixes."""
+    report = lint_snippet(
+        tmp_path,
+        """
+        import os
+        import shutil
+        import threading
+
+        def write_snapshot(path, pairs):
+            with open(path, "wb") as f:
+                f.write(b"x")
+                f.flush()
+            os.replace(path, path + ".done")
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def checkpoint_bad(self):
+                with self._lock:
+                    write_snapshot("ckpt", [])
+
+            def splice_bad(self, src, out):
+                with self._lock:
+                    shutil.copyfileobj(src, out)
+
+            def checkpoint_good(self):
+                with self._lock:
+                    pairs = []
+                write_snapshot("ckpt", pairs)
+        """,
+        "blocking-under-lock",
+    )
+    assert codes(report) == ["BLOCK001"]
+    symbols = sorted(f.symbol for f in report.active)
+    assert symbols == ["Store.checkpoint_bad", "Store.splice_bad"]
+    messages = {f.symbol: f.message for f in report.active}
+    assert "write_snapshot" in messages["Store.checkpoint_bad"]
+
+
 def test_block001_inline_suppression(tmp_path):
     report = lint_snippet(
         tmp_path,

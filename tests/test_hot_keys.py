@@ -1,0 +1,131 @@
+"""End-to-end tests for the hot-key mitigations (DESIGN.md §13):
+the client-side value cache with invalidate-on-mutation, and replica
+read spreading for client-observed hot keys.  Both run on the local
+in-process transport and on real TCP."""
+
+import time
+
+import pytest
+
+from repro import KeyNotFound, ZHTConfig, build_local_cluster
+from repro.net.cluster import build_tcp_cluster
+
+
+def _config(transport: str, **over) -> ZHTConfig:
+    base = dict(
+        transport=transport,
+        num_partitions=32,
+        num_replicas=2,
+        # Heat up after two touches; TTL far beyond test runtime so the
+        # only way a cached value disappears is invalidation.
+        hot_key_threshold=2,
+        hot_key_cache_size=64,
+        hot_key_cache_ttl_s=30.0,
+        hot_read_spread=True,
+    )
+    base.update(over)
+    if transport == "tcp":
+        base.setdefault("request_timeout", 0.5)
+    return ZHTConfig(**base)
+
+
+def _build(transport: str, nodes: int = 2, **over):
+    cfg = _config(transport, **over)
+    if transport == "tcp":
+        return build_tcp_cluster(nodes, cfg)
+    return build_local_cluster(nodes, cfg)
+
+
+@pytest.mark.parametrize("transport", ["local", "tcp"])
+class TestHotKeyCache:
+    def test_repeat_lookups_hit_cache(self, transport):
+        with _build(transport) as cluster:
+            z = cluster.client()
+            z.insert("hot", b"v1")
+            for _ in range(6):
+                assert z.lookup("hot") == b"v1"
+            assert z.stats.hot_cache_hits > 0
+
+    def test_mutation_invalidates_and_next_read_is_fresh(self, transport):
+        with _build(transport) as cluster:
+            z = cluster.client()
+            z.insert("hot", b"v1")
+            for _ in range(6):
+                z.lookup("hot")
+            assert z.stats.hot_cache_hits > 0
+            z.insert("hot", b"v2")
+            assert z.stats.hot_cache_invalidations >= 1
+            assert z.lookup("hot") == b"v2"
+
+    def test_remove_invalidates(self, transport):
+        with _build(transport) as cluster:
+            z = cluster.client()
+            z.insert("hot", b"v1")
+            for _ in range(6):
+                z.lookup("hot")
+            z.remove("hot")
+            with pytest.raises(KeyNotFound):
+                z.lookup("hot")
+
+    def test_batch_mutation_invalidates_every_touched_key(self, transport):
+        with _build(transport) as cluster:
+            z = cluster.client()
+            z.insert("hot", b"v1")
+            z.insert("warm", b"w1")
+            for _ in range(6):
+                z.lookup("hot")
+                z.lookup("warm")
+            assert z.stats.hot_cache_hits > 0
+            z.insert_many([("hot", b"v2"), ("warm", b"w2")])
+            assert z.lookup("hot") == b"v2"
+            assert z.lookup("warm") == b"w2"
+
+    def test_cold_keys_are_not_cached(self, transport):
+        """Below the heat threshold every lookup goes to the cluster."""
+        with _build(transport, hot_key_threshold=100) as cluster:
+            z = cluster.client()
+            z.insert("cold", b"v1")
+            for _ in range(6):
+                assert z.lookup("cold") == b"v1"
+            assert z.stats.hot_cache_hits == 0
+
+    def test_cache_disabled_by_default(self, transport):
+        with _build(transport, hot_key_cache_size=0) as cluster:
+            z = cluster.client()
+            z.insert("hot", b"v1")
+            for _ in range(6):
+                assert z.lookup("hot") == b"v1"
+            assert z.stats.hot_cache_hits == 0
+
+
+class TestHotReadSpread:
+    def test_hot_lookups_rotate_replicas(self):
+        """Once a key crosses the heat threshold its lookups rotate
+        across the replica chain (cache disabled here to isolate the
+        spreading path)."""
+        with _build("local", nodes=3, hot_key_cache_size=0) as cluster:
+            z = cluster.client()
+            z.insert("hot", b"v")
+            # Async replication may still be in flight for the chain
+            # tail; retry until a full round of spread reads succeeds.
+            deadline = time.monotonic() + 5.0
+            while True:
+                try:
+                    for _ in range(8):
+                        assert z.lookup("hot") == b"v"
+                    break
+                except KeyNotFound:
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.01)
+            assert z.stats.hot_spread_reads > 0
+
+    def test_spread_disabled_means_no_spread_reads(self):
+        with _build(
+            "local", nodes=3, hot_read_spread=False, hot_key_cache_size=0
+        ) as cluster:
+            z = cluster.client()
+            z.insert("hot", b"v")
+            for _ in range(8):
+                assert z.lookup("hot") == b"v"
+            assert z.stats.hot_spread_reads == 0

@@ -17,7 +17,13 @@ from repro.core.protocol import OpCode, Request, Response, frame
 from repro.net.cluster import build_tcp_cluster, build_udp_cluster
 from repro.net.tcp import TCPClient
 from repro.net.udp import UDPClient
-from repro.obs import NULL_SPAN, REGISTRY, LatencyHistogram, TracingRegistry
+from repro.obs import (
+    NULL_SPAN,
+    REGISTRY,
+    LatencyHistogram,
+    PartitionLoadTracker,
+    TracingRegistry,
+)
 from repro.obs.metrics import Counter, Gauge
 from tests.test_server_core import deploy
 
@@ -490,3 +496,95 @@ class TestStatsOpcode:
             assert inst["node_id"] == "node-0000"
             assert inst["stats"]["inserts"] >= 0
             assert response.op == int(OpCode.STATS)
+
+
+# ---------------------------------------------------------------------------
+# Per-partition load accounting (hot-key observability)
+# ---------------------------------------------------------------------------
+
+
+class TestPartitionLoadTracker:
+    def test_rate_and_imbalance_math(self):
+        t = [0.0]
+        tracker = PartitionLoadTracker(clock=lambda: t[0])
+        tracker.record(1, 30)
+        tracker.record(2, 10)
+        tracker.record(3, 10)
+        t[0] = 5.0
+        snap = tracker.snapshot()
+        assert snap["window_s"] == 5.0
+        assert snap["total_requests"] == 50
+        assert snap["active_partitions"] == 3
+        assert snap["requests_per_s"] == 10.0
+        # max / mean over the active set: 30 / (50 / 3)
+        assert snap["imbalance_ratio"] == pytest.approx(1.8)
+        assert snap["hottest"][0] == [1, 30]
+
+    def test_idle_partitions_do_not_dilute_imbalance(self):
+        """One active partition is perfectly balanced with itself; the
+        instance's other (idle) partitions must not skew the ratio."""
+        tracker = PartitionLoadTracker(clock=lambda: 0.0)
+        tracker.record(7, 100)
+        snap = tracker.snapshot()
+        assert snap["active_partitions"] == 1
+        assert snap["imbalance_ratio"] == 1.0
+
+    def test_empty_window(self):
+        tracker = PartitionLoadTracker(clock=lambda: 0.0)
+        snap = tracker.snapshot()
+        assert snap["total_requests"] == 0
+        assert snap["requests_per_s"] == 0.0
+        assert snap["imbalance_ratio"] == 1.0
+        assert snap["hottest"] == []
+
+    def test_reset_starts_a_new_window(self):
+        t = [0.0]
+        tracker = PartitionLoadTracker(clock=lambda: t[0])
+        tracker.record(0, 8)
+        t[0] = 2.0
+        first = tracker.snapshot(reset=True)
+        assert first["requests_per_s"] == 4.0
+        t[0] = 3.0
+        second = tracker.snapshot()
+        assert second["total_requests"] == 0
+        assert second["window_s"] == 1.0
+
+    def test_hottest_truncated_and_ordered(self):
+        tracker = PartitionLoadTracker(clock=lambda: 0.0)
+        for pid in range(12):
+            tracker.record(pid, pid + 1)
+        snap = tracker.snapshot(top=3)
+        assert snap["hottest"] == [[11, 12], [10, 11], [9, 10]]
+
+    def test_record_accumulates(self):
+        tracker = PartitionLoadTracker(clock=lambda: 0.0)
+        tracker.record(4)
+        tracker.record(4, 2)
+        assert tracker.snapshot()["hottest"] == [[4, 3]]
+
+    def test_snapshot_is_json_serializable(self):
+        tracker = PartitionLoadTracker(clock=lambda: 0.0)
+        tracker.record(1, 5)
+        json.dumps(tracker.snapshot())
+
+    def test_stats_opcode_reports_partition_load(self):
+        """STATS must surface the tracker so operators can see where
+        Zipf traffic lands (requests/s + imbalance, per instance)."""
+        cfg = ZHTConfig(transport="tcp", num_partitions=64, request_timeout=0.5)
+        with build_tcp_cluster(2, cfg) as cluster:
+            z = cluster.client()
+            for i in range(20):
+                z.insert(f"pl{i}", b"v")
+            total = 0
+            for server in cluster.servers:
+                response = z.transport.roundtrip(
+                    server.address,
+                    Request(op=OpCode.STATS, request_id=41),
+                    1.0,
+                )
+                assert response is not None and response.status == 0
+                load = json.loads(response.value)["instance"]["partition_load"]
+                assert load["imbalance_ratio"] >= 1.0
+                assert load["active_partitions"] >= 0
+                total += load["total_requests"]
+            assert total >= 20

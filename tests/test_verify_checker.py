@@ -342,3 +342,92 @@ class TestSynthesizedHistories:
             e.status, result=e.result + b"-corrupt", seq=e.seq,
         )
         assert not check_history(events, final_values=finals).ok
+
+
+class TestBoundedStalenessAppend:
+    """Append keys have their own staleness model: a lagged replica may
+    miss recent fragments but must hold everything older than the bound,
+    in primary order, and never fragments from the future."""
+
+    def _base(self):
+        return [
+            ev("a", "append", b"k", 0.0, 0.1, value=b"|f1;"),
+            ev("a", "append", b"k", 1.0, 1.1, value=b"|f2;"),
+            ev("a", "append", b"k", 2.0, 2.1, value=b"|f3;"),
+        ]
+
+    def _finals(self):
+        return {b"k": b"|f1;|f2;|f3;"}
+
+    def test_lag_within_bound_passes(self):
+        # Probe at t=1.3 missing f2 (acked 1.1): lag 0.2 < bound 0.5.
+        h = self._base() + [
+            ev("p", "lookup", b"k", 1.3, 1.31, result=b"|f1;", replica=2),
+        ]
+        report = check_history(
+            h, final_values=self._finals(), staleness_bound=0.5
+        )
+        assert report.ok and report.stale_reads_checked == 1
+
+    def test_missing_old_fragment_flagged(self):
+        # Probe at t=2.5 still missing f1 (acked 0.1): lag 2.4 > 0.5.
+        h = self._base() + [
+            ev("p", "lookup", b"k", 2.5, 2.51, result=b"|f2;", replica=2),
+        ]
+        report = check_history(
+            h, final_values={b"k": b"|f2;|f1;|f3;"}, staleness_bound=0.5
+        )
+        assert not report.ok
+        violation = report.first_violation().violations[0]
+        assert "staleness bound" in violation and "lag" in violation
+
+    def test_current_value_always_passes(self):
+        h = self._base() + [
+            ev("p", "lookup", b"k", 2.5, 2.51,
+               result=b"|f1;|f2;|f3;", replica=2),
+        ]
+        assert check_history(
+            h, final_values=self._finals(), staleness_bound=0.01
+        ).ok
+
+    def test_future_fragment_flagged(self):
+        # Probe returns f3 before its append was even invoked.
+        h = self._base() + [
+            ev("p", "lookup", b"k", 1.3, 1.31,
+               result=b"|f1;|f2;|f3;", replica=2),
+        ]
+        report = check_history(
+            h, final_values=self._finals(), staleness_bound=10.0
+        )
+        assert not report.ok
+        assert "time travel" in report.first_violation().violations[0]
+
+    def test_reordered_fragments_flagged(self):
+        # Replica state must be a prefix of the primary's final value.
+        h = self._base() + [
+            ev("p", "lookup", b"k", 2.5, 2.51,
+               result=b"|f2;|f1;", replica=2),
+        ]
+        report = check_history(
+            h, final_values=self._finals(), staleness_bound=10.0
+        )
+        assert not report.ok
+        assert "prefix" in report.first_violation().violations[0]
+
+    def test_without_bound_skipped(self):
+        h = self._base() + [
+            ev("p", "lookup", b"k", 2.5, 2.51, result=b"ghost", replica=2),
+        ]
+        assert check_history(h, final_values=self._finals()).ok
+
+    def test_stale_append_reads_do_not_break_strong_checks(self):
+        # The lagged replica probes must not leak into the strong append
+        # model (which would call a merely-stale read a lost update).
+        h = self._base() + [
+            ev("p", "lookup", b"k", 1.3, 1.31, result=b"|f1;", replica=2),
+            ev("a", "lookup", b"k", 2.5, 2.6, result=b"|f1;|f2;|f3;"),
+        ]
+        report = check_history(
+            h, final_values=self._finals(), staleness_bound=0.5
+        )
+        assert report.ok and report.append_keys == 1

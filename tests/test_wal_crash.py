@@ -22,6 +22,7 @@ from repro.faults import (
     tear_tail,
 )
 from repro.novoht import NoVoHT
+from repro.novoht.wal import WAL_HEADER_LEN
 
 
 def _wal_path(path):
@@ -68,9 +69,10 @@ class TestCorruptMiddleRecord:
         writer.put(b"k1", b"v1")  # record: 4B header + 2 + 2 + 4B crc = 12B
         writer.put(b"k2", b"v2")
         writer.put(b"k3", b"v3")
-        # Flip a byte inside record 2's key: its CRC no longer matches, so
-        # recovery keeps record 1 and discards everything from record 2 on.
-        corrupt_byte(_wal_path(path), 12 + 4)
+        # Flip a byte inside record 2's key (records start after the WAL
+        # epoch header): its CRC no longer matches, so recovery keeps
+        # record 1 and discards everything from record 2 on.
+        corrupt_byte(_wal_path(path), WAL_HEADER_LEN + 12 + 4)
         with _store(path) as db:
             assert db.get(b"k1") == b"v1"
             assert b"k2" not in db
@@ -81,7 +83,7 @@ class TestCorruptMiddleRecord:
         writer = _store(path)
         writer.put(b"k1", b"v1")
         writer.put(b"k2", b"v2")
-        corrupt_byte(_wal_path(path), 12)  # record 2's magic byte
+        corrupt_byte(_wal_path(path), WAL_HEADER_LEN + 12)  # record 2's magic
         with _store(path) as db:
             assert db.get(b"k1") == b"v1"
             assert b"k2" not in db
@@ -113,7 +115,8 @@ class TestFsyncLossShim:
         writer.put(b"k0", b"v0")
         writer.put(b"k1", b"v1")
         survived = opener.last.simulate_crash()
-        assert 0 < survived < 12  # half of record 1 remains on "disk"
+        # Half of the first un-synced write (the epoch header) remains.
+        assert 0 < survived < WAL_HEADER_LEN + 12
         with _store(path) as db:
             # Nothing was synced, so recovery legitimately yields an empty
             # store — but it must not raise on the torn prefix.

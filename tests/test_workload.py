@@ -108,3 +108,26 @@ class TestZipfWorkload:
         for _op, key, _v in w.client_ops(0):
             index = int(key.decode().split("-")[1])
             assert 0 <= index < 50
+
+    def test_deterministic_per_client_and_seed(self):
+        """Same (seed, client_id) must replay the identical op stream, so
+        benchmark baselines and mitigated runs see the same traffic."""
+        a = ZipfWorkload(ops_per_client=300, universe=100, seed=5)
+        b = ZipfWorkload(ops_per_client=300, universe=100, seed=5)
+        assert list(a.client_ops(3)) == list(b.client_ops(3))
+
+    def test_distinct_streams_across_clients_and_seeds(self):
+        w = ZipfWorkload(ops_per_client=300, universe=100, seed=5)
+        other = ZipfWorkload(ops_per_client=300, universe=100, seed=6)
+        assert list(w.client_ops(0)) != list(w.client_ops(1))
+        assert list(w.client_ops(0)) != list(other.client_ops(0))
+
+    def test_sim_shim_reexports_shared_module(self):
+        """repro.sim.workload is a shim over repro.workload — the classes
+        must be the same objects, not diverging copies."""
+        import repro.workload as shared
+
+        assert ZipfWorkload is shared.ZipfWorkload
+        assert AppendWorkload is shared.AppendWorkload
+        assert MicroBenchmarkWorkload is shared.MicroBenchmarkWorkload
+        assert random_value is shared.random_value
