@@ -1,59 +1,101 @@
-"""Ablation D1 (§IV.D): event-driven (epoll) vs thread-per-request server.
+"""Ablation D1 (§IV.D): server hot-path architecture on real TCP.
 
 Paper: "In early prototypes, we explored a multi-threading design, in
 which each request had a separate thread, but the overheads of starting,
 managing, and stopping threads was too high ... The current epoll-based
 ZHT outperforms the multithread version 3X."
 
-Measured here on real loopback TCP sockets with both server
-architectures from :mod:`repro.net.tcp`.
+Four architectures, all on loopback sockets from :mod:`repro.net.tcp`:
+
+- ``thread-per-request``: one thread spawned per request (the paper's
+  rejected prototype).
+- ``event + pool hop``: the epoll loop, but every request takes the
+  selector -> executor -> selector hop (``inline_fast_path=False``).
+- ``event + inline``: the epoll loop answering no-peer-IO ops directly
+  on the loop thread (the shipped default).
+- ``event + inline + BATCH``: same server, multiplexed client shipping
+  ``insert_many`` batches — the client-side half of the thin-path
+  argument.
 """
 
 import time
 
-from _util import fmt, fmt_int, print_table
+from _util import (
+    emit_json,
+    fmt,
+    fmt_int,
+    print_table,
+    registry_capture,
+    registry_percentiles,
+    scales,
+)
 
 from repro.core import ZHTConfig
 from repro.net.cluster import build_tcp_cluster
 
-OPS = 400
+OPS = scales(small=(1500,), paper=(6000,))[0]
+BATCH = 64
+VALUE = b"v" * 132
 
 
-def measure(threaded: bool) -> float:
-    """Ops/s for a single-client insert storm."""
+def measure(*, threaded: bool, inline: bool = True, batch: bool = False) -> float:
+    """Ops/s for a single-client insert storm against one server."""
     config = ZHTConfig(
-        transport="tcp", num_partitions=64, request_timeout=2.0
+        transport="tcp",
+        num_partitions=64,
+        request_timeout=2.0,
+        inline_fast_path=inline,
     )
     with build_tcp_cluster(1, config, threaded_server=threaded) as cluster:
         z = cluster.client()
         z.insert("warmup", b"x")
         start = time.perf_counter()
-        for i in range(OPS):
-            z.insert(f"key-{i:08d}", b"v" * 132)
+        if batch:
+            for base in range(0, OPS, BATCH):
+                z.insert_many(
+                    (f"key-{i:08d}", VALUE)
+                    for i in range(base, min(base + BATCH, OPS))
+                )
+        else:
+            for i in range(OPS):
+                z.insert(f"key-{i:08d}", VALUE)
         elapsed = time.perf_counter() - start
     return OPS / elapsed
 
 
 def generate_series():
-    event_driven = measure(threaded=False)
-    threaded = measure(threaded=True)
-    return [
-        ("event-driven (epoll)", fmt_int(event_driven), "1.00"),
+    with registry_capture():
+        threaded = measure(threaded=True)
+        pool_hop = measure(threaded=False, inline=False)
+        inline = measure(threaded=False)
+        batched = measure(threaded=False, batch=True)
+        latency = registry_percentiles()
+    rows = [
+        ("thread-per-request", fmt_int(threaded), "1.00"),
+        ("event + pool hop", fmt_int(pool_hop), fmt(pool_hop / threaded, 2)),
+        ("event + inline", fmt_int(inline), fmt(inline / threaded, 2)),
         (
-            "thread-per-request",
-            fmt_int(threaded),
-            fmt(threaded / event_driven, 2),
+            "event + inline + BATCH",
+            fmt_int(batched),
+            fmt(batched / threaded, 2),
         ),
-    ], event_driven / threaded
+    ]
+    return rows, inline / threaded, latency
 
 
 def test_ablation_server_architecture(benchmark):
-    rows, speedup = generate_series()
+    rows, speedup, latency = generate_series()
     print_table(
         "Ablation D1: server architecture (real TCP, loopback)",
-        ["architecture", "ops/s", "relative"],
+        ["architecture", "ops/s", "vs threaded"],
         rows,
         note=f"paper: epoll 3X over multithreaded; measured {speedup:.2f}X",
+    )
+    emit_json(
+        "ablation_server_arch",
+        ["architecture", "ops_per_s", "vs_threaded"],
+        rows,
+        latency=latency,
     )
     assert speedup > 1.3  # event-driven must clearly win
     benchmark(lambda: measure(threaded=False))

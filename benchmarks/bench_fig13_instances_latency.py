@@ -5,7 +5,7 @@ instances/node (one per core) and roughly doubles at 8 instances/node
 (2.08 ms at 8K nodes x 8 instances vs 1.1 ms baseline).
 """
 
-from _util import fmt, print_table, scales
+from _util import emit_json, fmt, print_table, scales
 
 from repro.sim import simulate
 
@@ -33,7 +33,13 @@ def test_fig13_instances_latency(benchmark):
         "Figure 13: latency (ms) vs nodes for instances/node (DES)",
         ["nodes"] + [f"{i} inst/node" for i in INSTANCES],
         rows,
-        note="paper: flat through 4/node (1 per core), ~2x at 8/node",
+        note="paper: flat through 4/node (1 per core), ~2x at 8/node; "
+        "bench_multicore_node measures the real-socket analogue",
+    )
+    emit_json(
+        "fig13_instances_latency",
+        ["nodes"] + [f"inst_{i}" for i in INSTANCES],
+        rows,
     )
     for row in rows:
         one, two, four, eight = (float(c) for c in row[1:])

@@ -343,7 +343,37 @@ class ProjectIndex:
                     finfo = _function_info(module, None, node)
                     index.functions.setdefault(node.name, finfo)
                     index.module_functions.setdefault(node.name, finfo)
+        index._flatten_inheritance()
         return index
+
+    def _flatten_inheritance(self) -> None:
+        """Copy lock/guard/type declarations from base classes into
+        subclasses: a ``guarded-by`` annotation in a subclass may name a
+        lock its base declares (e.g. a connection subclass guarding new
+        state with the base's ``write_lock``)."""
+        flattened: set[str] = set()
+
+        def flatten(name: str) -> None:
+            if name in flattened:
+                return
+            flattened.add(name)
+            cinfo = self.classes[name]
+            for base in cinfo.node.bases:
+                if not isinstance(base, ast.Name) or base.id not in self.classes:
+                    continue
+                flatten(base.id)
+                binfo = self.classes[base.id]
+                for attr, kind in binfo.lock_attrs.items():
+                    cinfo.lock_attrs.setdefault(attr, kind)
+                for alias, attr in binfo.lock_aliases.items():
+                    cinfo.lock_aliases.setdefault(alias, attr)
+                for attr, guard in binfo.guarded.items():
+                    cinfo.guarded.setdefault(attr, guard)
+                for attr, types in binfo.attr_types.items():
+                    cinfo.attr_types.setdefault(attr, list(types))
+
+        for name in list(self.classes):
+            flatten(name)
 
     def apply_guarded_registry(self, registry: dict[str, str]) -> list[str]:
         """Apply ``[guarded]`` entries ("Class.attr" -> lock); returns

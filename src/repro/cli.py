@@ -169,21 +169,39 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import enable_metrics
 
     if args.address:
-        # Query one already-running server over the wire.
+        # Query already-running servers over the wire.  With
+        # ``--aggregate`` (or several comma-separated addresses — e.g.
+        # one per shard of a multi-core node) the snapshots are merged
+        # into one node view: counters summed, latency histograms
+        # bucket-merged so p50/p90/p99 stay meaningful.
         from .net.tcp import TCPClient
         from .net.udp import UDPClient
 
-        host, _, port = args.address.rpartition(":")
-        address = Address(host or "127.0.0.1", int(port))
+        addresses = []
+        for spec in args.address.split(","):
+            host, _, port = spec.strip().rpartition(":")
+            addresses.append(Address(host or "127.0.0.1", int(port)))
         transport = UDPClient() if args.transport == "udp" else TCPClient()
+        snapshots = []
         try:
-            snapshot = _query_stats(transport, address, args.timeout)
+            for address in addresses:
+                snapshot = _query_stats(transport, address, args.timeout)
+                if snapshot is None:
+                    print(
+                        f"error: no STATS response from {address}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                snapshots.append(snapshot)
         finally:
             transport.close()
-        if snapshot is None:
-            print(f"error: no STATS response from {address}", file=sys.stderr)
-            return 1
-        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        if args.aggregate or len(snapshots) > 1:
+            from .obs import merge_stats_snapshots
+
+            merged = merge_stats_snapshots(snapshots)
+            print(json.dumps(merged, indent=2, sort_keys=True))
+        else:
+            print(json.dumps(snapshots[0], indent=2, sort_keys=True))
         return 0
 
     # Self-contained mode: start a live TCP cluster, run a short
@@ -310,6 +328,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(line)
         return 0 if report.ok else 1
 
+    plan = None
+    if args.plan == "overload":
+        from .faults.plan import FaultPlan
+
+        plan = FaultPlan.overload(args.seed)
+    elif args.plan == "flapping":
+        from .faults.plan import FaultPlan
+
+        plan = FaultPlan.flapping(args.seed)
     try:
         report = run_verify(
             args.backend,
@@ -323,6 +350,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             history_path=args.history,
             staleness_bound=args.bound,
             hot_cache=args.hot_cache,
+            plan=plan,
+            shards=args.shards,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -433,7 +462,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--address",
         default=None,
         metavar="HOST:PORT",
-        help="query an already-running server instead of starting a cluster",
+        help="query an already-running server instead of starting a "
+        "cluster; accepts a comma-separated list (e.g. the per-shard "
+        "ports of one multi-core node)",
+    )
+    stats.add_argument(
+        "--aggregate",
+        action="store_true",
+        help="merge the queried snapshots into one node view (counters "
+        "summed, latency histograms bucket-merged; implied when more "
+        "than one address is given)",
     )
     stats.add_argument("--transport", choices=("tcp", "udp"), default="tcp")
     stats.add_argument("--nodes", type=int, default=3)
@@ -518,7 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--backend",
-        choices=("local", "tcp", "udp", "sim"),
+        choices=("local", "tcp", "udp", "sharded", "sim"),
         default="local",
     )
     verify.add_argument("--ops", type=int, default=400)
@@ -526,6 +564,20 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--clients", type=int, default=4)
     verify.add_argument("--nodes", type=int, default=4)
     verify.add_argument("--replicas", type=int, default=1)
+    verify.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker processes per node for --backend sharded "
+        "(default: the chaos harness's 2)",
+    )
+    verify.add_argument(
+        "--plan",
+        choices=("none", "overload", "flapping"),
+        default="none",
+        help="layer a named fault plan's message-level chaos on top of "
+        "the node kill",
+    )
     verify.add_argument(
         "--no-chaos",
         action="store_true",

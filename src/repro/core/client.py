@@ -118,7 +118,9 @@ class BatchAttempt:
             op=OpCode.BATCH,
             request_id=core.allocate_request_id(),
             epoch=core.membership.epoch,
-            payload=encode_batch_requests(self.requests),
+            payload=encode_batch_requests(
+                self.requests, core.config.wire_codec
+            ),
             deadline_us=deadline_us,
         )
 
@@ -420,7 +422,9 @@ class ZHTClientCore:
             )
             size = 0
             for entry, request in zip(group.entries, group.requests):
-                wire = len(frame(request.encode()))
+                # Measured with the codec the payload will actually use,
+                # so datagram chunking stays exact for both codecs.
+                wire = len(frame(request.encode_wire(self.config.wire_codec)))
                 full_count = max_entries and len(chunk.entries) >= max_entries
                 full_bytes = (
                     budget is not None and chunk.entries and size + wire > budget

@@ -148,11 +148,34 @@ class ZHTConfig:
     #: fallback is also used when ``connection_cache_size`` is 0, since
     #: multiplexing only makes sense over cached connections.
     tcp_multiplex: bool = True
+    #: Wire codec for TCP traffic: ``"fixed"`` (struct-packed fixed
+    #: header, parsed zero-copy out of the receive buffer) or
+    #: ``"varint"`` (the original protobuf-wire-format codec).  Decoders
+    #: auto-detect per message, so a mixed cluster interoperates; set
+    #: ``"varint"`` while rolling out against peers that predate the
+    #: fixed codec.
+    wire_codec: str = "fixed"
 
     # --- instances ---------------------------------------------------------
     #: ZHT instances per physical node (paper sweeps 1..8; 1 per core is
     #: reported to give the best utilisation).
     instances_per_node: int = 1
+    #: Worker *processes* per node for
+    #: :class:`~repro.net.shard.ShardedNodeServer` — each shard runs its
+    #: own event loop over its own ZHT instance, store, and WAL, so one
+    #: node saturates all cores
+    #: (the paper's one-instance-per-core deployment, Figs. 13/14).
+    num_shards: int = 1
+    #: Accept on one shared port from every shard via ``SO_REUSEPORT``
+    #: (kernel balances connections).  When the platform lacks it — or
+    #: this is ``False`` — a single-listener dispatcher thread accepts
+    #: and passes connection FDs to shards round-robin instead.
+    reuse_port: bool = True
+    #: Serve requests whose effects need no peer round trip entirely on
+    #: the shard's event-loop thread (decode → apply → queue response; no
+    #: executor submit).  ``False`` restores the selector→pool→selector
+    #: hop for every request, kept for the server-architecture ablation.
+    inline_fast_path: bool = True
 
     # --- consistency mutation modes (verification self-test ONLY) ----------
     #: TEST-ONLY: the owner acknowledges mutations *without* updating the
@@ -211,8 +234,12 @@ class ZHTConfig:
             raise ValueError("gc_dead_ratio must be in [0, 1]")
         if self.transport not in ("tcp", "udp", "local"):
             raise ValueError("transport must be 'tcp', 'udp', or 'local'")
+        if self.wire_codec not in ("fixed", "varint"):
+            raise ValueError("wire_codec must be 'fixed' or 'varint'")
         if self.instances_per_node <= 0:
             raise ValueError("instances_per_node must be positive")
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
 
     def replace(self, **changes: object) -> "ZHTConfig":
         """Return a copy of this config with *changes* applied."""

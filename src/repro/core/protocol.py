@@ -23,6 +23,7 @@ Two message types cover all traffic:
 from __future__ import annotations
 
 import enum
+import struct
 from dataclasses import dataclass
 
 from ..novoht.wal import decode_varint, encode_varint
@@ -30,6 +31,29 @@ from .errors import ProtocolError, Status
 
 _WIRE_VARINT = 0
 _WIRE_BYTES = 2
+
+#: Supported wire codecs (``ZHTConfig.wire_codec``).  ``"fixed"`` is the
+#: struct-packed zero-copy codec below; ``"varint"`` is the original
+#: protobuf-wire-format codec.  Decoders auto-detect, so mixed clusters
+#: interoperate during rolling upgrades.
+WIRE_CODECS = ("fixed", "varint")
+
+#: First byte of every fixed-codec message.  Its low three bits are 7 —
+#: not a valid protobuf wire type — so no varint-codec message can start
+#: with it and a one-byte peek distinguishes the codecs unambiguously.
+FIXED_MAGIC = 0xF7
+
+_KIND_REQUEST = 0x01
+_KIND_RESPONSE = 0x02
+
+#: Fixed request header: magic, kind, op, flags(reserved), request_id
+#: u64, epoch u32, partition u32, replica_index u16, inner_op u16,
+#: deadline_us u64, then key/value/payload byte lengths (u32 each).
+_REQ_HEADER = struct.Struct("<BBBBQIIHHQIII")
+
+#: Fixed response header: magic, kind, status, op, request_id u64,
+#: epoch u32, then value/redirect/membership byte lengths (u32 each).
+_RESP_HEADER = struct.Struct("<BBBBQIIII")
 
 
 class OpCode(enum.IntEnum):
@@ -199,8 +223,42 @@ class Request:
         _emit_varint_field(out, self._F_DEADLINE, self.deadline_us)
         return bytes(out)
 
+    def _encode_fixed_into(self, out: bytearray) -> None:
+        """Append the fixed-codec encoding of this request to *out*."""
+        out += _REQ_HEADER.pack(
+            FIXED_MAGIC,
+            _KIND_REQUEST,
+            int(self.op),
+            0,
+            self.request_id,
+            self.epoch,
+            self.partition,
+            self.replica_index,
+            self.inner_op,
+            self.deadline_us,
+            len(self.key),
+            len(self.value),
+            len(self.payload),
+        )
+        out += self.key
+        out += self.value
+        out += self.payload
+
+    def encode_fixed(self) -> bytes:
+        out = bytearray()
+        self._encode_fixed_into(out)
+        return bytes(out)
+
+    def encode_wire(self, codec: str) -> bytes:
+        """Encode with the named wire codec (``"fixed"`` or ``"varint"``)."""
+        if codec == "fixed":
+            return self.encode_fixed()
+        return self.encode()
+
     @classmethod
     def decode(cls, data: bytes) -> "Request":
+        if data[:1] == b"\xf7":
+            return decode_request_span(data, 0, len(data))
         fields = _parse_fields(data)
         op_raw = _get_int(fields, cls._F_OP)
         try:
@@ -255,8 +313,38 @@ class Response:
         _emit_varint_field(out, self._F_OP, self.op)
         return bytes(out)
 
+    def _encode_fixed_into(self, out: bytearray) -> None:
+        """Append the fixed-codec encoding of this response to *out*."""
+        out += _RESP_HEADER.pack(
+            FIXED_MAGIC,
+            _KIND_RESPONSE,
+            int(self.status),
+            self.op,
+            self.request_id,
+            self.epoch,
+            len(self.value),
+            len(self.redirect),
+            len(self.membership),
+        )
+        out += self.value
+        out += self.redirect
+        out += self.membership
+
+    def encode_fixed(self) -> bytes:
+        out = bytearray()
+        self._encode_fixed_into(out)
+        return bytes(out)
+
+    def encode_wire(self, codec: str) -> bytes:
+        """Encode with the named wire codec (``"fixed"`` or ``"varint"``)."""
+        if codec == "fixed":
+            return self.encode_fixed()
+        return self.encode()
+
     @classmethod
     def decode(cls, data: bytes) -> "Response":
+        if data[:1] == b"\xf7":
+            return decode_response_span(data, 0, len(data))
         fields = _parse_fields(data)
         status_raw = _get_int(fields, cls._F_STATUS)
         try:
@@ -272,6 +360,159 @@ class Response:
             membership=_get_bytes(fields, cls._F_MEMBERSHIP),
             op=_get_int(fields, cls._F_OP),
         )
+
+
+# ---------------------------------------------------------------------------
+# Fixed-codec zero-copy span decode / single-allocation framed encode
+# ---------------------------------------------------------------------------
+#
+# The hot-path complement to ``Request.encode``/``decode``: servers parse
+# requests straight out of the connection's accumulating receive buffer
+# (``decode_request_span(buf, start, end)`` — no intermediate per-message
+# ``bytes`` copy), and encode length-prefixed replies into one buffer
+# (``encode_framed_request``/``encode_framed_response``) instead of
+# body-then-prefix concatenation.  Field payloads (key/value/...) are
+# still materialised as ``bytes`` — the receive buffer is compacted after
+# dispatch, so no view into it may outlive the call.
+
+
+def decode_request_span(
+    buf: bytes | bytearray | memoryview, start: int, end: int
+) -> Request:
+    """Decode one request from ``buf[start:end]`` without copying the span.
+
+    Auto-detects the codec: fixed-header messages are parsed in place
+    with ``struct.unpack_from``; varint-codec messages fall back to the
+    classic parser (one span copy, same cost as before).
+    """
+    if end - start > 0 and buf[start] == FIXED_MAGIC:
+        if end - start < _REQ_HEADER.size:
+            raise ProtocolError("fixed request header truncated")
+        (
+            _magic,
+            kind,
+            op_raw,
+            _flags,
+            request_id,
+            epoch,
+            partition,
+            replica_index,
+            inner_op,
+            deadline_us,
+            klen,
+            vlen,
+            plen,
+        ) = _REQ_HEADER.unpack_from(buf, start)
+        if kind != _KIND_REQUEST:
+            raise ProtocolError(f"fixed message kind {kind} is not a request")
+        body = start + _REQ_HEADER.size
+        if body + klen + vlen + plen != end:
+            raise ProtocolError("fixed request field lengths overrun frame")
+        try:
+            op = OpCode(op_raw)
+        except ValueError:
+            raise ProtocolError(f"unknown opcode {op_raw}") from None
+        ko, vo = body, body + klen
+        po = vo + vlen
+        return Request(
+            op=op,
+            key=bytes(buf[ko : ko + klen]),
+            value=bytes(buf[vo : vo + vlen]),
+            request_id=request_id,
+            epoch=epoch,
+            partition=partition,
+            replica_index=replica_index,
+            inner_op=inner_op,
+            payload=bytes(buf[po : po + plen]),
+            deadline_us=deadline_us,
+        )
+    return Request.decode(bytes(buf[start:end]))
+
+
+def decode_response_span(
+    buf: bytes | bytearray | memoryview, start: int, end: int
+) -> Response:
+    """Decode one response from ``buf[start:end]`` without copying the span."""
+    if end - start > 0 and buf[start] == FIXED_MAGIC:
+        if end - start < _RESP_HEADER.size:
+            raise ProtocolError("fixed response header truncated")
+        (
+            _magic,
+            kind,
+            status_raw,
+            op,
+            request_id,
+            epoch,
+            vlen,
+            rlen,
+            mlen,
+        ) = _RESP_HEADER.unpack_from(buf, start)
+        if kind != _KIND_RESPONSE:
+            raise ProtocolError(f"fixed message kind {kind} is not a response")
+        body = start + _RESP_HEADER.size
+        if body + vlen + rlen + mlen != end:
+            raise ProtocolError("fixed response field lengths overrun frame")
+        try:
+            status = Status(status_raw)
+        except ValueError:
+            raise ProtocolError(f"unknown status {status_raw}") from None
+        vo, ro = body, body + vlen
+        mo = ro + rlen
+        return Response(
+            status=status,
+            value=bytes(buf[vo : vo + vlen]),
+            request_id=request_id,
+            epoch=epoch,
+            redirect=bytes(buf[ro : ro + rlen]),
+            membership=bytes(buf[mo : mo + mlen]),
+            op=op,
+        )
+    return Response.decode(bytes(buf[start:end]))
+
+
+def encode_framed_request(request: Request, codec: str = "fixed") -> bytearray:
+    """Length-prefix-frame *request* into a single freshly built buffer."""
+    out = bytearray()
+    if codec == "fixed":
+        body_len = (
+            _REQ_HEADER.size
+            + len(request.key)
+            + len(request.value)
+            + len(request.payload)
+        )
+        out += encode_varint(body_len)
+        request._encode_fixed_into(out)
+    else:
+        body = request.encode()
+        out += encode_varint(len(body))
+        out += body
+    return out
+
+
+def encode_framed_response(response: Response, codec: str = "fixed") -> bytearray:
+    """Length-prefix-frame *response* into a single freshly built buffer."""
+    out = bytearray()
+    if codec == "fixed":
+        body_len = (
+            _RESP_HEADER.size
+            + len(response.value)
+            + len(response.redirect)
+            + len(response.membership)
+        )
+        out += encode_varint(body_len)
+        response._encode_fixed_into(out)
+    else:
+        body = response.encode()
+        out += encode_varint(len(body))
+        out += body
+    return out
+
+
+def detect_codec(message: bytes | bytearray | memoryview) -> str:
+    """Name the codec a message body was encoded with (by its first byte)."""
+    if len(message) > 0 and message[0] == FIXED_MAGIC:
+        return "fixed"
+    return "varint"
 
 
 def frame(message: bytes) -> bytes:
@@ -312,6 +553,26 @@ def deframe_at(buffer: "bytes | bytearray | memoryview", offset: int) -> tuple[b
     return bytes(buffer[pos : pos + length]), pos + length
 
 
+def deframe_span(
+    buffer: "bytes | bytearray | memoryview", offset: int
+) -> tuple[int, int, int]:
+    """Locate one framed message in *buffer* starting at *offset*.
+
+    Returns ``(start, end, next_offset)`` — the message occupies
+    ``buffer[start:end]`` and is *not* copied, so callers can decode it
+    in place (:func:`decode_request_span`) before compacting the buffer.
+    When the buffer does not yet hold a complete frame, returns
+    ``(-1, -1, offset)``.
+    """
+    try:
+        length, pos = decode_varint(buffer, offset)
+    except ValueError:
+        return -1, -1, offset
+    if len(buffer) - pos < length:
+        return -1, -1, offset
+    return pos, pos + length, pos + length
+
+
 # ---------------------------------------------------------------------------
 # Batch codec (BATCH opcode payloads)
 # ---------------------------------------------------------------------------
@@ -335,19 +596,21 @@ def _decode_framed(payload: bytes) -> list[bytes]:
     return messages
 
 
-def encode_batch_requests(requests: list[Request]) -> bytes:
+def encode_batch_requests(requests: list[Request], codec: str = "varint") -> bytes:
     """Pack sub-requests into a BATCH request payload (framed, in order)."""
-    return _encode_framed([r.encode() for r in requests])
+    return _encode_framed([r.encode_wire(codec) for r in requests])
 
 
 def decode_batch_requests(payload: bytes) -> list[Request]:
     return [Request.decode(m) for m in _decode_framed(payload)]
 
 
-def encode_batch_responses(responses: list["Response"]) -> bytes:
+def encode_batch_responses(
+    responses: list["Response"], codec: str = "varint"
+) -> bytes:
     """Pack per-key sub-responses into a BATCH response value (framed,
     positionally matching the request's sub-requests)."""
-    return _encode_framed([r.encode() for r in responses])
+    return _encode_framed([r.encode_wire(codec) for r in responses])
 
 
 def decode_batch_responses(payload: bytes) -> list["Response"]:

@@ -733,7 +733,7 @@ class ZHTServerCore:
         result.response = self._respond(
             request,
             outer_status,
-            value=encode_batch_responses(sub_responses),
+            value=encode_batch_responses(sub_responses, self.config.wire_codec),
             membership=need_membership,
         )
         return result
@@ -745,7 +745,7 @@ class ZHTServerCore:
             op=OpCode.BATCH,
             request_id=outer.request_id,
             epoch=self.membership.epoch,
-            payload=encode_batch_requests(updates),
+            payload=encode_batch_requests(updates, self.config.wire_codec),
         )
 
     def _check_limits(self, request: Request) -> None:

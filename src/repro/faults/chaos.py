@@ -128,7 +128,11 @@ class ChaosReport:
 def _default_config(backend: str, replicas: int) -> ZHTConfig:
     timeout = 0.02 if backend == "local" else 0.15
     return ZHTConfig(
-        transport="local" if backend == "local" else backend,
+        transport="local" if backend == "local" else
+        ("tcp" if backend == "sharded" else backend),
+        # Two worker processes per node keeps the sharded-backend process
+        # count manageable (verify runs >= 3 nodes).
+        num_shards=2 if backend == "sharded" else 1,
         num_partitions=64,
         num_replicas=replicas,
         request_timeout=timeout,
@@ -146,8 +150,14 @@ def _default_config(backend: str, replicas: int) -> ZHTConfig:
 def _build_cluster(backend: str, nodes: int, config: ZHTConfig, seed: int):
     if backend == "local":
         return build_local_cluster(nodes, config, seed=seed)
-    from ..net.cluster import build_tcp_cluster, build_udp_cluster
+    from ..net.cluster import (
+        build_sharded_tcp_cluster,
+        build_tcp_cluster,
+        build_udp_cluster,
+    )
 
+    if backend == "sharded":
+        return build_sharded_tcp_cluster(nodes, config, seed=seed)
     builder = build_udp_cluster if backend == "udp" else build_tcp_cluster
     return builder(nodes, config, seed=seed)
 
@@ -165,7 +175,11 @@ def _kill(cluster, backend: str, victim: str, plan: FaultPlan) -> None:
             for inst in cluster.membership.instances_on_node(victim)
         }
         for server in cluster.servers:
-            if str(server.address) in targets:
+            # A sharded node advertises its shards' private addresses in
+            # the membership table, not the shared bootstrap port.
+            owned = {str(a) for a in getattr(server, "shard_addresses", [])}
+            owned.add(str(server.address))
+            if owned & targets:
                 server.stop()
     plan.crash_target(victim, *addresses)
 

@@ -135,12 +135,15 @@ def build_tcp_cluster(
     factory = ThreadedTCPServer if threaded_server else EventDrivenTCPServer
     if config.tcp_multiplex and config.connection_cache_size > 0:
         # Default: multiplexed connections (pipelined request path).
-        client_factory = lambda: MultiplexedTCPClient()  # noqa: E731
+        client_factory = lambda: MultiplexedTCPClient(  # noqa: E731
+            wire_codec=config.wire_codec
+        )
     else:
         # Ablations: stop-and-wait client, with or without connection
         # caching (the paper's two TCP modes).
         client_factory = lambda: TCPClient(  # noqa: E731
-            cache_size=config.connection_cache_size
+            cache_size=config.connection_cache_size,
+            wire_codec=config.wire_codec,
         )
     return _build_socket_cluster(
         num_nodes,
@@ -149,6 +152,68 @@ def build_tcp_cluster(
         client_factory,
         seed,
     )
+
+
+def build_sharded_tcp_cluster(
+    num_nodes: int,
+    config: ZHTConfig | None = None,
+    *,
+    seed: int = 0,
+) -> SocketCluster:
+    """Start a deployment of multi-core nodes (process-per-shard).
+
+    Each "server" is one :class:`~repro.net.shard.ShardedNodeServer`
+    forking ``config.num_shards`` worker processes; the membership table
+    advertises every shard's **private** port so clients route zero-hop
+    to the owning shard.  From the cluster API's point of view a node is
+    one server (``stop_server`` kills all of its shards), matching how
+    the chaos harness kills whole nodes.
+    """
+    from .shard import ShardedNodeServer
+
+    config = config or ZHTConfig(transport="tcp", num_shards=2)
+    shards = max(1, config.num_shards)
+    rng = random.Random(seed)
+    # 1. Bind every node's sockets up front to learn shard addresses.
+    nodes = [
+        ShardedNodeServer(config, num_shards=shards)
+        for _ in range(num_nodes)
+    ]
+    addresses = {
+        (node_index, shard_index): address
+        for node_index, node in enumerate(nodes)
+        for shard_index, address in enumerate(node.shard_addresses)
+    }
+    node_counter = iter(range(num_nodes))
+    node_of: dict[str, int] = {}
+
+    def _allocate(node_id: str, shard_index: int) -> "object":
+        if node_id not in node_of:
+            node_of[node_id] = next(node_counter)
+        return addresses[(node_of[node_id], shard_index)]
+
+    membership, _nodes, instances = build_membership(
+        num_nodes,
+        config.replace(instances_per_node=shards),
+        rng,
+        port_allocator=_allocate,
+    )
+    # 2. Hand each node its chunk of instances (build_membership yields
+    # them grouped by node, ``instances_per_node`` at a time).
+    for node_index, node in enumerate(nodes):
+        chunk = instances[node_index * shards : (node_index + 1) * shards]
+        node.attach_instances(membership.copy(), chunk)
+        node.start()
+    if config.tcp_multiplex and config.connection_cache_size > 0:
+        client_factory = lambda: MultiplexedTCPClient(  # noqa: E731
+            wire_codec=config.wire_codec
+        )
+    else:
+        client_factory = lambda: TCPClient(  # noqa: E731
+            cache_size=config.connection_cache_size,
+            wire_codec=config.wire_codec,
+        )
+    return SocketCluster(config, nodes, membership, client_factory, rng)
 
 
 def build_udp_cluster(

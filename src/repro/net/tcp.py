@@ -26,10 +26,21 @@ from __future__ import annotations
 import selectors
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from ..core.membership import Address
-from ..core.protocol import Request, Response, deframe_at, frame
+from ..core.protocol import (
+    FIXED_MAGIC,
+    Request,
+    Response,
+    decode_request_span,
+    decode_response_span,
+    deframe_at,
+    deframe_span,
+    encode_framed_request,
+    encode_framed_response,
+)
 from ..core.server import ZHTServerCore
 from ..obs import REGISTRY
 from .lru import LRUCache
@@ -61,12 +72,19 @@ def _recv_frame(sock: socket.socket, timeout: float) -> bytes | None:
 class TCPClient(ClientTransport):
     """Blocking TCP client with an LRU connection cache."""
 
-    def __init__(self, cache_size: int = 128, *, connect_timeout: float = 2.0):
+    def __init__(
+        self,
+        cache_size: int = 128,
+        *,
+        connect_timeout: float = 2.0,
+        wire_codec: str = "fixed",
+    ):
         self._cache: LRUCache[Address, socket.socket] = LRUCache(
             cache_size, on_evict=self._on_evict
         )
         self._lock = threading.Lock()
         self.connect_timeout = connect_timeout
+        self._codec = wire_codec
         self.connects = 0
         #: One-way messages retried on a fresh connection after a cached
         #: socket turned out stale.
@@ -120,7 +138,7 @@ class TCPClient(ClientTransport):
         if sock is None:
             return None
         try:
-            sock.sendall(frame(request.encode()))
+            sock.sendall(encode_framed_request(request, self._codec))
             payload = _recv_frame(sock, timeout)
         except OSError:
             sock.close()
@@ -146,7 +164,7 @@ class TCPClient(ClientTransport):
         # cached socket whose server side has gone away must not silently
         # swallow them, so a send error triggers one retry on a fresh
         # connection before the message is counted as dropped.
-        payload = frame(request.encode())
+        payload = encode_framed_request(request, self._codec)
         sock = self._checkout(address)
         if sock is not None:
             try:
@@ -275,11 +293,14 @@ class _MuxConnection:
                 break
             buffer += chunk
             while True:
-                message, offset = deframe_at(buffer, offset)
-                if message is None:
+                start, end, offset = deframe_span(buffer, offset)
+                if start < 0:
                     break
                 try:
-                    response = Response.decode(message)
+                    # Parsed straight out of the receive buffer (no
+                    # per-message bytes copy); compaction below is safe
+                    # because decode materialises every field.
+                    response = decode_response_span(buffer, start, end)
                 except Exception:
                     # Desynced/garbled stream: this connection is unusable.
                     REGISTRY.counter("tcp.client.decode_errors").inc()
@@ -333,10 +354,11 @@ class MultiplexedTCPClient(ClientTransport):
     stop-and-wait ablation (``ZHTConfig.tcp_multiplex=False``).
     """
 
-    def __init__(self, *, connect_timeout: float = 2.0):
+    def __init__(self, *, connect_timeout: float = 2.0, wire_codec: str = "fixed"):
         self._conns: dict[Address, _MuxConnection] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self.connect_timeout = connect_timeout
+        self._codec = wire_codec
         self.connects = 0
         self.oneway_retries = 0
         self.oneway_drops = 0
@@ -385,7 +407,7 @@ class MultiplexedTCPClient(ClientTransport):
         if not rid:
             # Unmatchable by id: use an isolated stop-and-wait socket.
             return self._oneshot_roundtrip(address, request, timeout)
-        payload = frame(request.encode())
+        payload = encode_framed_request(request, self._codec)
         for _attempt in range(2):  # one retry on a just-died connection
             conn = self._get(address)
             if conn is None:
@@ -417,7 +439,7 @@ class MultiplexedTCPClient(ClientTransport):
         self.connects += 1
         self._c_connects.inc()
         try:
-            sock.sendall(frame(request.encode()))
+            sock.sendall(encode_framed_request(request, self._codec))
             payload = _recv_frame(sock, timeout)
             if payload is None:
                 return None
@@ -432,7 +454,7 @@ class MultiplexedTCPClient(ClientTransport):
             sock.close()
 
     def send_oneway(self, address: Address, request: Request) -> None:
-        payload = frame(request.encode())
+        payload = encode_framed_request(request, self._codec)
         for attempt in range(2):
             conn = self._get(address)
             if conn is not None:
@@ -462,20 +484,24 @@ class MultiplexedTCPClient(ClientTransport):
 
 
 class _Connection:
-    """Per-connection state inside the event loop.
+    """Per-connection state inside a server.
 
     Frame reassembly accumulates into a ``bytearray`` and tracks a read
     offset instead of rebuilding the buffer per chunk; consumed bytes are
-    compacted once per readable event.
+    compacted once per readable event.  Replies mirror the codec of the
+    last request decoded on the connection, so a varint-speaking peer
+    gets varint responses without any negotiation.
     """
 
-    __slots__ = ("sock", "buffer", "offset", "write_lock")
+    __slots__ = ("sock", "buffer", "offset", "write_lock", "codec", "closed")
 
     def __init__(self, sock: socket.socket):
         self.sock = sock
         self.buffer = bytearray()
         self.offset = 0
         self.write_lock = threading.Lock()
+        self.codec = "varint"
+        self.closed = False
 
     def feed(self, chunk: bytes) -> list[bytes]:
         """Absorb *chunk*; return every complete frame now available."""
@@ -491,8 +517,27 @@ class _Connection:
             self.offset = 0
         return messages
 
+    def feed_spans(self, chunk: bytes) -> list[tuple[int, int]]:
+        """Absorb *chunk*; return ``(start, end)`` spans of every complete
+        frame now sitting in ``self.buffer`` — no copies.  The caller must
+        decode the spans and then call :meth:`compact` before the next
+        read, since compaction shifts the buffer under the spans."""
+        self.buffer += chunk
+        spans: list[tuple[int, int]] = []
+        while True:
+            start, end, self.offset = deframe_span(self.buffer, self.offset)
+            if start < 0:
+                break
+            spans.append((start, end))
+        return spans
+
+    def compact(self) -> None:
+        if self.offset:
+            del self.buffer[: self.offset]
+            self.offset = 0
+
     def send_response(self, response: Response) -> None:
-        data = frame(response.encode())
+        data = encode_framed_response(response, self.codec)
         with self.write_lock:
             try:
                 self.sock.sendall(data)
@@ -500,8 +545,94 @@ class _Connection:
                 pass
 
 
+class _EventConnection(_Connection):
+    """A :class:`_Connection` served by the event loop: writes are queued
+    and flushed non-blockingly instead of calling ``sendall`` (which on
+    the loop's non-blocking sockets would raise — and drop the reply — the
+    moment the kernel send buffer filled)."""
+
+    __slots__ = ("outbuf", "want_write")
+
+    def __init__(self, sock: socket.socket):
+        super().__init__(sock)
+        self.outbuf = bytearray()  # guarded-by: write_lock
+        self.want_write = False  # guarded-by: write_lock
+
+    def queue_reply(self, data: "bytes | bytearray") -> bool:
+        """Send *data*, buffering whatever the socket won't take now.
+
+        Safe from any thread (loop or effect pool).  Returns True when
+        residue remains buffered and the event loop must be told to watch
+        for writability (the caller wakes it; exactly one waker per
+        transition since ``want_write`` latches)."""
+        with self.write_lock:
+            if self.closed:
+                return False
+            if not self.outbuf:
+                sent = 0
+                view = memoryview(data)
+                try:
+                    while sent < len(view):
+                        sent += self.sock.send(view[sent:])
+                except BlockingIOError:
+                    pass
+                except OSError:
+                    self.closed = True
+                    return False
+                if sent < len(view):
+                    self.outbuf += view[sent:]
+            else:
+                self.outbuf += data
+            if self.outbuf and not self.want_write:
+                self.want_write = True
+                return True
+            return False
+
+    def flush(self) -> bool:
+        """Drain the out-buffer (called on EVENT_WRITE).  Returns True
+        once nothing is left to write (caller drops the write interest)."""
+        with self.write_lock:
+            if self.closed:
+                return True
+            try:
+                while self.outbuf:
+                    sent = self.sock.send(self.outbuf)
+                    del self.outbuf[:sent]
+            except BlockingIOError:
+                return False
+            except OSError:
+                self.closed = True
+                return True
+            self.want_write = False
+            return True
+
+    def has_backlog(self) -> bool:
+        with self.write_lock:
+            return bool(self.outbuf) or self.offset < len(self.buffer)
+
+
+#: Selector-key markers for non-connection file objects.
+_ACCEPT = "accept"
+_WAKE = "wake"
+_FDRECV = "fdrecv"
+
+
 class EventDrivenTCPServer:
-    """Single-threaded selector (epoll) event loop serving one instance."""
+    """Single-threaded selector (epoll) event loop serving one instance.
+
+    Requests whose effects need no peer round trip take the **inline
+    fast path**: decoded (zero-copy, straight out of the receive
+    buffer), applied, and their response queued on the loop thread — no
+    executor handoff.  Replication/migration/broadcast effects still
+    detour through the worker pool.  ``ZHTConfig.inline_fast_path=False``
+    restores a pool hop for every request (the ablation baseline).
+
+    Listeners: by default the server binds one socket itself, but a
+    sharded node hands it pre-bound listeners (its private per-shard
+    port plus an ``SO_REUSEPORT`` shared port) via *listeners*, and/or an
+    AF_UNIX *conn_receiver* on which a parent dispatcher passes accepted
+    connection FDs (the fallback for platforms without ``SO_REUSEPORT``).
+    """
 
     def __init__(
         self,
@@ -510,23 +641,45 @@ class EventDrivenTCPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         effect_workers: int = 4,
+        listeners: "list[socket.socket] | None" = None,
+        conn_receiver: "socket.socket | None" = None,
     ):
         self.core = None
         self.executor: ServerExecutor | None = None
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
-        self._listener.listen(512)
-        self._listener.setblocking(False)
-        self.address = Address(host, self._listener.getsockname()[1])
+        if listeners:
+            self._listeners = list(listeners)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            sock.listen(512)
+            self._listeners = [sock]
+        for sock in self._listeners:
+            sock.setblocking(False)
+        self._listener = self._listeners[0]
+        addr = self._listener.getsockname()
+        self.address = Address(addr[0], addr[1])
+        self._conn_receiver = conn_receiver
         self._selector = selectors.DefaultSelector()
-        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        for sock in self._listeners:
+            self._selector.register(sock, selectors.EVENT_READ, _ACCEPT)
+        if conn_receiver is not None:
+            conn_receiver.setblocking(False)
+            self._selector.register(conn_receiver, selectors.EVENT_READ, _FDRECV)
+        # Self-pipe: effect-pool threads wake the selector when a reply
+        # they queued needs EVENT_WRITE registration.
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, _WAKE)
         self._peer_client = TCPClient(cache_size=32)
         self._pool = ThreadPoolExecutor(
             max_workers=effect_workers, thread_name_prefix="zht-effects"
         )
         self._thread: threading.Thread | None = None
         self._running = False
+        self._draining = False
+        self._drain_deadline = 0.0
+        self._inline = True
         self.requests_served = 0
         # Results handed to the effect pool but not yet finished.  The
         # event loop dispatches synchronously, so the core's own in-flight
@@ -535,6 +688,7 @@ class EventDrivenTCPServer:
         # admission bound via ``extra_inflight``.
         self._pending_effects = 0  # guarded-by: _pending_lock
         self._pending_lock = threading.Lock()
+        self._pending_writable: list[_EventConnection] = []  # guarded-by: _pending_lock
         if core is not None:
             self.attach_core(core)
 
@@ -546,6 +700,7 @@ class EventDrivenTCPServer:
         table from the real addresses, and only then create the cores.
         """
         self.core = core
+        self._inline = core.config.inline_fast_path
         core.extra_inflight = self._effects_backlog
         self.executor = ServerExecutor(core, self._peer_client, self._deferred_reply)
 
@@ -565,7 +720,16 @@ class EventDrivenTCPServer:
         )
         self._thread.start()
 
-    def stop(self) -> None:
+    def stop(self, *, drain: bool = False, drain_timeout: float = 5.0) -> None:
+        """Stop the server.  With ``drain=True`` the loop first stops
+        accepting, then keeps serving until every already-received frame
+        is answered and every queued reply byte is flushed (bounded by
+        *drain_timeout*) — a graceful shutdown."""
+        if drain and self._thread is not None and self._running:
+            self._drain_deadline = time.monotonic() + drain_timeout
+            self._draining = True
+            self._wake()
+            self._thread.join(timeout=drain_timeout + 5)
         self._running = False
         if self._thread is not None:
             self._thread.join(timeout=5)
@@ -573,33 +737,127 @@ class EventDrivenTCPServer:
         for key in list(self._selector.get_map().values()):
             key.fileobj.close()
         self._selector.close()
+        try:
+            self._wake_w.close()
+        except OSError:
+            pass
         self._pool.shutdown(wait=False)
         self._peer_client.close()
         if self.core is not None:
             self.core.close()
 
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x01")
+        except OSError:
+            pass
+
     # -- event loop -----------------------------------------------------------
 
     def _loop(self) -> None:
+        draining = False
+        quiet_since = 0.0
         while self._running:
             events = self._selector.select(timeout=0.1)
-            for key, _mask in events:
-                if key.data is None:
-                    self._accept()
+            for key, mask in events:
+                data = key.data
+                if data is _ACCEPT:
+                    self._accept(key.fileobj)
+                elif data is _WAKE:
+                    self._drain_wake()
+                elif data is _FDRECV:
+                    self._recv_conn_fds()
                 else:
-                    self._readable(key.data)
+                    if mask & selectors.EVENT_WRITE:
+                        self._writable(data)
+                    if mask & selectors.EVENT_READ:
+                        self._readable(data)
+            if self._draining:
+                if not draining:
+                    draining = True
+                    for sock in self._listeners:
+                        try:
+                            self._selector.unregister(sock)
+                        except (KeyError, ValueError):
+                            pass
+                # "Drained" must hold across one idle select cycle before we
+                # exit: a client's pipelined burst can still be in flight on
+                # the wire the instant our buffers look empty, and exiting
+                # then would reset the connection mid-burst.
+                now = time.monotonic()
+                if events or not self._drained():
+                    quiet_since = now
+                elif now - quiet_since >= 0.05:
+                    break
+                if now > self._drain_deadline:
+                    break
+        self._running = False
 
-    def _accept(self) -> None:
+    def _drained(self) -> bool:
+        with self._pending_lock:
+            if self._pending_effects:
+                return False
+        for key in self._selector.get_map().values():
+            conn = key.data
+            if isinstance(conn, _EventConnection) and conn.has_backlog():
+                return False
+        return True
+
+    def _drain_wake(self) -> None:
         try:
-            sock, _addr = self._listener.accept()
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+        with self._pending_lock:
+            pending, self._pending_writable = self._pending_writable, []
+        for conn in pending:
+            try:
+                self._selector.modify(
+                    conn.sock, selectors.EVENT_READ | selectors.EVENT_WRITE, conn
+                )
+            except (KeyError, ValueError):
+                pass
+
+    def _accept(self, listener: socket.socket) -> None:
+        try:
+            sock, _addr = listener.accept()
         except OSError:
             return
+        self._register_conn(sock)
+
+    def _register_conn(self, sock: socket.socket) -> None:
         sock.setblocking(False)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        conn = _Connection(sock)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        conn = _EventConnection(sock)
         self._selector.register(sock, selectors.EVENT_READ, conn)
 
-    def _readable(self, conn: _Connection) -> None:
+    def _recv_conn_fds(self) -> None:
+        """Dispatcher fallback: adopt connection FDs passed by the parent
+        over the AF_UNIX control socket."""
+        try:
+            msg, fds, _flags, _addr = socket.recv_fds(self._conn_receiver, 64, 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            fds, msg = [], b""
+        if not fds and not msg:
+            # Dispatcher went away; stop watching.
+            try:
+                self._selector.unregister(self._conn_receiver)
+            except (KeyError, ValueError):
+                pass
+            return
+        for fd in fds:
+            try:
+                self._register_conn(socket.socket(fileno=fd))
+            except OSError:
+                pass
+
+    def _readable(self, conn: _EventConnection) -> None:
         try:
             chunk = conn.sock.recv(65536)
         except BlockingIOError:
@@ -610,22 +868,31 @@ class EventDrivenTCPServer:
         if not chunk:
             self._drop(conn)
             return
-        for message in conn.feed(chunk):
-            self._dispatch(message, conn)
+        spans = conn.feed_spans(chunk)
+        for start, end in spans:
+            self._dispatch_span(conn.buffer, start, end, conn)
+        # Compact only after every span is decoded: requests were parsed
+        # in place, so the buffer must not shift under them mid-batch.
+        conn.compact()
 
     def _drop(self, conn: _Connection) -> None:
+        with conn.write_lock:
+            conn.closed = True
         try:
             self._selector.unregister(conn.sock)
         except (KeyError, ValueError):
             pass
         conn.sock.close()
 
-    def _dispatch(self, message: bytes, conn: _Connection) -> None:
+    def _dispatch_span(
+        self, buffer: bytearray, start: int, end: int, conn: _EventConnection
+    ) -> None:
         try:
-            request = Request.decode(message)
+            request = decode_request_span(buffer, start, end)
         except Exception:
             REGISTRY.counter("tcp.server.decode_errors").inc()
             return
+        conn.codec = "fixed" if buffer[start] == FIXED_MAGIC else "varint"
         self.requests_served += 1
         REGISTRY.counter("tcp.server.requests").inc()
         result = self.core.handle(request, reply_context=conn)
@@ -638,33 +905,59 @@ class EventDrivenTCPServer:
             # releases them in apply order and retires the ticket.
             or result.repl_sequencer is not None
         )
-        if needs_peer_io:
+        if needs_peer_io or not self._inline:
             # Keep the loop responsive: effects that block on the network
             # run on the worker pool; the response is released after the
-            # sync replicas acknowledge.
+            # sync replicas acknowledge.  (With the inline fast path
+            # disabled, every request pays this selector→pool→selector
+            # hop — the server-architecture ablation baseline.)
             with self._pending_lock:
                 self._pending_effects += 1
             self._pool.submit(self._finish, result, conn)
         else:
+            # Inline fast path: this thread IS the event loop, so the
+            # reply is encoded and queued right here — no executor
+            # submit, no wakeup latency.  Fire-and-forget replica
+            # updates still leave via the pool (they are peer I/O).
             for address, update in result.async_sends:
                 self._pool.submit(
                     self._peer_client.send_oneway, address, update
                 )
             if result.response is not None:
-                conn.send_response(result.response)
+                self._reply(conn, result.response)
 
-    def _finish(self, result, conn: _Connection) -> None:
+    def _reply(self, conn: _Connection, response: Response) -> None:
+        if not isinstance(conn, _EventConnection):
+            conn.send_response(response)
+            return
+        data = encode_framed_response(response, conn.codec)
+        if conn.queue_reply(data):
+            with self._pending_lock:
+                self._pending_writable.append(conn)
+            self._wake()
+
+    def _writable(self, conn: _EventConnection) -> None:
+        if conn.flush():
+            if conn.closed:
+                self._drop(conn)
+                return
+            try:
+                self._selector.modify(conn.sock, selectors.EVENT_READ, conn)
+            except (KeyError, ValueError):
+                pass
+
+    def _finish(self, result, conn: _EventConnection) -> None:
         try:
             self.executor._apply_effects(result)
             if result.response is not None:
-                conn.send_response(result.response)
+                self._reply(conn, result.response)
         finally:
             with self._pending_lock:
                 self._pending_effects -= 1
 
     def _deferred_reply(self, reply_context: object, response: Response) -> None:
         if isinstance(reply_context, _Connection):
-            reply_context.send_response(response)
+            self._reply(reply_context, response)
 
 
 class ThreadedTCPServer:
@@ -760,6 +1053,8 @@ class ThreadedTCPServer:
         except Exception:
             REGISTRY.counter("tcp.server.decode_errors").inc()
             return
+        if message:
+            conn.codec = "fixed" if message[0] == FIXED_MAGIC else "varint"
         self.requests_served += 1
         REGISTRY.counter("tcp.server.requests").inc()
         response = self.executor.process(request, reply_context=conn)

@@ -109,23 +109,37 @@ def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
             raise ValueError("varint too long")
 
 
-def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
-    """Serialize one WAL record, including its trailing CRC."""
+def encode_record_into(
+    buf: bytearray, op: int, key: bytes, value: bytes = b""
+) -> None:
+    """Append one WAL record (with trailing CRC) to *buf* in place.
+
+    The zero-copy sibling of :func:`encode_record`: no intermediate
+    ``bytes`` objects are built per record — the CRC is computed over a
+    ``memoryview`` of the appended region.  Wire format is identical.
+    """
     if op not in _OPS:
         raise ValueError(f"unknown WAL op {op}")
+    start = len(buf)
     klen, vlen = len(key), len(value)
     if klen < 0x80 and vlen < 0x80:
         # Fast path: single-byte varints (identical wire format).
-        body = bytes((RECORD_MAGIC, op, klen, vlen)) + key + value
+        buf += bytes((RECORD_MAGIC, op, klen, vlen))
     else:
-        body = (
-            bytes((RECORD_MAGIC, op))
-            + encode_varint(klen)
-            + encode_varint(vlen)
-            + key
-            + value
-        )
-    return body + struct.pack("<I", zlib.crc32(body))
+        buf += bytes((RECORD_MAGIC, op))
+        buf += encode_varint(klen)
+        buf += encode_varint(vlen)
+    buf += key
+    buf += value
+    crc = zlib.crc32(memoryview(buf)[start:])
+    buf += struct.pack("<I", crc)
+
+
+def encode_record(op: int, key: bytes, value: bytes = b"") -> bytes:
+    """Serialize one WAL record, including its trailing CRC."""
+    buf = bytearray()
+    encode_record_into(buf, op, key, value)
+    return bytes(buf)
 
 
 def _read_exact(f: BinaryIO, n: int) -> bytes | None:
@@ -265,10 +279,10 @@ class WriteAheadLog:
             raise StoreError("WAL is not open")
         buf = bytearray()
         for op, key, value in records:
-            buf += encode_record(op, key, value)
+            encode_record_into(buf, op, key, value)
         with REGISTRY.span("wal.append"):
             try:
-                self._file.write(bytes(buf))
+                self._file.write(buf)
                 self._file.flush()
                 if self.fsync:
                     self._fsync()

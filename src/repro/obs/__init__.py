@@ -18,7 +18,14 @@ from __future__ import annotations
 
 import os
 
-from .metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    merge_latency_snapshots,
+    merge_stats_snapshots,
+)
 from .partload import PartitionLoadTracker
 from .tracing import NULL_SPAN, Span, TracingRegistry
 
@@ -32,6 +39,8 @@ __all__ = [
     "Span",
     "NULL_SPAN",
     "REGISTRY",
+    "merge_latency_snapshots",
+    "merge_stats_snapshots",
     "enable_metrics",
     "disable_metrics",
     "metrics_snapshot",

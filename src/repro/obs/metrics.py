@@ -171,7 +171,8 @@ class LatencyHistogram:
 
     def snapshot(self) -> dict:
         with self._lock:
-            count, total, mx = self._count, self._sum, self._max
+            count, total, mx, mn = self._count, self._sum, self._max, self._min
+            counts = list(self._counts)
         if count == 0:
             return {"count": 0}
         return {
@@ -181,6 +182,16 @@ class LatencyHistogram:
             "p90_ms": round(self.percentile(90) * 1e3, 6),
             "p99_ms": round(self.percentile(99) * 1e3, 6),
             "max_ms": round(mx * 1e3, 6),
+            "min_ms": round(mn * 1e3, 6),
+            "sum_ms": round(total * 1e3, 6),
+            # Sparse raw bucket counts (ladder index -> samples): what
+            # makes snapshots *mergeable* — aggregating across shard
+            # processes sums these and recomputes percentiles on the
+            # shared ladder, instead of averaging per-shard percentiles
+            # (which has no distributional meaning).
+            "buckets": [
+                [index, n] for index, n in enumerate(counts) if n
+            ],
         }
 
     def reset(self) -> None:
@@ -190,6 +201,96 @@ class LatencyHistogram:
             self._sum = 0.0
             self._min = float("inf")
             self._max = 0.0
+
+
+def merge_latency_snapshots(snapshots: list[dict]) -> dict:
+    """Merge per-process histogram snapshots into one distribution.
+
+    Each snapshot carries its sparse raw ``buckets`` on the shared
+    :data:`LatencyHistogram.BOUNDS` ladder, so merging is exact: sum the
+    bucket counts, then recompute p50/p90/p99 by walking the merged
+    ladder.  Percentiles are **never** averaged across snapshots — the
+    average of per-shard p99s is not the p99 of the union.
+    """
+    bounds = LatencyHistogram.BOUNDS
+    counts = [0] * (len(bounds) + 1)
+    total = 0
+    sum_ms = 0.0
+    min_ms = float("inf")
+    max_ms = 0.0
+    for snap in snapshots:
+        n = int(snap.get("count", 0))
+        if n == 0:
+            continue
+        total += n
+        # Older snapshots lack sum_ms; mean*count is an exact fallback.
+        sum_ms += float(snap.get("sum_ms", snap.get("mean_ms", 0.0) * n))
+        min_ms = min(min_ms, float(snap.get("min_ms", 0.0)))
+        max_ms = max(max_ms, float(snap.get("max_ms", 0.0)))
+        for index, count in snap.get("buckets", []):
+            counts[index] += count
+    if total == 0:
+        return {"count": 0}
+
+    def _percentile(p: float) -> float:
+        rank = max(1, int(p / 100 * total + 0.5))
+        seen = 0
+        for index, count in enumerate(counts):
+            seen += count
+            if seen >= rank:
+                if index >= len(bounds):
+                    return max_ms
+                return min(max(bounds[index] * 1e3, min_ms), max_ms)
+        return max_ms
+
+    return {
+        "count": total,
+        "mean_ms": round(sum_ms / total, 6),
+        "p50_ms": round(_percentile(50), 6),
+        "p90_ms": round(_percentile(90), 6),
+        "p99_ms": round(_percentile(99), 6),
+        "max_ms": round(max_ms, 6),
+        "min_ms": round(min_ms, 6),
+        "sum_ms": round(sum_ms, 6),
+        "buckets": [[index, n] for index, n in enumerate(counts) if n],
+    }
+
+
+def merge_stats_snapshots(snapshots: list[dict]) -> dict:
+    """Merge per-shard ``STATS`` snapshots into one node-level view.
+
+    Counters and gauges are summed, latency histograms are merged
+    bucket-wise (:func:`merge_latency_snapshots`), and per-instance
+    blocks (``instance`` / ``partition_load``) are concatenated so the
+    node view keeps per-shard attribution alongside the totals.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    latency_parts: dict[str, list[dict]] = {}
+    instances: list[dict] = []
+    enabled = False
+    for snap in snapshots:
+        enabled = enabled or bool(snap.get("enabled"))
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + float(value)
+        for name, hist in snap.get("latency", {}).items():
+            latency_parts.setdefault(name, []).append(hist)
+        if "instance" in snap:
+            instances.append(snap["instance"])
+        instances.extend(snap.get("instances", []))
+    return {
+        "enabled": enabled,
+        "shards": len(snapshots),
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "latency": {
+            name: merge_latency_snapshots(parts)
+            for name, parts in sorted(latency_parts.items())
+        },
+        "instances": instances,
+    }
 
 
 class MetricsRegistry:

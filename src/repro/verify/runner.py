@@ -56,7 +56,7 @@ from .history import (
 )
 from .workload import generate_schedule
 
-BACKENDS = ("local", "tcp", "udp", "sim")
+BACKENDS = ("local", "tcp", "udp", "sharded", "sim")
 MUTATIONS = ("none", "ack-unreplicated", "stale-tail")
 
 _OPCODES = {
@@ -137,6 +137,7 @@ def run_verify(
     staleness_bound: float = 0.25,
     hot_cache: bool = False,
     plan: FaultPlan | None = None,
+    shards: int | None = None,
 ) -> VerifyReport:
     """Run one end-to-end verification scenario; returns the report.
 
@@ -158,6 +159,10 @@ def run_verify(
     if mutation not in MUTATIONS:
         raise ValueError(f"mutation must be one of {MUTATIONS}")
     mut_flags = {}
+    if shards is not None:
+        # Shard count per node — only meaningful for the sharded
+        # backend, where it overrides the chaos default.
+        mut_flags["num_shards"] = shards
     if hot_cache:
         mut_flags.update(
             hot_key_cache_size=256,
@@ -341,7 +346,7 @@ def _run_verify_live(
             report.cache_hits += hits
         report.ops_attempted = schedule.total_ops
 
-        if backend in ("tcp", "udp"):
+        if backend in ("tcp", "udp", "sharded"):
             time.sleep(0.2)  # drain in-flight async replica updates
 
         # -- hot-key cache probes ----------------------------------------

@@ -1,0 +1,251 @@
+"""Fixed (struct-packed) wire codec: roundtrips, cross-codec
+compatibility, and torn-frame resilience.
+
+The fixed codec replaces the varint header parse on the hot path; it
+must stay byte-compatible with the varint codec at the *message* level
+(same fields in, same fields out) and unambiguously distinguishable on
+the wire (first byte 0xF7 is an invalid protobuf-style tag, so a decoder
+can pick the codec per message).  These tests are the property-style
+contract: every opcode, zero-length and maximal fields, both directions
+across both codecs, and incremental framing torn at every byte offset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ProtocolError, Status
+from repro.core.protocol import (
+    FIXED_MAGIC,
+    OpCode,
+    Request,
+    Response,
+    WIRE_CODECS,
+    decode_request_span,
+    decode_response_span,
+    deframe_span,
+    detect_codec,
+    encode_framed_request,
+    encode_framed_response,
+    frame,
+)
+
+ALL_OPS = list(OpCode)
+ALL_STATUSES = list(Status)
+
+
+def _request(op: OpCode, *, key=b"key-7", value=b"value-11") -> Request:
+    return Request(
+        op=op,
+        key=key,
+        value=value,
+        request_id=2**63 + 17,
+        epoch=2**31 + 3,
+        partition=1023,
+        replica_index=2,
+        inner_op=int(OpCode.APPEND),
+        payload=b"payload-13",
+        deadline_us=2**53 + 5,
+    )
+
+
+def _response(status: Status) -> Response:
+    return Response(
+        status=status,
+        value=b"v" * 37,
+        request_id=2**40 + 1,
+        epoch=7,
+        redirect=b"127.0.0.1:5000",
+        membership=b"{}" * 9,
+        op=int(OpCode.LOOKUP),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Roundtrips: every opcode, both codecs, cross-decoded
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("codec", WIRE_CODECS)
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+def test_request_roundtrip_every_op(codec, op):
+    request = _request(op)
+    wire = request.encode_wire(codec)
+    assert Request.decode(bytes(wire)) == request
+
+
+@pytest.mark.parametrize("codec", WIRE_CODECS)
+@pytest.mark.parametrize("status", ALL_STATUSES, ids=lambda s: s.name)
+def test_response_roundtrip_every_status(codec, status):
+    response = _response(status)
+    wire = response.encode_wire(codec)
+    assert Response.decode(bytes(wire)) == response
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+def test_cross_codec_requests_agree(op):
+    """Both codecs carry the identical message: decode(fixed) ==
+    decode(varint) field for field."""
+    request = _request(op)
+    via_fixed = Request.decode(bytes(request.encode_fixed()))
+    via_varint = Request.decode(request.encode())
+    assert via_fixed == via_varint == request
+
+
+def test_zero_length_fields():
+    request = Request(op=OpCode.PING)
+    for codec in WIRE_CODECS:
+        assert Request.decode(bytes(request.encode_wire(codec))) == request
+    response = Response()
+    for codec in WIRE_CODECS:
+        assert Response.decode(bytes(response.encode_wire(codec))) == response
+
+
+def test_maximal_fields():
+    big = bytes(range(256)) * 512  # 128 KiB each
+    request = Request(
+        op=OpCode.INSERT,
+        key=big,
+        value=big,
+        payload=big,
+        request_id=2**64 - 1,
+        epoch=2**32 - 1,
+        partition=2**32 - 1,
+        replica_index=2**16 - 1,
+        inner_op=int(OpCode.BATCH),
+        deadline_us=2**64 - 1,
+    )
+    for codec in WIRE_CODECS:
+        assert Request.decode(bytes(request.encode_wire(codec))) == request
+
+
+# ---------------------------------------------------------------------------
+# Codec detection
+# ---------------------------------------------------------------------------
+
+
+def test_detect_codec():
+    request = _request(OpCode.INSERT)
+    assert detect_codec(request.encode_fixed()) == "fixed"
+    assert detect_codec(request.encode()) == "varint"
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.name)
+def test_varint_bodies_never_collide_with_magic(op):
+    """The disambiguation property the auto-detect relies on: a varint
+    body never starts with 0xF7 (wire type 7 does not exist), so the
+    magic byte is unambiguous."""
+    wire = _request(op).encode()
+    assert wire[:1] != bytes([FIXED_MAGIC])
+    wire = _response(Status.OK).encode()
+    assert wire[:1] != bytes([FIXED_MAGIC])
+
+
+def test_mixed_codec_stream_decodes():
+    """A framing buffer interleaving both codecs decodes message by
+    message — what a server sees from a mixed-version client pool."""
+    requests = [_request(op) for op in (OpCode.INSERT, OpCode.LOOKUP, OpCode.REMOVE)]
+    buffer = bytearray()
+    buffer += encode_framed_request(requests[0], "fixed")
+    buffer += encode_framed_request(requests[1], "varint")
+    buffer += encode_framed_request(requests[2], "fixed")
+    offset = 0
+    out = []
+    while True:
+        start, end, offset = deframe_span(buffer, offset)
+        if start < 0:
+            break
+        out.append(decode_request_span(buffer, start, end))
+    assert out == requests
+
+
+# ---------------------------------------------------------------------------
+# Torn frames: feed the stream one byte at a time, tear at every offset
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("codec", WIRE_CODECS)
+def test_torn_request_frames_at_every_byte_offset(codec):
+    requests = [
+        _request(OpCode.INSERT),
+        Request(op=OpCode.PING),
+        _request(OpCode.BATCH, key=b"", value=b"x" * 300),
+    ]
+    stream = bytearray()
+    for request in requests:
+        stream += encode_framed_request(request, codec)
+    for tear in range(len(stream) + 1):
+        buffer = bytearray(stream[:tear])
+        decoded = []
+        offset = 0
+        while True:
+            start, end, offset = deframe_span(buffer, offset)
+            if start < 0:
+                break
+            decoded.append(decode_request_span(buffer, start, end))
+        # Only complete frames decode; nothing raises mid-frame.
+        assert decoded == requests[: len(decoded)]
+        # Feeding the rest completes the stream.
+        buffer += stream[tear:]
+        while True:
+            start, end, offset = deframe_span(buffer, offset)
+            if start < 0:
+                break
+            decoded.append(decode_request_span(buffer, start, end))
+        assert decoded == requests
+
+
+@pytest.mark.parametrize("codec", WIRE_CODECS)
+def test_torn_response_frames_at_every_byte_offset(codec):
+    responses = [
+        _response(Status.OK),
+        Response(),
+        _response(Status.REDIRECT),
+    ]
+    stream = bytearray()
+    for response in responses:
+        stream += encode_framed_response(response, codec)
+    for tear in range(len(stream) + 1):
+        buffer = bytearray(stream[:tear])
+        offset = 0
+        decoded = []
+        while True:
+            start, end, offset = deframe_span(buffer, offset)
+            if start < 0:
+                break
+            decoded.append(decode_response_span(buffer, start, end))
+        assert decoded == responses[: len(decoded)]
+
+
+def test_span_decode_matches_whole_buffer_decode():
+    request = _request(OpCode.APPEND)
+    framed = encode_framed_request(request, "fixed")
+    # Surround with garbage to prove span decoding reads only its slice.
+    buffer = bytearray(b"\xff" * 3) + framed + bytearray(b"\xee" * 5)
+    start, end, _ = deframe_span(buffer, 3)
+    assert decode_request_span(buffer, start, end) == request
+
+
+def test_corrupt_fixed_header_raises():
+    request = _request(OpCode.INSERT)
+    wire = bytearray(request.encode_fixed())
+    wire[2] = 255  # invalid opcode
+    with pytest.raises(ProtocolError):
+        Request.decode(bytes(wire))
+    truncated = bytes(request.encode_fixed())[:10]
+    with pytest.raises(ProtocolError):
+        Request.decode(truncated)
+
+
+def test_frame_compat_with_legacy_frame():
+    """encode_framed_* must produce exactly frame(encode_wire(...)) —
+    the one-buffer fast path is an optimization, not a format change."""
+    request = _request(OpCode.INSERT)
+    response = _response(Status.OK)
+    for codec in WIRE_CODECS:
+        assert bytes(encode_framed_request(request, codec)) == frame(
+            bytes(request.encode_wire(codec))
+        )
+        assert bytes(encode_framed_response(response, codec)) == frame(
+            bytes(response.encode_wire(codec))
+        )

@@ -114,9 +114,14 @@ class TestLatencyHistogram:
         snap = h.snapshot()
         assert set(snap) == {
             "count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms",
+            "min_ms", "sum_ms", "buckets",
         }
         assert snap["count"] == 1
         assert snap["max_ms"] == pytest.approx(2.0)
+        assert snap["min_ms"] == pytest.approx(2.0)
+        assert snap["sum_ms"] == pytest.approx(2.0)
+        # Sparse [bucket_index, count] pairs for cross-shard merging.
+        assert sum(n for _, n in snap["buckets"]) == 1
 
     def test_reset(self):
         h = LatencyHistogram("h")
