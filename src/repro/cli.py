@@ -13,6 +13,9 @@ Commands:
 * ``verify``    — record a concurrent workload's operation history
   through a crash/recovery and check it for linearizability and bounded
   staleness (or re-check a saved history with ``--check``).
+* ``scenario``  — run named failure scenarios from the library (one
+  validated config = topology + workload + faults + checks + gates)
+  and emit machine-readable verdict JSON; also ``list``/``validate``.
 * ``lint``      — repo-aware static analysis (lock discipline, blocking
   under lock, protocol exhaustiveness, config drift); exit 1 on any
   unsuppressed finding.
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -361,6 +365,80 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenario import ScenarioError
+    from .scenario.library import library_names, load_scenario
+
+    try:
+        if args.action == "list":
+            for name in library_names():
+                scenario = load_scenario(name)
+                tags = f" [{', '.join(scenario.tags)}]" if scenario.tags else ""
+                print(f"{name:28s} backends={','.join(scenario.backends)}{tags}")
+                print(f"{'':28s} {scenario.description}")
+            return 0
+
+        names = list(args.names)
+        if getattr(args, "all", False):
+            names = library_names()
+        if not names:
+            print(
+                "error: give scenario names (or --all); "
+                "see `repro scenario list`",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = [load_scenario(name) for name in names]
+
+        if args.action == "validate":
+            for scenario in scenarios:
+                scenario.validate()
+                print(f"{scenario.name}: OK")
+            return 0
+
+        from .scenario import run_scenario
+
+        verdicts = []
+        for scenario in scenarios:
+            verdict = run_scenario(
+                scenario,
+                backend=args.backend,
+                seed=args.seed,
+                ops_per_client=args.ops,
+            )
+            verdicts.append(verdict)
+            for line in verdict.summary_lines():
+                print(line)
+            print()
+        if args.json:
+            payload = (
+                verdicts[0].to_dict()
+                if len(verdicts) == 1
+                else [v.to_dict() for v in verdicts]
+            )
+            with open(args.json, "w") as f:
+                json.dump(payload, f, indent=2, sort_keys=True)
+            print(f"verdict JSON written to {args.json}")
+        if args.json_dir:
+            os.makedirs(args.json_dir, exist_ok=True)
+            for verdict in verdicts:
+                path = os.path.join(
+                    args.json_dir,
+                    f"{verdict.scenario}-{verdict.backend}.json",
+                )
+                with open(path, "w") as f:
+                    json.dump(verdict.to_dict(), f, indent=2, sort_keys=True)
+            print(f"{len(verdicts)} verdict file(s) written to {args.json_dir}")
+        failed = [v for v in verdicts if not v.ok]
+        print(
+            f"{len(verdicts) - len(failed)}/{len(verdicts)} scenario(s) passed"
+        )
+        return 1 if failed else 0
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import CHECKERS, run_lint
 
@@ -617,6 +695,76 @@ def build_parser() -> argparse.ArgumentParser:
         "the bounded-staleness contract; forces --replicas >= 2",
     )
     verify.set_defaults(fn=_cmd_verify)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run named failure scenarios (declarative config -> "
+        "cluster + traffic + faults -> pass/fail verdict JSON)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="action", required=True)
+
+    sc_run = scenario_sub.add_parser(
+        "run", help="run one or more scenarios and print their verdicts"
+    )
+    sc_run.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="library scenario names or paths to scenario JSON files",
+    )
+    sc_run.add_argument(
+        "--all", action="store_true", help="run the whole library"
+    )
+    sc_run.add_argument(
+        "--backend",
+        default=None,
+        choices=["local", "tcp", "udp", "sim", "sharded"],
+        help="override the scenario's default backend (must be one of "
+        "its declared backends)",
+    )
+    sc_run.add_argument(
+        "--seed", type=int, default=None, help="override the scenario seed"
+    )
+    sc_run.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override ops per client (scale a scenario up or down)",
+    )
+    sc_run.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the verdict(s) as one JSON document",
+    )
+    sc_run.add_argument(
+        "--json-dir",
+        default=None,
+        metavar="DIR",
+        help="write one <scenario>-<backend>.json verdict file per run",
+    )
+    sc_run.set_defaults(fn=_cmd_scenario)
+
+    sc_list = scenario_sub.add_parser(
+        "list", help="list the scenario library with tags and backends"
+    )
+    sc_list.set_defaults(fn=_cmd_scenario)
+
+    sc_validate = scenario_sub.add_parser(
+        "validate",
+        help="load + schema-validate scenarios without running them",
+    )
+    sc_validate.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="library scenario names or paths to scenario JSON files",
+    )
+    sc_validate.add_argument(
+        "--all", action="store_true", help="validate the whole library"
+    )
+    sc_validate.set_defaults(fn=_cmd_scenario)
 
     lint = sub.add_parser(
         "lint",

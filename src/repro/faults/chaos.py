@@ -27,11 +27,16 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from ..api import build_local_cluster
 from ..core.config import ZHTConfig
 from ..core.errors import ZHTError
-from ..core.manager import ManagerCore
 from ..core.protocol import OpCode
+from ..scenario.cluster import (
+    build_cluster as _build_cluster,
+    default_config as _default_config,
+    kill_node as _kill,
+    repair_node as _repair,
+    server_cores as _server_cores,
+)
 from .invariants import (
     AckLedger,
     check_convergence,
@@ -123,71 +128,6 @@ class ChaosReport:
                 f"{len(self.convergence_violations)} replica mismatches"
             ),
         ]
-
-
-def _default_config(backend: str, replicas: int) -> ZHTConfig:
-    timeout = 0.02 if backend == "local" else 0.15
-    return ZHTConfig(
-        transport="local" if backend == "local" else
-        ("tcp" if backend == "sharded" else backend),
-        # Two worker processes per node keeps the sharded-backend process
-        # count manageable (verify runs >= 3 nodes).
-        num_shards=2 if backend == "sharded" else 1,
-        num_partitions=64,
-        num_replicas=replicas,
-        request_timeout=timeout,
-        failures_before_dead=2,
-        backoff_factor=1.5,
-        max_retries=10,
-        # Scale the breaker to the fast chaos timeouts so a flapping node
-        # is re-probed within a few op latencies instead of the default
-        # wall-clock half second.
-        breaker_cooldown_s=timeout * 4,
-        breaker_cooldown_max_s=timeout * 40,
-    )
-
-
-def _build_cluster(backend: str, nodes: int, config: ZHTConfig, seed: int):
-    if backend == "local":
-        return build_local_cluster(nodes, config, seed=seed)
-    from ..net.cluster import (
-        build_sharded_tcp_cluster,
-        build_tcp_cluster,
-        build_udp_cluster,
-    )
-
-    if backend == "sharded":
-        return build_sharded_tcp_cluster(nodes, config, seed=seed)
-    builder = build_udp_cluster if backend == "udp" else build_tcp_cluster
-    return builder(nodes, config, seed=seed)
-
-
-def _kill(cluster, backend: str, victim: str, plan: FaultPlan) -> None:
-    """Hard-kill every instance of node *victim* on any backend."""
-    addresses = [
-        str(inst.address) for inst in cluster.membership.instances_on_node(victim)
-    ]
-    if backend == "local":
-        cluster.kill_node(victim)
-    else:
-        targets = {
-            str(inst.address)
-            for inst in cluster.membership.instances_on_node(victim)
-        }
-        for server in cluster.servers:
-            # A sharded node advertises its shards' private addresses in
-            # the membership table, not the shared bootstrap port.
-            owned = {str(a) for a in getattr(server, "shard_addresses", [])}
-            owned.add(str(server.address))
-            if owned & targets:
-                server.stop()
-    plan.crash_target(victim, *addresses)
-
-
-def _server_cores(cluster, backend: str):
-    if backend == "local":
-        return list(cluster.servers.values())
-    return [s.core for s in cluster.servers if s.core is not None]
 
 
 def run_chaos(
@@ -316,18 +256,3 @@ def run_chaos(
     report.injected_faults = len(plan.trace)
     report.fault_digest = plan.trace_digest()
     return report
-
-
-def _repair(cluster, victim: str, config: ZHTConfig, seed: int) -> float:
-    """Run the manager repair script; returns its wall-clock duration."""
-    manager_node = next(
-        n
-        for n, info in cluster.membership.nodes.items()
-        if info.alive and n != victim
-    )
-    manager = ManagerCore(
-        manager_node, cluster.membership, config, rng=random.Random(seed ^ 0xC0DE)
-    )
-    t0 = time.perf_counter()
-    cluster.run(manager.repair_after_failure(victim))
-    return time.perf_counter() - t0

@@ -320,6 +320,12 @@ class FaultPlan:
                         FaultRecord(FaultKind.CRASH, target, None, 0, -1)
                     )
 
+    def record_external(self, kind: str, target: str) -> None:
+        """Append a harness-enacted fault to the trace without touching
+        transport state (e.g. a shard kill the supervisor will undo)."""
+        with self._lock:
+            self.trace.append(FaultRecord(kind, target, None, 0, -1))
+
     def revive_target(self, *targets: str) -> None:
         with self._lock:
             for target in targets:

@@ -1,0 +1,49 @@
+"""The named-scenario library.
+
+Each ``.json`` file in this directory is one canonical
+:class:`~repro.scenario.schema.Scenario` document — the file on disk is
+byte-identical to ``Scenario.to_json()`` (the round-trip test enforces
+it), so the schema's serializer is the single source of formatting
+truth.  Scenarios tagged ``fast`` are run by tier-1 CI on every PR; the
+rest run in the nightly job.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from pathlib import Path
+
+from ..schema import Scenario, ScenarioError
+
+_DIR = Path(__file__).resolve().parent
+
+
+def library_names() -> list[str]:
+    """Sorted names of every scenario shipped in the library."""
+    return sorted(p.stem for p in _DIR.glob("*.json"))
+
+
+def load_library() -> list[Scenario]:
+    """Load and validate every library scenario, sorted by name."""
+    return [load_scenario(name) for name in library_names()]
+
+
+def load_scenario(name_or_path: str) -> Scenario:
+    """Load one scenario by library name or by path to a JSON file."""
+    if name_or_path.endswith(".json") or os.sep in name_or_path:
+        path = Path(name_or_path)
+        if not path.exists():
+            raise ScenarioError("file", f"no such scenario file: {path}")
+        return Scenario.from_json(path.read_text())
+    path = _DIR / f"{name_or_path}.json"
+    if not path.exists():
+        names = library_names()
+        close = difflib.get_close_matches(name_or_path, names, n=3)
+        hint = f" (did you mean {', '.join(map(repr, close))}?)" if close else ""
+        raise ScenarioError(
+            "name",
+            f"unknown scenario {name_or_path!r}{hint}; "
+            f"library has: {', '.join(names)}",
+        )
+    return Scenario.from_json(path.read_text())

@@ -1,0 +1,882 @@
+"""Execute one validated :class:`~repro.scenario.schema.Scenario`
+against any backend and return a machine-readable :class:`Verdict`.
+
+The run has the same phases as the hand-wired chaos/verify harnesses,
+but driven entirely from the declarative config:
+
+1. **build** — topology → :func:`~repro.scenario.cluster.default_config`
+   + overrides → a live cluster (or the DES);
+2. **traffic** — the workload spec compiles to one deterministic op
+   stream per client (:mod:`repro.scenario.traffic`), acknowledged
+   mutations land in the ledger;
+3. **faults** — message rules + a named preset become one seeded
+   :class:`~repro.faults.plan.FaultPlan`; node-level events fire when
+   global progress crosses their fraction;
+4. **verdict** — the configured invariant checks run against the
+   stores, metric gates are evaluated, and everything is folded into a
+   pass/fail JSON document (``Verdict.to_dict``).
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+import time
+from collections import Counter as Multiset
+from dataclasses import dataclass, field
+
+from ..core.errors import KeyNotFound, ZHTError
+from ..core.protocol import OpCode
+from ..faults.invariants import (
+    AckLedger,
+    check_convergence,
+    check_replication_level,
+    classify_acked_outcomes,
+)
+from ..faults.plan import (
+    VICTIM_TARGET,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    resolve_victim_rules,
+)
+from ..faults.transport import FaultyClientTransport
+from .cluster import build_cluster, default_config, kill_node, repair_node, server_cores
+from .schema import Scenario, ScenarioError
+from .traffic import FRAGMENT_BYTES, build_streams
+
+#: Max violation strings kept per check in the verdict document.
+MAX_VIOLATIONS = 12
+
+
+# ---------------------------------------------------------------------------
+# Verdict document
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CheckResult:
+    name: str
+    #: ``pass`` / ``fail`` / ``skipped`` (skipped = not requested, or not
+    #: introspectable on this backend; never counts against the verdict).
+    status: str
+    violations: list = field(default_factory=list)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "violations": list(self.violations),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class GateResult:
+    metric: str
+    op: str
+    value: float
+    observed: float | None
+    ok: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "op": self.op,
+            "value": self.value,
+            "observed": self.observed,
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        observed = "absent" if self.observed is None else f"{self.observed:g}"
+        flag = "OK" if self.ok else "FAIL"
+        return f"{self.metric} {self.op} {self.value:g} (observed {observed}): {flag}"
+
+
+@dataclass
+class Verdict:
+    """The machine-readable outcome of one scenario run."""
+
+    scenario: str
+    backend: str
+    seed: int
+    ok: bool = False
+    duration_s: float = 0.0
+    clients: int = 0
+    ops_attempted: int = 0
+    ops_acked: int = 0
+    ops_failed: int = 0
+    injected_faults: int = 0
+    fault_digest: str = ""
+    checks: list = field(default_factory=list)
+    gates: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "seed": self.seed,
+            "ok": self.ok,
+            "duration_s": round(self.duration_s, 6),
+            "clients": self.clients,
+            "ops": {
+                "attempted": self.ops_attempted,
+                "acked": self.ops_acked,
+                "failed": self.ops_failed,
+            },
+            "faults": {
+                "injected": self.injected_faults,
+                "digest": self.fault_digest,
+            },
+            "checks": [c.to_dict() for c in self.checks],
+            "gates": [g.to_dict() for g in self.gates],
+            "metrics": self.metrics,
+            "error": self.error,
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"scenario={self.scenario} backend={self.backend} seed={self.seed}",
+            f"ops: {self.ops_acked}/{self.ops_attempted} acked, "
+            f"{self.ops_failed} failed across {self.clients} client(s) "
+            f"in {self.duration_s:.2f}s",
+            f"faults injected: {self.injected_faults} "
+            f"(digest {self.fault_digest or '-'})",
+        ]
+        for check in self.checks:
+            line = f"check {check.name}: {check.status.upper()}"
+            if check.detail:
+                line += f" ({check.detail})"
+            lines.append(line)
+            for violation in check.violations[:3]:
+                lines.append(f"  VIOLATION: {violation}")
+        for gate in self.gates:
+            lines.append(f"gate {gate.describe()}")
+        if self.error:
+            lines.append(f"error: {self.error}")
+        lines.append(f"verdict: {'PASS' if self.ok else 'FAIL'}")
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan compilation
+# ---------------------------------------------------------------------------
+
+_KIND_MAP = {
+    "drop": FaultKind.DROP,
+    "delay": FaultKind.DELAY,
+    "duplicate": FaultKind.DUPLICATE,
+    "reset": FaultKind.RESET,
+    "stall": FaultKind.STALL,
+}
+
+
+def build_plan(scenario: Scenario, seed: int) -> FaultPlan:
+    """Compile the declarative fault spec into one seeded FaultPlan."""
+    faults = scenario.faults
+    if faults.plan == "overload":
+        plan = FaultPlan.overload(seed)
+    elif faults.plan == "flapping":
+        plan = FaultPlan.flapping(seed)
+    else:
+        plan = FaultPlan(seed)
+    for message in faults.messages:
+        plan.add(
+            FaultRule(
+                _KIND_MAP[message.kind],
+                target=VICTIM_TARGET if message.target == "victim" else None,
+                op=message.op,
+                after=message.after,
+                count=message.count,
+                probability=message.probability,
+                delay=message.delay_s,
+            )
+        )
+    return plan
+
+
+def _truncate(violations: list) -> list:
+    if len(violations) <= MAX_VIOLATIONS:
+        return violations
+    extra = len(violations) - MAX_VIOLATIONS
+    return violations[:MAX_VIOLATIONS] + [f"... and {extra} more"]
+
+
+# ---------------------------------------------------------------------------
+# Gate evaluation
+# ---------------------------------------------------------------------------
+
+_GATE_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+}
+
+
+def _evaluate_gates(scenario: Scenario, metrics: dict) -> list:
+    results = []
+    snapshot = None
+    for gate in scenario.gates:
+        observed: float | None = None
+        if gate.metric.startswith(("counter:", "latency:")):
+            if snapshot is None:
+                from ..obs import metrics_snapshot
+
+                snapshot = metrics_snapshot()
+            parts = gate.metric.split(":")
+            if parts[0] == "counter":
+                raw = snapshot.get("counters", {}).get(parts[1])
+            else:
+                raw = snapshot.get("latency", {}).get(parts[1], {}).get(parts[2])
+            observed = None if raw is None else float(raw)
+        else:
+            raw = metrics.get(gate.metric)
+            observed = None if raw is None else float(raw)
+        ok = observed is not None and _GATE_OPS[gate.op](observed, gate.value)
+        results.append(
+            GateResult(gate.metric, gate.op, gate.value, observed, ok)
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Shared verification (live + sim)
+# ---------------------------------------------------------------------------
+
+
+def _check_append_durability(
+    append_acked: dict, lookup, *, retries: int = 3
+) -> list:
+    """Every acked APPEND fragment must appear in the key's final value
+    (multiset-subset: concurrent appenders interleave in any order)."""
+    violations = []
+    for key, fragments in append_acked.items():
+        value = None
+        for _attempt in range(retries):
+            try:
+                value = lookup(key)
+                break
+            except KeyNotFound:
+                break
+            except ZHTError:
+                continue
+        if value is None:
+            violations.append(
+                f"acked appends lost: {key!r} unreadable "
+                f"({len(fragments)} fragment(s))"
+            )
+            continue
+        chunks = Multiset(
+            bytes(value[i : i + FRAGMENT_BYTES])
+            for i in range(0, len(value), FRAGMENT_BYTES)
+        )
+        missing = Multiset(fragments) - chunks
+        for fragment, n in missing.items():
+            violations.append(
+                f"acked append fragment missing: {key!r} lacks "
+                f"{fragment!r} x{n}"
+            )
+    return violations
+
+
+def _check_append_convergence(
+    append_acked: dict, cores, membership, replicas: int, hash_name: str
+) -> list:
+    """After quiesce, every alive chain member holds byte-identical
+    append values (order may differ from ack order, so chains are
+    compared against each other, not the ledger)."""
+    by_instance = {s.info.instance_id: s for s in cores}
+    violations = []
+    for key in append_acked:
+        pid = membership.partition_of_key(key, hash_name)
+        chain = membership.replicas_for_partition(pid, replicas)
+        values = {}
+        for inst in chain:
+            if not membership.nodes[inst.node_id].alive:
+                continue
+            server = by_instance.get(inst.instance_id)
+            if server is None:
+                continue
+            part = server.partitions.get(pid)
+            if part is None or key not in part.store:
+                violations.append(
+                    f"append replica missing: {key!r} absent on "
+                    f"{inst.instance_id[:8]}"
+                )
+                continue
+            values[inst.instance_id[:8]] = part.store.get(key)
+        if len(set(values.values())) > 1:
+            violations.append(
+                f"append replicas disagree: {key!r} has "
+                f"{len(set(values.values()))} distinct values across "
+                f"{sorted(values)}"
+            )
+    return violations
+
+
+def _run_checks(
+    scenario: Scenario,
+    *,
+    ledger: AckLedger,
+    append_acked: dict,
+    lookup,
+    cores,
+    membership,
+    hash_name: str,
+) -> list:
+    """Run the configured invariant checks; returns CheckResults."""
+    checks = scenario.checks
+    replicas = scenario.topology.replicas
+    results = []
+    introspectable = bool(cores)
+
+    # -- durability (every backend) ----------------------------------
+    if checks.durability:
+        if introspectable:
+            lost, diverged = classify_acked_outcomes(
+                ledger, lookup, cores, membership
+            )
+        else:
+            lost, diverged = ledger.verify(lookup), []
+        lost += _check_append_durability(append_acked, lookup)
+        results.append(
+            CheckResult(
+                "durability",
+                "fail" if lost else "pass",
+                _truncate(lost),
+                f"{ledger.acked_ops + sum(len(v) for v in append_acked.values())}"
+                " acked mutation(s) audited",
+            )
+        )
+    else:
+        diverged = []
+        results.append(CheckResult("durability", "skipped", [], "not requested"))
+
+    # -- divergence (needs store introspection) ----------------------
+    if not checks.divergence:
+        results.append(CheckResult("divergence", "skipped", [], "not requested"))
+    elif not introspectable:
+        results.append(
+            CheckResult(
+                "divergence",
+                "skipped",
+                [],
+                "stores not introspectable on this backend",
+            )
+        )
+    else:
+        if not checks.durability:
+            _, diverged = classify_acked_outcomes(
+                ledger, lookup, cores, membership
+            )
+        results.append(
+            CheckResult(
+                "divergence",
+                "fail" if diverged else "pass",
+                _truncate(diverged),
+            )
+        )
+
+    # -- replication level -------------------------------------------
+    if not checks.replication:
+        results.append(CheckResult("replication", "skipped", [], "not requested"))
+    elif not introspectable:
+        results.append(
+            CheckResult(
+                "replication",
+                "skipped",
+                [],
+                "stores not introspectable on this backend",
+            )
+        )
+    else:
+        alive = sum(1 for n in membership.nodes.values() if n.alive)
+        min_copies = min(replicas + 1, alive)
+        keys = list(ledger.expected.keys()) + list(append_acked.keys())
+        violations = check_replication_level(cores, membership, keys, min_copies)
+        results.append(
+            CheckResult(
+                "replication",
+                "fail" if violations else "pass",
+                _truncate(violations),
+                f"min {min_copies} cop(ies) over {len(keys)} key(s)",
+            )
+        )
+
+    # -- replica convergence -----------------------------------------
+    if not checks.convergence:
+        results.append(CheckResult("convergence", "skipped", [], "not requested"))
+    elif not introspectable:
+        results.append(
+            CheckResult(
+                "convergence",
+                "skipped",
+                [],
+                "stores not introspectable on this backend",
+            )
+        )
+    else:
+        violations = check_convergence(
+            cores, membership, ledger.expected, replicas, hash_name
+        )
+        violations += _check_append_convergence(
+            append_acked, cores, membership, replicas, hash_name
+        )
+        results.append(
+            CheckResult(
+                "convergence",
+                "fail" if violations else "pass",
+                _truncate(violations),
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Live execution (local / tcp / udp / sharded)
+# ---------------------------------------------------------------------------
+
+
+class _EventDriver:
+    """Fires scheduled node-level fault events as progress crosses their
+    fractions.  Victim selection is deterministic: automatic kills walk
+    ``sorted(nodes)[1:]`` in order, exactly like the chaos harness."""
+
+    def __init__(self, scenario: Scenario, cluster, backend: str, config, plan, seed):
+        self.scenario = scenario
+        self.cluster = cluster
+        self.backend = backend
+        self.config = config
+        self.plan = plan
+        self.seed = seed
+        self.total_ops = scenario.workload.total_ops
+        self.pending = list(scenario.faults.events)
+        self.nodes = sorted(cluster.membership.nodes)
+        self.auto_victims = list(self.nodes[1:])
+        self.killed: list[str] = []
+        self.shard_respawns: list[tuple] = []
+
+    @property
+    def designated_victim(self) -> str:
+        """The node 'victim'-targeted message rules resolve to."""
+        for event in self.scenario.faults.events:
+            if event.action == "kill":
+                if 0 <= event.target < len(self.nodes):
+                    return self.nodes[event.target]
+                return self.auto_victims[0]
+        return self.nodes[1] if len(self.nodes) > 1 else self.nodes[0]
+
+    def poll(self, done: int) -> None:
+        while self.pending and done >= self.pending[0].at * self.total_ops:
+            self._fire(self.pending.pop(0))
+
+    def flush(self) -> None:
+        while self.pending:
+            self._fire(self.pending.pop(0))
+
+    def _fire(self, event) -> None:
+        if event.action == "kill":
+            if 0 <= event.target < len(self.nodes):
+                victim = self.nodes[event.target]
+                if victim in self.auto_victims:
+                    self.auto_victims.remove(victim)
+            else:
+                victim = self.auto_victims.pop(0)
+            kill_node(self.cluster, self.backend, victim, self.plan)
+            self.killed.append(victim)
+        elif event.action == "repair":
+            if 0 <= event.target < len(self.nodes):
+                victim = self.nodes[event.target]
+            else:
+                victim = self.killed[-1]
+            repair_node(self.cluster, victim, self.config, self.seed)
+        elif event.action == "kill_shard":
+            server = self.cluster.servers[0]
+            shard = event.target if event.target >= 0 else 0
+            old_pid = server.shard_pid(shard)
+            server.kill_shard(shard)
+            self.shard_respawns.append((server, shard, old_pid))
+            # Record the kill in the trace, but do NOT mark the target
+            # crashed: the supervisor respawns the shard and clients are
+            # expected to retry straight through the gap.
+            self.plan.record_external(FaultKind.CRASH, f"shard:{shard}")
+
+    def await_respawns(self, timeout: float = 10.0) -> None:
+        for server, shard, old_pid in self.shard_respawns:
+            server.wait_for_respawn(shard, old_pid, timeout=timeout)
+
+
+def _run_live(scenario: Scenario, backend: str, seed: int, verdict: Verdict) -> None:
+    topo = scenario.topology
+    overrides = dict(topo.config)
+    tmpdir = None
+    if overrides.get("persistence_dir") == "auto":
+        tmpdir = tempfile.TemporaryDirectory(prefix=f"scenario-{scenario.name}-")
+        overrides["persistence_dir"] = tmpdir.name
+    config = default_config(backend, topo.replicas).replace(
+        num_partitions=topo.partitions,
+        num_shards=topo.shards if backend == "sharded" else 1,
+        **overrides,
+    )
+    plan = build_plan(scenario, seed)
+    streams = build_streams(scenario.workload, seed)
+    verdict.clients = len(streams)
+    total_ops = scenario.workload.total_ops
+
+    ledger = AckLedger()
+    append_acked: dict[bytes, list] = {}
+    lock = threading.Lock()
+    progress = {"done": 0}
+    results = [(0, 0, None)] * len(streams)
+
+    try:
+        with build_cluster(backend, topo.nodes, config, seed) as cluster:
+            driver = _EventDriver(scenario, cluster, backend, config, plan, seed)
+            resolve_victim_rules(
+                plan, cluster.membership, driver.designated_victim
+            )
+
+            def worker(stream) -> None:
+                zht = cluster.client(seed=(seed << 8) + stream.client_index)
+                zht.transport = FaultyClientTransport(zht.transport, plan)
+                acked = failed = 0
+                for op, key, value in stream.ops:
+                    try:
+                        if op == OpCode.INSERT:
+                            zht.insert(key, value)
+                        elif op == OpCode.APPEND:
+                            zht.append(key, value)
+                        else:
+                            try:
+                                zht.lookup(key)
+                            except KeyNotFound:
+                                pass
+                        acked += 1
+                        if op != OpCode.LOOKUP:
+                            with lock:
+                                if op == OpCode.APPEND:
+                                    append_acked.setdefault(key, []).append(value)
+                                else:
+                                    ledger.record(op, key, value)
+                    except ZHTError:
+                        failed += 1
+                    with lock:
+                        progress["done"] += 1
+                results[stream.client_index] = (acked, failed, zht.stats)
+
+            threads = [
+                threading.Thread(
+                    target=worker,
+                    args=(stream,),
+                    name=f"scenario-c{stream.client_index}",
+                )
+                for stream in streams
+            ]
+            t_start = time.perf_counter()
+            for t in threads:
+                t.start()
+            while any(t.is_alive() for t in threads):
+                with lock:
+                    done = progress["done"]
+                driver.poll(done)
+                if not driver.pending:
+                    break
+                time.sleep(0.0005)
+            for t in threads:
+                t.join()
+            driver.flush()
+            elapsed = time.perf_counter() - t_start
+
+            driver.await_respawns()
+            if backend != "local":
+                time.sleep(0.2)  # drain in-flight async replica updates
+
+            for acked, failed, _stats in results:
+                verdict.ops_acked += acked
+                verdict.ops_failed += failed
+            verdict.ops_attempted = total_ops
+
+            fresh = cluster.client(seed=seed + 0xF00D)
+            cores = server_cores(cluster, backend)
+
+            def lookup(key: bytes) -> bytes:
+                return fresh.lookup(key)
+
+            verdict.checks = _run_checks(
+                scenario,
+                ledger=ledger,
+                append_acked=append_acked,
+                lookup=lookup,
+                cores=cores,
+                membership=cluster.membership,
+                hash_name=config.hash_name,
+            )
+
+            stats = [s for _a, _f, s in results if s is not None]
+            verdict.metrics = {
+                "ops.attempted": total_ops,
+                "ops.acked": verdict.ops_acked,
+                "ops.failed": verdict.ops_failed,
+                "ops.acked_ratio": verdict.ops_acked / max(total_ops, 1),
+                "ops.throughput_per_s": verdict.ops_acked / max(elapsed, 1e-9),
+                "faults.injected": len(plan.trace),
+                "client.retries": sum(s.retries for s in stats),
+                "client.failovers": sum(s.failovers for s in stats),
+                "client.nodes_marked_dead": sum(
+                    s.nodes_marked_dead for s in stats
+                ),
+            }
+            verdict.gates = _evaluate_gates(scenario, verdict.metrics)
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+    verdict.injected_faults = len(plan.trace)
+    verdict.fault_digest = plan.trace_digest()
+
+
+# ---------------------------------------------------------------------------
+# DES execution
+# ---------------------------------------------------------------------------
+
+
+def _run_sim(scenario: Scenario, seed: int, verdict: Verdict) -> None:
+    from ..core.client import ZHTClientCore
+    from ..core.config import ReplicationMode, ZHTConfig
+    from ..faults.simchaos import _sim_execute, _sim_repair
+    from ..sim.cluster import SimSpec, SimulatedCluster
+
+    topo = scenario.topology
+    replicas = topo.replicas
+    partitions_per_instance = max(1, topo.partitions // max(topo.nodes, 1))
+    base = dict(
+        transport="local",
+        num_partitions=topo.nodes * partitions_per_instance,
+        num_replicas=replicas,
+        replication_mode=(
+            ReplicationMode.ASYNC if replicas > 0 else ReplicationMode.NONE
+        ),
+        request_timeout=0.005,
+        failures_before_dead=2,
+        backoff_factor=1.5,
+        max_retries=10,
+        breaker_cooldown_s=0.02,
+        breaker_cooldown_max_s=0.2,
+    )
+    overrides = topo.config  # zht-lint: ignore[CFG002] TopologySpec.config is a plain dict of overrides, not a ZHTConfig
+    base.update(
+        (k, v) for k, v in overrides.items() if k != "persistence_dir"
+    )
+    config = ZHTConfig(**base)
+    plan = build_plan(scenario, seed)
+    streams = build_streams(scenario.workload, seed)
+    verdict.clients = len(streams)
+    total_ops = scenario.workload.total_ops
+
+    spec = SimSpec(
+        num_nodes=topo.nodes,
+        num_replicas=replicas,
+        replication_mode=config.replication_mode,
+        partitions_per_instance=partitions_per_instance,
+        real_core=True,
+        seed=seed,
+        faults=plan,
+        config=config,
+    )
+    cluster = SimulatedCluster(spec)
+    env = cluster.env
+    membership = cluster.membership
+    nodes = sorted(membership.nodes)
+    auto_victims = list(nodes[1:])
+    pending = list(scenario.faults.events)
+    killed: list[str] = []
+
+    for event in scenario.faults.events:
+        if event.action == "kill":
+            designated = (
+                nodes[event.target]
+                if 0 <= event.target < len(nodes)
+                else auto_victims[0]
+            )
+            break
+    else:
+        designated = nodes[1] if len(nodes) > 1 else nodes[0]
+    resolve_victim_rules(plan, membership, designated)
+
+    ledger = AckLedger()
+    append_acked: dict[bytes, list] = {}
+    state = {"done": 0, "acked": 0, "failed": 0}
+    cores: list[ZHTClientCore] = []
+
+    def fire(event):
+        if event.action == "kill":
+            if 0 <= event.target < len(nodes):
+                victim = nodes[event.target]
+                if victim in auto_victims:
+                    auto_victims.remove(victim)
+            else:
+                victim = auto_victims.pop(0)
+            cluster.kill_node(victim)
+            plan.crash_target(
+                victim,
+                *[
+                    str(inst.address)
+                    for inst in membership.instances_on_node(victim)
+                ],
+            )
+            killed.append(victim)
+        elif event.action == "repair":
+            victim = (
+                nodes[event.target]
+                if 0 <= event.target < len(nodes)
+                else killed[-1]
+            )
+            yield from _sim_repair(cluster, victim, config, seed)
+        # kill_shard cannot validate onto the sim backend
+
+    def client_proc(stream):
+        core = ZHTClientCore(
+            membership.copy(),
+            config,
+            rng=random.Random((seed << 16) ^ (0xE5 + stream.client_index)),
+            clock=lambda: env.now,
+        )
+        cores.append(core)
+        for op, key, value in stream.ops:
+            # Cooperative fault injection: whichever client crosses the
+            # scheduled progress point performs the event (deterministic
+            # under the DES's total event order).
+            while pending and state["done"] >= pending[0].at * total_ops:
+                yield from fire(pending.pop(0))
+            driver = core.driver(op, key, value)
+            try:
+                yield from _sim_execute(cluster, core, driver)
+                state["acked"] += 1
+                if op == OpCode.APPEND:
+                    append_acked.setdefault(key, []).append(value)
+                elif op != OpCode.LOOKUP:
+                    ledger.record(op, key, value)
+            except KeyNotFound:
+                state["acked"] += 1
+            except ZHTError:
+                state["failed"] += 1
+            state["done"] += 1
+
+    def main_proc():
+        procs = [
+            env.process(client_proc(stream), name=f"scenario-c{stream.client_index}")
+            for stream in streams
+        ]
+        for proc in procs:
+            yield proc
+        while pending:
+            yield from fire(pending.pop(0))
+
+    proc = env.process(main_proc(), name="scenario-main")
+    env.run()
+    if not proc.done:
+        raise RuntimeError("sim scenario workload deadlocked")
+    elapsed = max(env.now, 1e-9)
+
+    verdict.ops_attempted = total_ops
+    verdict.ops_acked = state["acked"]
+    verdict.ops_failed = state["failed"]
+
+    def lookup(key: bytes) -> bytes:
+        pid = membership.partition_of_key(key, config.hash_name)
+        inst = membership.owner_of_partition(pid)
+        server = cluster.handlers[cluster._addr_to_index[inst.address]]
+        part = server.partitions.get(pid)
+        if part is None or key not in part.store:
+            raise KeyNotFound(f"{key!r} not on owner {inst.instance_id[:8]}")
+        return part.store.get(key)
+
+    verdict.checks = _run_checks(
+        scenario,
+        ledger=ledger,
+        append_acked=append_acked,
+        lookup=lookup,
+        cores=cluster.handlers,
+        membership=membership,
+        hash_name=config.hash_name,
+    )
+    verdict.metrics = {
+        "ops.attempted": total_ops,
+        "ops.acked": verdict.ops_acked,
+        "ops.failed": verdict.ops_failed,
+        "ops.acked_ratio": verdict.ops_acked / max(total_ops, 1),
+        # Simulated seconds, not wall time (the DES clock).
+        "ops.throughput_per_s": verdict.ops_acked / elapsed,
+        "faults.injected": len(plan.trace),
+        "client.retries": sum(c.stats.retries for c in cores),
+        "client.failovers": sum(c.stats.failovers for c in cores),
+        "client.nodes_marked_dead": sum(
+            c.stats.nodes_marked_dead for c in cores
+        ),
+    }
+    verdict.gates = _evaluate_gates(scenario, verdict.metrics)
+    verdict.injected_faults = len(plan.trace)
+    verdict.fault_digest = plan.trace_digest()
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    backend: str | None = None,
+    seed: int | None = None,
+    ops_per_client: int | None = None,
+) -> Verdict:
+    """Run *scenario* and return its :class:`Verdict`.
+
+    ``backend``/``seed``/``ops_per_client`` override the scenario's own
+    values (the CLI's ``--backend``/``--seed``/``--ops`` flags).
+    Configuration problems raise :class:`ScenarioError` before anything
+    starts; runtime failures are folded into a failing verdict.
+    """
+    scenario.validate()
+    backend = backend or scenario.default_backend
+    if backend not in scenario.backends:
+        raise ScenarioError(
+            "backend",
+            f"scenario {scenario.name!r} does not support {backend!r}; "
+            f"declared backends: {', '.join(scenario.backends)}",
+        )
+    if ops_per_client is not None:
+        from dataclasses import replace
+
+        if ops_per_client < 1:
+            raise ScenarioError("ops_per_client", "must be >= 1")
+        scenario = replace(
+            scenario,
+            workload=replace(scenario.workload, ops_per_client=ops_per_client),
+        )
+    seed = scenario.seed if seed is None else seed
+
+    verdict = Verdict(scenario=scenario.name, backend=backend, seed=seed)
+    t0 = time.perf_counter()
+    try:
+        if backend == "sim":
+            _run_sim(scenario, seed, verdict)
+        else:
+            _run_live(scenario, backend, seed, verdict)
+    except Exception as exc:  # noqa: BLE001 - fold into the verdict
+        verdict.error = f"{type(exc).__name__}: {exc}"
+    verdict.duration_s = time.perf_counter() - t0
+    verdict.ok = (
+        verdict.error is None
+        and all(c.status != "fail" for c in verdict.checks)
+        and all(g.ok for g in verdict.gates)
+    )
+    return verdict

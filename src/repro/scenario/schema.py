@@ -1,0 +1,864 @@
+"""The validated scenario schema.
+
+One :class:`Scenario` is the single, self-contained contract for an
+entire adverse-conditions run — topology, traffic, fault plan,
+invariant checks, and metric gates — validated **before** anything
+starts, so a malformed config is rejected with an actionable,
+path-qualified error instead of a traceback halfway through a cluster
+run (the validation-first design of AsyncFlow's ``SimulationPayload``).
+
+Everything is plain stdlib dataclasses + explicit validation: the
+schema must load in the bare container.  ``from_dict`` is strict
+(unknown fields are rejected, with a did-you-mean suggestion);
+``to_dict`` emits the full canonical form, so
+``Scenario.from_dict(s.to_dict()).to_dict() == s.to_dict()`` — the
+round-trip property the library tests enforce on every shipped
+scenario file.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from dataclasses import dataclass, field, fields as dc_fields
+from typing import Any
+
+#: Backends a scenario may declare; the first entry of
+#: ``Scenario.backends`` is its default.
+BACKENDS = ("local", "tcp", "udp", "sim", "sharded")
+#: Per-tenant traffic shapes (built on :mod:`repro.workload`).
+SHAPES = ("uniform", "zipf", "append")
+#: Node-level fault actions, fired at workload-progress fractions.
+FAULT_ACTIONS = ("kill", "repair", "kill_shard")
+#: Message-level fault kinds (mirror of FaultKind.MESSAGE_KINDS).
+MESSAGE_KINDS = ("drop", "delay", "duplicate", "reset", "stall")
+#: Named FaultPlan presets layered under the per-rule messages.
+NAMED_PLANS = ("overload", "flapping")
+#: Gate comparison operators.
+GATE_OPS = ("<", "<=", ">", ">=", "==")
+#: Run-report metrics a gate may reference directly.
+REPORT_METRICS = (
+    "ops.attempted",
+    "ops.acked",
+    "ops.failed",
+    "ops.acked_ratio",
+    "ops.throughput_per_s",
+    "faults.injected",
+    "client.retries",
+    "client.failovers",
+    "client.nodes_marked_dead",
+)
+#: Stats a ``latency:<histogram>:<stat>`` gate may reference.
+LATENCY_STATS = ("count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "min_ms", "max_ms")
+
+
+class ScenarioError(ValueError):
+    """A scenario failed validation.  ``path`` locates the offending
+    field (e.g. ``faults.messages[2].delay_s``); the message says what
+    was wrong and what would be accepted."""
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+def _suggest(name: str, candidates) -> str:
+    close = difflib.get_close_matches(name, list(candidates), n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+def _check_keys(data: dict, cls, path: str) -> None:
+    allowed = {f.name for f in dc_fields(cls)}
+    for key in data:
+        if key not in allowed:
+            raise ScenarioError(
+                path,
+                f"unknown field {key!r}{_suggest(key, allowed)}; "
+                f"expected one of: {', '.join(sorted(allowed))}",
+            )
+
+
+def _as_dict(data: Any, path: str) -> dict:
+    if not isinstance(data, dict):
+        raise ScenarioError(path, f"expected an object, got {type(data).__name__}")
+    return data
+
+
+def _number(value: Any, path: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(path, f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _integer(value: Any, path: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(path, f"expected an integer, got {value!r}")
+    return value
+
+
+def _boolean(value: Any, path: str) -> bool:
+    if not isinstance(value, bool):
+        raise ScenarioError(path, f"expected true/false, got {value!r}")
+    return value
+
+
+def _string(value: Any, path: str) -> str:
+    if not isinstance(value, str):
+        raise ScenarioError(path, f"expected a string, got {value!r}")
+    return value
+
+
+def _choice(value: Any, allowed, path: str) -> str:
+    value = _string(value, path)
+    if value not in allowed:
+        raise ScenarioError(
+            path,
+            f"unknown value {value!r}{_suggest(value, allowed)}; "
+            f"must be one of: {', '.join(allowed)}",
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Components
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Cluster shape plus raw :class:`~repro.core.config.ZHTConfig`
+    overrides (validated against the real config fields)."""
+
+    nodes: int = 4
+    replicas: int = 1
+    #: Worker processes per node — applied on the ``sharded`` backend,
+    #: ignored (single-process nodes) elsewhere.
+    shards: int = 2
+    partitions: int = 64
+    #: ZHTConfig field overrides.  ``persistence_dir: "auto"`` asks the
+    #: runner for a run-scoped temporary directory.
+    config: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "topology") -> "TopologySpec":
+        data = _as_dict(data, path)
+        _check_keys(data, cls, path)
+        spec = cls(
+            nodes=_integer(data.get("nodes", cls.nodes), f"{path}.nodes"),
+            replicas=_integer(data.get("replicas", cls.replicas), f"{path}.replicas"),
+            shards=_integer(data.get("shards", cls.shards), f"{path}.shards"),
+            partitions=_integer(
+                data.get("partitions", cls.partitions), f"{path}.partitions"
+            ),
+            config=dict(_as_dict(data.get("config", {}), f"{path}.config")),
+        )
+        spec.validate(path)
+        return spec
+
+    def validate(self, path: str = "topology") -> None:
+        if self.nodes < 1:
+            raise ScenarioError(f"{path}.nodes", f"must be >= 1, got {self.nodes}")
+        if self.replicas < 0:
+            raise ScenarioError(
+                f"{path}.replicas", f"must be >= 0, got {self.replicas}"
+            )
+        if self.replicas >= self.nodes:
+            raise ScenarioError(
+                f"{path}.replicas",
+                f"{self.replicas} replica(s) need at least "
+                f"{self.replicas + 1} nodes, got {self.nodes}",
+            )
+        if self.shards < 1:
+            raise ScenarioError(f"{path}.shards", f"must be >= 1, got {self.shards}")
+        if self.partitions < 1:
+            raise ScenarioError(
+                f"{path}.partitions", f"must be >= 1, got {self.partitions}"
+            )
+        from ..core.config import ZHTConfig
+
+        known = {f.name for f in dc_fields(ZHTConfig)}
+        reserved = {
+            "num_partitions": "topology.partitions",
+            "num_shards": "topology.shards",
+            "num_replicas": "topology.replicas",
+            "transport": "the backend",
+        }
+        overrides = self.config  # zht-lint: ignore[CFG002] TopologySpec.config is a plain dict of overrides, not a ZHTConfig
+        for key, value in overrides.items():
+            if key in reserved:
+                raise ScenarioError(
+                    f"{path}.config.{key}",
+                    f"is owned by {reserved[key]}; set it there instead",
+                )
+            if key not in known:
+                raise ScenarioError(
+                    f"{path}.config.{key}",
+                    f"not a ZHTConfig field{_suggest(key, known)}",
+                )
+            if value is not None and not isinstance(value, (bool, int, float, str)):
+                raise ScenarioError(
+                    f"{path}.config.{key}",
+                    f"override must be a JSON scalar, got {type(value).__name__}",
+                )
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "replicas": self.replicas,
+            "shards": self.shards,
+            "partitions": self.partitions,
+            "config": dict(self.config),
+        }
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One traffic class.  A single-tenant workload is the common case;
+    several tenants make a mixed multi-tenant profile (each tenant's
+    keys live under its own ``name-`` prefix)."""
+
+    name: str
+    shape: str = "uniform"
+    clients: int = 2
+    #: INSERT fraction for uniform/zipf (the rest are LOOKUPs).
+    write_ratio: float = 0.5
+    zipf_alpha: float = 0.99
+    #: Key-universe size for uniform/zipf.
+    universe: int = 256
+    #: Hot-key count for the append shape.
+    hot_keys: int = 2
+    value_bytes: int = 64
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str) -> "TenantSpec":
+        data = _as_dict(data, path)
+        _check_keys(data, cls, path)
+        if "name" not in data:
+            raise ScenarioError(f"{path}.name", "tenant name is required")
+        spec = cls(
+            name=_string(data["name"], f"{path}.name"),
+            shape=_choice(data.get("shape", cls.shape), SHAPES, f"{path}.shape"),
+            clients=_integer(data.get("clients", cls.clients), f"{path}.clients"),
+            write_ratio=_number(
+                data.get("write_ratio", cls.write_ratio), f"{path}.write_ratio"
+            ),
+            zipf_alpha=_number(
+                data.get("zipf_alpha", cls.zipf_alpha), f"{path}.zipf_alpha"
+            ),
+            universe=_integer(data.get("universe", cls.universe), f"{path}.universe"),
+            hot_keys=_integer(data.get("hot_keys", cls.hot_keys), f"{path}.hot_keys"),
+            value_bytes=_integer(
+                data.get("value_bytes", cls.value_bytes), f"{path}.value_bytes"
+            ),
+        )
+        spec.validate(path)
+        return spec
+
+    def validate(self, path: str) -> None:
+        if not self.name or not self.name.replace("-", "").isalnum():
+            raise ScenarioError(
+                f"{path}.name",
+                f"must be a non-empty alphanumeric/dash identifier, got {self.name!r}",
+            )
+        if self.shape not in SHAPES:
+            raise ScenarioError(
+                f"{path}.shape",
+                f"unknown shape {self.shape!r}; must be one of: {', '.join(SHAPES)}",
+            )
+        if self.clients < 1:
+            raise ScenarioError(f"{path}.clients", f"must be >= 1, got {self.clients}")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ScenarioError(
+                f"{path}.write_ratio", f"must be in [0, 1], got {self.write_ratio}"
+            )
+        if self.zipf_alpha <= 0:
+            raise ScenarioError(
+                f"{path}.zipf_alpha", f"must be > 0, got {self.zipf_alpha}"
+            )
+        if self.universe < 1:
+            raise ScenarioError(
+                f"{path}.universe", f"must be >= 1, got {self.universe}"
+            )
+        if self.hot_keys < 1:
+            raise ScenarioError(
+                f"{path}.hot_keys", f"must be >= 1, got {self.hot_keys}"
+            )
+        if not 1 <= self.value_bytes <= 65536:
+            raise ScenarioError(
+                f"{path}.value_bytes",
+                f"must be in [1, 65536], got {self.value_bytes}",
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "shape": self.shape,
+            "clients": self.clients,
+            "write_ratio": self.write_ratio,
+            "zipf_alpha": self.zipf_alpha,
+            "universe": self.universe,
+            "hot_keys": self.hot_keys,
+            "value_bytes": self.value_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The traffic profile: how many ops each client issues, and which
+    tenant classes the clients belong to."""
+
+    ops_per_client: int = 60
+    tenants: tuple = (TenantSpec(name="default"),)
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "workload") -> "WorkloadSpec":
+        data = _as_dict(data, path)
+        _check_keys(data, cls, path)
+        raw_tenants = data.get("tenants", [t.to_dict() for t in cls.tenants])
+        if not isinstance(raw_tenants, list):
+            raise ScenarioError(f"{path}.tenants", "expected a list of tenants")
+        tenants = tuple(
+            TenantSpec.from_dict(t, f"{path}.tenants[{i}]")
+            for i, t in enumerate(raw_tenants)
+        )
+        spec = cls(
+            ops_per_client=_integer(
+                data.get("ops_per_client", cls.ops_per_client),
+                f"{path}.ops_per_client",
+            ),
+            tenants=tenants,
+        )
+        spec.validate(path)
+        return spec
+
+    def validate(self, path: str = "workload") -> None:
+        if self.ops_per_client < 1:
+            raise ScenarioError(
+                f"{path}.ops_per_client", f"must be >= 1, got {self.ops_per_client}"
+            )
+        if not self.tenants:
+            raise ScenarioError(f"{path}.tenants", "at least one tenant is required")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ScenarioError(
+                f"{path}.tenants", f"tenant names must be unique, got {names}"
+            )
+        for i, tenant in enumerate(self.tenants):
+            tenant.validate(f"{path}.tenants[{i}]")
+
+    @property
+    def total_clients(self) -> int:
+        return sum(t.clients for t in self.tenants)
+
+    @property
+    def total_ops(self) -> int:
+        return self.ops_per_client * self.total_clients
+
+    def to_dict(self) -> dict:
+        return {
+            "ops_per_client": self.ops_per_client,
+            "tenants": [t.to_dict() for t in self.tenants],
+        }
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A node-level fault action fired when workload progress crosses
+    ``at`` (a fraction of total ops, like the chaos harness's
+    kill/repair indices)."""
+
+    action: str
+    at: float
+    #: Victim selector: ``-1`` = automatic (next victim in deterministic
+    #: order for ``kill``, most recent unrepaired victim for ``repair``);
+    #: otherwise an index into the sorted node list (``kill``/``repair``)
+    #: or a shard index (``kill_shard``).
+    target: int = -1
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str) -> "FaultEvent":
+        data = _as_dict(data, path)
+        _check_keys(data, cls, path)
+        if "action" not in data or "at" not in data:
+            raise ScenarioError(path, "fault events require 'action' and 'at'")
+        event = cls(
+            action=_choice(data["action"], FAULT_ACTIONS, f"{path}.action"),
+            at=_number(data["at"], f"{path}.at"),
+            target=_integer(data.get("target", cls.target), f"{path}.target"),
+        )
+        event.validate(path)
+        return event
+
+    def validate(self, path: str) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ScenarioError(
+                f"{path}.action",
+                f"unknown action {self.action!r}; must be one of: "
+                f"{', '.join(FAULT_ACTIONS)}",
+            )
+        if not 0.0 <= self.at <= 1.0:
+            raise ScenarioError(
+                f"{path}.at",
+                f"progress fraction must be in [0, 1], got {self.at}",
+            )
+        if self.target < -1:
+            raise ScenarioError(
+                f"{path}.target", f"must be -1 (auto) or >= 0, got {self.target}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"action": self.action, "at": self.at, "target": self.target}
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """A declarative message-level fault rule, compiled to a
+    :class:`~repro.faults.plan.FaultRule` (same matching semantics)."""
+
+    kind: str
+    probability: float = 1.0
+    #: ``"any"`` message, or ``"victim"`` — the designated problem node
+    #: (the first kill target, or the deterministic victim when the
+    #: scenario kills nothing).
+    target: str = "any"
+    #: OpCode name filter (e.g. ``"INSERT"``) or null for any op.
+    op: str | None = None
+    #: Skip the first N matching messages before the rule is eligible.
+    after: int = 0
+    #: Max firings (null = unlimited).
+    count: int | None = None
+    #: Injected latency for delay/stall kinds (seconds).
+    delay_s: float = 0.0
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str) -> "MessageFault":
+        data = _as_dict(data, path)
+        _check_keys(data, cls, path)
+        if "kind" not in data:
+            raise ScenarioError(f"{path}.kind", "message faults require 'kind'")
+        op = data.get("op", cls.op)
+        count = data.get("count", cls.count)
+        rule = cls(
+            kind=_choice(data["kind"], MESSAGE_KINDS, f"{path}.kind"),
+            probability=_number(
+                data.get("probability", cls.probability), f"{path}.probability"
+            ),
+            target=_choice(
+                data.get("target", cls.target), ("any", "victim"), f"{path}.target"
+            ),
+            op=None if op is None else _string(op, f"{path}.op"),
+            after=_integer(data.get("after", cls.after), f"{path}.after"),
+            count=None if count is None else _integer(count, f"{path}.count"),
+            delay_s=_number(data.get("delay_s", cls.delay_s), f"{path}.delay_s"),
+        )
+        rule.validate(path)
+        return rule
+
+    def validate(self, path: str) -> None:
+        if self.kind not in MESSAGE_KINDS:
+            raise ScenarioError(
+                f"{path}.kind",
+                f"unknown kind {self.kind!r}{_suggest(self.kind, MESSAGE_KINDS)}; "
+                f"must be one of: {', '.join(MESSAGE_KINDS)}",
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ScenarioError(
+                f"{path}.probability", f"must be in [0, 1], got {self.probability}"
+            )
+        if self.op is not None:
+            from ..core.protocol import OpCode
+
+            names = [o.name for o in OpCode]
+            if self.op not in names:
+                raise ScenarioError(
+                    f"{path}.op",
+                    f"unknown opcode {self.op!r}{_suggest(self.op, names)}",
+                )
+        if self.after < 0:
+            raise ScenarioError(f"{path}.after", f"must be >= 0, got {self.after}")
+        if self.count is not None and self.count < 1:
+            raise ScenarioError(
+                f"{path}.count", f"must be >= 1 or null, got {self.count}"
+            )
+        if self.delay_s < 0:
+            raise ScenarioError(
+                f"{path}.delay_s",
+                f"durations must be >= 0, got {self.delay_s}",
+            )
+        if self.kind in ("delay", "stall") and self.delay_s == 0:
+            raise ScenarioError(
+                f"{path}.delay_s",
+                f"{self.kind} faults need delay_s > 0",
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "probability": self.probability,
+            "target": self.target,
+            "op": self.op,
+            "after": self.after,
+            "count": self.count,
+            "delay_s": self.delay_s,
+        }
+
+
+@dataclass(frozen=True)
+class FaultsSpec:
+    """The complete fault plan: an optional named preset, scheduled
+    node-level events, and message-level rules."""
+
+    #: Named :class:`~repro.faults.plan.FaultPlan` preset layered under
+    #: the explicit message rules (``overload`` / ``flapping``).
+    plan: str | None = None
+    events: tuple = ()
+    messages: tuple = ()
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "faults") -> "FaultsSpec":
+        data = _as_dict(data, path)
+        _check_keys(data, cls, path)
+        plan = data.get("plan", cls.plan)
+        raw_events = data.get("events", [])
+        raw_messages = data.get("messages", [])
+        if not isinstance(raw_events, list):
+            raise ScenarioError(f"{path}.events", "expected a list of fault events")
+        if not isinstance(raw_messages, list):
+            raise ScenarioError(
+                f"{path}.messages", "expected a list of message faults"
+            )
+        spec = cls(
+            plan=(
+                None
+                if plan is None
+                else _choice(plan, NAMED_PLANS, f"{path}.plan")
+            ),
+            events=tuple(
+                FaultEvent.from_dict(e, f"{path}.events[{i}]")
+                for i, e in enumerate(raw_events)
+            ),
+            messages=tuple(
+                MessageFault.from_dict(m, f"{path}.messages[{i}]")
+                for i, m in enumerate(raw_messages)
+            ),
+        )
+        spec.validate(path)
+        return spec
+
+    def validate(self, path: str = "faults") -> None:
+        if self.plan is not None and self.plan not in NAMED_PLANS:
+            raise ScenarioError(
+                f"{path}.plan",
+                f"unknown plan {self.plan!r}; must be one of: "
+                f"{', '.join(NAMED_PLANS)}",
+            )
+        last_at = 0.0
+        pending_kills = 0
+        for i, event in enumerate(self.events):
+            event.validate(f"{path}.events[{i}]")
+            if event.at < last_at:
+                raise ScenarioError(
+                    f"{path}.events[{i}].at",
+                    f"events must be ordered by progress; {event.at} "
+                    f"follows {last_at}",
+                )
+            last_at = event.at
+            if event.action == "kill":
+                pending_kills += 1
+            elif event.action == "repair":
+                if pending_kills == 0:
+                    raise ScenarioError(
+                        f"{path}.events[{i}]",
+                        "repair without a preceding kill",
+                    )
+                pending_kills -= 1
+        for i, message in enumerate(self.messages):
+            message.validate(f"{path}.messages[{i}]")
+
+    @property
+    def kills(self) -> int:
+        return sum(1 for e in self.events if e.action == "kill")
+
+    @property
+    def lossy(self) -> bool:
+        """True when the plan can lose or duplicate acked messages (which
+        makes mutations at-least-once, like ``chaos --durability-only``)."""
+        if self.plan is not None:
+            return True
+        return any(
+            m.kind in ("drop", "duplicate", "reset") for m in self.messages
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "events": [e.to_dict() for e in self.events],
+            "messages": [m.to_dict() for m in self.messages],
+        }
+
+
+@dataclass(frozen=True)
+class ChecksSpec:
+    """Which post-run invariants must hold for the verdict to pass.
+
+    ``durability`` is the paper's acked-durability guarantee and is
+    checkable on every backend.  The other three introspect server
+    stores and are auto-skipped (reported, not failed) on the sharded
+    backend, whose workers live in child processes.
+    """
+
+    #: No acknowledged write may be lost (readable via a fresh client).
+    durability: bool = True
+    #: The owner must agree with the ack ledger (off under lossy plans:
+    #: retries make mutations at-least-once).
+    divergence: bool = False
+    #: Every key on >= min(replicas+1, alive) instances after the run.
+    replication: bool = False
+    #: Replica chains converge to the expected value after quiesce.
+    convergence: bool = False
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "checks") -> "ChecksSpec":
+        data = _as_dict(data, path)
+        _check_keys(data, cls, path)
+        return cls(
+            **{
+                f.name: _boolean(data.get(f.name, getattr(cls, f.name)),
+                                 f"{path}.{f.name}")
+                for f in dc_fields(cls)
+            }
+        )
+
+    def validate(self, path: str = "checks") -> None:
+        pass  # booleans; nothing further to constrain
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in dc_fields(self)}
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """A numeric threshold over run metrics: a report metric by name
+    (see :data:`REPORT_METRICS`), a registry counter
+    (``counter:<name>``), or a latency stat
+    (``latency:<histogram>:<stat>``)."""
+
+    metric: str
+    op: str
+    value: float
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str) -> "GateSpec":
+        data = _as_dict(data, path)
+        _check_keys(data, cls, path)
+        for required in ("metric", "op", "value"):
+            if required not in data:
+                raise ScenarioError(path, f"gates require {required!r}")
+        gate = cls(
+            metric=_string(data["metric"], f"{path}.metric"),
+            op=_choice(data["op"], GATE_OPS, f"{path}.op"),
+            value=_number(data["value"], f"{path}.value"),
+        )
+        gate.validate(path)
+        return gate
+
+    def validate(self, path: str) -> None:
+        if self.op not in GATE_OPS:
+            raise ScenarioError(
+                f"{path}.op",
+                f"unknown operator {self.op!r}; must be one of: "
+                f"{', '.join(GATE_OPS)}",
+            )
+        metric = self.metric
+        if ":" in metric:
+            parts = metric.split(":")
+            if parts[0] == "counter" and len(parts) == 2 and parts[1]:
+                return
+            if parts[0] == "latency":
+                if len(parts) == 3 and parts[1] and parts[2] in LATENCY_STATS:
+                    return
+                raise ScenarioError(
+                    f"{path}.metric",
+                    f"latency gates are 'latency:<histogram>:<stat>' with "
+                    f"stat one of: {', '.join(LATENCY_STATS)}; got {metric!r}",
+                )
+            raise ScenarioError(
+                f"{path}.metric",
+                f"unknown metric namespace {parts[0]!r}; registry gates "
+                f"use 'counter:<name>' or 'latency:<histogram>:<stat>'",
+            )
+        if metric not in REPORT_METRICS:
+            raise ScenarioError(
+                f"{path}.metric",
+                f"unknown metric {metric!r}{_suggest(metric, REPORT_METRICS)}; "
+                f"report metrics: {', '.join(REPORT_METRICS)} — or use "
+                f"'counter:<name>' / 'latency:<histogram>:<stat>'",
+            )
+
+    def to_dict(self) -> dict:
+        return {"metric": self.metric, "op": self.op, "value": self.value}
+
+    def describe(self) -> str:
+        return f"{self.metric} {self.op} {self.value:g}"
+
+
+# ---------------------------------------------------------------------------
+# The scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One validated, self-contained scenario."""
+
+    name: str
+    description: str
+    backends: tuple = ("local",)
+    seed: int = 0
+    tags: tuple = ()
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    faults: FaultsSpec = field(default_factory=FaultsSpec)
+    checks: ChecksSpec = field(default_factory=ChecksSpec)
+    gates: tuple = ()
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "scenario") -> "Scenario":
+        data = _as_dict(data, path)
+        _check_keys(data, cls, path)
+        for required in ("name", "description"):
+            if required not in data:
+                raise ScenarioError(path, f"scenarios require {required!r}")
+        raw_backends = data.get("backends", list(cls.backends))
+        if not isinstance(raw_backends, list) or not raw_backends:
+            raise ScenarioError(
+                f"{path}.backends", "expected a non-empty list of backends"
+            )
+        raw_tags = data.get("tags", [])
+        if not isinstance(raw_tags, list):
+            raise ScenarioError(f"{path}.tags", "expected a list of strings")
+        raw_gates = data.get("gates", [])
+        if not isinstance(raw_gates, list):
+            raise ScenarioError(f"{path}.gates", "expected a list of gates")
+        scenario = cls(
+            name=_string(data["name"], f"{path}.name"),
+            description=_string(data["description"], f"{path}.description"),
+            backends=tuple(
+                _choice(b, BACKENDS, f"{path}.backends[{i}]")
+                for i, b in enumerate(raw_backends)
+            ),
+            seed=_integer(data.get("seed", cls.seed), f"{path}.seed"),
+            tags=tuple(
+                _string(t, f"{path}.tags[{i}]") for i, t in enumerate(raw_tags)
+            ),
+            topology=TopologySpec.from_dict(
+                data.get("topology", {}), f"{path}.topology"
+            ),
+            workload=WorkloadSpec.from_dict(
+                data.get("workload", {}), f"{path}.workload"
+            ),
+            faults=FaultsSpec.from_dict(data.get("faults", {}), f"{path}.faults"),
+            checks=ChecksSpec.from_dict(data.get("checks", {}), f"{path}.checks"),
+            gates=tuple(
+                GateSpec.from_dict(g, f"{path}.gates[{i}]")
+                for i, g in enumerate(raw_gates)
+            ),
+        )
+        scenario.validate(path)
+        return scenario
+
+    @classmethod
+    def from_json(cls, text: str, path: str = "scenario") -> "Scenario":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ScenarioError(path, f"not valid JSON: {exc}") from None
+        return cls.from_dict(data, path)
+
+    def validate(self, path: str = "scenario") -> None:
+        if not self.name or not self.name.replace("-", "").isalnum():
+            raise ScenarioError(
+                f"{path}.name",
+                f"must be a non-empty kebab-case identifier, got {self.name!r}",
+            )
+        for backend in self.backends:
+            if backend not in BACKENDS:
+                raise ScenarioError(
+                    f"{path}.backends",
+                    f"unknown backend {backend!r}{_suggest(backend, BACKENDS)}; "
+                    f"must be one of: {', '.join(BACKENDS)}",
+                )
+        self.topology.validate(f"{path}.topology")
+        self.workload.validate(f"{path}.workload")
+        self.faults.validate(f"{path}.faults")
+        self.checks.validate(f"{path}.checks")
+        for i, gate in enumerate(self.gates):
+            gate.validate(f"{path}.gates[{i}]")
+
+        # -- cross-component consistency ---------------------------------
+        kills = self.faults.kills
+        if kills and self.topology.nodes < 3:
+            raise ScenarioError(
+                f"{path}.topology.nodes",
+                f"kill events need >= 3 nodes (victim + survivors), "
+                f"got {self.topology.nodes}",
+            )
+        if kills > max(0, self.topology.nodes - 2):
+            raise ScenarioError(
+                f"{path}.faults.events",
+                f"{kills} kill(s) on {self.topology.nodes} nodes would leave "
+                f"fewer than 2 survivors",
+            )
+        if kills and self.checks.durability and self.topology.replicas < 1:
+            raise ScenarioError(
+                f"{path}.topology.replicas",
+                "killing a node while checking durability requires "
+                "replicas >= 1 (an unreplicated victim loses acked data "
+                "by construction)",
+            )
+        shard_kills = [e for e in self.faults.events if e.action == "kill_shard"]
+        if shard_kills:
+            if set(self.backends) != {"sharded"}:
+                raise ScenarioError(
+                    f"{path}.backends",
+                    "kill_shard events only run on the sharded backend; "
+                    'set "backends": ["sharded"]',
+                )
+            if self.topology.shards < 2:
+                raise ScenarioError(
+                    f"{path}.topology.shards",
+                    "kill_shard needs >= 2 shards per node (a sibling must "
+                    "keep serving)",
+                )
+        if self.faults.lossy and (
+            self.checks.divergence or self.checks.convergence
+        ):
+            raise ScenarioError(
+                f"{path}.checks",
+                "lossy fault plans (drops/duplicates/resets or a named "
+                "plan) make mutations at-least-once; divergence and "
+                "convergence checks cannot hold — gate on durability "
+                "instead (see chaos --durability-only)",
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "backends": list(self.backends),
+            "seed": self.seed,
+            "tags": list(self.tags),
+            "topology": self.topology.to_dict(),
+            "workload": self.workload.to_dict(),
+            "faults": self.faults.to_dict(),
+            "checks": self.checks.to_dict(),
+            "gates": [g.to_dict() for g in self.gates],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization (the library's on-disk format)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @property
+    def default_backend(self) -> str:
+        return self.backends[0]

@@ -1,0 +1,114 @@
+"""Compile a :class:`~repro.scenario.schema.WorkloadSpec` into concrete
+per-client op streams.
+
+Reuses :mod:`repro.workload`'s generators (the Zipf sampler, the
+append-fragment pattern) but with two properties the scenario verdict
+depends on:
+
+* **Determinism** — the op list for ``(scenario seed, client index)``
+  is a pure function, so a failing verdict replays exactly.
+* **Ledger-soundness** — concurrent writers to a shared key universe
+  must not confuse the :class:`~repro.faults.invariants.AckLedger`:
+  INSERT values are a pure function of the *key* (two racing inserts
+  write identical bytes, so ack order cannot disagree with store
+  state), and APPEND fragments are globally unique fixed-width chunks
+  checked as a multiset rather than a concatenation order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from ..core.protocol import OpCode
+from ..workload import ZipfWorkload
+from .schema import TenantSpec, WorkloadSpec
+
+#: Fixed fragment width for append-shape tenants: final values split
+#: back into the exact multiset of applied fragments.
+FRAGMENT_BYTES = 32
+
+
+def value_for_key(key: bytes, value_bytes: int) -> bytes:
+    """The deterministic INSERT payload for *key* (same for every
+    writer, so concurrent inserts to one key are value-identical)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < value_bytes:
+        out += hashlib.sha256(key + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return bytes(out[:value_bytes])
+
+
+def fragment_for(client_index: int, op_index: int) -> bytes:
+    """A globally unique fixed-width APPEND fragment."""
+    return f"[c{client_index:03d}:{op_index:05d}]".encode().ljust(
+        FRAGMENT_BYTES, b"."
+    )
+
+
+@dataclass(frozen=True)
+class ClientStream:
+    """One client's compiled op list."""
+
+    client_index: int
+    tenant: str
+    #: ``(op, key, value)`` triples.
+    ops: tuple
+
+
+def _tenant_ops(
+    tenant: TenantSpec,
+    seed: int,
+    client_index: int,
+    ops_per_client: int,
+) -> tuple:
+    rng = random.Random((seed << 20) ^ (0xE5C0 + client_index))
+    ops = []
+    if tenant.shape == "append":
+        for i in range(ops_per_client):
+            key = f"{tenant.name}-hot-{rng.randrange(tenant.hot_keys):04d}".encode()
+            ops.append((OpCode.APPEND, key, fragment_for(client_index, i)))
+        return tuple(ops)
+
+    zipf = (
+        ZipfWorkload(
+            ops_per_client=ops_per_client,
+            universe=tenant.universe,
+            alpha=tenant.zipf_alpha,
+            seed=seed,
+        )
+        if tenant.shape == "zipf"
+        else None
+    )
+    for _ in range(ops_per_client):
+        if zipf is not None:
+            index = zipf._sample(rng)
+        else:
+            index = rng.randrange(tenant.universe)
+        key = f"{tenant.name}-{index:06d}".encode()
+        if rng.random() < tenant.write_ratio:
+            ops.append((OpCode.INSERT, key, value_for_key(key, tenant.value_bytes)))
+        else:
+            ops.append((OpCode.LOOKUP, key, b""))
+    return tuple(ops)
+
+
+def build_streams(workload: WorkloadSpec, seed: int) -> list[ClientStream]:
+    """Compile the workload into one deterministic stream per client."""
+    streams: list[ClientStream] = []
+    client_index = 0
+    for tenant in workload.tenants:
+        for _ in range(tenant.clients):
+            streams.append(
+                ClientStream(
+                    client_index=client_index,
+                    tenant=tenant.name,
+                    ops=_tenant_ops(
+                        tenant, seed, client_index, workload.ops_per_client
+                    ),
+                )
+            )
+            client_index += 1
+    return streams

@@ -241,7 +241,12 @@ def _run_verify_live(
     mut_flags: dict,
     hot_cache: bool = False,
 ) -> VerifyReport:
-    from ..faults.chaos import _build_cluster, _default_config, _kill, _repair
+    from ..scenario.cluster import (
+        build_cluster as _build_cluster,
+        default_config as _default_config,
+        kill_node as _kill,
+        repair_node as _repair,
+    )
 
     plan = plan or FaultPlan(seed)
     config = _default_config(backend, replicas).replace(**mut_flags)

@@ -1,0 +1,43 @@
+"""Condition-polling helpers shared by socket/process tests.
+
+``wait_until`` replaces fixed ``time.sleep`` pauses: it returns as soon
+as the condition holds (keeping fast machines fast) and keeps polling up
+to a deadline (keeping slow CI green), failing with a description
+instead of a silent flake.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    *,
+    timeout: float = 5.0,
+    interval: float = 0.01,
+    desc: str = "condition",
+) -> None:
+    """Poll *predicate* until it returns truthy or *timeout* elapses.
+
+    The predicate may also raise: exceptions are treated as "not yet"
+    until the deadline, then the last one propagates (so the failure
+    shows the real error, not a generic timeout).
+    """
+    deadline = time.monotonic() + timeout
+    last_exc: BaseException | None = None
+    while True:
+        try:
+            if predicate():
+                return
+            last_exc = None
+        except Exception as exc:  # noqa: BLE001 - retried until deadline
+            last_exc = exc
+        if time.monotonic() >= deadline:
+            if last_exc is not None:
+                raise last_exc
+            raise AssertionError(
+                f"timed out after {timeout}s waiting for {desc}"
+            )
+        time.sleep(interval)

@@ -23,6 +23,7 @@ from repro.obs import (
     LatencyHistogram,
     PartitionLoadTracker,
     TracingRegistry,
+    merge_stats_snapshots,
 )
 from repro.obs.metrics import Counter, Gauge
 from tests.test_server_core import deploy
@@ -593,3 +594,73 @@ class TestPartitionLoadTracker:
                 assert load["active_partitions"] >= 0
                 total += load["total_requests"]
             assert total >= 20
+
+
+class TestMergeStatsSnapshots:
+    """Edge cases of the per-shard STATS merge (the node-level view the
+    sharded server and the scenario runner's gates both read)."""
+
+    def test_empty_shard_list(self):
+        merged = merge_stats_snapshots([])
+        assert merged == {
+            "enabled": False,
+            "shards": 0,
+            "counters": {},
+            "gauges": {},
+            "latency": {},
+            "instances": [],
+        }
+        json.dumps(merged)
+
+    def test_counter_only_snapshots(self):
+        merged = merge_stats_snapshots(
+            [
+                {"enabled": True, "counters": {"ops": 3}},
+                {"counters": {"ops": 4, "errors": 1}},
+            ]
+        )
+        assert merged["counters"] == {"errors": 1, "ops": 7}
+        assert merged["latency"] == {}
+        assert merged["enabled"] is True
+        assert merged["shards"] == 2
+
+    def test_disjoint_histogram_buckets(self):
+        """One shard only saw fast ops, the other only slow ones; the
+        merged p99 must come from the slow shard's ladder, not an
+        average of per-shard percentiles."""
+        fast = LatencyHistogram("rt")
+        slow = LatencyHistogram("rt")
+        for _ in range(90):
+            fast.record(0.001)
+        for _ in range(10):
+            slow.record(1.0)
+        merged = merge_stats_snapshots(
+            [
+                {"latency": {"rt": fast.snapshot()}},
+                {"latency": {"rt": slow.snapshot()}},
+            ]
+        )["latency"]["rt"]
+        assert merged["count"] == 100
+        assert merged["p50_ms"] <= 5.0
+        assert merged["p99_ms"] >= 500.0
+        assert merged["max_ms"] == pytest.approx(1000.0)
+        assert merged["min_ms"] == pytest.approx(1.0)
+
+    def test_zero_count_histogram_is_inert(self):
+        empty = LatencyHistogram("rt").snapshot()
+        live = LatencyHistogram("rt")
+        live.record(0.002)
+        merged = merge_stats_snapshots(
+            [{"latency": {"rt": empty}}, {"latency": {"rt": live.snapshot()}}]
+        )["latency"]["rt"]
+        assert merged["count"] == 1
+        assert merged["min_ms"] == pytest.approx(2.0)
+
+    def test_instance_blocks_concatenate(self):
+        merged = merge_stats_snapshots(
+            [
+                {"instance": {"id": "a"}},
+                {"instances": [{"id": "b"}, {"id": "c"}]},
+            ]
+        )
+        assert [i["id"] for i in merged["instances"]] == ["a", "b", "c"]

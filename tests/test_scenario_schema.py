@@ -1,0 +1,271 @@
+"""The scenario schema contract: canonical round-trips and actionable
+rejection of malformed configs.
+
+Two properties carry the tentpole's weight:
+
+1. **Round-trip identity** — every library file is byte-identical to
+   ``Scenario.from_json(file).to_json()``, so the serializer is the
+   single source of formatting truth and diffs stay reviewable.
+2. **Validation-first** — malformed configs raise
+   :class:`~repro.scenario.schema.ScenarioError` with a path-qualified,
+   suggestion-bearing message, never a traceback from deep inside the
+   runner.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenario.library import library_names, load_scenario
+from repro.scenario.schema import Scenario, ScenarioError
+
+LIBRARY_DIR = (
+    Path(__file__).resolve().parent.parent
+    / "src"
+    / "repro"
+    / "scenario"
+    / "library"
+)
+
+
+def minimal(**overrides) -> dict:
+    data = {"name": "t", "description": "test scenario"}
+    data.update(overrides)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Round-trips
+# ---------------------------------------------------------------------------
+
+
+def test_library_has_at_least_ten_scenarios():
+    assert len(library_names()) >= 10
+
+
+@pytest.mark.parametrize("name", library_names())
+def test_library_roundtrip_identity(name):
+    """disk == from_json(disk).to_json() == from_dict(to_dict()).to_json()."""
+    text = (LIBRARY_DIR / f"{name}.json").read_text()
+    scenario = Scenario.from_json(text)
+    assert scenario.name == name
+    assert scenario.to_json() == text
+    again = Scenario.from_dict(json.loads(scenario.to_json()))
+    assert again.to_json() == text
+    assert again == scenario
+
+
+@pytest.mark.parametrize("name", library_names())
+def test_library_scenarios_validate(name):
+    scenario = load_scenario(name)
+    scenario.validate()  # idempotent on an already-validated object
+    assert scenario.backends
+    assert scenario.workload.total_ops > 0
+
+
+def test_fast_smoke_subset_exists():
+    """PR-time CI runs the fast-tagged trio; keep it populated."""
+    fast = [n for n in library_names() if "fast" in load_scenario(n).tags]
+    assert len(fast) >= 3, fast
+
+
+def test_defaults_fill_in():
+    scenario = Scenario.from_dict(minimal())
+    assert scenario.backends == ("local",)
+    assert scenario.topology.nodes == 4
+    assert scenario.workload.total_clients == 2
+    assert scenario.checks.durability
+    assert scenario.faults.events == ()
+
+
+def test_load_scenario_by_path(tmp_path):
+    path = tmp_path / "custom.json"
+    path.write_text(Scenario.from_dict(minimal(name="custom")).to_json())
+    assert load_scenario(str(path)).name == "custom"
+
+
+def test_load_scenario_unknown_name_suggests():
+    with pytest.raises(ScenarioError, match="steady-state"):
+        load_scenario("steady-stat")
+
+
+# ---------------------------------------------------------------------------
+# Rejections: every error is a ScenarioError with a useful path + message
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_backend_rejected_with_suggestion():
+    with pytest.raises(ScenarioError, match=r"backends.*'tpc'.*did you mean 'tcp'"):
+        Scenario.from_dict(minimal(backends=["tpc"]))
+
+
+def test_unknown_top_level_field_rejected_with_suggestion():
+    with pytest.raises(ScenarioError, match="did you mean 'gates'"):
+        Scenario.from_dict(minimal(gatez=[]))
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ScenarioError, match=r"delay_s.*>= 0"):
+        Scenario.from_dict(
+            minimal(
+                faults={
+                    "messages": [{"kind": "delay", "delay_s": -0.5}],
+                }
+            )
+        )
+
+
+def test_delay_without_duration_rejected():
+    with pytest.raises(ScenarioError, match="delay_s"):
+        Scenario.from_dict(
+            minimal(faults={"messages": [{"kind": "delay"}]})
+        )
+
+
+def test_gate_on_unknown_metric_rejected():
+    with pytest.raises(ScenarioError, match=r"gates\[0\].*ops\.acked_ratio"):
+        Scenario.from_dict(
+            minimal(gates=[{"metric": "ops.akced_ratio", "op": ">", "value": 0}])
+        )
+
+
+def test_gate_bad_operator_rejected():
+    with pytest.raises(ScenarioError, match="op"):
+        Scenario.from_dict(
+            minimal(gates=[{"metric": "ops.acked", "op": "~", "value": 0}])
+        )
+
+
+def test_bad_probability_rejected():
+    with pytest.raises(ScenarioError, match=r"probability"):
+        Scenario.from_dict(
+            minimal(faults={"messages": [{"kind": "drop", "probability": 1.5}]})
+        )
+
+
+def test_repair_before_kill_rejected():
+    with pytest.raises(ScenarioError, match="repair"):
+        Scenario.from_dict(
+            minimal(faults={"events": [{"action": "repair", "at": 0.5}]})
+        )
+
+
+def test_unordered_events_rejected():
+    with pytest.raises(ScenarioError, match="ordered"):
+        Scenario.from_dict(
+            minimal(
+                topology={"nodes": 5},
+                faults={
+                    "events": [
+                        {"action": "kill", "at": 0.6},
+                        {"action": "kill", "at": 0.2},
+                    ]
+                },
+            )
+        )
+
+
+def test_kill_needs_enough_nodes():
+    with pytest.raises(ScenarioError, match="3 nodes"):
+        Scenario.from_dict(
+            minimal(
+                topology={"nodes": 2, "replicas": 1},
+                faults={"events": [{"action": "kill", "at": 0.5}]},
+            )
+        )
+
+
+def test_too_many_kills_rejected():
+    with pytest.raises(ScenarioError, match="survivors"):
+        Scenario.from_dict(
+            minimal(
+                topology={"nodes": 4, "replicas": 1},
+                faults={
+                    "events": [
+                        {"action": "kill", "at": 0.2},
+                        {"action": "kill", "at": 0.4},
+                        {"action": "kill", "at": 0.6},
+                    ]
+                },
+            )
+        )
+
+
+def test_kill_with_durability_needs_replicas():
+    with pytest.raises(ScenarioError, match="replicas"):
+        Scenario.from_dict(
+            minimal(
+                topology={"nodes": 4, "replicas": 0},
+                faults={"events": [{"action": "kill", "at": 0.5}]},
+            )
+        )
+
+
+def test_kill_shard_requires_sharded_backend():
+    with pytest.raises(ScenarioError, match="sharded"):
+        Scenario.from_dict(
+            minimal(
+                backends=["local"],
+                faults={"events": [{"action": "kill_shard", "at": 0.5}]},
+            )
+        )
+
+
+def test_lossy_plan_with_convergence_rejected():
+    with pytest.raises(ScenarioError, match="at-least-once"):
+        Scenario.from_dict(
+            minimal(
+                faults={"messages": [{"kind": "drop", "probability": 0.1}]},
+                checks={"durability": True, "convergence": True},
+            )
+        )
+
+
+def test_unknown_config_override_rejected_with_suggestion():
+    with pytest.raises(ScenarioError, match="persistence_dir"):
+        Scenario.from_dict(
+            minimal(topology={"config": {"persistence": "wal"}})
+        )
+
+
+def test_topology_owned_config_key_rejected():
+    with pytest.raises(ScenarioError, match="topology.partitions"):
+        Scenario.from_dict(
+            minimal(topology={"config": {"num_partitions": 32}})
+        )
+
+
+def test_unknown_tenant_shape_rejected():
+    with pytest.raises(ScenarioError, match=r"shape.*zipf"):
+        Scenario.from_dict(
+            minimal(
+                workload={"tenants": [{"name": "a", "shape": "zipff"}]}
+            )
+        )
+
+
+def test_replicas_must_fit_nodes():
+    with pytest.raises(ScenarioError, match="replica"):
+        Scenario.from_dict(minimal(topology={"nodes": 2, "replicas": 2}))
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(ScenarioError, match="not valid JSON"):
+        Scenario.from_json("{nope")
+
+
+def test_scenario_error_is_value_error():
+    """Callers that catch ValueError keep working."""
+    with pytest.raises(ValueError):
+        Scenario.from_dict(minimal(backends=["tpc"]))
+
+
+def test_run_scenario_rejects_undeclared_backend():
+    from repro.scenario.runner import run_scenario
+
+    scenario = Scenario.from_dict(minimal(backends=["local"]))
+    with pytest.raises(ScenarioError, match="does not support"):
+        run_scenario(scenario, backend="tcp")

@@ -1,0 +1,163 @@
+"""The named-scenario regression suite.
+
+Parametrizes over every scenario in the library: the fast-tagged trio
+runs in tier-1 on every PR; the rest carry ``@pytest.mark.slow`` and run
+in the nightly tier (and CI's ``scenarios`` job runs the full library on
+local + tcp with verdict artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.net.shard import fork_supported
+from repro.scenario import Scenario, run_scenario
+from repro.scenario.library import library_names, load_scenario
+
+
+def _library_params() -> list:
+    params = []
+    for name in library_names():
+        scenario = load_scenario(name)
+        marks = []
+        if "fast" not in scenario.tags:
+            marks.append(pytest.mark.slow)
+        if scenario.default_backend == "sharded":
+            marks.append(
+                pytest.mark.skipif(
+                    not fork_supported(),
+                    reason="sharded backend needs the fork start method",
+                )
+            )
+        params.append(pytest.param(name, marks=tuple(marks)))
+    return params
+
+
+@pytest.mark.parametrize("name", _library_params())
+def test_library_scenario_passes(name):
+    """Every library scenario holds its own checks and gates on its
+    default backend, and its verdict serializes to JSON."""
+    scenario = load_scenario(name)
+    verdict = run_scenario(scenario)
+    assert verdict.ok, "\n".join(verdict.summary_lines())
+    assert verdict.ops_attempted == scenario.workload.total_ops
+    document = json.loads(json.dumps(verdict.to_dict()))
+    assert document["scenario"] == name
+    assert document["ok"] is True
+    assert {c["name"] for c in document["checks"]} == {
+        "durability",
+        "divergence",
+        "replication",
+        "convergence",
+    }
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name",
+    [n for n in library_names() if "tcp" in load_scenario(n).backends],
+)
+def test_library_scenario_passes_on_tcp(name):
+    verdict = run_scenario(load_scenario(name), backend="tcp")
+    assert verdict.ok, "\n".join(verdict.summary_lines())
+
+
+def test_runner_folds_runtime_failure_into_verdict():
+    """A gate that cannot hold produces a failing verdict, not an
+    exception — CI can always upload the JSON."""
+    scenario = Scenario.from_dict(
+        {
+            "name": "impossible",
+            "description": "acked ratio above 1 is unsatisfiable",
+            "workload": {"ops_per_client": 5},
+            "gates": [
+                {"metric": "ops.acked_ratio", "op": ">", "value": 1.0},
+            ],
+        }
+    )
+    verdict = run_scenario(scenario)
+    assert not verdict.ok
+    assert verdict.error is None
+    assert [g.ok for g in verdict.gates] == [False]
+
+
+def test_ops_override_scales_workload():
+    scenario = load_scenario("steady-state")
+    verdict = run_scenario(scenario, ops_per_client=5)
+    assert verdict.ops_attempted == 5 * scenario.workload.total_clients
+    assert verdict.ok, "\n".join(verdict.summary_lines())
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in library_names():
+        assert name in out
+
+
+def test_cli_scenario_validate_all(capsys):
+    assert main(["scenario", "validate", "--all"]) == 0
+    assert "steady-state: OK" in capsys.readouterr().out
+
+
+def test_cli_scenario_run_writes_verdict_json(tmp_path, capsys):
+    json_path = tmp_path / "verdict.json"
+    json_dir = tmp_path / "verdicts"
+    code = main(
+        [
+            "scenario",
+            "run",
+            "steady-state",
+            "--backend",
+            "local",
+            "--ops",
+            "10",
+            "--json",
+            str(json_path),
+            "--json-dir",
+            str(json_dir),
+        ]
+    )
+    assert code == 0
+    document = json.loads(json_path.read_text())
+    assert document["scenario"] == "steady-state"
+    assert document["ok"] is True
+    per_run = json.loads((json_dir / "steady-state-local.json").read_text())
+    assert per_run == document
+    assert "verdict: PASS" in capsys.readouterr().out
+
+
+def test_cli_scenario_run_failing_gate_exits_1(tmp_path, capsys):
+    path = tmp_path / "impossible.json"
+    path.write_text(
+        Scenario.from_dict(
+            {
+                "name": "impossible",
+                "description": "unsatisfiable gate",
+                "workload": {"ops_per_client": 5},
+                "gates": [
+                    {"metric": "ops.acked_ratio", "op": ">", "value": 1.0},
+                ],
+            }
+        ).to_json()
+    )
+    assert main(["scenario", "run", str(path)]) == 1
+    assert "verdict: FAIL" in capsys.readouterr().out
+
+
+def test_cli_scenario_unknown_name_exits_2(capsys):
+    assert main(["scenario", "run", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_scenario_run_without_names_exits_2(capsys):
+    assert main(["scenario", "run"]) == 2
+    assert "scenario list" in capsys.readouterr().err

@@ -13,7 +13,6 @@ from __future__ import annotations
 import random
 import socket
 import threading
-import time
 
 import pytest
 
@@ -34,6 +33,7 @@ from repro.net.shard import (
     reuse_port_supported,
 )
 from repro.net.tcp import MultiplexedTCPClient, TCPClient
+from tests._wait import wait_until
 
 pytestmark = pytest.mark.skipif(
     not fork_supported(), reason="needs the fork start method"
@@ -204,11 +204,20 @@ def test_kill_shard_siblings_survive_and_respawn_recovers_wal(tmp_path):
         # Supervisor respawns the victim on the same sockets...
         assert node.wait_for_respawn(victim, old_pid, timeout=10.0)
         assert node.respawns >= 1
-        time.sleep(0.2)
+
         # ...and the fresh worker recovered its shard's keys from the
-        # WAL: every key is readable, including the victim's.
-        for i in range(60):
-            assert zht.lookup(f"wal-{i:03d}".encode()) == f"v{i}".encode()
+        # WAL: every key becomes readable, including the victim's.
+        def all_keys_recovered() -> bool:
+            return all(
+                zht.lookup(f"wal-{i:03d}".encode()) == f"v{i}".encode()
+                for i in range(60)
+            )
+
+        wait_until(
+            all_keys_recovered,
+            timeout=10.0,
+            desc="respawned shard to recover all 60 WAL keys",
+        )
         transport.close()
     finally:
         node.stop()
