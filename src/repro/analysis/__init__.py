@@ -2,7 +2,9 @@
 
 The dynamic verifier (:mod:`repro.verify`) can only *sample* schedules;
 this package proves whole classes of bugs absent before runtime with
-four AST-based checkers tuned to this codebase:
+repo-aware checkers built on a shared interprocedural engine (per-file
+AST cache, project-wide call graph with provenance, reusable taint /
+reachability fixpoints — DESIGN.md §17):
 
 * **lock-discipline** (``LOCK00x``) — attributes declared guarded (via a
   ``# guarded-by: <lock>`` annotation on their ``__init__`` assignment,
@@ -18,6 +20,16 @@ four AST-based checkers tuned to this codebase:
 * **config-drift** (``CFG00x``) — every :class:`ZHTConfig` field is read
   somewhere, and every config attribute access / constructor keyword
   names a real field.
+* **event-loop** (``LOOP00x``) — blocking calls transitively reachable
+  from event-loop entry points (``# lint: event-loop`` / ``async def``),
+  with a ``# holds-executor:`` escape hatch, plus loop-acquired locks
+  that other code holds across blocking calls.
+* **fork-safety** (``FORK00x``) — processes spawned under locks or next
+  to live threads, fork children acquiring inherited module-level
+  locks, and fork children that never close inherited sockets.
+* **resource-lifetime** (``RES00x``) — must-close analysis: resources
+  that are never closed, exception paths that escape before close, and
+  temp files left behind on error paths.
 
 Run with ``python -m repro lint``; see DESIGN.md §11 for the annotation
 conventions and the suppression policy.
@@ -35,7 +47,15 @@ from .engine import (
 )
 
 # Importing the checker modules registers them in CHECKERS.
-from . import blocking, configdrift, locks, protocol_check  # noqa: E402,F401
+from . import (  # noqa: E402,F401
+    blocking,
+    configdrift,
+    eventloop,
+    forksafety,
+    locks,
+    protocol_check,
+    resourcecheck,
+)
 
 __all__ = [
     "CHECKERS",

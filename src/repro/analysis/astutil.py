@@ -114,6 +114,8 @@ class ModuleInfo:
     source: str
     #: line number -> full comment text (without the leading ``#``).
     comments: dict[int, str] = field(default_factory=dict)
+    #: module-level lock globals: name -> kind ("lock"/"rlock"/"condition").
+    module_locks: dict[str, str] = field(default_factory=dict)
 
     def comment_on(self, lineno: int) -> str:
         return self.comments.get(lineno, "")
@@ -140,7 +142,19 @@ def parse_module(path: Path, relpath: str) -> ModuleInfo | None:
                 comments[tok.start[0]] = tok.string.lstrip("#").strip()
     except (tokenize.TokenError, IndentationError):
         pass
-    return ModuleInfo(path=path, relpath=relpath, tree=tree, source=source, comments=comments)
+    info = ModuleInfo(
+        path=path, relpath=relpath, tree=tree, source=source, comments=comments
+    )
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            kind = _is_lock_ctor(node.value)
+            if kind is not None:
+                info.module_locks[node.targets[0].id] = kind
+    return info
 
 
 @dataclass(frozen=True)
@@ -161,7 +175,7 @@ class FunctionInfo:
 
     module: ModuleInfo
     cls: "ClassInfo | None"
-    node: ast.FunctionDef
+    node: ast.FunctionDef | ast.AsyncFunctionDef
     qualname: str  #: "Class.method" or "function"
 
     #: Locks named by ``# holds-lock: <attr>`` annotations on the def
@@ -170,6 +184,17 @@ class FunctionInfo:
     #: ``# lint: single-threaded`` marker — body never runs concurrently
     #: (construction-time helpers, test-only paths).
     single_threaded: bool = False
+    #: ``# lint: event-loop`` marker — the body runs ON an event-loop
+    #: thread (selector callbacks, inline fast-path dispatch); everything
+    #: transitively reachable from it is event-loop context for the LOOP
+    #: checker.  ``async def`` coroutines are event-loop entries
+    #: automatically.
+    event_loop: bool = False
+    #: ``# holds-executor: <reason>`` marker — although this function is
+    #: *called* from event-loop code, its body actually executes on a
+    #: worker-pool thread (the call edge hands off, it does not run
+    #: inline).  The LOOP checker's reachability stops here.
+    holds_executor: bool = False
 
 
 @dataclass
@@ -224,7 +249,9 @@ def _is_lock_ctor_call(call: ast.Call) -> str | None:
 
 
 def _function_info(
-    module: ModuleInfo, cls: ClassInfo | None, node: ast.FunctionDef
+    module: ModuleInfo,
+    cls: ClassInfo | None,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
 ) -> FunctionInfo:
     qual = f"{cls.name}.{node.name}" if cls is not None else node.name
     info = FunctionInfo(module=module, cls=cls, node=node, qualname=qual)
@@ -232,9 +259,22 @@ def _function_info(
     held = module.comment_in_range(node.lineno, first_body_line, "holds-lock:")
     if held:
         info.holds_locks.add(held)
-    for line in range(node.lineno, first_body_line + 1):
-        if "lint: single-threaded" in module.comments.get(line, ""):
+    if isinstance(node, ast.AsyncFunctionDef):
+        info.event_loop = True
+    # Markers are honored on the def line, inside the signature, or in
+    # the contiguous comment block immediately above the def (mirrors
+    # the line-above rule for inline suppressions).
+    start = node.lineno
+    while module.comments.get(start - 1, "").strip():
+        start -= 1
+    for line in range(start, first_body_line + 1):
+        comment = module.comments.get(line, "")
+        if "lint: single-threaded" in comment:
             info.single_threaded = True
+        if "lint: event-loop" in comment:
+            info.event_loop = True
+        if "holds-executor:" in comment:
+            info.holds_executor = True
     return info
 
 
@@ -247,15 +287,19 @@ def _collect_class(module: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
             if names:
                 info.attr_types.setdefault(stmt.target.id, []).extend(names)
     for stmt in node.body:
-        if not isinstance(stmt, ast.FunctionDef):
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
         info.methods[stmt.name] = _function_info(module, info, stmt)
         decorators = {
             d.id for d in stmt.decorator_list if isinstance(d, ast.Name)
         }
-        if stmt.name == "__init__":
-            _collect_init(module, info, stmt)
-        elif "property" in decorators:
+        # Attribute types/locks/guards come from ``self.X = ...``
+        # assignments in EVERY method, not just __init__ — late-binding
+        # setters (``attach_core(self, core: ZHTServerCore)``) are how
+        # cluster builders wire servers, and missing them would sever
+        # the call graph right at the dispatch boundary.
+        _collect_self_assigns(module, info, stmt)
+        if "property" in decorators:
             # A property whose body is ``return self._X`` where _X is a
             # lock (or will be discovered as one) aliases that lock.
             for sub in stmt.body:
@@ -279,10 +323,18 @@ def _collect_class(module: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
     return info
 
 
-def _collect_init(
-    module: ModuleInfo, info: ClassInfo, init: ast.FunctionDef
+def _collect_self_assigns(
+    module: ModuleInfo,
+    info: ClassInfo,
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
 ) -> None:
-    for stmt in ast.walk(init):
+    params: dict[str, list[str]] = {}
+    args = method.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        names = _annotation_class_names(arg.annotation)
+        if names:
+            params[arg.arg] = names
+    for stmt in ast.walk(method):
         targets: list[ast.expr] = []
         value: ast.expr | None = None
         annotation: ast.expr | None = None
@@ -309,8 +361,13 @@ def _collect_init(
                 chain = _called_name(value)
                 if chain:
                     names = [chain[-1]]
+            if not names and isinstance(value, ast.Name):
+                # ``self.core = core`` where ``core`` is an annotated
+                # parameter of this method (setter-injection idiom).
+                names = params.get(value.id, [])
             if names:
-                info.attr_types.setdefault(attr, []).extend(names)
+                known = info.attr_types.setdefault(attr, [])
+                known.extend(n for n in names if n not in known)
             guard = module.comment_in_range(stmt.lineno, stmt.lineno, "guarded-by:")
             if guard:
                 info.guarded[attr] = guard
@@ -339,7 +396,7 @@ class ProjectIndex:
                     index.classes.setdefault(node.name, cinfo)
                     for minfo in cinfo.methods.values():
                         index.functions.setdefault(minfo.qualname, minfo)
-                elif isinstance(node, ast.FunctionDef):
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     finfo = _function_info(module, None, node)
                     index.functions.setdefault(node.name, finfo)
                     index.module_functions.setdefault(node.name, finfo)
@@ -530,6 +587,10 @@ class TypeResolver:
                     kind = _is_lock_ctor(stmt.value)
                     if kind is not None:
                         return LockId(f"<{self.fn.qualname}>", expr.id, kind)
+            # Module-level lock global: _LOCK = threading.Lock() at top level.
+            kind = self.fn.module.module_locks.get(expr.id)
+            if kind is not None:
+                return LockId(f"<{self.fn.module.relpath}>", expr.id, kind)
         return None
 
 

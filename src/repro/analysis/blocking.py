@@ -5,10 +5,11 @@ Flags calls that can block indefinitely — socket I/O, ``os.fsync``,
 held, directly or through a resolvable call chain (``NoVoHT.put`` →
 ``WriteAheadLog.append`` → ``os.fsync``).
 
-Deliberately name-based on *distinctive* methods only: bare ``send`` /
-``get`` / ``put`` / ``join`` are not matched (generator ``.send()``,
-``dict.get()``, ``str.join()`` would drown the signal); socket traffic
-in this tree goes through ``sendall``/``sendto``/``recv``/``recvfrom``.
+The blocking-call vocabulary (:func:`~.engine.blocking_call_description`)
+and the transitive "may block, via ..." fixpoint
+(:meth:`~.engine.CallGraph.propagate`) live on the shared engine; the
+event-loop checker reuses both with a different notion of context
+("runs on the loop" instead of "holds a lock").
 
 ``cond.wait()`` while *that same condition* is held is the normal
 condition-variable idiom and is allowed; waiting on anything else while
@@ -22,100 +23,42 @@ from __future__ import annotations
 
 import ast
 
-from .astutil import _called_name, iter_functions
-from .engine import Finding, Project, register
-from .locks import FunctionLockFacts, collect_lock_facts
-
-
-#: Methods that are blocking wherever they appear.
-_SOCKET_METHODS = frozenset(
-    {
-        "sendall",
-        "sendto",
-        "recv",
-        "recvfrom",
-        "recv_into",
-        "accept",
-        "connect",
-        "create_connection",
-    }
+from .engine import (
+    Finding,
+    Project,
+    blocking_call_description,
+    is_wait_call,
+    register,
 )
 
-
-def _direct_blocking(call: ast.Call) -> str | None:
-    """A description when *call* is intrinsically blocking, else None.
-
-    ``.wait()`` is handled separately (held-condition exemption).
-
-    File I/O is covered by ``.flush()``, ``os.replace``/``os.rename``
-    and ``shutil.copyfileobj`` — the moves where buffered writes hit the
-    OS.  Bare ``.write()`` is deliberately not matched (too generic to
-    stay name-based), but any full-file writer worth flagging flushes or
-    renames before it matters, and the transitive pass then carries the
-    taint to whoever calls it under a lock (``checkpoint`` →
-    ``write_checkpoint`` → ``f.flush()``).
-    """
-    chain = _called_name(call)
-    if not chain:
-        return None
-    last = chain[-1]
-    if last in _SOCKET_METHODS:
-        return f"socket .{last}()"
-    if last == "fsync" and (len(chain) == 1 or chain[-2] == "os"):
-        return "os.fsync()"
-    if last == "sleep" and len(chain) >= 2 and chain[-2] == "time":
-        return "time.sleep()"
-    if last == "flush":
-        return "file .flush()"
-    if last in ("replace", "rename") and len(chain) >= 2 and chain[-2] == "os":
-        return f"os.{last}()"
-    if last == "copyfileobj" and len(chain) >= 2 and chain[-2] == "shutil":
-        return "shutil.copyfileobj()"
-    return None
-
-
-def _is_wait(call: ast.Call) -> bool:
-    chain = _called_name(call)
-    return bool(chain) and chain[-1] == "wait"
+_CODES = {
+    "BLOCK001": "blocking call while holding a lock",
+}
 
 
 def _held_str(held) -> str:
     return ", ".join(str(lock) for lock in held)
 
 
-@register("blocking-under-lock")
-def check(project: Project) -> list[Finding]:
-    index = project.index
-    all_facts: dict[str, FunctionLockFacts] = {}
-    for fn in iter_functions(index):
-        all_facts[fn.qualname] = collect_lock_facts(index, fn)
-
-    # Summary fixpoint: does a function block at all (anywhere in its
-    # body, any lock state), and through which call chain?
-    blocks: dict[str, str] = {}
-    for name, facts in all_facts.items():
+def blocking_summaries(project: Project) -> dict[str, str]:
+    """qualname -> "what blocks, via whom" for every function that can
+    block at all (any lock state).  Shared with the event-loop checker."""
+    seeds: dict[str, str] = {}
+    for name, facts in project.lock_facts().items():
         for call, _held in facts.calls:
-            desc = _direct_blocking(call)
-            if desc is None and _is_wait(call):
+            desc = blocking_call_description(call)
+            if desc is None and is_wait_call(call):
                 desc = ".wait()"
             if desc is not None:
-                blocks.setdefault(name, desc)
+                seeds.setdefault(name, desc)
                 break
-    changed = True
-    while changed:
-        changed = False
-        for name, facts in all_facts.items():
-            if name in blocks:
-                continue
-            for call, _held in facts.calls:
-                for callee in facts.resolver.resolve_call(call):
-                    inner = blocks.get(callee.qualname)
-                    if inner is not None:
-                        blocks[name] = f"{inner} via {callee.qualname}"
-                        changed = True
-                        break
-                if name in blocks:
-                    break
+    return project.call_graph().propagate(seeds)
+
+
+@register("blocking-under-lock", codes=_CODES)
+def check(project: Project) -> list[Finding]:
+    all_facts = project.lock_facts()
+    blocks = blocking_summaries(project)
 
     findings: list[Finding] = []
     for facts in all_facts.values():
@@ -125,7 +68,7 @@ def check(project: Project) -> list[Finding]:
         for call, held in facts.calls:
             if not held:
                 continue
-            desc = _direct_blocking(call)
+            desc = blocking_call_description(call)
             if desc is not None:
                 findings.append(
                     Finding(
@@ -141,7 +84,7 @@ def check(project: Project) -> list[Finding]:
                     )
                 )
                 continue
-            if _is_wait(call) and isinstance(call.func, ast.Attribute):
+            if is_wait_call(call) and isinstance(call.func, ast.Attribute):
                 receiver = facts.resolver.lock_identity(call.func.value)
                 if receiver is not None and receiver in held:
                     continue  # cond.wait() on the held condition: idiom

@@ -16,145 +16,30 @@
 Lock identity is class-wide: every instance of ``NoVoHT._lock`` is one
 node.  That conflation is deliberate — it is what lets the graph span
 modules — and is why RLock/Condition self-edges are not reported.
+
+The per-function facts and the call graph live on the shared engine
+(:meth:`Project.lock_facts` / :meth:`Project.call_graph`) so the other
+interprocedural checkers reuse the same single pass.
 """
 
 from __future__ import annotations
 
-import ast
-from dataclasses import dataclass, field
-
-from .astutil import (
-    FunctionInfo,
-    LockId,
-    ProjectIndex,
-    TypeResolver,
-    iter_functions,
-)
+from .astutil import LockId
 from .engine import Finding, Project, register
 
-
-@dataclass
-class FunctionLockFacts:
-    """What one function does with locks, from a single body walk."""
-
-    fn: FunctionInfo
-    resolver: TypeResolver
-    #: attribute accesses: (node, held-locks-at-that-point).
-    accesses: list[tuple[ast.Attribute, tuple[LockId, ...]]] = field(
-        default_factory=list
-    )
-    #: every call expression with the locks held at the call site.
-    calls: list[tuple[ast.Call, tuple[LockId, ...]]] = field(
-        default_factory=list
-    )
-    #: lock acquisitions: (lock, held-before, with-item expression).
-    acquisitions: list[tuple[LockId, tuple[LockId, ...], ast.expr]] = field(
-        default_factory=list
-    )
-
-
-def collect_lock_facts(
-    index: ProjectIndex, fn: FunctionInfo
-) -> FunctionLockFacts:
-    """Walk *fn*'s body tracking ``with <lock>:`` scopes.
-
-    Nested function/class definitions are skipped: their bodies run
-    later, under whatever locks their eventual caller holds.
-    """
-    resolver = TypeResolver(index, fn)
-    facts = FunctionLockFacts(fn=fn, resolver=resolver)
-    base: list[LockId] = []
-    if fn.cls is not None:
-        for name in fn.holds_locks:
-            lock = fn.cls.lock_id(name)
-            if lock is not None:
-                base.append(lock)
-
-    def walk_expr(expr: ast.AST, held: tuple[LockId, ...]) -> None:
-        if isinstance(expr, ast.Lambda):
-            return  # runs later, under the caller's locks
-        if isinstance(expr, ast.Attribute):
-            facts.accesses.append((expr, held))
-        elif isinstance(expr, ast.Call):
-            facts.calls.append((expr, held))
-        for child in ast.iter_child_nodes(expr):
-            if isinstance(child, ast.expr):
-                walk_expr(child, held)
-            else:  # keyword / comprehension / slice wrappers
-                for sub in ast.iter_child_nodes(child):
-                    if isinstance(sub, ast.expr):
-                        walk_expr(sub, held)
-
-    def walk_stmt(stmt: ast.stmt, held: tuple[LockId, ...]) -> None:
-        if isinstance(
-            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
-        ):
-            return
-        if isinstance(stmt, (ast.With, ast.AsyncWith)):
-            inner = list(held)
-            for item in stmt.items:
-                walk_expr(item.context_expr, tuple(inner))
-                lock = resolver.lock_identity(item.context_expr)
-                if lock is not None:
-                    facts.acquisitions.append(
-                        (lock, tuple(inner), item.context_expr)
-                    )
-                    inner.append(lock)
-            walk_body(stmt.body, tuple(inner))
-            return
-        for _name, value in ast.iter_fields(stmt):
-            if isinstance(value, list):
-                for entry in value:
-                    if isinstance(entry, ast.stmt):
-                        walk_stmt(entry, held)
-                    elif isinstance(entry, ast.expr):
-                        walk_expr(entry, held)
-                    elif isinstance(entry, ast.excepthandler):
-                        walk_body(entry.body, held)
-            elif isinstance(value, ast.expr):
-                walk_expr(value, held)
-
-    def walk_body(stmts: list[ast.stmt], held: tuple[LockId, ...]) -> None:
-        for stmt in stmts:
-            walk_stmt(stmt, held)
-
-    walk_body(fn.node.body, tuple(base))
-    return facts
-
-
-def transitive_acquires(
-    all_facts: dict[str, FunctionLockFacts],
-) -> dict[str, set[LockId]]:
-    """Fixpoint: locks each function may acquire, through resolvable calls."""
-    acquires: dict[str, set[LockId]] = {
-        name: {lock for lock, _held, _node in facts.acquisitions}
-        for name, facts in all_facts.items()
-    }
-    callees: dict[str, set[str]] = {}
-    for name, facts in all_facts.items():
-        targets: set[str] = set()
-        for call, _held in facts.calls:
-            for callee in facts.resolver.resolve_call(call):
-                targets.add(callee.qualname)
-        callees[name] = targets
-    changed = True
-    while changed:
-        changed = False
-        for name, targets in callees.items():
-            mine = acquires[name]
-            before = len(mine)
-            for target in targets:
-                mine |= acquires.get(target, set())
-            if len(mine) != before:
-                changed = True
-    return acquires
+_CODES = {
+    "LOCK001": "guarded attribute accessed without holding its lock",
+    "LOCK002": "potential deadlock cycle in the lock-acquisition graph",
+    "LOCK003": "guarded-by declaration names an unknown lock",
+    "LOCK004": "non-reentrant lock re-acquired while already held",
+}
 
 
 def _held_str(held: tuple[LockId, ...]) -> str:
     return ", ".join(str(lock) for lock in held)
 
 
-@register("lock-discipline")
+@register("lock-discipline", codes=_CODES)
 def check(project: Project) -> list[Finding]:
     findings: list[Finding] = []
     index = project.index
@@ -177,9 +62,7 @@ def check(project: Project) -> list[Finding]:
                     )
                 )
 
-    all_facts: dict[str, FunctionLockFacts] = {}
-    for fn in iter_functions(index):
-        all_facts[fn.qualname] = collect_lock_facts(index, fn)
+    all_facts = project.lock_facts()
 
     # LOCK001: guarded attribute touched without its lock.
     for facts in all_facts.values():
@@ -214,7 +97,12 @@ def check(project: Project) -> list[Finding]:
                 )
 
     # LOCK004 + acquisition-graph edges.
-    acquires = transitive_acquires(all_facts)
+    acquires = project.call_graph().propagate_sets(
+        {
+            name: {lock for lock, _held, _node in facts.acquisitions}
+            for name, facts in all_facts.items()
+        }
+    )
     # edge (A, B) -> provenance (path, line, symbol); first wins.
     edges: dict[tuple[LockId, LockId], tuple[str, int, str]] = {}
     for facts in all_facts.values():

@@ -233,6 +233,11 @@ class ZHTServerCore:
         #: Per-partition request accounting; surfaced via the STATS op so
         #: operators can see Zipf hot partitions (rate + imbalance ratio).
         self.partition_load = PartitionLoadTracker()
+        #: Set by event-driven transports: store maintenance (checkpoint,
+        #: WAL GC) hops through this submit callable instead of running
+        #: on the thread that tripped the threshold — see
+        #: :meth:`set_maintenance_executor`.
+        self._maint_submit: Callable[[Callable[[], None]], object] | None = None
 
     # ------------------------------------------------------------------
     # Partition access
@@ -260,8 +265,25 @@ class ZHTServerCore:
                 gc_dead_ratio=cfg.gc_dead_ratio,
                 fsync=cfg.wal_fsync,
             )
+            if self._maint_submit is not None:
+                part.store.set_maintenance_executor(self._maint_submit)
             self.partitions[pid] = part
         return part
+
+    def set_maintenance_executor(
+        self, submit: "Callable[[Callable[[], None]], object] | None"
+    ) -> None:
+        """Route every store's maintenance passes through *submit*.
+
+        An event-loop transport applies mutations inline on its selector
+        thread; a checkpoint tripped there would serialize and fsync the
+        whole table on the loop.  Applies to current partitions and to
+        any created later.
+        """
+        self._maint_submit = submit
+        for part in self.partitions.values():
+            part.store.set_maintenance_executor(submit)
+        self.broadcast_store.set_maintenance_executor(submit)
 
     def owns(self, pid: int) -> bool:
         return self.membership.partition_owner[pid] == self.info.instance_id

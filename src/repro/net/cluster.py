@@ -12,7 +12,11 @@ processes would.
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from ..core.manager import Script
+    from ..verify.history import HistoryRecorder
 
 from ..api import ZHT, build_membership
 from ..core.client import ZHTClientCore
@@ -40,7 +44,7 @@ class SocketCluster:
         membership: MembershipTable,
         client_factory: Callable[[], ClientTransport],
         rng: random.Random,
-    ):
+    ) -> None:
         self.config = config
         self.servers = servers
         self.membership = membership
@@ -52,7 +56,7 @@ class SocketCluster:
         self,
         *,
         seed: int | None = None,
-        recorder=None,
+        recorder: HistoryRecorder | None = None,
         client_id: str | None = None,
     ) -> ZHT:
         transport = self._client_factory()
@@ -65,7 +69,7 @@ class SocketCluster:
         node_id = next(iter(self.membership.nodes))
         return ManagerCore(node_id, self.membership, self.config, rng=self.rng)
 
-    def run(self, script) -> object:
+    def run(self, script: Script) -> object:
         transport = self._client_factory()
         self._transports.append(transport)
         return run_script(script, transport)
@@ -86,7 +90,7 @@ class SocketCluster:
     def __enter__(self) -> "SocketCluster":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

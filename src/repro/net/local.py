@@ -37,7 +37,7 @@ class LocalStats:
 class LocalNetwork(ClientTransport):
     """Registry of in-process servers addressable like a real network."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.servers: dict[Address, ServerExecutor] = {}
         self.dead: set[Address] = set()
         self.deferred_replies: list[tuple[object, Response]] = []

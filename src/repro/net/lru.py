@@ -42,7 +42,7 @@ class LRUCache(Generic[K, V]):
         self,
         capacity: int,
         on_evict: Callable[[K, V], None] | None = None,
-    ):
+    ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity

@@ -50,6 +50,8 @@ import threading
 import time
 import weakref
 
+from typing import Iterable
+
 from ..core.config import ZHTConfig
 from ..core.membership import Address, InstanceInfo, MembershipTable
 from ..core.protocol import OpCode, Request
@@ -70,13 +72,13 @@ _PROCESS_SOCKETS: "weakref.WeakSet[socket.socket]" = weakref.WeakSet()
 _PROCESS_SOCKETS_LOCK = threading.Lock()
 
 
-def _register_sockets(sockets) -> None:
+def _register_sockets(sockets: Iterable[socket.socket]) -> None:
     with _PROCESS_SOCKETS_LOCK:
         for sock in sockets:
             _PROCESS_SOCKETS.add(sock)
 
 
-def _foreign_sockets(keep) -> list:
+def _foreign_sockets(keep: Iterable[socket.socket]) -> list[socket.socket]:
     """Snapshot of registered sockets NOT in *keep* (for a child to
     close after fork)."""
     keep_fds = {s.fileno() for s in keep}
@@ -113,8 +115,8 @@ def fork_supported() -> bool:
 
 def _shard_worker_main(
     listeners: list,
-    conn_receiver,
-    control,
+    conn_receiver: socket.socket | None,
+    control: socket.socket,
     config: ZHTConfig,
     instance: InstanceInfo,
     membership: MembershipTable,
@@ -155,7 +157,7 @@ def _shard_worker_main(
 class _ShardSlot:
     """Parent-side bookkeeping for one shard worker."""
 
-    def __init__(self, index: int):
+    def __init__(self, index: int) -> None:
         self.index = index
         self.private_listener: socket.socket | None = None
         self.shared_listener: socket.socket | None = None
@@ -163,7 +165,7 @@ class _ShardSlot:
         self.fd_child: socket.socket | None = None
         self.control_parent: socket.socket | None = None
         self.control_child: socket.socket | None = None
-        self.process = None
+        self.process: multiprocessing.process.BaseProcess | None = None
 
     def child_listeners(self) -> list:
         listeners = [self.private_listener]
@@ -204,7 +206,7 @@ class ShardedNodeServer:
         port: int = 0,
         num_shards: int | None = None,
         reuse_port: bool | None = None,
-    ):
+    ) -> None:
         if not fork_supported():
             raise RuntimeError(
                 "ShardedNodeServer needs the 'fork' start method"
@@ -280,11 +282,15 @@ class ShardedNodeServer:
         host: str, port: int, *, reuse_port: bool
     ) -> socket.socket:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        if reuse_port:
-            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
-        sock.bind((host, port))
-        sock.listen(512)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuse_port:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((host, port))
+            sock.listen(512)
+        except OSError:
+            sock.close()
+            raise
         return sock
 
     # -- membership ----------------------------------------------------------
@@ -347,6 +353,7 @@ class ShardedNodeServer:
         if slot.fd_child is not None:
             keep.append(slot.fd_child)
         keep.append(slot.control_child)
+        # zht-lint: ignore[FORK002] parent threads (supervisor/dispatcher) touch no locks the child needs — module docstring caveat
         proc = self._ctx.Process(
             target=_shard_worker_main,
             args=(
@@ -377,7 +384,22 @@ class ShardedNodeServer:
                         break
                     proc.join(timeout=0.1)
                     self.respawns += 1
+                # Fork outside _lock: a lock held at fork time is copied
+                # into the child in its held state and can never be
+                # released there (FORK001).
+                try:
                     self._spawn(slot)
+                except (OSError, ValueError):
+                    break  # listener sockets closed under us: stopping
+                with self._lock:
+                    if self._stopping:
+                        # stop() raced the respawn and never saw the new
+                        # process; reap it ourselves.
+                        new_proc = slot.process
+                        if new_proc is not None:
+                            new_proc.kill()
+                            new_proc.join(timeout=1)
+                        break
             time.sleep(0.05)
 
     def _dispatch_loop(self) -> None:
@@ -437,7 +459,7 @@ class ShardedNodeServer:
     def __enter__(self) -> "ShardedNodeServer":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     # -- worker-crash testing ------------------------------------------------

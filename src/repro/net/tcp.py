@@ -41,7 +41,7 @@ from ..core.protocol import (
     encode_framed_request,
     encode_framed_response,
 )
-from ..core.server import ZHTServerCore
+from ..core.server import HandleResult, ZHTServerCore
 from ..obs import REGISTRY
 from .lru import LRUCache
 from .transport import ClientTransport, ServerExecutor
@@ -78,7 +78,7 @@ class TCPClient(ClientTransport):
         *,
         connect_timeout: float = 2.0,
         wire_codec: str = "fixed",
-    ):
+    ) -> None:
         self._cache: LRUCache[Address, socket.socket] = LRUCache(
             cache_size, on_evict=self._on_evict
         )
@@ -105,6 +105,7 @@ class TCPClient(ClientTransport):
         sock.close()
 
     def _connect(self, address: Address) -> socket.socket | None:
+        sock = None
         try:
             sock = socket.create_connection(
                 (address.host, address.port), timeout=self.connect_timeout
@@ -114,6 +115,8 @@ class TCPClient(ClientTransport):
             self._c_connects.inc()
             return sock
         except OSError:
+            if sock is not None:
+                sock.close()
             return None
 
     def _checkout(self, address: Address) -> socket.socket | None:
@@ -204,7 +207,7 @@ class _MuxPending:
 
     __slots__ = ("event", "response")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.event = threading.Event()
         self.response: Response | None = None
 
@@ -222,7 +225,7 @@ class _MuxConnection:
     #: whose late responses must be dropped silently).
     _DISCARD_LIMIT = 4096
 
-    def __init__(self, sock: socket.socket, address: Address):
+    def __init__(self, sock: socket.socket, address: Address) -> None:
         self.sock = sock
         self.address = address
         self.closed = False
@@ -354,7 +357,9 @@ class MultiplexedTCPClient(ClientTransport):
     stop-and-wait ablation (``ZHTConfig.tcp_multiplex=False``).
     """
 
-    def __init__(self, *, connect_timeout: float = 2.0, wire_codec: str = "fixed"):
+    def __init__(
+        self, *, connect_timeout: float = 2.0, wire_codec: str = "fixed"
+    ) -> None:
         self._conns: dict[Address, _MuxConnection] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self.connect_timeout = connect_timeout
@@ -370,8 +375,12 @@ class MultiplexedTCPClient(ClientTransport):
             sock = socket.create_connection(
                 (address.host, address.port), timeout=self.connect_timeout
             )
+        except OSError:
+            return None
+        try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
+            sock.close()
             return None
         conn = _MuxConnection(sock, address)
         with self._lock:
@@ -436,9 +445,9 @@ class MultiplexedTCPClient(ClientTransport):
             )
         except OSError:
             return None
-        self.connects += 1
-        self._c_connects.inc()
         try:
+            self.connects += 1
+            self._c_connects.inc()
             sock.sendall(encode_framed_request(request, self._codec))
             payload = _recv_frame(sock, timeout)
             if payload is None:
@@ -495,7 +504,7 @@ class _Connection:
 
     __slots__ = ("sock", "buffer", "offset", "write_lock", "codec", "closed")
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
         self.buffer = bytearray()
         self.offset = 0
@@ -540,6 +549,7 @@ class _Connection:
         data = encode_framed_response(response, self.codec)
         with self.write_lock:
             try:
+                # zht-lint: ignore[LOOP001] loop conns are _EventConnection and take _reply's queued-write path; only worker-thread deferred replies land here
                 self.sock.sendall(data)
             except OSError:
                 pass
@@ -553,7 +563,7 @@ class _EventConnection(_Connection):
 
     __slots__ = ("outbuf", "want_write")
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket) -> None:
         super().__init__(sock)
         self.outbuf = bytearray()  # guarded-by: write_lock
         self.want_write = False  # guarded-by: write_lock
@@ -643,16 +653,20 @@ class EventDrivenTCPServer:
         effect_workers: int = 4,
         listeners: "list[socket.socket] | None" = None,
         conn_receiver: "socket.socket | None" = None,
-    ):
-        self.core = None
+    ) -> None:
+        self.core: ZHTServerCore | None = None
         self.executor: ServerExecutor | None = None
         if listeners:
             self._listeners = list(listeners)
         else:
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            sock.bind((host, port))
-            sock.listen(512)
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                sock.bind((host, port))
+                sock.listen(512)
+            except OSError:
+                sock.close()
+                raise
             self._listeners = [sock]
         for sock in self._listeners:
             sock.setblocking(False)
@@ -702,6 +716,10 @@ class EventDrivenTCPServer:
         self.core = core
         self._inline = core.config.inline_fast_path
         core.extra_inflight = self._effects_backlog
+        # Checkpoint/GC passes tripped by an inline apply must not run on
+        # the selector thread (they serialize + fsync the whole table);
+        # hop them to the worker pool.
+        core.set_maintenance_executor(self._pool.submit)
         self.executor = ServerExecutor(core, self._peer_client, self._deferred_reply)
 
     def _effects_backlog(self) -> int:
@@ -754,7 +772,7 @@ class EventDrivenTCPServer:
 
     # -- event loop -----------------------------------------------------------
 
-    def _loop(self) -> None:
+    def _loop(self) -> None:  # lint: event-loop
         draining = False
         quiet_since = 0.0
         while self._running:
@@ -805,6 +823,7 @@ class EventDrivenTCPServer:
 
     def _drain_wake(self) -> None:
         try:
+            # zht-lint: ignore[LOOP001] wake pipe is setblocking(False); recv returns EWOULDBLOCK, never parks
             while self._wake_r.recv(4096):
                 pass
         except (BlockingIOError, OSError):
@@ -821,6 +840,7 @@ class EventDrivenTCPServer:
 
     def _accept(self, listener: socket.socket) -> None:
         try:
+            # zht-lint: ignore[LOOP001] listener is non-blocking and only accepted after a selector READ event
             sock, _addr = listener.accept()
         except OSError:
             return
@@ -859,6 +879,7 @@ class EventDrivenTCPServer:
 
     def _readable(self, conn: _EventConnection) -> None:
         try:
+            # zht-lint: ignore[LOOP001] conn sockets are set non-blocking in _register_conn; recv after a READ event never parks
             chunk = conn.sock.recv(65536)
         except BlockingIOError:
             return
@@ -946,7 +967,7 @@ class EventDrivenTCPServer:
             except (KeyError, ValueError):
                 pass
 
-    def _finish(self, result, conn: _EventConnection) -> None:
+    def _finish(self, result: HandleResult, conn: _EventConnection) -> None:
         try:
             self.executor._apply_effects(result)
             if result.response is not None:
@@ -974,8 +995,8 @@ class ThreadedTCPServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-    ):
-        self.core = None
+    ) -> None:
+        self.core: ZHTServerCore | None = None
         self.executor: ServerExecutor | None = None
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)

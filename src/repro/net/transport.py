@@ -80,7 +80,7 @@ class ServerExecutor:
         reply_fn: ReplyFn,
         *,
         peer_timeout: float | None = None,
-    ):
+    ) -> None:
         self.core = core
         self.peer_client = peer_client
         self.reply_fn = reply_fn
@@ -349,7 +349,7 @@ def run_script(
     transport: ClientTransport,
     *,
     timeout: float = 5.0,
-):
+) -> object:
     """Drive a manager :class:`~repro.core.manager.Script` over *transport*.
 
     Returns the script's return value.  A timeout on a ``required`` call

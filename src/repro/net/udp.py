@@ -36,7 +36,7 @@ class UDPClient(ClientTransport):
     #: request fits a single datagram.
     max_request_bytes = MAX_DATAGRAM
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind(("127.0.0.1", 0))
         self._lock = threading.Lock()
@@ -122,8 +122,8 @@ class UDPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         dedup_cache_size: int = 1024,
-    ):
-        self.core = None
+    ) -> None:
+        self.core: ZHTServerCore | None = None
         self.executor: ServerExecutor | None = None
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((host, port))

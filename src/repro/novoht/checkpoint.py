@@ -74,6 +74,10 @@ def write_checkpoint(
             os.fsync(f.fileno())
         os.replace(tmp, path)
     except OSError as exc:
+        try:
+            os.unlink(tmp)  # don't leave a half-written .tmp behind
+        except OSError:
+            pass
         raise StoreError(f"checkpoint write failed: {exc}") from exc
     return count
 

@@ -130,6 +130,11 @@ class NoVoHT:
         self._maint_cond = threading.Condition(self._lock)
         self._maint_busy = False  # guarded-by: _lock
         self._maint_pending: str | None = None  # guarded-by: _lock
+        #: When set (``set_maintenance_executor``), due maintenance hops
+        #: to this submit callable instead of running on the mutating
+        #: thread — an event-loop server must not serialize the whole
+        #: table on its selector thread.
+        self._maint_submit: Callable[[Callable[[], None]], object] | None = None
         self.stats = NoVoHTStats()
         self.checkpoint_interval_ops = checkpoint_interval_ops
         self.gc_dead_ratio = gc_dead_ratio
@@ -615,12 +620,43 @@ class NoVoHT:
             return
         self.run_pending_maintenance()
 
+    def set_maintenance_executor(
+        self, submit: Callable[[Callable[[], None]], object] | None
+    ) -> None:
+        """Route due maintenance passes through *submit* (e.g. a thread
+        pool's ``submit``) instead of the mutating thread.
+
+        An event-loop server applies store mutations inline on its
+        selector thread; without this hook a put that trips the
+        checkpoint threshold would serialize and fsync the whole table
+        on the loop, stalling every connection behind it.
+        """
+        self._maint_submit = submit
+
+    # holds-executor: when serving behind an event loop the attached pool
+    # runs the pass (set_maintenance_executor); the inline fallback only
+    # runs on embedder/worker threads that may block.
     def run_pending_maintenance(self) -> None:
         """Run any maintenance pass parked by a lock-holding mutator.
 
         External callers that mutate under :attr:`lock` should call this
         after releasing it; a no-op when nothing is pending.
         """
+        submit = self._maint_submit
+        if submit is None:
+            self._drain_maintenance()
+            return
+        with self._lock:
+            pending = self._maint_pending is not None
+        if pending:
+            try:
+                submit(self._drain_maintenance)
+            except RuntimeError:
+                # Pool already shut down mid-stop; the pass stays parked
+                # and close()'s explicit checkpoint still covers it.
+                pass
+
+    def _drain_maintenance(self) -> None:
         with self._lock:
             kind, self._maint_pending = self._maint_pending, None
         if kind == "checkpoint":

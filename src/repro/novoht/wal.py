@@ -406,6 +406,10 @@ class WriteAheadLog:
                 out.flush()
                 os.fsync(out.fileno())
         except OSError as exc:
+            try:
+                os.unlink(tmp)  # failed splice must not leave a .gc corpse
+            except OSError:
+                pass
             raise StoreError(f"WAL compaction failed: {exc}") from exc
         self.close()
         os.replace(tmp, self.path)
@@ -432,6 +436,10 @@ class WriteAheadLog:
                 f.flush()
                 os.fsync(f.fileno())
         except OSError as exc:
+            try:
+                os.unlink(tmp)  # failed GC must not leave a .gc corpse
+            except OSError:
+                pass
             raise StoreError(f"WAL GC failed: {exc}") from exc
         self.close()
         os.replace(tmp, self.path)

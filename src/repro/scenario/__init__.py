@@ -44,7 +44,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy re-exports keep package import light and cycle-free: the
     # runner imports repro.faults, whose __init__ imports the chaos
     # harness, which imports repro.scenario.cluster.

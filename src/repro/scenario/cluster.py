@@ -12,9 +12,15 @@ the live backends).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 from ..api import build_local_cluster
 from ..core.config import ZHTConfig
 from ..core.manager import ManagerCore
+
+if TYPE_CHECKING:
+    from ..core.server import ZHTServerCore
+    from ..faults.plan import FaultPlan
 
 #: Backends the live builders cover (``sim`` runs are driven by the
 #: callers through :mod:`repro.sim` instead of a socket deployment).
@@ -43,7 +49,7 @@ def default_config(backend: str, replicas: int) -> ZHTConfig:
     )
 
 
-def build_cluster(backend: str, nodes: int, config: ZHTConfig, seed: int):
+def build_cluster(backend: str, nodes: int, config: ZHTConfig, seed: int) -> Any:
     """Build a running cluster for any live backend (context manager)."""
     if backend == "local":
         return build_local_cluster(nodes, config, seed=seed)
@@ -59,7 +65,7 @@ def build_cluster(backend: str, nodes: int, config: ZHTConfig, seed: int):
     return builder(nodes, config, seed=seed)
 
 
-def kill_node(cluster, backend: str, victim: str, plan) -> None:
+def kill_node(cluster: Any, backend: str, victim: str, plan: FaultPlan) -> None:
     """Hard-kill every instance of node *victim* on any backend and
     record the crash in *plan* so transports refuse to reach it."""
     addresses = [
@@ -82,7 +88,7 @@ def kill_node(cluster, backend: str, victim: str, plan) -> None:
     plan.crash_target(victim, *addresses)
 
 
-def server_cores(cluster, backend: str):
+def server_cores(cluster: Any, backend: str) -> list[ZHTServerCore]:
     """The in-process :class:`~repro.core.server.ZHTServerCore` list, for
     the store-level invariant checkers.  Sharded workers live in child
     processes, so their cores are not introspectable from here."""
@@ -95,7 +101,7 @@ def server_cores(cluster, backend: str):
     ]
 
 
-def repair_node(cluster, victim: str, config: ZHTConfig, seed: int) -> float:
+def repair_node(cluster: Any, victim: str, config: ZHTConfig, seed: int) -> float:
     """Run the manager repair script; returns its wall-clock duration."""
     import random
     import time

@@ -26,7 +26,11 @@ import time
 from collections import Counter as Multiset
 from dataclasses import dataclass, field
 
+from typing import Any, Callable, Iterator
+
+from ..core.config import ZHTConfig
 from ..core.errors import KeyNotFound, ZHTError
+from ..core.membership import MembershipTable
 from ..core.protocol import OpCode
 from ..faults.invariants import (
     AckLedger,
@@ -43,8 +47,8 @@ from ..faults.plan import (
 )
 from ..faults.transport import FaultyClientTransport
 from .cluster import build_cluster, default_config, kill_node, repair_node, server_cores
-from .schema import Scenario, ScenarioError
-from .traffic import FRAGMENT_BYTES, build_streams
+from .schema import FaultEvent, Scenario, ScenarioError
+from .traffic import FRAGMENT_BYTES, ClientStream, build_streams
 
 #: Max violation strings kept per check in the verdict document.
 MAX_VIOLATIONS = 12
@@ -252,7 +256,10 @@ def _evaluate_gates(scenario: Scenario, metrics: dict) -> list:
 
 
 def _check_append_durability(
-    append_acked: dict, lookup, *, retries: int = 3
+    append_acked: dict,
+    lookup: Callable[[bytes], bytes],
+    *,
+    retries: int = 3,
 ) -> list:
     """Every acked APPEND fragment must appear in the key's final value
     (multiset-subset: concurrent appenders interleave in any order)."""
@@ -287,7 +294,11 @@ def _check_append_durability(
 
 
 def _check_append_convergence(
-    append_acked: dict, cores, membership, replicas: int, hash_name: str
+    append_acked: dict,
+    cores: list,
+    membership: MembershipTable,
+    replicas: int,
+    hash_name: str,
 ) -> list:
     """After quiesce, every alive chain member holds byte-identical
     append values (order may differ from ack order, so chains are
@@ -326,9 +337,9 @@ def _run_checks(
     *,
     ledger: AckLedger,
     append_acked: dict,
-    lookup,
-    cores,
-    membership,
+    lookup: Callable[[bytes], bytes],
+    cores: list,
+    membership: MembershipTable,
     hash_name: str,
 ) -> list:
     """Run the configured invariant checks; returns CheckResults."""
@@ -449,7 +460,15 @@ class _EventDriver:
     fractions.  Victim selection is deterministic: automatic kills walk
     ``sorted(nodes)[1:]`` in order, exactly like the chaos harness."""
 
-    def __init__(self, scenario: Scenario, cluster, backend: str, config, plan, seed):
+    def __init__(
+        self,
+        scenario: Scenario,
+        cluster: Any,
+        backend: str,
+        config: ZHTConfig,
+        plan: FaultPlan,
+        seed: int,
+    ) -> None:
         self.scenario = scenario
         self.cluster = cluster
         self.backend = backend
@@ -481,7 +500,7 @@ class _EventDriver:
         while self.pending:
             self._fire(self.pending.pop(0))
 
-    def _fire(self, event) -> None:
+    def _fire(self, event: FaultEvent) -> None:
         if event.action == "kill":
             if 0 <= event.target < len(self.nodes):
                 victim = self.nodes[event.target]
@@ -543,7 +562,7 @@ def _run_live(scenario: Scenario, backend: str, seed: int, verdict: Verdict) -> 
                 plan, cluster.membership, driver.designated_victim
             )
 
-            def worker(stream) -> None:
+            def worker(stream: ClientStream) -> None:
                 zht = cluster.client(seed=(seed << 8) + stream.client_index)
                 zht.transport = FaultyClientTransport(zht.transport, plan)
                 acked = failed = 0
@@ -715,7 +734,7 @@ def _run_sim(scenario: Scenario, seed: int, verdict: Verdict) -> None:
     state = {"done": 0, "acked": 0, "failed": 0}
     cores: list[ZHTClientCore] = []
 
-    def fire(event):
+    def fire(event: FaultEvent) -> Iterator[Any]:
         if event.action == "kill":
             if 0 <= event.target < len(nodes):
                 victim = nodes[event.target]
@@ -741,7 +760,7 @@ def _run_sim(scenario: Scenario, seed: int, verdict: Verdict) -> None:
             yield from _sim_repair(cluster, victim, config, seed)
         # kill_shard cannot validate onto the sim backend
 
-    def client_proc(stream):
+    def client_proc(stream: ClientStream) -> Iterator[Any]:
         core = ZHTClientCore(
             membership.copy(),
             config,
@@ -769,7 +788,7 @@ def _run_sim(scenario: Scenario, seed: int, verdict: Verdict) -> None:
                 state["failed"] += 1
             state["done"] += 1
 
-    def main_proc():
+    def main_proc() -> Iterator[Any]:
         procs = [
             env.process(client_proc(stream), name=f"scenario-c{stream.client_index}")
             for stream in streams

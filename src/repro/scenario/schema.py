@@ -21,7 +21,7 @@ from __future__ import annotations
 import difflib
 import json
 from dataclasses import dataclass, field, fields as dc_fields
-from typing import Any
+from typing import Any, Iterable, Sequence
 
 #: Backends a scenario may declare; the first entry of
 #: ``Scenario.backends`` is its default.
@@ -57,17 +57,17 @@ class ScenarioError(ValueError):
     field (e.g. ``faults.messages[2].delay_s``); the message says what
     was wrong and what would be accepted."""
 
-    def __init__(self, path: str, message: str):
+    def __init__(self, path: str, message: str) -> None:
         self.path = path
         super().__init__(f"{path}: {message}")
 
 
-def _suggest(name: str, candidates) -> str:
+def _suggest(name: str, candidates: Iterable[str]) -> str:
     close = difflib.get_close_matches(name, list(candidates), n=1)
     return f" (did you mean {close[0]!r}?)" if close else ""
 
 
-def _check_keys(data: dict, cls, path: str) -> None:
+def _check_keys(data: dict, cls: type, path: str) -> None:
     allowed = {f.name for f in dc_fields(cls)}
     for key in data:
         if key not in allowed:
@@ -108,7 +108,7 @@ def _string(value: Any, path: str) -> str:
     return value
 
 
-def _choice(value: Any, allowed, path: str) -> str:
+def _choice(value: Any, allowed: Sequence[str], path: str) -> str:
     value = _string(value, path)
     if value not in allowed:
         raise ScenarioError(

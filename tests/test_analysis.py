@@ -586,3 +586,429 @@ def test_repo_lints_clean():
     # suppressed with justifications, not invisible.
     assert len(report.suppressed) >= 10
     assert all(f.suppressed_by for f in report.suppressed)
+
+
+# ---------------------------------------------------------------------------
+# event-loop (LOOP001/LOOP002)
+# ---------------------------------------------------------------------------
+
+
+LOOP_BAD = """
+    import time
+
+    def loop():  # lint: event-loop
+        tick()
+
+    def tick():
+        time.sleep(0.1)
+"""
+
+LOOP_GOOD = """
+    import time
+
+    def loop():  # lint: event-loop
+        schedule()
+        pool.submit(flush)
+
+    def schedule():  # holds-executor: body runs on the pool in production
+        time.sleep(0.1)
+
+    def flush():
+        time.sleep(0.1)
+"""
+
+
+def test_loop001_transitive_blocking_from_entry(tmp_path):
+    report = lint_snippet(tmp_path, LOOP_BAD, "event-loop")
+    assert codes(report) == ["LOOP001"]
+    (finding,) = report.active
+    assert finding.symbol == "tick"
+    assert "loop -> tick" in finding.message
+
+
+def test_loop001_quiet_with_escape_hatches(tmp_path):
+    # holds-executor severs reachability; a callable passed as an
+    # argument (pool.submit(flush)) never creates a call edge at all.
+    report = lint_snippet(tmp_path, LOOP_GOOD, "event-loop")
+    assert report.active == [], [f.render() for f in report.active]
+
+
+def test_loop001_async_def_is_an_entry(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import time
+
+        async def handler():
+            time.sleep(0.1)
+        """,
+        "event-loop",
+    )
+    assert codes(report) == ["LOOP001"]
+
+
+LOOP_CONVOY_BAD = """
+    import threading
+    import time
+
+    class Server:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def loop(self):  # lint: event-loop
+            with self._lock:
+                self.pending = 0
+
+        def writer(self):
+            with self._lock:
+                time.sleep(0.5)
+"""
+
+
+def test_loop002_convoy_via_shared_lock(tmp_path):
+    report = lint_snippet(tmp_path, LOOP_CONVOY_BAD, "event-loop")
+    assert codes(report) == ["LOOP002"]
+    (finding,) = report.active
+    assert finding.symbol == "Server.loop"
+    assert "writer" in finding.message
+
+
+def test_loop002_quiet_when_holder_does_not_block(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+
+        class Server:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def loop(self):  # lint: event-loop
+                with self._lock:
+                    self.pending = 0
+
+            def writer(self):
+                with self._lock:
+                    self.pending = 1
+        """,
+        "event-loop",
+    )
+    assert report.active == [], [f.render() for f in report.active]
+
+
+# ---------------------------------------------------------------------------
+# fork-safety (FORK001-FORK004)
+# ---------------------------------------------------------------------------
+
+
+def test_fork001_fork_under_held_lock(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import os
+        import threading
+
+        _lock = threading.Lock()
+
+        def respawn():
+            with _lock:
+                os.fork()
+        """,
+        "fork-safety",
+    )
+    assert codes(report) == ["FORK001"]
+
+
+def test_fork001_quiet_when_fork_outside_lock(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import os
+        import threading
+
+        _lock = threading.Lock()
+
+        def respawn():
+            with _lock:
+                pending = True
+            if pending:
+                os.fork()
+        """,
+        "fork-safety",
+    )
+    assert report.active == [], [f.render() for f in report.active]
+
+
+def test_fork002_threads_and_fork_in_same_scope(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+        from multiprocessing import Process
+
+        class Node:
+            def start(self):
+                self.t = threading.Thread(target=self.pump)
+                self.t.start()
+                self.p = Process(target=self.child)
+                self.p.start()
+
+            def pump(self):
+                pass
+
+            def child(self):
+                pass
+        """,
+        "fork-safety",
+    )
+    assert "FORK002" in codes(report)
+
+
+def test_fork003_module_lock_shared_with_child(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import threading
+        from multiprocessing import Process
+
+        _registry_lock = threading.Lock()
+
+        def parent_side():
+            with _registry_lock:
+                pass
+
+        def child_main():
+            with _registry_lock:
+                pass
+
+        def spawn():
+            Process(target=child_main).start()
+        """,
+        "fork-safety",
+    )
+    assert "FORK003" in codes(report)
+    finding = next(f for f in report.active if f.code == "FORK003")
+    assert finding.symbol == "child_main"
+
+
+def test_fork004_child_keeps_inherited_sockets(tmp_path):
+    bad = """
+        import socket
+        from multiprocessing import Process
+
+        def listen():
+            s = socket.socket()
+            s.listen(1)
+            return s
+
+        def child_main():
+            pass
+
+        def spawn():
+            Process(target=child_main).start()
+    """
+    report = lint_snippet(tmp_path, bad, "fork-safety")
+    assert "FORK004" in codes(report)
+
+    good = bad.replace(
+        "def child_main():\n            pass",
+        "def child_main():\n            cleanup()",
+    ) + """
+        def cleanup():
+            for s in inherited():
+                s.close()
+    """
+    report = lint_snippet(tmp_path, good, "fork-safety")
+    assert report.active == [], [f.render() for f in report.active]
+
+
+# ---------------------------------------------------------------------------
+# resource-lifetime (RES001-RES003)
+# ---------------------------------------------------------------------------
+
+
+def test_res001_never_closed(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import socket
+
+        def probe(address):
+            s = socket.socket()
+            s.connect(address)
+        """,
+        "resource-lifetime",
+    )
+    assert codes(report) == ["RES001"]
+
+
+def test_res001_quiet_with_statement(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        import socket
+
+        def probe(address):
+            with socket.socket() as s:
+                s.connect(address)
+        """,
+        "resource-lifetime",
+    )
+    assert report.active == [], [f.render() for f in report.active]
+
+
+def test_res002_exception_escapes_before_close(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        def dump(path, data):
+            f = open(path, "wb")
+            f.write(data)
+            f.close()
+        """,
+        "resource-lifetime",
+    )
+    assert codes(report) == ["RES002"]
+    (finding,) = report.active
+    assert "write" in finding.message
+
+
+def test_res002_quiet_with_try_finally(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        """
+        def dump(path, data):
+            f = open(path, "wb")
+            try:
+                f.write(data)
+            finally:
+                f.close()
+        """,
+        "resource-lifetime",
+    )
+    assert report.active == [], [f.render() for f in report.active]
+
+
+def test_res003_temp_file_left_behind_on_error(tmp_path):
+    bad = """
+        import os
+
+        def commit(path, data):
+            tmp = path + ".tmp"
+            try:
+                with open(tmp, "wb") as f:
+                    f.write(data)
+                os.replace(tmp, path)
+            except OSError as exc:
+                raise RuntimeError("commit failed") from exc
+    """
+    report = lint_snippet(tmp_path, bad, "resource-lifetime")
+    assert codes(report) == ["RES003"]
+
+    good = bad.replace(
+        'raise RuntimeError("commit failed") from exc',
+        'os.unlink(tmp)\n                raise RuntimeError("commit failed") from exc',
+    )
+    report = lint_snippet(tmp_path, good, "resource-lifetime")
+    assert report.active == [], [f.render() for f in report.active]
+
+
+# ---------------------------------------------------------------------------
+# SARIF / baseline / timings
+# ---------------------------------------------------------------------------
+
+
+def test_sarif_output_shape(tmp_path):
+    import json
+
+    report = lint_snippet(tmp_path, LOCK_SNIPPET, "lock-discipline")
+    doc = json.loads(report.to_sarif())
+    assert doc["version"] == "2.1.0"
+    assert "sarif-2.1.0" in doc["$schema"]
+    run = doc["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "zht-lint"
+    rule_ids = {rule["id"] for rule in driver["rules"]}
+    (result,) = run["results"]
+    assert result["ruleId"] == "LOCK001"
+    assert result["ruleId"] in rule_ids
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "mod.py"
+    assert location["region"]["startLine"] == report.active[0].line
+    assert result["partialFingerprints"]["zhtLintFingerprint/v1"]
+    assert "suppressions" not in result or result["suppressions"] == []
+
+
+def test_sarif_marks_suppressed_findings(tmp_path):
+    import json
+
+    cfg = LintConfig(
+        roots=["."],
+        suppressions=[
+            Suppression(
+                code="LOCK001", path="mod.py", symbol="*", reason="test"
+            )
+        ],
+    )
+    report = lint_snippet(tmp_path, LOCK_SNIPPET, "lock-discipline", config=cfg)
+    assert report.active == []
+    doc = json.loads(report.to_sarif())
+    (result,) = doc["runs"][0]["results"]
+    assert result["suppressions"], "suppressed finding must carry suppressions"
+
+
+def test_baseline_grandfathers_old_but_fails_new(tmp_path):
+    from repro.analysis.engine import load_baseline, write_baseline
+
+    report = lint_snippet(tmp_path, LOCK_SNIPPET, "lock-discipline")
+    assert len(report.active) == 1
+    baseline_path = tmp_path / "baseline.json"
+    assert write_baseline(report, baseline_path) == 1
+    fingerprints = load_baseline(baseline_path)
+
+    # The recorded finding no longer fails the run...
+    report = run_lint(
+        tmp_path,
+        checkers=["lock-discipline"],
+        config=LintConfig(roots=["."]),
+        baseline=fingerprints,
+    )
+    assert report.active == []
+    assert len(report.baselined_findings) == 1
+
+    # ...but a NEW finding in the same file still does.
+    grown = LOCK_SNIPPET + """
+        def worse(self, k):
+            return self._data.pop(k)
+    """
+    (tmp_path / "mod.py").write_text(
+        textwrap.dedent(grown), encoding="utf-8"
+    )
+    report = run_lint(
+        tmp_path,
+        checkers=["lock-discipline"],
+        config=LintConfig(roots=["."]),
+        baseline=fingerprints,
+    )
+    assert [f.symbol for f in report.active] == ["Store.worse"]
+    assert len(report.baselined_findings) == 1
+
+
+def test_fingerprints_survive_line_moves(tmp_path):
+    report_a = lint_snippet(tmp_path, LOCK_SNIPPET, "lock-discipline")
+    shifted = "\n    # a new leading comment\n" + LOCK_SNIPPET
+    report_b = lint_snippet(tmp_path, shifted, "lock-discipline")
+    assert report_a.active[0].line != report_b.active[0].line
+    assert report_a.active[0].fingerprint == report_b.active[0].fingerprint
+
+
+def test_timings_per_checker_in_report(tmp_path):
+    import json
+
+    report = lint_snippet(tmp_path, LOCK_SNIPPET)
+    data = json.loads(report.to_json())
+    from repro.analysis import CHECKERS
+
+    assert set(data["timings"]) == set(CHECKERS)
+    assert all(t >= 0 for t in data["timings"].values())
+    assert data["total_seconds"] >= 0
